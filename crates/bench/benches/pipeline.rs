@@ -1,0 +1,127 @@
+//! Criterion benchmarks of the ACSpec pipeline itself: per-table
+//! workloads (one per figure) plus the incremental-solving ablation.
+
+#![allow(clippy::disallowed_names)] // `Foo` is the paper's procedure name
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use acspec_benchgen::samate::{cwe476, cwe690};
+use acspec_core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName};
+use acspec_ir::parse::parse_program;
+use acspec_ir::{desugar_procedure, DesugarOptions, Program};
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+
+fn figure1_program() -> Program {
+    parse_program(
+        "global Freed: map;
+         procedure free(p: int)
+           requires Freed[p] == 0;
+           modifies Freed;
+           ensures Freed == write(old(Freed), p, 1);
+         ;
+         procedure Foo(c: int, buf: int, cmd: int) {
+           if (*) {
+             call free(c);
+             call free(buf);
+           } else {
+             if (cmd == 1) {
+               if (*) {
+                 call free(c);
+                 call free(buf);
+               }
+             }
+             call free(c);
+             call free(buf);
+           }
+         }",
+    )
+    .expect("parses")
+}
+
+/// Full pipeline on Figure 1 (the shape behind Figure 6's rows).
+fn bench_figure1(c: &mut Criterion) {
+    let prog = figure1_program();
+    let foo = prog.procedure("Foo").expect("exists").clone();
+    for config in [ConfigName::Conc, ConfigName::A1, ConfigName::A2] {
+        c.bench_function(&format!("pipeline/figure1-{config}"), |b| {
+            b.iter(|| {
+                let r = analyze_procedure(&prog, &foo, &AcspecOptions::for_config(config))
+                    .expect("analyzes");
+                std::hint::black_box(r.warnings.len());
+            })
+        });
+    }
+    c.bench_function("pipeline/figure1-cons", |b| {
+        b.iter(|| {
+            let r = cons_baseline(&prog, &foo, AnalyzerConfig::default()).expect("analyzes");
+            std::hint::black_box(r.warnings.len());
+        })
+    });
+}
+
+/// SAMATE corpus evaluation (the workload behind Figure 7).
+fn bench_samate(c: &mut Criterion) {
+    let bm476 = cwe476(476, 10);
+    let bm690 = cwe690(690, 10);
+    for (name, bm) in [("cwe476", &bm476), ("cwe690", &bm690)] {
+        c.bench_function(&format!("pipeline/{name}-10cases-conc"), |b| {
+            b.iter(|| {
+                let mut warnings = 0usize;
+                for proc in &bm.program.procedures {
+                    if proc.body.is_none() {
+                        continue;
+                    }
+                    let r = analyze_procedure(
+                        &bm.program,
+                        proc,
+                        &AcspecOptions::for_config(ConfigName::Conc),
+                    )
+                    .expect("analyzes");
+                    warnings += r.warnings.len();
+                }
+                std::hint::black_box(warnings);
+            })
+        });
+    }
+}
+
+/// Incremental (single persistent encoding) vs. fresh-per-query solving —
+/// the inefficiency the paper attributes to the missing incremental Z3
+/// interface (§5).
+fn bench_incremental(c: &mut Criterion) {
+    let prog = figure1_program();
+    let foo = prog.procedure("Foo").expect("exists").clone();
+    let d = desugar_procedure(&prog, &foo, DesugarOptions::default()).expect("ok");
+    let cfg = AnalyzerConfig::default();
+
+    c.bench_function("queries/incremental", |b| {
+        b.iter(|| {
+            let mut az = ProcAnalyzer::new(&d, cfg).expect("encodes");
+            for l in az.locations() {
+                let _ = az.is_reachable(l, &[]);
+            }
+            for a in az.assertions() {
+                let _ = az.can_fail(a, &[]);
+            }
+            std::hint::black_box(az.queries);
+        })
+    });
+    c.bench_function("queries/fresh-per-query", |b| {
+        b.iter(|| {
+            let probe = ProcAnalyzer::new(&d, cfg).expect("encodes");
+            let locs = probe.locations();
+            let asserts = probe.assertions();
+            for l in locs {
+                let mut az = ProcAnalyzer::new(&d, cfg).expect("encodes");
+                let _ = az.is_reachable(l, &[]);
+            }
+            for a in asserts {
+                let mut az = ProcAnalyzer::new(&d, cfg).expect("encodes");
+                let _ = az.can_fail(a, &[]);
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_figure1, bench_samate, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the SMT substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use acspec_smt::sat::{Lit, Sat, SolveResult, Var};
+use acspec_smt::{Ctx, SmtResult, Solver};
+
+/// Pigeonhole (n+1 pigeons, n holes): a classic hard UNSAT family for
+/// resolution-based solvers.
+fn pigeonhole(n: usize) -> (Sat, SolveResult) {
+    let mut sat = Sat::new();
+    let mut p = vec![vec![Var(0); n]; n + 1];
+    for row in &mut p {
+        for cell in row.iter_mut() {
+            *cell = sat.new_var();
+        }
+    }
+    for row in &p {
+        let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        sat.add_clause(&lits);
+    }
+    #[allow(clippy::needless_range_loop)] // index pairs are the point
+    for j in 0..n {
+        for i in 0..=n {
+            for k in (i + 1)..=n {
+                sat.add_clause(&[Lit::neg(p[i][j]), Lit::neg(p[k][j])]);
+            }
+        }
+    }
+    let r = sat.solve(&[], None);
+    (sat, r)
+}
+
+fn bench_sat(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole-6", |b| {
+        b.iter(|| {
+            let (_, r) = pigeonhole(6);
+            assert_eq!(r, SolveResult::Unsat);
+        })
+    });
+}
+
+/// A chain of map writes followed by a read: exercises the lazy
+/// read-over-write lemma instantiation.
+fn write_chain_unsat(len: usize) -> SmtResult {
+    let mut ctx = Ctx::new();
+    let mut solver = Solver::new();
+    let base = ctx.mk_map_var("m");
+    let mut cur = base;
+    for i in 0..len {
+        let idx = ctx.mk_int_var(format!("i{i}"));
+        let val = ctx.mk_int(i as i64);
+        cur = ctx.mk_write(cur, idx, val);
+    }
+    let m2 = ctx.mk_map_var("m2");
+    let def = ctx.mk_eq(m2, cur);
+    solver.assert_term(&mut ctx, def);
+    // Read back the last-written index: must equal len-1.
+    let last = ctx.mk_int_var(format!("i{}", len - 1));
+    let r = ctx.mk_read(m2, last);
+    let expected = ctx.mk_int((len - 1) as i64);
+    let eq = ctx.mk_eq(r, expected);
+    let ne = ctx.mk_not(eq);
+    // Force all indices distinct so the chain cannot alias.
+    for i in 0..len {
+        for j in (i + 1)..len {
+            let a = ctx.mk_int_var(format!("i{i}"));
+            let b = ctx.mk_int_var(format!("i{j}"));
+            let e = ctx.mk_eq(a, b);
+            let n = ctx.mk_not(e);
+            solver.assert_term(&mut ctx, n);
+        }
+    }
+    solver.assert_term(&mut ctx, ne);
+    solver.check(&mut ctx, &[])
+}
+
+fn bench_arrays(c: &mut Criterion) {
+    c.bench_function("smt/write-chain-5", |b| {
+        b.iter(|| assert_eq!(write_chain_unsat(5), SmtResult::Unsat))
+    });
+}
+
+/// Dense difference-logic systems through the simplex core.
+fn bench_lia(c: &mut Criterion) {
+    c.bench_function("smt/difference-chain-30", |b| {
+        b.iter_batched(
+            || (Ctx::new(), Solver::new()),
+            |(mut ctx, mut solver)| {
+                let n = 30;
+                let vars: Vec<_> = (0..n).map(|i| ctx.mk_int_var(format!("x{i}"))).collect();
+                for w in vars.windows(2) {
+                    let lt = ctx.mk_lt(w[0], w[1]);
+                    solver.assert_term(&mut ctx, lt);
+                }
+                // x0 ≥ 0, x_{n-1} ≤ n - 2 → unsat (chain needs n-1 gaps).
+                let zero = ctx.mk_int(0);
+                let bound = ctx.mk_int((n - 2) as i64);
+                let lo = ctx.mk_le(zero, vars[0]);
+                let hi = ctx.mk_le(vars[n - 1], bound);
+                solver.assert_term(&mut ctx, lo);
+                solver.assert_term(&mut ctx, hi);
+                assert_eq!(solver.check(&mut ctx, &[]), SmtResult::Unsat);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sat, bench_arrays, bench_lia);
+criterion_main!(benches);

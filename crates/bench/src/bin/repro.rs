@@ -1,0 +1,391 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation (§5) on the generated benchmark suite.
+//!
+//! ```text
+//! repro fig5  [--scale N]     benchmark statistics        (Figure 5)
+//! repro fig6  [--scale N]     warning reduction table     (Figure 6)
+//! repro fig7  [--scale N]     C/FP/FN classification      (Figure 7)
+//! repro fig8  [--scale N]     large-benchmark warnings    (Figure 8)
+//! repro fig9  [--scale N]     per-procedure averages      (Figure 9)
+//! repro ablation-incremental  incremental vs. fresh-solver queries
+//! repro ablation-normalize    Normalize on/off
+//! repro ablation-interproc    inferred callee preconditions (§7)
+//! repro all   [--scale N]     everything above
+//! ```
+//!
+//! `--scale N` divides every benchmark's procedure count by `N`
+//! (default 1 = full size). All generation is seeded; output is
+//! deterministic up to wall-clock columns.
+
+use std::time::Instant;
+
+use acspec_bench::{classify, evaluate, format_table, BenchEval, EvalOptions, PRUNE_LEVELS};
+use acspec_benchgen::suite::{generate_entry, SuiteEntry, SuiteKind, SUITE};
+use acspec_benchgen::Benchmark;
+use acspec_core::{analyze_procedure, AcspecOptions, ConfigName};
+use acspec_ir::{desugar_procedure, DesugarOptions};
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = "all".to_string();
+    let mut scale = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a positive integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                cmd = other.to_string();
+                i += 1;
+            }
+        }
+    }
+    match cmd.as_str() {
+        "fig5" => fig5(scale),
+        "fig6" => fig6(scale),
+        "fig7" => fig7(scale),
+        "fig8" => fig8(scale),
+        "fig9" => fig9(scale),
+        "ablation-incremental" => ablation_incremental(scale),
+        "ablation-normalize" => ablation_normalize(scale),
+        "ablation-interproc" => ablation_interproc(scale),
+        "all" => {
+            fig5(scale);
+            fig6(scale);
+            fig7(scale);
+            fig8(scale);
+            fig9(scale);
+            ablation_incremental(scale);
+            ablation_normalize(scale);
+            ablation_interproc(scale);
+        }
+        other => {
+            eprintln!("unknown command `{other}`; see the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn entries(kinds: &[SuiteKind]) -> Vec<&'static SuiteEntry> {
+    SUITE.iter().filter(|e| kinds.contains(&e.kind)).collect()
+}
+
+/// Figure 5: benchmark statistics.
+fn fig5(scale: usize) {
+    println!("== Figure 5: benchmark statistics (scale 1/{scale}) ==\n");
+    let mut rows = Vec::new();
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for e in SUITE {
+        let bm = generate_entry(e, scale);
+        let ir_loc = bm.ir_stmt_count();
+        rows.push(vec![
+            bm.name.clone(),
+            bm.c_loc.to_string(),
+            ir_loc.to_string(),
+            bm.proc_count().to_string(),
+            bm.assert_count().to_string(),
+        ]);
+        totals.0 += bm.c_loc;
+        totals.1 += ir_loc;
+        totals.2 += bm.proc_count();
+        totals.3 += bm.assert_count();
+    }
+    rows.push(vec![
+        "Total".into(),
+        totals.0.to_string(),
+        totals.1.to_string(),
+        totals.2.to_string(),
+        totals.3.to_string(),
+    ]);
+    println!(
+        "{}",
+        format_table(&["Bench", "LOC (C)", "Stmts (IR)", "Procs", "Asserts"], &rows)
+    );
+}
+
+fn eval_entries(kinds: &[SuiteKind], scale: usize) -> Vec<(Benchmark, BenchEval)> {
+    let opts = EvalOptions::default();
+    entries(kinds)
+        .into_iter()
+        .map(|e| {
+            let bm = generate_entry(e, scale);
+            let ev = evaluate(&bm, &opts);
+            (bm, ev)
+        })
+        .collect()
+}
+
+/// Figure 6: warning reduction on the small benchmarks.
+fn fig6(scale: usize) {
+    println!("== Figure 6: abstract configurations × clause pruning (small benchmarks, scale 1/{scale}) ==\n");
+    let evals = eval_entries(&[SuiteKind::Samate, SuiteKind::Small], scale);
+    let mut rows = Vec::new();
+    let mut tot = vec![0usize; 3 * PRUNE_LEVELS.len() + 2];
+    for (bm, ev) in &evals {
+        let mut row = vec![bm.name.clone()];
+        let mut idx = 0;
+        for ci in 0..3 {
+            for ki in 0..PRUNE_LEVELS.len() {
+                let w = ev.warning_count(ci, ki);
+                row.push(w.to_string());
+                tot[idx] += w;
+                idx += 1;
+            }
+        }
+        let cons = ev.cons_count();
+        row.push(cons.to_string());
+        tot[idx] += cons;
+        row.push(ev.timeouts.to_string());
+        tot[idx + 1] += ev.timeouts;
+        rows.push(row);
+    }
+    let mut total_row = vec!["Total".to_string()];
+    total_row.extend(tot.iter().map(usize::to_string));
+    rows.push(total_row);
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Bench", "Conc", "k=3", "k=2", "k=1", "A1", "k=3", "k=2", "k=1", "A2", "k=3",
+                "k=2", "k=1", "Cons", "TO",
+            ],
+            &rows
+        )
+    );
+    println!("(columns group as Conc/A1/A2, each with no pruning then k = 3, 2, 1)\n");
+}
+
+/// Figure 7: classification against ground truth on the SAMATE corpora.
+fn fig7(scale: usize) {
+    println!("== Figure 7: classification on labeled SAMATE corpora (scale 1/{scale}) ==\n");
+    let evals = eval_entries(&[SuiteKind::Samate], scale);
+    let mut rows = Vec::new();
+    let mut totals = [(0usize, 0usize, 0usize); 4];
+    for (bm, ev) in &evals {
+        let gt = bm.ground_truth.as_ref().expect("SAMATE corpora are labeled");
+        let mut row = vec![bm.name.clone(), (gt.buggy.len() + gt.safe.len()).to_string()];
+        for (slot, tags) in [
+            ev.warning_tags(0, 0),
+            ev.warning_tags(1, 0),
+            ev.warning_tags(2, 0),
+            ev.cons_tags(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let c = classify(gt, &tags);
+            row.push(c.correct.to_string());
+            row.push(c.false_positives.to_string());
+            row.push(c.false_negatives.to_string());
+            totals[slot].0 += c.correct;
+            totals[slot].1 += c.false_positives;
+            totals[slot].2 += c.false_negatives;
+        }
+        rows.push(row);
+    }
+    let mut total_row = vec!["Total".to_string(), String::new()];
+    for (c, fp, fn_) in totals {
+        total_row.push(c.to_string());
+        total_row.push(fp.to_string());
+        total_row.push(fn_.to_string());
+    }
+    rows.push(total_row);
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Bench", "Asrt", "Conc C", "FP", "FN", "A1 C", "FP", "FN", "A2 C", "FP", "FN",
+                "Cons C", "FP", "FN",
+            ],
+            &rows
+        )
+    );
+}
+
+/// Figure 8: warnings on the large benchmarks.
+fn fig8(scale: usize) {
+    println!("== Figure 8: abstract configurations on large benchmarks (scale 1/{scale}) ==\n");
+    let evals = eval_entries(&[SuiteKind::Large], scale);
+    let mut rows = Vec::new();
+    let mut tot = [0usize; 7];
+    for (bm, ev) in &evals {
+        let cells = [
+            bm.proc_count(),
+            bm.assert_count(),
+            ev.warning_count(0, 0),
+            ev.warning_count(1, 0),
+            ev.warning_count(2, 0),
+            ev.cons_count(),
+            ev.timeouts,
+        ];
+        for (t, c) in tot.iter_mut().zip(cells) {
+            *t += c;
+        }
+        let mut row = vec![bm.name.clone()];
+        row.extend(cells.iter().map(usize::to_string));
+        rows.push(row);
+    }
+    let mut total_row = vec!["Total".to_string()];
+    total_row.extend(tot.iter().map(usize::to_string));
+    rows.push(total_row);
+    println!(
+        "{}",
+        format_table(
+            &["Bench", "Proc", "Asrt", "Conc", "A1", "A2", "Cons", "TO"],
+            &rows
+        )
+    );
+}
+
+/// Figure 9: per-procedure averages on the large benchmarks.
+fn fig9(scale: usize) {
+    println!("== Figure 9: per-procedure averages on large benchmarks (scale 1/{scale}) ==\n");
+    let evals = eval_entries(&[SuiteKind::Large], scale);
+    let mut rows = Vec::new();
+    for (bm, ev) in &evals {
+        let mut row = vec![bm.name.clone()];
+        for ci in 0..3 {
+            let (p, c, t) = ev.averages(ci);
+            row.push(format!("{p:.1}"));
+            row.push(format!("{c:.1}"));
+            row.push(format!("{t:.3}"));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Bench", "Conc P", "C", "T(s)", "A1 P", "C", "T(s)", "A2 P", "C", "T(s)",
+            ],
+            &rows
+        )
+    );
+    println!("(P = avg predicates/proc, C = avg cover clauses/proc, T = avg seconds/proc)\n");
+}
+
+/// Ablation: the paper names the missing incremental solver interface as
+/// its prototype's main inefficiency (§5). We compare answering all
+/// `Fail(true)`/`Dead(true)` queries from one persistent encoding versus
+/// re-encoding per query.
+fn ablation_incremental(scale: usize) {
+    println!("== Ablation: incremental vs. re-encoded solving (scale 1/{scale}) ==\n");
+    let bm = generate_entry(&SUITE[2], scale); // ansicon
+    let cfg = AnalyzerConfig::default();
+    let mut inc_total = 0.0;
+    let mut fresh_total = 0.0;
+    let mut n_queries = 0usize;
+    for proc in &bm.program.procedures {
+        if proc.body.is_none() {
+            continue;
+        }
+        let d = desugar_procedure(&bm.program, proc, DesugarOptions::default()).expect("ok");
+
+        let t0 = Instant::now();
+        let mut az = ProcAnalyzer::new(&d, cfg).expect("encodes");
+        let locs = az.locations();
+        let asserts = az.assertions();
+        for &l in &locs {
+            let _ = az.is_reachable(l, &[]);
+        }
+        for &a in &asserts {
+            let _ = az.can_fail(a, &[]);
+        }
+        inc_total += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        for &l in &locs {
+            let mut fresh = ProcAnalyzer::new(&d, cfg).expect("encodes");
+            let _ = fresh.is_reachable(l, &[]);
+        }
+        for &a in &asserts {
+            let mut fresh = ProcAnalyzer::new(&d, cfg).expect("encodes");
+            let _ = fresh.can_fail(a, &[]);
+        }
+        fresh_total += t1.elapsed().as_secs_f64();
+        n_queries += locs.len() + asserts.len();
+    }
+    println!(
+        "{n_queries} Dead/Fail queries over `{}`:\n  one persistent encoding: {inc_total:.3}s\n  fresh encoding per query: {fresh_total:.3}s\n  speedup: {:.1}x\n",
+        bm.name,
+        fresh_total / inc_total.max(1e-9)
+    );
+}
+
+/// Ablation: `Normalize` on/off — without normalization, pruning operates
+/// on the raw maximal clauses (all of width |Q|), so k-pruning drops
+/// everything and over-weakens (§4.3's motivation).
+fn ablation_normalize(scale: usize) {
+    println!("== Ablation: Normalize on/off under k=1 pruning (scale 1/{scale}) ==\n");
+    let bm = generate_entry(&SUITE[2], scale);
+    let mut rows = Vec::new();
+    for apply in [true, false] {
+        let mut warnings = 0usize;
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            let mut opts = AcspecOptions::for_config(ConfigName::Conc).with_k_pruning(1);
+            opts.apply_normalize = apply;
+            let r = analyze_procedure(&bm.program, proc, &opts).expect("analyzes");
+            if !r.timed_out() {
+                warnings += r.warnings.len();
+            }
+        }
+        rows.push(vec![
+            if apply { "Normalize on" } else { "Normalize off" }.to_string(),
+            warnings.to_string(),
+        ]);
+    }
+    println!("{}", format_table(&["Variant", "warnings (Conc, k=1)"], &rows));
+    println!("(§4.3: quality measures cannot be applied directly to maximal clauses)\n");
+}
+
+/// Ablation: the interprocedural extension (§5.1.2, §7) — inferring
+/// callee preconditions and asserting them at call sites recovers the
+/// "simple, but buggy" false negatives on a caller-augmented corpus.
+fn ablation_interproc(scale: usize) {
+    use acspec_core::infer_preconditions;
+    println!("== Ablation: interprocedural precondition inference (scale 1/{scale}) ==\n");
+    let n = (40 / scale.max(1)).max(4);
+    let bm = acspec_benchgen::samate::cwe476_with_callers(777, n);
+    let gt = bm.ground_truth.as_ref().expect("labeled");
+    let opts = AcspecOptions::for_config(ConfigName::Conc);
+
+    let classify_run = |program: &acspec_ir::Program| -> (usize, usize) {
+        let mut reported = std::collections::BTreeSet::new();
+        for proc in &program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            let r = analyze_procedure(program, proc, &opts).expect("analyzes");
+            for w in &r.warnings {
+                reported.insert(w.tag.clone());
+            }
+        }
+        let fns = gt.buggy.iter().filter(|t| !reported.contains(*t)).count();
+        let fps = gt.safe.iter().filter(|t| reported.contains(*t)).count();
+        (fns, fps)
+    };
+
+    let (fn_before, fp_before) = classify_run(&bm.program);
+    let inferred = infer_preconditions(&bm.program, &opts).expect("infers");
+    let (fn_after, fp_after) = classify_run(&inferred.program);
+    println!(
+        "{} NULL-passing call sites among {} callers; {} preconditions inferred",
+        gt.buggy.len(),
+        n,
+        inferred.inferred.len()
+    );
+    println!("  modular (paper's setting):   FN = {fn_before}, FP = {fp_before}");
+    println!("  with inferred preconditions: FN = {fn_after}, FP = {fp_after}\n");
+}

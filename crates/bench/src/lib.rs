@@ -1,0 +1,367 @@
+#![warn(missing_docs)]
+
+//! Evaluation engine regenerating the paper's tables.
+//!
+//! [`evaluate`] runs the ACSpec pipeline over a generated benchmark under
+//! every configuration and prune level; the `repro` binary formats the
+//! results as Figures 5–9 of the paper. Procedures the conservative
+//! verifier labels correct are excluded from all statistics, and
+//! procedures that time out in any configuration are excluded from the
+//! warning counts and reported in the "TO" column — both exactly as the
+//! paper does (§5).
+
+use std::collections::BTreeSet;
+
+use acspec_benchgen::Benchmark;
+use acspec_core::{
+    analyze_procedure_multi, cons_baseline, AcspecOptions, AnalysisOutcome, ConfigName,
+    ProcReport, SibStatus,
+};
+use acspec_predabs::normalize::PruneConfig;
+use acspec_vcgen::analyzer::AnalyzerConfig;
+
+/// The prune levels of Figure 6: no pruning (`k = ∞`) and `k = 3, 2, 1`.
+pub const PRUNE_LEVELS: &[Option<usize>] = &[None, Some(3), Some(2), Some(1)];
+
+/// Evaluation of one procedure: per-configuration, per-prune-level
+/// reports plus the conservative baseline.
+#[derive(Debug, Clone)]
+pub struct ProcEval {
+    /// Procedure name.
+    pub name: String,
+    /// `reports[config][prune_level]`, indexed parallel to `configs` and
+    /// [`PRUNE_LEVELS`].
+    pub reports: Vec<Vec<ProcReport>>,
+    /// The `Cons` baseline.
+    pub cons: ProcReport,
+    /// True if any configuration (or the baseline) timed out.
+    pub timed_out: bool,
+}
+
+/// Evaluation of a whole benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchEval {
+    /// Benchmark name.
+    pub name: String,
+    /// The configurations evaluated (column order of `ProcEval::reports`).
+    pub configs: Vec<ConfigName>,
+    /// Per-procedure results (correct procedures are skipped entirely).
+    pub procs: Vec<ProcEval>,
+    /// Procedures the conservative verifier proved correct.
+    pub correct_procs: usize,
+    /// Procedures that timed out in some configuration.
+    pub timeouts: usize,
+}
+
+/// Options for an evaluation run.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Analyzer budget per procedure and configuration.
+    pub analyzer: AnalyzerConfig,
+    /// Configurations to evaluate.
+    pub configs: &'static [ConfigName],
+    /// Worker threads (procedures are analyzed independently; results are
+    /// deterministic regardless of this setting). `0` = available
+    /// parallelism.
+    pub threads: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            analyzer: AnalyzerConfig {
+                conflict_budget: Some(400_000),
+            },
+            configs: &[ConfigName::Conc, ConfigName::A1, ConfigName::A2],
+            threads: 0,
+        }
+    }
+}
+
+/// Evaluates one procedure (all configurations and prune levels), or
+/// `None` if the conservative verifier proves it correct.
+fn evaluate_proc(
+    program: &acspec_ir::Program,
+    proc: &acspec_ir::Procedure,
+    opts: &EvalOptions,
+) -> Option<ProcEval> {
+    let cons = cons_baseline(program, proc, opts.analyzer)
+        .unwrap_or_else(|e| panic!("cons failed on {}: {e}", proc.name));
+    if cons.status == SibStatus::Correct {
+        return None;
+    }
+    let prune_variants: Vec<PruneConfig> = PRUNE_LEVELS
+        .iter()
+        .map(|k| PruneConfig {
+            max_literals: *k,
+            no_cross_call_correlations: false,
+        })
+        .collect();
+    let mut reports = Vec::with_capacity(opts.configs.len());
+    let mut timed_out = cons.outcome == AnalysisOutcome::TimedOut;
+    for &config in opts.configs {
+        let mut aopts = AcspecOptions::for_config(config);
+        aopts.analyzer = opts.analyzer;
+        let per_prune = analyze_procedure_multi(program, proc, &aopts, &prune_variants)
+            .unwrap_or_else(|e| panic!("analysis failed on {}: {e}", proc.name));
+        timed_out |= per_prune.iter().any(ProcReport::timed_out);
+        reports.push(per_prune);
+    }
+    Some(ProcEval {
+        name: proc.name.clone(),
+        reports,
+        cons,
+        timed_out,
+    })
+}
+
+/// Runs the full evaluation over a benchmark, fanning procedures out
+/// over worker threads. Results are collected in procedure order, so
+/// the output is deterministic regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if a generated benchmark fails to analyze (a generator bug).
+pub fn evaluate(bm: &Benchmark, opts: &EvalOptions) -> BenchEval {
+    let defined: Vec<&acspec_ir::Procedure> = bm
+        .program
+        .procedures
+        .iter()
+        .filter(|p| p.body.is_some())
+        .collect();
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    }
+    .min(defined.len().max(1));
+
+    let results: Vec<Option<ProcEval>> = if threads <= 1 {
+        defined
+            .iter()
+            .map(|p| evaluate_proc(&bm.program, p, opts))
+            .collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<ProcEval>>> =
+            (0..defined.len()).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= defined.len() {
+                        break;
+                    }
+                    let result = evaluate_proc(&bm.program, defined[i], opts);
+                    *slots[i].lock().expect("no poisoning") = result;
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("no poisoning"))
+            .collect()
+    };
+
+    let mut procs = Vec::new();
+    let mut correct = 0;
+    let mut timeouts = 0;
+    for r in results {
+        match r {
+            None => correct += 1,
+            Some(pe) => {
+                if pe.timed_out {
+                    timeouts += 1;
+                }
+                procs.push(pe);
+            }
+        }
+    }
+    BenchEval {
+        name: bm.name.clone(),
+        configs: opts.configs.to_vec(),
+        procs,
+        correct_procs: correct,
+        timeouts,
+    }
+}
+
+impl BenchEval {
+    /// Total warnings for configuration index `ci` at prune level `ki`,
+    /// excluding timed-out procedures (as the paper's Figure 6 does).
+    pub fn warning_count(&self, ci: usize, ki: usize) -> usize {
+        self.procs
+            .iter()
+            .filter(|p| !p.timed_out)
+            .map(|p| p.reports[ci][ki].warnings.len())
+            .sum()
+    }
+
+    /// Total `Cons` warnings, excluding timed-out procedures.
+    pub fn cons_count(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|p| !p.timed_out)
+            .map(|p| p.cons.warnings.len())
+            .sum()
+    }
+
+    /// All warning tags reported by configuration `ci` at prune level
+    /// `ki` (for ground-truth classification).
+    pub fn warning_tags(&self, ci: usize, ki: usize) -> BTreeSet<String> {
+        self.procs
+            .iter()
+            .filter(|p| !p.timed_out)
+            .flat_map(|p| p.reports[ci][ki].warnings.iter().map(|w| w.tag.clone()))
+            .collect()
+    }
+
+    /// All `Cons` warning tags.
+    pub fn cons_tags(&self) -> BTreeSet<String> {
+        self.procs
+            .iter()
+            .filter(|p| !p.timed_out)
+            .flat_map(|p| p.cons.warnings.iter().map(|w| w.tag.clone()))
+            .collect()
+    }
+
+    /// Per-procedure averages for Figure 9 (at the unpruned level):
+    /// `(predicates, cover clauses, seconds)` for configuration `ci`,
+    /// over non-timed-out procedures.
+    pub fn averages(&self, ci: usize) -> (f64, f64, f64) {
+        let rows: Vec<&ProcReport> = self
+            .procs
+            .iter()
+            .filter(|p| !p.timed_out)
+            .map(|p| &p.reports[ci][0])
+            .collect();
+        if rows.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = rows.len() as f64;
+        (
+            rows.iter().map(|r| r.stats.n_predicates as f64).sum::<f64>() / n,
+            rows.iter()
+                .map(|r| r.stats.n_cover_clauses as f64)
+                .sum::<f64>()
+                / n,
+            rows.iter().map(|r| r.stats.seconds).sum::<f64>() / n,
+        )
+    }
+}
+
+/// Classification counts against ground truth (Figure 7): correctly
+/// classified (`C`), false positives (`FP`), false negatives (`FN`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// Correctly classified assertions.
+    pub correct: usize,
+    /// Safe assertions reported as warnings.
+    pub false_positives: usize,
+    /// Buggy assertions not reported.
+    pub false_negatives: usize,
+}
+
+/// Classifies a set of reported warning tags against ground truth.
+pub fn classify(
+    gt: &acspec_benchgen::GroundTruth,
+    reported: &BTreeSet<String>,
+) -> Classification {
+    let fp = gt.safe.iter().filter(|t| reported.contains(*t)).count();
+    let fn_ = gt.buggy.iter().filter(|t| !reported.contains(*t)).count();
+    let total = gt.safe.len() + gt.buggy.len();
+    Classification {
+        correct: total - fp - fn_,
+        false_positives: fp,
+        false_negatives: fn_,
+    }
+}
+
+/// Formats a row-major table with right-aligned columns.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(4)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acspec_benchgen::drivers::{generate, PatternMix};
+
+    #[test]
+    fn evaluate_small_driver_benchmark() {
+        let bm = generate("tiny", 99, 6, PatternMix::default());
+        let eval = evaluate(&bm, &EvalOptions::default());
+        // Monotonicity across the lattice holds *without* pruning
+        // (Proposition 2). With pruning, coarser abstractions can
+        // cross over below finer ones — §5.1.1's firefly effect — so no
+        // assertion is made at k = 3, 2, 1.
+        let conc = eval.warning_count(0, 0);
+        let a1 = eval.warning_count(1, 0);
+        let a2 = eval.warning_count(2, 0);
+        assert!(conc <= a1, "Conc {conc} ≤ A1 {a1} unpruned");
+        assert!(a1 <= a2, "A1 {a1} ≤ A2 {a2} unpruned");
+        // Pruning monotone per config.
+        for ci in 0..3 {
+            let counts: Vec<usize> = (0..PRUNE_LEVELS.len())
+                .map(|ki| eval.warning_count(ci, ki))
+                .collect();
+            for w in counts.windows(2) {
+                assert!(w[0] <= w[1], "pruning adds warnings: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_counts() {
+        let mut gt = acspec_benchgen::GroundTruth::default();
+        gt.buggy.insert("a".into());
+        gt.buggy.insert("b".into());
+        gt.safe.insert("c".into());
+        let reported: BTreeSet<String> = ["a", "c"].iter().map(|s| (*s).to_string()).collect();
+        let c = classify(&gt, &reported);
+        assert_eq!(c.false_positives, 1); // c reported but safe
+        assert_eq!(c.false_negatives, 1); // b missed
+        assert_eq!(c.correct, 1); // a
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["name", "n"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("longer"));
+        assert!(t.lines().count() >= 4);
+    }
+}

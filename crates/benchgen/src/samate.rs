@@ -1,0 +1,386 @@
+//! SAMATE-style labeled corpora for CWE476 (NULL pointer dereference) and
+//! CWE690 (unchecked return value → NULL dereference).
+//!
+//! Each generated case is one function built from a *flow variant*
+//! pattern, in the spirit of the NIST SAMATE test-suite variants the
+//! paper evaluates on (§5, Figure 7). The generator records ground truth:
+//! the provenance tag of each planted dereference, labeled buggy or safe.
+//! The buggy ratios match the paper's (36% for CWE476, 27% for CWE690).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{compile_benchmark, Benchmark, GroundTruth, SrcBuilder};
+
+const PRELUDE: &[&str] = &[
+    "struct item { int val; int key; struct item *next; };",
+    "int *malloc(int size);",
+    "struct item *alloc_item(void);",
+    "int flag_fn(void);",
+    "int valid_ptr(int *p);",
+    "",
+];
+
+/// The flow variants for CWE476. `true` = the planted dereference is a
+/// real bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V476 {
+    /// `p = malloc(); *p = 1;` — unchecked allocation (simple body: a
+    /// false negative for Conc/A1, per §5.1.2's discussion).
+    BuggySimple,
+    /// `if (p == NULL) { *p = 1; }` — dereference on the null path (a
+    /// doomed point; every configuration catches it).
+    BuggyDoomed,
+    /// `if (nondet()) { *p = 1; }` — unchecked on a non-deterministic
+    /// path.
+    BuggyNondetPath,
+    /// Figure 2-style: one branch unchecked, the sibling branch checked.
+    BuggyInconsistent,
+    /// `if (p != NULL) { *p = 1; }` — properly checked.
+    SafeChecked,
+    /// `if (p == NULL) return; *p = 1;` — early-exit guard.
+    SafeEarlyReturn,
+    /// Dereference of a parameter the (absent) caller guarantees —
+    /// labeled safe in the suite; the conservative verifier flags it
+    /// (its false positives in Figure 7).
+    SafeParamContract,
+    /// Identical code to [`V476::SafeParamContract`] but the suite's
+    /// callers pass NULL: labeled buggy. Invisible to *every* abstract
+    /// configuration ("there is no (abstract) inconsistency when the
+    /// procedure bodies are simple, but buggy", §5.1.2) — the residual
+    /// false negatives of Figure 7.
+    BuggyParamNull,
+    /// Allocation guarded by an external validity check the human knows
+    /// implies non-null: safe, but the havoc-returns abstraction cannot
+    /// express the needed ν-free specification — the source of A2's few
+    /// false positives (§5.1.2).
+    SafeCalleeChecked,
+}
+
+const V476_BUGGY: &[V476] = &[
+    V476::BuggySimple,
+    V476::BuggyDoomed,
+    V476::BuggyNondetPath,
+    V476::BuggyInconsistent,
+    V476::BuggyParamNull,
+    V476::BuggyParamNull,
+];
+const V476_SAFE: &[V476] = &[
+    V476::SafeChecked,
+    V476::SafeEarlyReturn,
+    V476::SafeParamContract,
+    V476::SafeCalleeChecked,
+];
+
+/// Generates the CWE476-style labeled corpus with `n` cases.
+pub fn cwe476(seed: u64, n: usize) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SrcBuilder::new();
+    b.lines(PRELUDE);
+    let mut gt = GroundTruth::default();
+    for i in 0..n {
+        let v = if rng.gen_bool(0.36) {
+            V476_BUGGY[rng.gen_range(0..V476_BUGGY.len())]
+        } else {
+            V476_SAFE[rng.gen_range(0..V476_SAFE.len())]
+        };
+        emit_476(&mut b, &mut gt, i, v);
+        b.line("");
+    }
+    compile_benchmark("CWE476", b.build(), Some(gt))
+}
+
+fn emit_476(b: &mut SrcBuilder, gt: &mut GroundTruth, i: usize, v: V476) {
+    let mark = |gt: &mut GroundTruth, line: u32, buggy: bool| {
+        let tag = format!("deref@{line}");
+        if buggy {
+            gt.buggy.insert(tag);
+        } else {
+            gt.safe.insert(tag);
+        }
+    };
+    match v {
+        V476::BuggySimple => {
+            b.line(format!("void case476_{i}(void) {{"));
+            b.line("  int *p = malloc(8);");
+            let l = b.line("  *p = 1;");
+            mark(gt, l, true);
+            b.line("}");
+        }
+        V476::BuggyDoomed => {
+            b.line(format!("void case476_{i}(void) {{"));
+            b.line("  int *p = malloc(8);");
+            b.line("  if (p == NULL) {");
+            let l = b.line("    *p = 1;");
+            mark(gt, l, true);
+            b.line("  }");
+            b.line("}");
+        }
+        V476::BuggyNondetPath => {
+            b.line(format!("void case476_{i}(void) {{"));
+            b.line("  int *p = malloc(8);");
+            b.line("  if (nondet()) {");
+            let l = b.line("    *p = 1;");
+            mark(gt, l, true);
+            b.line("  }");
+            b.line("}");
+        }
+        V476::BuggyInconsistent => {
+            b.line(format!("void case476_{i}(void) {{"));
+            b.line("  int *p = malloc(8);");
+            b.line("  if (flag_fn()) {");
+            let l1 = b.line("    *p = 1;");
+            mark(gt, l1, true);
+            b.line("  } else {");
+            b.line("    if (p != NULL) {");
+            let l2 = b.line("      *p = 2;");
+            mark(gt, l2, false);
+            b.line("    }");
+            b.line("  }");
+            b.line("}");
+        }
+        V476::SafeChecked => {
+            b.line(format!("void case476_{i}(void) {{"));
+            b.line("  int *p = malloc(8);");
+            b.line("  if (p != NULL) {");
+            let l = b.line("    *p = 1;");
+            mark(gt, l, false);
+            b.line("  }");
+            b.line("}");
+        }
+        V476::SafeEarlyReturn => {
+            b.line(format!("void case476_{i}(void) {{"));
+            b.line("  int *p = malloc(8);");
+            b.line("  if (p == NULL) { return; }");
+            let l = b.line("  *p = 1;");
+            mark(gt, l, false);
+            b.line("}");
+        }
+        V476::SafeParamContract => {
+            b.line(format!("void case476_{i}(int *p) {{"));
+            let l = b.line("  *p = 1;");
+            mark(gt, l, false);
+            b.line("}");
+        }
+        V476::BuggyParamNull => {
+            b.line(format!("void case476_{i}(int *p) {{"));
+            let l = b.line("  *p = 2;");
+            mark(gt, l, true);
+            b.line("}");
+        }
+        V476::SafeCalleeChecked => {
+            b.line(format!("void case476_{i}(int miss) {{"));
+            b.line("  int *p = malloc(8);");
+            b.line("  if (valid_ptr(p)) {");
+            let l = b.line("    *p = 1;");
+            mark(gt, l, false);
+            b.line("  } else {");
+            b.line("    miss = miss + 1;");
+            b.line("  }");
+            b.line("}");
+        }
+    }
+}
+
+/// The flow variants for CWE690.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V690 {
+    /// `data = alloc(); data->val = 1;` — unchecked allocation result.
+    BuggySimple,
+    /// Figure 2 verbatim shape: unchecked in one branch, checked twin in
+    /// the other (revealed by A1's abstract SIB, §1.1.2).
+    BuggyFigure2,
+    /// Unchecked buffer fill in a loop.
+    BuggyLoopFill,
+    /// Early-return on allocation failure.
+    SafeEarlyReturn,
+    /// Checked before use.
+    SafeChecked,
+    /// Checked loop fill.
+    SafeLoopFill,
+    /// Struct-parameter dereference whose callers pass NULL: labeled
+    /// buggy, invisible to every abstraction (Figure 7's residual FNs).
+    BuggyParamStruct,
+}
+
+const V690_BUGGY: &[V690] = &[
+    V690::BuggySimple,
+    V690::BuggyFigure2,
+    V690::BuggyLoopFill,
+    V690::BuggyParamStruct,
+    V690::BuggyParamStruct,
+];
+const V690_SAFE: &[V690] = &[V690::SafeEarlyReturn, V690::SafeChecked, V690::SafeLoopFill];
+
+/// Generates the CWE690-style labeled corpus with `n` cases.
+pub fn cwe690(seed: u64, n: usize) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SrcBuilder::new();
+    b.lines(PRELUDE);
+    let mut gt = GroundTruth::default();
+    for i in 0..n {
+        let v = if rng.gen_bool(0.27) {
+            V690_BUGGY[rng.gen_range(0..V690_BUGGY.len())]
+        } else {
+            V690_SAFE[rng.gen_range(0..V690_SAFE.len())]
+        };
+        emit_690(&mut b, &mut gt, i, v);
+        b.line("");
+    }
+    compile_benchmark("CWE690", b.build(), Some(gt))
+}
+
+fn emit_690(b: &mut SrcBuilder, gt: &mut GroundTruth, i: usize, v: V690) {
+    let mark = |gt: &mut GroundTruth, line: u32, buggy: bool| {
+        let tag = format!("deref@{line}");
+        if buggy {
+            gt.buggy.insert(tag);
+        } else {
+            gt.safe.insert(tag);
+        }
+    };
+    match v {
+        V690::BuggySimple => {
+            b.line(format!("void case690_{i}(void) {{"));
+            b.line("  struct item *data = alloc_item();");
+            let l = b.line("  data->val = 1;");
+            mark(gt, l, true);
+            b.line("}");
+        }
+        V690::BuggyFigure2 => {
+            b.line(format!("void case690_{i}(void) {{"));
+            b.line("  struct item *data = alloc_item();");
+            b.line("  if (flag_fn()) {");
+            let l1 = b.line("    data->val = 1;");
+            mark(gt, l1, true);
+            b.line("  } else {");
+            b.line("    if (data != NULL) {");
+            let l2 = b.line("      data->val = 1;");
+            mark(gt, l2, false);
+            b.line("    }");
+            b.line("  }");
+            b.line("}");
+        }
+        V690::BuggyLoopFill => {
+            b.line(format!("void case690_{i}(int n) {{"));
+            b.line("  char *buf = malloc(n);");
+            b.line("  int i;");
+            b.line("  for (i = 0; i < n; i++) {");
+            let l = b.line("    buf[i] = 0;");
+            mark(gt, l, true);
+            b.line("  }");
+            b.line("}");
+        }
+        V690::SafeEarlyReturn => {
+            b.line(format!("void case690_{i}(void) {{"));
+            b.line("  struct item *data = alloc_item();");
+            b.line("  if (data == NULL) { return; }");
+            let l = b.line("  data->val = 1;");
+            mark(gt, l, false);
+            b.line("}");
+        }
+        V690::SafeChecked => {
+            b.line(format!("void case690_{i}(void) {{"));
+            b.line("  struct item *data = alloc_item();");
+            b.line("  if (data != NULL) {");
+            let l = b.line("    data->val = 1;");
+            mark(gt, l, false);
+            b.line("  }");
+            b.line("}");
+        }
+        V690::BuggyParamStruct => {
+            b.line(format!("void case690_{i}(struct item *data) {{"));
+            let l = b.line("  data->val = 3;");
+            mark(gt, l, true);
+            b.line("}");
+        }
+        V690::SafeLoopFill => {
+            b.line(format!("void case690_{i}(int n) {{"));
+            b.line("  char *buf = malloc(n);");
+            b.line("  int i;");
+            b.line("  if (buf == NULL) { return; }");
+            b.line("  for (i = 0; i < n; i++) {");
+            let l = b.line("    buf[i] = 0;");
+            mark(gt, l, false);
+            b.line("  }");
+            b.line("}");
+        }
+    }
+}
+
+/// A caller-augmented corpus for the interprocedural extension (§5.1.2,
+/// §7): `leaf` procedures dereference a parameter unconditionally (the
+/// "simple, but buggy" shape that is a false negative for every modular
+/// configuration), and each gets a caller that either passes NULL (a
+/// real bug, labeled on the callee's precondition obligation) or a
+/// checked allocation (safe). With inferred preconditions asserted at
+/// call sites, the bad callers become catchable.
+pub fn cwe476_with_callers(seed: u64, n: usize) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SrcBuilder::new();
+    b.lines(PRELUDE);
+    let mut gt = GroundTruth::default();
+    for i in 0..n {
+        b.line(format!("void leaf_{i}(int *p) {{"));
+        b.line("  *p = 1;");
+        b.line("}");
+        let buggy = rng.gen_bool(0.5);
+        b.line(format!("void call_{i}(void) {{"));
+        if buggy {
+            b.line(format!("  leaf_{i}(NULL);"));
+            gt.buggy.insert(format!("pre:leaf_{i}@0"));
+        } else {
+            b.line("  int *q = malloc(8);");
+            b.line("  if (q == NULL) { return; }");
+            b.line(format!("  leaf_{i}(q);"));
+            // Call-site 0 is the malloc; the leaf call is site 1.
+            gt.safe.insert(format!("pre:leaf_{i}@1"));
+        }
+        b.line("}");
+        b.line("");
+    }
+    compile_benchmark("CWE476-callers", b.build(), Some(gt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_deterministic() {
+        let a = cwe476(42, 10);
+        let b = cwe476(42, 10);
+        assert_eq!(a.source, b.source);
+        let c = cwe476(43, 10);
+        assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn ground_truth_covers_all_planted_derefs() {
+        let bm = cwe476(7, 20);
+        let gt = bm.ground_truth.as_ref().expect("labeled");
+        assert!(!gt.buggy.is_empty());
+        assert!(!gt.safe.is_empty());
+        assert!(gt.buggy.is_disjoint(&gt.safe));
+        assert_eq!(bm.proc_count(), 20);
+    }
+
+    #[test]
+    fn cwe690_compiles_with_loops() {
+        let bm = cwe690(11, 30);
+        assert_eq!(bm.proc_count(), 30);
+        assert!(bm.assert_count() > 0);
+    }
+
+    #[test]
+    fn buggy_ratio_roughly_matches_paper() {
+        let bm = cwe476(1234, 200);
+        let gt = bm.ground_truth.as_ref().expect("labeled");
+        let total = gt.buggy.len() + gt.safe.len();
+        let ratio = gt.buggy.len() as f64 / total as f64;
+        assert!(
+            (0.25..0.50).contains(&ratio),
+            "CWE476 buggy ratio {ratio} should be near 36%"
+        );
+    }
+}

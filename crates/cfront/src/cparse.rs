@@ -1,0 +1,794 @@
+//! Parser for the C subset.
+
+use crate::cast::*;
+
+/// A parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CParseError {
+    /// Description.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for CParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Punct(&'static str),
+    Eof,
+}
+
+const PUNCTS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "->", "++", "--", "+=", "-=", "(", ")", "{", "}", "[",
+    "]", ";", ",", ":", "=", "<", ">", "!", "*", "+", "-", "&", ".",
+];
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, CParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut i = 0;
+    let mut line = 1u32;
+    'outer: while i < n {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == b'/' {
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < n && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 2;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let v: i64 = src[start..i].parse().map_err(|_| CParseError {
+                msg: "integer out of range".into(),
+                line,
+            })?;
+            out.push((Tok::Num(v), line));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push((Tok::Ident(src[start..i].to_string()), line));
+            continue;
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push((Tok::Punct(p), line));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(CParseError {
+            msg: format!("unexpected character `{c}`"),
+            line,
+        });
+    }
+    out.push((Tok::Eof, line));
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].1
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CParseError {
+        CParseError {
+            msg: msg.into(),
+            line: self.line(),
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, p: &'static str) -> Result<(), CParseError> {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn try_eat(&mut self, p: &'static str) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    /// Parses a base type name if the next tokens look like one.
+    fn try_base_type(&mut self) -> Option<CType> {
+        let (tok, _) = self.toks[self.pos].clone();
+        let base = match tok {
+            Tok::Ident(s) => s,
+            _ => return None,
+        };
+        match base.as_str() {
+            "void" => {
+                self.bump();
+                Some(CType::Void)
+            }
+            "int" | "char" | "long" | "unsigned" | "size_t" | "bool" => {
+                self.bump();
+                // Consume extra specifier words (`unsigned int`, …).
+                while matches!(self.peek(), Tok::Ident(s) if matches!(s.as_str(), "int" | "char" | "long")) {
+                    self.bump();
+                }
+                Some(CType::Int)
+            }
+            "struct" => {
+                self.bump();
+                let name = self.ident().ok()?;
+                Some(CType::Struct(name))
+            }
+            _ => None,
+        }
+    }
+
+    fn wrap_pointers(&mut self, mut t: CType) -> CType {
+        while self.try_eat("*") {
+            t = CType::Ptr(Box::new(t));
+        }
+        t
+    }
+
+    fn parse_program(&mut self) -> Result<CProgram, CParseError> {
+        let mut prog = CProgram::default();
+        while self.peek() != &Tok::Eof {
+            let third_is_brace = self
+                .toks
+                .get(self.pos + 2)
+                .is_some_and(|(t, _)| t == &Tok::Punct("{"));
+            if self.at_ident("struct") && third_is_brace {
+                prog.structs.push(self.parse_struct()?);
+                continue;
+            }
+            prog.funcs.push(self.parse_func()?);
+        }
+        Ok(prog)
+    }
+
+    fn parse_struct(&mut self) -> Result<CStruct, CParseError> {
+        self.bump(); // struct
+        let name = self.ident()?;
+        self.eat("{")?;
+        let mut fields = Vec::new();
+        while !self.try_eat("}") {
+            let base = self
+                .try_base_type()
+                .ok_or_else(|| self.err("expected field type"))?;
+            let t = self.wrap_pointers(base);
+            let fname = self.ident()?;
+            self.eat(";")?;
+            fields.push((fname, t));
+        }
+        self.eat(";")?;
+        Ok(CStruct { name, fields })
+    }
+
+    fn parse_func(&mut self) -> Result<CFunc, CParseError> {
+        let base = self
+            .try_base_type()
+            .ok_or_else(|| self.err("expected return type"))?;
+        let ret = self.wrap_pointers(base);
+        let name = self.ident()?;
+        self.eat("(")?;
+        let mut params = Vec::new();
+        if !self.try_eat(")") {
+            let second_is_close = self
+                .toks
+                .get(self.pos + 1)
+                .is_some_and(|(t, _)| t == &Tok::Punct(")"));
+            if self.at_ident("void") && second_is_close {
+                self.bump();
+                self.eat(")")?;
+            } else {
+                loop {
+                    let base = self
+                        .try_base_type()
+                        .ok_or_else(|| self.err("expected parameter type"))?;
+                    let t = self.wrap_pointers(base);
+                    let pname = self.ident()?;
+                    params.push((pname, t));
+                    if !self.try_eat(",") {
+                        break;
+                    }
+                }
+                self.eat(")")?;
+            }
+        }
+        if self.try_eat(";") {
+            return Ok(CFunc {
+                name,
+                ret,
+                params,
+                body: None,
+            });
+        }
+        let body = self.parse_block()?;
+        Ok(CFunc {
+            name,
+            ret,
+            params,
+            body: Some(body),
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<CStmt>, CParseError> {
+        self.eat("{")?;
+        let mut out = Vec::new();
+        while !self.try_eat("}") {
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<CStmt, CParseError> {
+        if self.peek() == &Tok::Punct("{") {
+            return Ok(CStmt::Block(self.parse_block()?));
+        }
+        if self.at_ident("if") {
+            self.bump();
+            self.eat("(")?;
+            let cond = self.parse_expr()?;
+            self.eat(")")?;
+            let then_b = self.parse_stmt_as_block()?;
+            let else_b = if self.at_ident("else") {
+                self.bump();
+                self.parse_stmt_as_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(CStmt::If(cond, then_b, else_b));
+        }
+        if self.at_ident("while") {
+            self.bump();
+            self.eat("(")?;
+            let cond = self.parse_expr()?;
+            self.eat(")")?;
+            let body = self.parse_stmt_as_block()?;
+            return Ok(CStmt::While(cond, body));
+        }
+        if self.at_ident("do") {
+            // do { body } while (c);  ≡  body; while (c) { body }
+            self.bump();
+            let body = self.parse_stmt_as_block()?;
+            if !self.at_ident("while") {
+                return Err(self.err("expected `while` after do-body"));
+            }
+            self.bump();
+            self.eat("(")?;
+            let cond = self.parse_expr()?;
+            self.eat(")")?;
+            self.eat(";")?;
+            let mut out = body.clone();
+            out.push(CStmt::While(cond, body));
+            return Ok(CStmt::Block(out));
+        }
+        if self.at_ident("for") {
+            self.bump();
+            self.eat("(")?;
+            let init = self.parse_simple_stmt()?;
+            self.eat(";")?;
+            let cond = self.parse_expr()?;
+            self.eat(";")?;
+            let step = self.parse_for_step()?;
+            self.eat(")")?;
+            let body = self.parse_stmt_as_block()?;
+            return Ok(CStmt::For(Box::new(init), cond, Box::new(step), body));
+        }
+        if self.at_ident("switch") {
+            self.bump();
+            self.eat("(")?;
+            let scrutinee = self.parse_expr()?;
+            self.eat(")")?;
+            self.eat("{")?;
+            let mut arms: Vec<(Option<i64>, Vec<CStmt>)> = Vec::new();
+            while !self.try_eat("}") {
+                let label = if self.at_ident("case") {
+                    self.bump();
+                    let negative = self.try_eat("-");
+                    match self.bump() {
+                        Tok::Num(n) => Some(if negative { -n } else { n }),
+                        other => {
+                            return Err(self.err(format!(
+                                "expected case constant, found {other:?}"
+                            )))
+                        }
+                    }
+                } else if self.at_ident("default") {
+                    self.bump();
+                    None
+                } else {
+                    return Err(self.err("expected `case` or `default`"));
+                };
+                self.eat(":")?;
+                let mut body = Vec::new();
+                loop {
+                    if self.at_ident("break") {
+                        self.bump();
+                        self.eat(";")?;
+                        break;
+                    }
+                    if self.at_ident("case")
+                        || self.at_ident("default")
+                        || self.peek() == &Tok::Punct("}")
+                    {
+                        // A `break` is unnecessary when the arm cannot
+                        // fall through (it ends in `return`), for the
+                        // default arm, and before the closing brace.
+                        let ends_in_return = matches!(body.last(), Some(CStmt::Return(_)));
+                        if label.is_none()
+                            || self.peek() == &Tok::Punct("}")
+                            || ends_in_return
+                        {
+                            break;
+                        }
+                        return Err(self.err("case bodies must end with `break`"));
+                    }
+                    body.push(self.parse_stmt()?);
+                }
+                arms.push((label, body));
+            }
+            return Ok(CStmt::Switch(scrutinee, arms));
+        }
+        if self.at_ident("return") {
+            self.bump();
+            if self.try_eat(";") {
+                return Ok(CStmt::Return(None));
+            }
+            let e = self.parse_expr()?;
+            self.eat(";")?;
+            return Ok(CStmt::Return(Some(e)));
+        }
+        let s = self.parse_simple_stmt()?;
+        self.eat(";")?;
+        Ok(s)
+    }
+
+    fn parse_stmt_as_block(&mut self) -> Result<Vec<CStmt>, CParseError> {
+        if self.peek() == &Tok::Punct("{") {
+            self.parse_block()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    /// `i++` / `i--` / `i += e` / ordinary assignment, for `for` steps.
+    fn parse_for_step(&mut self) -> Result<CStmt, CParseError> {
+        self.parse_simple_stmt()
+    }
+
+    /// Declarations, assignments, and expression statements, without the
+    /// trailing `;`.
+    fn parse_simple_stmt(&mut self) -> Result<CStmt, CParseError> {
+        // Declaration?
+        let save = self.pos;
+        if let Some(base) = self.try_base_type() {
+            let t = self.wrap_pointers(base);
+            if let Tok::Ident(_) = self.peek() {
+                let name = self.ident()?;
+                let init = if self.try_eat("=") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                return Ok(CStmt::Decl(name, t, init));
+            }
+            self.pos = save;
+        }
+        // free(p)
+        if self.at_ident("free") {
+            let line = self.line();
+            self.bump();
+            self.eat("(")?;
+            let e = self.parse_expr()?;
+            self.eat(")")?;
+            return Ok(CStmt::Free(e, line));
+        }
+        // Assignment or expression statement.
+        let e = self.parse_expr()?;
+        if self.try_eat("=") {
+            let lval = self.expr_to_lval(e)?;
+            let rhs = self.parse_expr()?;
+            return Ok(CStmt::Assign(lval, rhs));
+        }
+        if self.try_eat("++") {
+            let lval = self.expr_to_lval(e.clone())?;
+            return Ok(CStmt::Assign(
+                lval,
+                CExpr::Bin(CBinOp::Add, Box::new(e), Box::new(CExpr::Num(1))),
+            ));
+        }
+        if self.try_eat("--") {
+            let lval = self.expr_to_lval(e.clone())?;
+            return Ok(CStmt::Assign(
+                lval,
+                CExpr::Bin(CBinOp::Sub, Box::new(e), Box::new(CExpr::Num(1))),
+            ));
+        }
+        if self.try_eat("+=") {
+            let lval = self.expr_to_lval(e.clone())?;
+            let rhs = self.parse_expr()?;
+            return Ok(CStmt::Assign(
+                lval,
+                CExpr::Bin(CBinOp::Add, Box::new(e), Box::new(rhs)),
+            ));
+        }
+        if self.try_eat("-=") {
+            let lval = self.expr_to_lval(e.clone())?;
+            let rhs = self.parse_expr()?;
+            return Ok(CStmt::Assign(
+                lval,
+                CExpr::Bin(CBinOp::Sub, Box::new(e), Box::new(rhs)),
+            ));
+        }
+        Ok(CStmt::Expr(e))
+    }
+
+    fn expr_to_lval(&self, e: CExpr) -> Result<CLval, CParseError> {
+        match e {
+            CExpr::Var(n, l) => Ok(CLval::Var(n, l)),
+            CExpr::Deref(inner, l) => Ok(CLval::Deref(*inner, l)),
+            CExpr::Arrow(inner, f, l) => Ok(CLval::Arrow(*inner, f, l)),
+            CExpr::Index(a, i, l) => Ok(CLval::Index(*a, *i, l)),
+            other => Err(self.err(format!("not assignable: {other:?}"))),
+        }
+    }
+
+    // Expressions with precedence: || < && < cmp < add < mul < unary <
+    // postfix.
+    fn parse_expr(&mut self) -> Result<CExpr, CParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<CExpr, CParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.try_eat("||") {
+            let rhs = self.parse_and()?;
+            lhs = CExpr::Bin(CBinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<CExpr, CParseError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.try_eat("&&") {
+            let rhs = self.parse_cmp()?;
+            lhs = CExpr::Bin(CBinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<CExpr, CParseError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Tok::Punct("==") => Some(CBinOp::Eq),
+            Tok::Punct("!=") => Some(CBinOp::Ne),
+            Tok::Punct("<") => Some(CBinOp::Lt),
+            Tok::Punct("<=") => Some(CBinOp::Le),
+            Tok::Punct(">") => Some(CBinOp::Gt),
+            Tok::Punct(">=") => Some(CBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_add()?;
+            Ok(CExpr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<CExpr, CParseError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            if self.try_eat("+") {
+                let rhs = self.parse_mul()?;
+                lhs = CExpr::Bin(CBinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.try_eat("-") {
+                let rhs = self.parse_mul()?;
+                lhs = CExpr::Bin(CBinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<CExpr, CParseError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == &Tok::Punct("*") {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = CExpr::Bin(CBinOp::Mul, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<CExpr, CParseError> {
+        if self.try_eat("!") {
+            return Ok(CExpr::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.try_eat("-") {
+            return Ok(CExpr::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.peek() == &Tok::Punct("*") {
+            let line = self.line();
+            self.bump();
+            return Ok(CExpr::Deref(Box::new(self.parse_unary()?), line));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<CExpr, CParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.try_eat("->") {
+                let line = self.line();
+                let f = self.ident()?;
+                e = CExpr::Arrow(Box::new(e), f, line);
+            } else if self.try_eat(".") {
+                // `(*p).f` ≡ `p->f`; by-value struct access is otherwise
+                // outside the subset.
+                let line = self.line();
+                let f = self.ident()?;
+                match e {
+                    CExpr::Deref(inner, _) => {
+                        e = CExpr::Arrow(inner, f, line);
+                    }
+                    other => {
+                        return Err(CParseError {
+                            msg: format!(
+                                "`.` is only supported as `(*p).field`, got {other:?}"
+                            ),
+                            line,
+                        })
+                    }
+                }
+            } else if self.peek() == &Tok::Punct("[") {
+                let line = self.line();
+                self.bump();
+                let idx = self.parse_expr()?;
+                self.eat("]")?;
+                e = CExpr::Index(Box::new(e), Box::new(idx), line);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<CExpr, CParseError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Num(n) => Ok(CExpr::Num(n)),
+            Tok::Punct("(") => {
+                // Cast? `(type *) expr` — skip the cast.
+                let save = self.pos;
+                if let Some(base) = self.try_base_type() {
+                    let _ = self.wrap_pointers(base);
+                    if self.try_eat(")") {
+                        return self.parse_unary();
+                    }
+                    self.pos = save;
+                }
+                let e = self.parse_expr()?;
+                self.eat(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if name == "NULL" {
+                    return Ok(CExpr::Null);
+                }
+                if name == "sizeof" {
+                    // Sizes are irrelevant to the analysis; skip the
+                    // balanced operand and model the size as an opaque
+                    // constant.
+                    if self.try_eat("(") {
+                        let mut depth = 1;
+                        while depth > 0 {
+                            match self.bump() {
+                                Tok::Punct("(") => depth += 1,
+                                Tok::Punct(")") => depth -= 1,
+                                Tok::Eof => return Err(self.err("unterminated sizeof")),
+                                _ => {}
+                            }
+                        }
+                    }
+                    return Ok(CExpr::Num(8));
+                }
+                if self.try_eat("(") {
+                    let mut args = Vec::new();
+                    if !self.try_eat(")") {
+                        loop {
+                            // `sizeof(T)` is modeled as an opaque size.
+                            args.push(self.parse_expr()?);
+                            if !self.try_eat(",") {
+                                break;
+                            }
+                        }
+                        self.eat(")")?;
+                    }
+                    return Ok(CExpr::Call(name, args, line));
+                }
+                Ok(CExpr::Var(name, line))
+            }
+            other => Err(CParseError {
+                msg: format!("expected expression, found {other:?}"),
+                line,
+            }),
+        }
+    }
+}
+
+/// Parses a C translation unit.
+///
+/// `sizeof` is accepted as a call to an (uninterpreted) function.
+///
+/// # Errors
+///
+/// Returns [`CParseError`] with a line number on malformed input.
+pub fn parse_c(src: &str) -> Result<CProgram, CParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    p.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure2_shape() {
+        let src = "
+            struct twoints { int a; int b; };
+            int static_returns_t(void);
+            void bar(void) {
+              struct twoints *data = NULL;
+              data = (struct twoints *) calloc(100, sizeof_twoints());
+              if (static_returns_t()) {
+                data->a = 1;
+              } else {
+                if (data != NULL) {
+                  data->a = 1;
+                }
+              }
+            }";
+        let prog = parse_c(src).expect("parses");
+        assert_eq!(prog.structs.len(), 1);
+        assert_eq!(prog.funcs.len(), 2);
+        let bar = prog.func("bar").expect("exists");
+        assert!(bar.body.is_some());
+    }
+
+    #[test]
+    fn parses_pointer_types() {
+        let prog = parse_c("int **pp(void);").expect("parses");
+        let f = prog.func("pp").expect("exists");
+        assert_eq!(
+            f.ret,
+            CType::Ptr(Box::new(CType::Ptr(Box::new(CType::Int))))
+        );
+    }
+
+    #[test]
+    fn parses_loops_and_frees() {
+        let src = "
+            void f(int n, char *buf) {
+              int i;
+              for (i = 0; i < n; i++) {
+                buf[i] = 0;
+              }
+              while (n > 0) { n--; }
+              free(buf);
+            }";
+        let prog = parse_c(src).expect("parses");
+        let f = prog.func("f").expect("exists");
+        let body = f.body.as_ref().expect("body");
+        assert!(matches!(body[1], CStmt::For(..)));
+        assert!(matches!(body[2], CStmt::While(..)));
+        assert!(matches!(body[3], CStmt::Free(..)));
+    }
+
+    #[test]
+    fn parses_short_circuit_conditions() {
+        let src = "
+            void f(int *x, int a) {
+              if (x != NULL && *x == a) {
+                a = 1;
+              }
+            }";
+        let prog = parse_c(src).expect("parses");
+        let f = prog.func("f").expect("exists");
+        if let Some(body) = &f.body {
+            if let CStmt::If(cond, ..) = &body[0] {
+                assert!(matches!(cond, CExpr::Bin(CBinOp::And, ..)));
+                return;
+            }
+        }
+        panic!("expected if with && condition");
+    }
+
+    #[test]
+    fn deref_lines_recorded() {
+        let src = "void f(int *p) {\n  *p = 1;\n}";
+        let prog = parse_c(src).expect("parses");
+        let f = prog.func("f").expect("exists");
+        if let Some(body) = &f.body {
+            if let CStmt::Assign(CLval::Deref(_, line), _) = &body[0] {
+                assert_eq!(*line, 2);
+                return;
+            }
+        }
+        panic!("expected deref assignment");
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_c("int f( {").is_err());
+        assert!(parse_c("@").is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Robustness property tests for the front ends: parsers must return
+//! errors, never panic, on arbitrary input; and parseable generated
+//! programs must lower and typecheck cleanly.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup: the C parser returns Ok or Err, never panics.
+    #[test]
+    fn c_parser_never_panics(src in ".{0,200}") {
+        let _ = acspec_cfront::parse_c(&src);
+    }
+
+    /// Token-shaped soup (more likely to get deep into the grammar).
+    #[test]
+    fn c_parser_never_panics_on_token_soup(
+        toks in prop::collection::vec(
+            prop::sample::select(vec![
+                "int", "void", "struct", "if", "else", "while", "for",
+                "return", "switch", "case", "default", "break", "free",
+                "x", "y", "f", "s", "42", "0", "(", ")", "{", "}", "[",
+                "]", ";", ",", "*", "+", "-", "=", "==", "!=", "&&",
+                "||", "->", "NULL", ":",
+            ]),
+            0..60,
+        ),
+    ) {
+        let src = toks.join(" ");
+        let _ = acspec_cfront::parse_c(&src);
+    }
+
+    /// Same for the surface-language parser.
+    #[test]
+    fn surface_parser_never_panics(src in ".{0,200}") {
+        let _ = acspec_ir::parse::parse_program(&src);
+    }
+
+    #[test]
+    fn surface_parser_never_panics_on_token_soup(
+        toks in prop::collection::vec(
+            prop::sample::select(vec![
+                "procedure", "global", "var", "int", "map", "if", "else",
+                "while", "assert", "assume", "havoc", "call", "returns",
+                "requires", "ensures", "modifies", "skip", "true",
+                "false", "old", "write", "x", "y", "m", "0", "7", "(",
+                ")", "{", "}", "[", "]", ";", ",", ":", ":=", "*", "+",
+                "==", "!=", "<=", "&&", "||", "==>",
+            ]),
+            0..60,
+        ),
+    ) {
+        let src = toks.join(" ");
+        let _ = acspec_ir::parse::parse_program(&src);
+    }
+}
+
+/// Every parseable generated driver benchmark lowers and typechecks —
+/// exercised across many seeds (beyond the suite's fixed ones).
+#[test]
+fn generated_benchmarks_always_compile() {
+    for seed in 0..40u64 {
+        let bm = acspec_benchgen::drivers::generate(
+            "fuzz",
+            seed,
+            8,
+            acspec_benchgen::drivers::PatternMix::default(),
+        );
+        acspec_ir::typecheck::check_program(&bm.program).expect("well sorted");
+        for proc in &bm.program.procedures {
+            if proc.body.is_some() {
+                acspec_ir::desugar_procedure(
+                    &bm.program,
+                    proc,
+                    acspec_ir::DesugarOptions::default(),
+                )
+                .expect("desugars");
+            }
+        }
+    }
+}

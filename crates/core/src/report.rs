@@ -1,0 +1,163 @@
+//! Warning reports produced by the analysis.
+
+use acspec_ir::expr::Formula;
+use acspec_ir::stmt::AssertId;
+use serde::ser::SerializeStruct;
+use serde::{Serialize, Serializer};
+
+use crate::config::ConfigName;
+
+/// The SIB classification of Algorithm 1's `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SibStatus {
+    /// The procedure is correct under the demonic environment: no
+    /// assertion can fail at all (the conservative verifier labels it
+    /// correct; the paper excludes these from its statistics).
+    Correct,
+    /// `Dead(β_Q(wp)) ≠ ∅`: an (abstract) semantic inconsistency bug.
+    Sib,
+    /// No abstract SIB; any warnings are low-confidence (`MAYBUG`).
+    MayBug,
+}
+
+impl std::fmt::Display for SibStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SibStatus::Correct => write!(f, "CORRECT"),
+            SibStatus::Sib => write!(f, "SIB"),
+            SibStatus::MayBug => write!(f, "MAYBUG"),
+        }
+    }
+}
+
+/// Whether the analysis completed within budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AnalysisOutcome {
+    /// Completed.
+    Ok,
+    /// Budget exhausted (counted in the paper's "TO" columns).
+    TimedOut,
+}
+
+/// A single reported warning.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Warning {
+    /// The failing assertion.
+    pub assert: AssertId,
+    /// Its provenance tag (e.g. `deref *p@12`).
+    pub tag: String,
+    /// A concrete environment witness (input values under which the
+    /// assertion fails within the almost-correct specification), when
+    /// available. Rendered as `name = value` pairs.
+    pub witness: Option<String>,
+}
+
+/// Per-procedure statistics (Figure 9's `P`, `C`, `T` plus extras).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ProcStats {
+    /// `|Q|` — predicates collected (Figure 9 column `P`).
+    pub n_predicates: usize,
+    /// Clauses in the predicate cover (Figure 9 column `C`).
+    pub n_cover_clauses: usize,
+    /// Clause subsets visited by Algorithm 2.
+    pub search_nodes: usize,
+    /// SMT queries issued.
+    pub solver_queries: u64,
+    /// Wall-clock seconds (Figure 9 column `T`).
+    pub seconds: f64,
+}
+
+/// The full analysis report for one procedure under one configuration.
+#[derive(Debug, Clone)]
+pub struct ProcReport {
+    /// Procedure name.
+    pub proc_name: String,
+    /// The abstract configuration analyzed.
+    pub config: ConfigName,
+    /// SIB classification.
+    pub status: SibStatus,
+    /// High-confidence warnings: `E = Fail(Φ)` over the almost-correct
+    /// specifications (after `Normalize`/`PruneClauses`).
+    pub warnings: Vec<Warning>,
+    /// The almost-correct specifications, rendered over `Q`.
+    pub specs: Vec<Formula>,
+    /// `MinFail` from the search (before pruning-induced weakening).
+    pub min_fail: usize,
+    /// Statistics.
+    pub stats: ProcStats,
+    /// Completion status.
+    pub outcome: AnalysisOutcome,
+}
+
+impl ProcReport {
+    /// True if the analysis timed out.
+    pub fn timed_out(&self) -> bool {
+        self.outcome == AnalysisOutcome::TimedOut
+    }
+
+    /// Serializes the report as pretty-printed JSON (specifications and
+    /// assertion ids are rendered in the surface syntax).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+}
+
+impl Serialize for Warning {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Warning", 3)?;
+        st.serialize_field("assert", &self.assert.to_string())?;
+        st.serialize_field("tag", &self.tag)?;
+        st.serialize_field("witness", &self.witness)?;
+        st.end()
+    }
+}
+
+impl Serialize for ProcReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("ProcReport", 8)?;
+        st.serialize_field("proc_name", &self.proc_name)?;
+        st.serialize_field("config", &self.config.to_string())?;
+        st.serialize_field("status", &self.status)?;
+        st.serialize_field("warnings", &self.warnings)?;
+        let specs: Vec<String> = self.specs.iter().map(Formula::to_string).collect();
+        st.serialize_field("specs", &specs)?;
+        st.serialize_field("min_fail", &self.min_fail)?;
+        st.serialize_field("stats", &self.stats)?;
+        st.serialize_field("outcome", &self.outcome)?;
+        st.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = ProcReport {
+            proc_name: "Foo".into(),
+            config: ConfigName::Conc,
+            status: SibStatus::Sib,
+            warnings: vec![Warning {
+                assert: AssertId(4),
+                tag: "pre:free@4".into(),
+                witness: Some("c = 1".into()),
+            }],
+            specs: vec![Formula::ne(
+                acspec_ir::expr::Expr::var("c"),
+                acspec_ir::expr::Expr::var("buf"),
+            )],
+            min_fail: 1,
+            stats: ProcStats::default(),
+            outcome: AnalysisOutcome::Ok,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"proc_name\": \"Foo\""), "{json}");
+        assert!(json.contains("\"assert\": \"A5\""), "{json}");
+        assert!(json.contains("\"c != buf\""), "{json}");
+        assert!(json.contains("\"status\": \"Sib\""), "{json}");
+        // Valid JSON round trip through serde_json's Value.
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(value["warnings"][0]["witness"], "c = 1");
+    }
+}

@@ -1,0 +1,397 @@
+//! `FindAlmostCorrectSpecs` (Algorithm 2): greedy weakening of the
+//! predicate cover with pruning on the failure count.
+
+use std::collections::{BTreeSet, HashMap};
+
+use acspec_ir::locs::LocId;
+use acspec_smt::TermId;
+use acspec_vcgen::analyzer::{ProcAnalyzer, Selector, Timeout};
+
+/// How "creates dead code" is decided during the search (§2.3: the
+/// definition of `Dead` is a parameter). Baselines are computed under
+/// `true` by the caller so the search only compares against them.
+#[derive(Debug, Clone)]
+pub enum DeadCheck {
+    /// Branch coverage: a tracked location unreachable beyond
+    /// `baseline_dead` (= `Dead(true)`, removed from `Locs` per §2.3).
+    Branch {
+        /// `Dead(true)`.
+        baseline_dead: BTreeSet<LocId>,
+    },
+    /// Path coverage: a path profile feasible under `true` that the
+    /// specification makes infeasible.
+    Path {
+        /// The profiles feasible under `true`.
+        baseline_profiles: BTreeSet<Vec<bool>>,
+        /// Enumeration cap per query (exceeding counts as a timeout).
+        cap: usize,
+    },
+}
+
+/// Result of the Algorithm 2 search (before `Normalize`/`PruneClauses`).
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Whether the *root* cover created dead code — i.e. the procedure
+    /// has an (abstract) SIB (Definition 3).
+    pub root_dead: bool,
+    /// The minimum failure count over minimal weakenings (`MinFail`).
+    pub min_fail: usize,
+    /// The output set `U`: clause subsets (indices into the cover) that
+    /// kill no code and induce exactly `min_fail` failures.
+    pub specs: Vec<BTreeSet<u32>>,
+    /// Clause subsets evaluated (statistics).
+    pub nodes_visited: usize,
+}
+
+/// Evaluator for clause subsets with memoization and early-exit counting.
+struct SubsetEval<'a> {
+    az: &'a mut ProcAnalyzer,
+    selectors: &'a [Selector],
+    dead_check: &'a DeadCheck,
+    locs: Vec<LocId>,
+    asserts: Vec<acspec_ir::stmt::AssertId>,
+    dead_memo: HashMap<Vec<u32>, bool>,
+    fail_memo: HashMap<Vec<u32>, usize>,
+}
+
+impl SubsetEval<'_> {
+    fn active(&self, subset: &BTreeSet<u32>) -> Vec<Selector> {
+        subset
+            .iter()
+            .map(|&i| self.selectors[i as usize])
+            .collect()
+    }
+
+    /// `Dead(⋀subset) ≠ ∅` modulo the `true`-baseline (§2.3). An
+    /// *unsatisfiable* specification counts as dead: the paper treats
+    /// `WP(pr) ≡ ∅` as the special SIB case where `Dead` contains every
+    /// statement (§3.1), which matters for straight-line procedures with
+    /// no tracked branch locations.
+    fn has_dead(&mut self, subset: &BTreeSet<u32>) -> Result<bool, Timeout> {
+        let key: Vec<u32> = subset.iter().copied().collect();
+        if let Some(&v) = self.dead_memo.get(&key) {
+            return Ok(v);
+        }
+        let active = self.active(subset);
+        let mut result = !self.az.is_consistent(&active, &[])?;
+        if !result {
+            match self.dead_check {
+                DeadCheck::Branch { baseline_dead } => {
+                    for &l in &self.locs {
+                        if baseline_dead.contains(&l) {
+                            continue;
+                        }
+                        if !self.az.is_reachable(l, &active)? {
+                            result = true;
+                            break;
+                        }
+                    }
+                }
+                DeadCheck::Path {
+                    baseline_profiles,
+                    cap,
+                } => {
+                    let profiles = self.az.path_profiles(&active, *cap)?;
+                    result = baseline_profiles.difference(&profiles).next().is_some();
+                }
+            }
+        }
+        self.dead_memo.insert(key, result);
+        Ok(result)
+    }
+
+    /// `|Fail(⋀subset)|`, stopping early once the count exceeds `cap`.
+    /// Values above `cap` are reported as `cap + 1` and not memoized.
+    fn fail_count(&mut self, subset: &BTreeSet<u32>, cap: usize) -> Result<usize, Timeout> {
+        let key: Vec<u32> = subset.iter().copied().collect();
+        if let Some(&v) = self.fail_memo.get(&key) {
+            return Ok(v);
+        }
+        let active = self.active(subset);
+        let mut count = 0;
+        for &a in &self.asserts.clone() {
+            if self.az.can_fail(a, &active)? {
+                count += 1;
+                if count > cap {
+                    return Ok(count);
+                }
+            }
+        }
+        self.fail_memo.insert(key, count);
+        Ok(count)
+    }
+}
+
+/// Runs Algorithm 2 over an installed predicate cover with the
+/// branch-coverage dead metric (the paper's default).
+///
+/// `selectors` are the per-clause selectors (from
+/// [`acspec_predabs::Cover::install_selectors`]); `baseline_dead` is
+/// `Dead(true)`, removed from the tracked locations per §2.3.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the analyzer budget or `max_nodes` is
+/// exhausted.
+pub fn find_almost_correct_specs(
+    az: &mut ProcAnalyzer,
+    selectors: &[Selector],
+    baseline_dead: &BTreeSet<LocId>,
+    max_nodes: usize,
+) -> Result<SearchOutcome, Timeout> {
+    let check = DeadCheck::Branch {
+        baseline_dead: baseline_dead.clone(),
+    };
+    find_almost_correct_specs_with(az, selectors, &check, max_nodes, None)
+}
+
+/// Runs Algorithm 2 under an explicit [`DeadCheck`] metric.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the analyzer budget or `max_nodes` is
+/// exhausted.
+/// Decides `⋀a ⇒ ⋀b` for clause subsets via the solver, given each
+/// clause's body term.
+fn subset_implies(
+    az: &mut ProcAnalyzer,
+    selectors: &[Selector],
+    bodies: &[TermId],
+    a: &BTreeSet<u32>,
+    b: &BTreeSet<u32>,
+) -> Result<bool, Timeout> {
+    if b.is_subset(a) {
+        return Ok(true); // syntactic: more clauses is stronger
+    }
+    let active: Vec<Selector> = a.iter().map(|&i| selectors[i as usize]).collect();
+    let parts: Vec<TermId> = b.iter().map(|&i| bodies[i as usize]).collect();
+    let conj = az.ctx.mk_and(parts);
+    let neg = az.ctx.mk_not(conj);
+    Ok(!az.is_consistent(&active, &[neg])?)
+}
+
+/// Runs Algorithm 2 under an explicit [`DeadCheck`] metric.
+///
+/// When `clause_bodies` is supplied, the output set is filtered to its
+/// *strongest* members (Definition 4's minimal-weakening condition): the
+/// greedy search can reach a given dead-free subset through different
+/// weakening orders, some of which pass through a strictly stronger
+/// dead-free subset; those non-minimal weakenings are removed so Theorem
+/// 1's `Find ⊆ AlmostCorrectSpecs` inclusion holds. Without bodies the
+/// raw listing's output is returned.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the analyzer budget or `max_nodes` is
+/// exhausted.
+pub fn find_almost_correct_specs_with(
+    az: &mut ProcAnalyzer,
+    selectors: &[Selector],
+    dead_check: &DeadCheck,
+    max_nodes: usize,
+    clause_bodies: Option<&[TermId]>,
+) -> Result<SearchOutcome, Timeout> {
+    let locs = az.locations();
+    let asserts = az.assertions();
+    let n_asserts = asserts.len();
+    let mut eval = SubsetEval {
+        az,
+        selectors,
+        dead_check,
+        locs,
+        asserts,
+        dead_memo: HashMap::new(),
+        fail_memo: HashMap::new(),
+    };
+
+    let full: BTreeSet<u32> = (0..selectors.len() as u32).collect();
+    let mut nodes_visited = 1;
+
+    // Lines 2–4: no dead code under the cover → the cover itself is the
+    // almost-correct specification (k = 0).
+    if !eval.has_dead(&full)? {
+        return Ok(SearchOutcome {
+            root_dead: false,
+            min_fail: 0,
+            specs: vec![full],
+            nodes_visited,
+        });
+    }
+
+    // Lines 5–32: greedy weakening.
+    let mut frontier: Vec<BTreeSet<u32>> = vec![full];
+    let mut visited: BTreeSet<BTreeSet<u32>> = BTreeSet::new();
+    let mut output: Vec<BTreeSet<u32>> = Vec::new();
+    let mut min_fail = n_asserts;
+
+    while let Some(c1) = frontier.pop() {
+        for c in c1.iter().copied().collect::<Vec<_>>() {
+            let mut c2 = c1.clone();
+            c2.remove(&c);
+            if !visited.insert(c2.clone()) {
+                continue; // line 13–15: already visited
+            }
+            nodes_visited += 1;
+            if nodes_visited > max_nodes {
+                return Err(Timeout);
+            }
+            // Lines 17–19: MinFail can only decrease.
+            let fail = eval.fail_count(&c2, min_fail)?;
+            if fail > min_fail {
+                continue;
+            }
+            if eval.has_dead(&c2)? {
+                frontier.push(c2); // line 20–21: still too strong
+            } else if fail == 0 {
+                // Line 22–23 (semantically unreachable for strict
+                // weakenings of the cover — kept for fidelity to the
+                // paper's listing).
+                frontier.push(c2);
+            } else if fail == min_fail {
+                output.push(c2); // line 24–25
+            } else {
+                // Lines 27–29: strictly better; flush the output set.
+                min_fail = fail;
+                output = vec![c2];
+            }
+        }
+    }
+
+    output.sort();
+    output.dedup();
+    // Minimality filter (Definition 4, condition 4): drop members
+    // strictly implied by another member.
+    if let Some(bodies) = clause_bodies {
+        let mut keep = vec![true; output.len()];
+        for i in 0..output.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..output.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                // Drop output[i] when output[j] is strictly stronger.
+                let j_implies_i =
+                    subset_implies(eval.az, selectors, bodies, &output[j], &output[i])?;
+                if !j_implies_i {
+                    continue;
+                }
+                let i_implies_j =
+                    subset_implies(eval.az, selectors, bodies, &output[i], &output[j])?;
+                if !i_implies_j {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        output = output
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(s, k)| k.then_some(s))
+            .collect();
+    }
+    // `min_fail` may still be the |Asserts| sentinel if no weakening
+    // reached Dead = ∅ within the lattice (only possible when the output
+    // is empty, e.g. every subset keeps dead code until `true`, which
+    // fails everything and is recorded like any other subset).
+    Ok(SearchOutcome {
+        root_dead: true,
+        min_fail,
+        specs: output,
+        nodes_visited,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acspec_ir::parse::parse_program;
+    use acspec_ir::{desugar_procedure, DesugarOptions};
+    use acspec_predabs::cover::predicate_cover;
+    use acspec_predabs::mine::{mine_predicates, Abstraction};
+    use acspec_vcgen::analyzer::AnalyzerConfig;
+
+    fn run(src: &str) -> (SearchOutcome, Vec<String>) {
+        let prog = parse_program(src).expect("parses");
+        let proc = prog.procedures.last().expect("proc").clone();
+        let d = desugar_procedure(&prog, &proc, DesugarOptions::default()).expect("desugars");
+        let mut az = ProcAnalyzer::new(&d, AnalyzerConfig::default()).expect("encodes");
+        let baseline = az.dead_set(&[]).expect("in budget");
+        let q = mine_predicates(&d, Abstraction::concrete());
+        let cover = predicate_cover(&mut az, &q).expect("in budget");
+        let sels = cover.install_selectors(&mut az);
+        let out = find_almost_correct_specs(&mut az, &sels, &baseline, 10_000).expect("in budget");
+        // Render output specs for inspection.
+        let rendered: Vec<String> = out
+            .specs
+            .iter()
+            .map(|subset| {
+                let clauses: Vec<acspec_predabs::QClause> = subset
+                    .iter()
+                    .map(|&i| cover.clauses[i as usize].clone())
+                    .collect();
+                let normalized = acspec_predabs::normalize(&clauses, 1000);
+                acspec_predabs::clauses_to_formula(&normalized, &cover.preds).to_string()
+            })
+            .collect();
+        (out, rendered)
+    }
+
+    #[test]
+    fn no_sib_returns_cover_with_zero_failures() {
+        let (out, rendered) = run("procedure f(x: int) { assert x != 0; }");
+        assert!(!out.root_dead);
+        assert_eq!(out.min_fail, 0);
+        assert_eq!(rendered, vec!["x != 0"]);
+    }
+
+    #[test]
+    fn figure1_search_finds_the_double_free() {
+        let src = "
+            global Freed: map;
+            procedure Foo(c: int, buf: int, cmd: int) {
+              if (*) {
+                assert Freed[c] == 0;   Freed[c] := 1;
+                assert Freed[buf] == 0; Freed[buf] := 1;
+              } else {
+                if (cmd == 1) {
+                  if (*) {
+                    assert Freed[c] == 0;   Freed[c] := 1;
+                    assert Freed[buf] == 0; Freed[buf] := 1;
+                  }
+                }
+                assert Freed[c] == 0;   Freed[c] := 1;
+                assert Freed[buf] == 0; Freed[buf] := 1;
+              }
+            }";
+        let (out, rendered) = run(src);
+        assert!(out.root_dead, "Figure 1 has a concrete SIB");
+        assert_eq!(out.min_fail, 1, "exactly A5 fails (§1.1.1)");
+        // The syntactically normalized spec still mentions the Freed and
+        // aliasing vocabulary but not cmd (the cmd clauses were dropped by
+        // the weakening). The paper's unit-clause form is recovered by the
+        // driver's *semantic* normalization (tested in the driver tests).
+        assert!(
+            rendered.iter().any(|s| {
+                s.contains("Freed[c]") && s.contains("Freed[buf]") && !s.contains("cmd")
+            }),
+            "expected a cmd-free Freed spec among: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn always_failing_assert_is_total_sib() {
+        // Every input fails: WP = false, Dead(WP) = everything (§3.1's
+        // special case). The search weakens until code is live again and
+        // reports the failure.
+        let (out, _) = run(
+            "procedure f(x: int) {
+               if (*) { skip; } else { skip; }
+               assert x != x;
+             }",
+        );
+        assert!(out.root_dead);
+        assert_eq!(out.min_fail, 1);
+    }
+}

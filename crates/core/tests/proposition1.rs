@@ -1,0 +1,122 @@
+//! Proposition 1: a procedure with at least one assertion has a SIB iff
+//! `Dead(WP(pr)) ≠ ∅`.
+//!
+//! The pipeline decides SIBs through the predicate cover
+//! `β_Q(wp(pr, true))` with `Q = Preds(body, {})`; §4.4.1 claims this
+//! cover *equals* the concrete weakest precondition. We validate both
+//! statements together on random *deterministic* programs (no `havoc`,
+//! no `if (*)`, no calls — so `wp` is a quantifier-free formula over the
+//! inputs): installing `wp` itself as the environment specification must
+//! produce exactly the dead set and SIB verdict the pipeline reports.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use acspec_core::{analyze_procedure, AcspecOptions, ConfigName, SibStatus};
+use acspec_ir::parse::parse_program;
+use acspec_ir::{desugar_procedure, DesugarOptions};
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+use acspec_vcgen::wp;
+
+fn random_det_program(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars = ["x", "y", "z"];
+    let mut stmts = Vec::new();
+    let rel = |rng: &mut StdRng| -> String {
+        let ops = ["==", "!=", "<", "<="];
+        format!(
+            "{} {} {}",
+            vars[rng.gen_range(0..3)],
+            ops[rng.gen_range(0..4)],
+            rng.gen_range(-2..3)
+        )
+    };
+    for _ in 0..rng.gen_range(2..6) {
+        match rng.gen_range(0..4) {
+            0 => stmts.push(format!("assert {};", rel(&mut rng))),
+            1 => stmts.push(format!(
+                "{} := {} + {};",
+                vars[rng.gen_range(0..3)],
+                vars[rng.gen_range(0..3)],
+                rng.gen_range(-2..3)
+            )),
+            2 => {
+                let c = rel(&mut rng);
+                let inner = format!("assert {};", rel(&mut rng));
+                stmts.push(format!("if ({c}) {{ {inner} }}"));
+            }
+            _ => {
+                let c = rel(&mut rng);
+                let a = format!("{} := 0;", vars[rng.gen_range(0..3)]);
+                let b = format!("assert {};", rel(&mut rng));
+                stmts.push(format!("if ({c}) {{ {a} }} else {{ {b} }}"));
+            }
+        }
+    }
+    format!(
+        "procedure f(x: int, y: int, z: int) {{ {} }}",
+        stmts.join("\n")
+    )
+}
+
+#[test]
+fn proposition1_on_random_deterministic_programs() {
+    let mut checked = 0;
+    let mut sibs = 0;
+    for seed in 0..30u64 {
+        let src = random_det_program(seed);
+        let prog = parse_program(&src).expect("parses");
+        let proc = prog.procedures[0].clone();
+        let d = desugar_procedure(&prog, &proc, DesugarOptions::default()).expect("desugars");
+        if d.asserts.is_empty() {
+            continue; // Proposition 1 requires at least one assertion
+        }
+
+        // Ground truth: Dead(WP) via the wp transformer as a selector.
+        let wp_result = wp::wp(&d.body, &acspec_ir::Formula::True);
+        assert!(
+            wp_result.universals.is_empty(),
+            "deterministic programs have closed wp"
+        );
+        let mut az = ProcAnalyzer::new(&d, AnalyzerConfig::default()).expect("encodes");
+        let baseline = az.dead_set(&[]).expect("ok");
+        let demonic_fail = az.fail_set(&[]).expect("ok");
+        let sel = az.add_selector(&wp_result.formula).expect("inputs only");
+        let consistent = az.is_consistent(&[sel], &[]).expect("ok");
+        let dead_wp: std::collections::BTreeSet<_> = az
+            .dead_set(&[sel])
+            .expect("ok")
+            .difference(&baseline)
+            .copied()
+            .collect();
+        // WP must indeed suppress all failures (sanity on the transformer).
+        assert!(
+            az.fail_set(&[sel]).expect("ok").is_empty(),
+            "seed {seed}: Fail(WP) must be empty\n{src}"
+        );
+        let has_sib_ground_truth = !dead_wp.is_empty() || !consistent;
+
+        // The pipeline's verdict under Conc.
+        let report = analyze_procedure(&prog, &proc, &AcspecOptions::for_config(ConfigName::Conc))
+            .expect("analyzes");
+        if report.timed_out() {
+            continue;
+        }
+        if demonic_fail.is_empty() {
+            assert_eq!(report.status, SibStatus::Correct);
+            continue;
+        }
+        checked += 1;
+        let pipeline_sib = report.status == SibStatus::Sib;
+        assert_eq!(
+            pipeline_sib, has_sib_ground_truth,
+            "seed {seed}: Proposition 1 violated\nwp = {}\n{src}",
+            wp_result.formula
+        );
+        if pipeline_sib {
+            sibs += 1;
+        }
+    }
+    assert!(checked > 10, "generator health: only {checked} checked");
+    assert!(sibs > 2, "generator health: only {sibs} SIBs seen");
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of pipeline-level theorems on randomly generated
+//! programs:
+//!
+//! * **Proposition 2** (abstraction lattice): an abstract SIB under a
+//!   finer vocabulary is an abstract SIB under every coarser one;
+//! * unpruned warning counts are monotone up the lattice
+//!   (`Conc ≤ A1/A0 ≤ A2`);
+//! * clause pruning is monotone in warnings per configuration;
+//! * `Cons` dominates every configuration's warning set.
+
+use proptest::prelude::*;
+
+use acspec_benchgen::drivers::{generate, PatternMix};
+use acspec_core::{
+    analyze_procedure_multi, cons_baseline, AcspecOptions, ConfigName, SibStatus,
+};
+use acspec_predabs::normalize::PruneConfig;
+use acspec_vcgen::analyzer::AnalyzerConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn pipeline_theorems_on_random_driver_programs(seed in 0u64..10_000) {
+        let bm = generate("prop", seed, 3, PatternMix::default());
+        let prune_levels: Vec<PruneConfig> = [None, Some(3), Some(2), Some(1)]
+            .iter()
+            .map(|k| PruneConfig { max_literals: *k, no_cross_call_correlations: false })
+            .collect();
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            let cons = cons_baseline(&bm.program, proc, AnalyzerConfig::default())
+                .expect("analyzes");
+            if cons.status == SibStatus::Correct {
+                continue;
+            }
+            let mut by_config = Vec::new();
+            let mut timed_out = false;
+            for config in ConfigName::all() {
+                let opts = AcspecOptions::for_config(config);
+                let reports =
+                    analyze_procedure_multi(&bm.program, proc, &opts, &prune_levels)
+                        .expect("analyzes");
+                timed_out |= reports.iter().any(|r| r.timed_out());
+                by_config.push(reports);
+            }
+            if timed_out || cons.timed_out() {
+                continue;
+            }
+            // Pruning monotone within each configuration.
+            for reports in &by_config {
+                for w in reports.windows(2) {
+                    prop_assert!(
+                        w[0].warnings.len() <= w[1].warnings.len(),
+                        "pruning removed warnings in {}",
+                        proc.name
+                    );
+                }
+            }
+            // Proposition 2 + warning monotonicity across the lattice,
+            // unpruned. by_config order: Conc, A0, A1, A2.
+            let conc = &by_config[0][0];
+            let a0 = &by_config[1][0];
+            let a1 = &by_config[2][0];
+            let a2 = &by_config[3][0];
+            let sib = |r: &acspec_core::ProcReport| r.status == SibStatus::Sib;
+            if sib(conc) {
+                prop_assert!(sib(a0), "SIB(Conc) ⇒ SIB(A0) in {}", proc.name);
+                prop_assert!(sib(a1), "SIB(Conc) ⇒ SIB(A1) in {}", proc.name);
+            }
+            if sib(a0) || sib(a1) {
+                prop_assert!(sib(a2), "SIB(A0/A1) ⇒ SIB(A2) in {}", proc.name);
+            }
+            prop_assert!(
+                conc.warnings.len() <= a1.warnings.len(),
+                "Conc ≤ A1 in {}", proc.name
+            );
+            prop_assert!(
+                conc.warnings.len() <= a0.warnings.len(),
+                "Conc ≤ A0 in {}", proc.name
+            );
+            prop_assert!(
+                a1.warnings.len() <= a2.warnings.len(),
+                "A1 ≤ A2 in {}", proc.name
+            );
+            prop_assert!(
+                a0.warnings.len() <= a2.warnings.len(),
+                "A0 ≤ A2 in {}", proc.name
+            );
+            // Cons dominates: every reported warning is a Cons warning.
+            let cons_tags: std::collections::BTreeSet<&str> =
+                cons.warnings.iter().map(|w| w.tag.as_str()).collect();
+            for r in [conc, a0, a1, a2] {
+                for w in &r.warnings {
+                    prop_assert!(
+                        cons_tags.contains(w.tag.as_str()),
+                        "{} reported {} which Cons does not",
+                        r.config,
+                        w.tag
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Brute-force validation of Theorem 1 on small programs:
+//!
+//! 1. `FindAlmostCorrectSpecs(pr, Q) ⊆ AlmostCorrectSpecs(Q)`;
+//! 2. for each `f ∈ AlmostCorrectSpecs(Q)` there is a returned `ψ` with
+//!    `f ⇒ ψ`.
+//!
+//! `AlmostCorrectSpecs(Q)` is computed by exhaustive enumeration of all
+//! clause subsets of the predicate cover, checking Definition 4's four
+//! conditions directly (minimality quantifies over the clause lattice,
+//! which by the paper's canonicity argument — dropping a maximal clause
+//! weakens by exactly one cube — captures all `Formula_Q` weakenings).
+
+use std::collections::BTreeSet;
+
+use acspec_core::{find_almost_correct_specs_with, DeadCheck};
+use acspec_ir::parse::parse_program;
+use acspec_ir::{desugar_procedure, DesugarOptions};
+use acspec_predabs::clause::QClause;
+use acspec_predabs::cover::predicate_cover;
+use acspec_predabs::mine::{mine_predicates, Abstraction};
+use acspec_smt::{Ctx, SmtResult, Solver};
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+use acspec_vcgen::translate::{formula_to_term, Env};
+
+/// Semantic implication between clause-set specs over the input
+/// vocabulary, decided by a standalone solver: `a ⇒ b` iff `a ∧ ¬b`
+/// unsat.
+fn implies(
+    preds: &[acspec_ir::Atom],
+    a: &[QClause],
+    b: &[QClause],
+    inputs: &acspec_ir::DesugaredProc,
+) -> bool {
+    let mut ctx = Ctx::new();
+    let mut solver = Solver::new();
+    let mut env = Env::default();
+    for (name, sort) in &inputs.vars {
+        let t = match sort {
+            acspec_ir::Sort::Int => ctx.mk_int_var(format!("{name}!0")),
+            acspec_ir::Sort::Map => ctx.mk_map_var(format!("{name}!0")),
+        };
+        env.vars.insert(name.clone(), t);
+    }
+    for (nu, sort) in &inputs.nus {
+        let t = match sort {
+            acspec_ir::Sort::Int => ctx.mk_int_var(format!("{nu}")),
+            acspec_ir::Sort::Map => ctx.mk_map_var(format!("{nu}")),
+        };
+        env.nus.insert(nu.clone(), t);
+    }
+    let fa = acspec_predabs::clauses_to_formula(a, preds);
+    let fb = acspec_predabs::clauses_to_formula(b, preds);
+    let ta = formula_to_term(&mut ctx, &env, &fa).expect("inputs");
+    let tb = formula_to_term(&mut ctx, &env, &fb).expect("inputs");
+    let ntb = ctx.mk_not(tb);
+    solver.assert_term(&mut ctx, ta);
+    solver.assert_term(&mut ctx, ntb);
+    solver.check(&mut ctx, &[]) == SmtResult::Unsat
+}
+
+/// Checks Theorem 1 on one procedure under the concrete configuration.
+fn check_theorem1(src: &str) {
+    let prog = parse_program(src).expect("parses");
+    let proc = prog.procedures.last().expect("proc").clone();
+    let d = desugar_procedure(&prog, &proc, DesugarOptions::default()).expect("desugars");
+    let mut az = ProcAnalyzer::new(&d, AnalyzerConfig::default()).expect("encodes");
+    let baseline_dead = az.dead_set(&[]).expect("ok");
+    let q = mine_predicates(&d, Abstraction::concrete());
+    assert!(q.len() <= 4, "test programs must have tiny Q, got {}", q.len());
+    let cover = predicate_cover(&mut az, &q).expect("ok");
+    let n = cover.clauses.len();
+    assert!(n <= 8, "cover too large for brute force: {n}");
+    let handles = cover.install_handles(&mut az);
+    let selectors: Vec<_> = handles.iter().map(|&(s, _)| s).collect();
+    let bodies: Vec<_> = handles.iter().map(|&(_, b)| b).collect();
+
+    // Evaluate every subset.
+    let locs = az.locations();
+    let asserts = az.assertions();
+    let subsets: Vec<BTreeSet<u32>> = (0..(1u32 << n))
+        .map(|mask| (0..n as u32).filter(|i| mask & (1 << i) != 0).collect())
+        .collect();
+    let mut dead_of = Vec::with_capacity(subsets.len());
+    let mut fail_of = Vec::with_capacity(subsets.len());
+    for subset in &subsets {
+        let active: Vec<_> = subset.iter().map(|&i| selectors[i as usize]).collect();
+        let consistent = az.is_consistent(&active, &[]).expect("ok");
+        let mut dead = !consistent;
+        if !dead {
+            for &l in &locs {
+                if baseline_dead.contains(&l) {
+                    continue;
+                }
+                if !az.is_reachable(l, &active).expect("ok") {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        let mut fails = 0usize;
+        for &a in &asserts {
+            if az.can_fail(a, &active).expect("ok") {
+                fails += 1;
+            }
+        }
+        dead_of.push(dead);
+        fail_of.push(fails);
+    }
+
+    let as_clauses = |subset: &BTreeSet<u32>| -> Vec<QClause> {
+        subset
+            .iter()
+            .map(|&i| cover.clauses[i as usize].clone())
+            .collect()
+    };
+
+    // Brute-force AlmostCorrectSpecs: Definition 4 over the lattice.
+    let full: BTreeSet<u32> = (0..n as u32).collect();
+    let full_idx = subsets.iter().position(|s| *s == full).expect("present");
+    let candidates: Vec<usize> = (0..subsets.len())
+        .filter(|&i| {
+            if dead_of[i] {
+                return false;
+            }
+            // Condition 1: β ⇒ f holds for every subset of the cover.
+            // Condition 4 (minimality over the lattice): every strict
+            // superset either is equivalent or has dead code.
+            for (j, sj) in subsets.iter().enumerate() {
+                if sj.len() > subsets[i].len() && subsets[i].is_subset(sj) && !dead_of[j] {
+                    let equivalent = implies(
+                        &cover.preds,
+                        &as_clauses(&subsets[i]),
+                        &as_clauses(sj),
+                        &d,
+                    );
+                    if !equivalent {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+        .collect();
+    let min_k = candidates.iter().map(|&i| fail_of[i]).min();
+    let acs: Vec<usize> = match min_k {
+        None => vec![],
+        Some(k) => candidates.into_iter().filter(|&i| fail_of[i] == k).collect(),
+    };
+
+    // The algorithm under test (with the Definition 4 minimality filter).
+    let out = find_almost_correct_specs_with(
+        &mut az,
+        &selectors,
+        &DeadCheck::Branch {
+            baseline_dead: baseline_dead.clone(),
+        },
+        100_000,
+        Some(&bodies),
+    )
+    .expect("within budget");
+
+    if dead_of[full_idx] {
+        // Part 1: every returned spec is in AlmostCorrectSpecs.
+        let min_k = min_k.expect("some weakening kills no code (true at worst)");
+        assert_eq!(out.min_fail, min_k, "MinFail matches brute force");
+        for s in &out.specs {
+            let i = subsets.iter().position(|x| x == s).expect("subset");
+            assert!(!dead_of[i], "returned spec kills code");
+            assert_eq!(fail_of[i], min_k, "returned spec not minimal-failure");
+            assert!(
+                acs.iter().any(|&j| {
+                    implies(&cover.preds, &as_clauses(&subsets[j]), &as_clauses(s), &d)
+                        && implies(&cover.preds, &as_clauses(s), &as_clauses(&subsets[j]), &d)
+                }),
+                "returned spec {s:?} is not equivalent to any brute-force ACS"
+            );
+        }
+        // Part 2: every brute-force ACS is implied by some returned spec.
+        for &j in &acs {
+            assert!(
+                out.specs.iter().any(|s| implies(
+                    &cover.preds,
+                    &as_clauses(&subsets[j]),
+                    &as_clauses(s),
+                    &d
+                )),
+                "ACS {:?} not covered by any returned spec",
+                subsets[j]
+            );
+        }
+    } else {
+        assert!(!out.root_dead);
+        assert_eq!(out.min_fail, 0);
+    }
+}
+
+#[test]
+fn theorem1_on_doomed_branch() {
+    check_theorem1(
+        "procedure f(x: int) {
+           if (x == 0) { assert x != 0; }
+         }",
+    );
+}
+
+#[test]
+fn theorem1_on_mini_double_free() {
+    check_theorem1(
+        "global Freed: map;
+         procedure f(c: int, b: int, cmd: int) {
+           if (cmd == 1) {
+             if (*) {
+               assert Freed[c] == 0; Freed[c] := 1;
+             }
+           }
+           assert Freed[c] == 0; Freed[c] := 1;
+         }",
+    );
+}
+
+#[test]
+fn theorem1_on_no_sib_program() {
+    check_theorem1(
+        "procedure f(x: int) {
+           if (*) { assert x != 0; }
+         }",
+    );
+}
+
+#[test]
+fn theorem1_on_contradictory_asserts() {
+    check_theorem1(
+        "procedure f(e: int) {
+           if (*) { assert e == 0; } else { assert e != 0; }
+         }",
+    );
+}
+
+#[test]
+fn theorem1_on_correlated_guards() {
+    check_theorem1(
+        "procedure f(x: int, c2: int) {
+           if (c2 == 1) {
+             assert x != 0;
+           }
+           if (x == 0) { skip; } else { skip; }
+         }",
+    );
+}

@@ -1,0 +1,517 @@
+//! Reference interpreter: a brute-force semantic oracle.
+//!
+//! Executes a core (loop-free, call-free) body over *all* executions from a
+//! given initial state, resolving non-determinism (`havoc`, `if (*)`) by
+//! enumerating a small finite value domain. Used by tests to validate the
+//! VC-based `Dead`/`Fail` computations against ground-truth semantics.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::expr::{Expr, Formula, NuConst, RelOp};
+use crate::locs::{enumerate_locations, LocId};
+use crate::stmt::{AssertId, BranchCond, Stmt};
+
+/// A runtime value: an integer or a total map (entries plus default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A total map: explicit entries over a default. Entries equal to the
+    /// default are normalized away so equality is extensional.
+    Map {
+        /// Explicit entries.
+        entries: BTreeMap<i64, i64>,
+        /// Value at every other index.
+        default: i64,
+    },
+}
+
+impl Value {
+    /// A constant map.
+    pub fn const_map(default: i64) -> Value {
+        Value::Map {
+            entries: BTreeMap::new(),
+            default,
+        }
+    }
+
+    fn as_int(&self) -> Result<i64, InterpError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::Map { .. } => Err(InterpError::SortMismatch),
+        }
+    }
+
+    fn read(&self, idx: i64) -> Result<i64, InterpError> {
+        match self {
+            Value::Map { entries, default } => Ok(*entries.get(&idx).unwrap_or(default)),
+            Value::Int(_) => Err(InterpError::SortMismatch),
+        }
+    }
+
+    fn write(&self, idx: i64, val: i64) -> Result<Value, InterpError> {
+        match self {
+            Value::Map { entries, default } => {
+                let mut entries = entries.clone();
+                if val == *default {
+                    entries.remove(&idx);
+                } else {
+                    entries.insert(idx, val);
+                }
+                Ok(Value::Map {
+                    entries,
+                    default: *default,
+                })
+            }
+            Value::Int(_) => Err(InterpError::SortMismatch),
+        }
+    }
+}
+
+/// Errors raised during interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpError {
+    /// An integer was used as a map or vice versa.
+    SortMismatch,
+    /// A variable or ν-constant had no value in the state.
+    Unbound,
+    /// The expression form is not supported by the oracle (uninterpreted
+    /// functions, `old`).
+    Unsupported,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::SortMismatch => write!(f, "sort mismatch"),
+            InterpError::Unbound => write!(f, "unbound variable"),
+            InterpError::Unsupported => write!(f, "unsupported construct"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// An interpreter state: values for named variables and ν-constants.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct State {
+    /// Values of named variables.
+    pub vars: BTreeMap<String, Value>,
+    /// Values of call-site constants.
+    pub nus: BTreeMap<NuConst, Value>,
+}
+
+impl State {
+    /// Creates an empty state.
+    pub fn new() -> State {
+        State::default()
+    }
+
+    /// Sets a variable.
+    pub fn set(&mut self, name: impl Into<String>, v: Value) {
+        self.vars.insert(name.into(), v);
+    }
+
+    fn get(&self, name: &str) -> Result<&Value, InterpError> {
+        self.vars.get(name).ok_or(InterpError::Unbound)
+    }
+}
+
+/// Evaluates an expression in a state.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] for unbound variables, sort mismatches, or
+/// unsupported constructs.
+pub fn eval_expr(state: &State, e: &Expr) -> Result<Value, InterpError> {
+    match e {
+        Expr::Var(v) => state.get(v).cloned(),
+        Expr::Nu(nu) => state.nus.get(nu).cloned().ok_or(InterpError::Unbound),
+        Expr::Int(n) => Ok(Value::Int(*n)),
+        Expr::Add(a, b) => Ok(Value::Int(
+            eval_expr(state, a)?
+                .as_int()?
+                .wrapping_add(eval_expr(state, b)?.as_int()?),
+        )),
+        Expr::Sub(a, b) => Ok(Value::Int(
+            eval_expr(state, a)?
+                .as_int()?
+                .wrapping_sub(eval_expr(state, b)?.as_int()?),
+        )),
+        Expr::Mul(a, b) => Ok(Value::Int(
+            eval_expr(state, a)?
+                .as_int()?
+                .wrapping_mul(eval_expr(state, b)?.as_int()?),
+        )),
+        Expr::Neg(a) => Ok(Value::Int(eval_expr(state, a)?.as_int()?.wrapping_neg())),
+        Expr::Read(m, i) => {
+            let m = eval_expr(state, m)?;
+            let i = eval_expr(state, i)?.as_int()?;
+            Ok(Value::Int(m.read(i)?))
+        }
+        Expr::Write(m, i, v) => {
+            let m = eval_expr(state, m)?;
+            let i = eval_expr(state, i)?.as_int()?;
+            let v = eval_expr(state, v)?.as_int()?;
+            m.write(i, v)
+        }
+        Expr::Ite(c, t, e2) => {
+            if eval_formula(state, c)? {
+                eval_expr(state, t)
+            } else {
+                eval_expr(state, e2)
+            }
+        }
+        Expr::App(..) | Expr::Old(..) => Err(InterpError::Unsupported),
+    }
+}
+
+/// Evaluates a formula in a state.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] for unbound variables, sort mismatches, or
+/// unsupported constructs.
+pub fn eval_formula(state: &State, f: &Formula) -> Result<bool, InterpError> {
+    match f {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Rel(op, a, b) => {
+            let va = eval_expr(state, a)?;
+            let vb = eval_expr(state, b)?;
+            match (va, vb) {
+                (Value::Int(x), Value::Int(y)) => Ok(match op {
+                    RelOp::Eq => x == y,
+                    RelOp::Ne => x != y,
+                    RelOp::Lt => x < y,
+                    RelOp::Le => x <= y,
+                    RelOp::Gt => x > y,
+                    RelOp::Ge => x >= y,
+                }),
+                (ma @ Value::Map { .. }, mb @ Value::Map { .. }) => match op {
+                    RelOp::Eq => Ok(ma == mb),
+                    RelOp::Ne => Ok(ma != mb),
+                    _ => Err(InterpError::SortMismatch),
+                },
+                _ => Err(InterpError::SortMismatch),
+            }
+        }
+        Formula::Not(g) => Ok(!eval_formula(state, g)?),
+        Formula::And(fs) => {
+            for g in fs {
+                if !eval_formula(state, g)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for g in fs {
+                if eval_formula(state, g)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Implies(a, b) => Ok(!eval_formula(state, a)? || eval_formula(state, b)?),
+        Formula::Iff(a, b) => Ok(eval_formula(state, a)? == eval_formula(state, b)?),
+    }
+}
+
+/// Aggregated results of running all executions from a set of states.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Tracked locations visited by at least one execution.
+    pub reached: BTreeSet<LocId>,
+    /// Assertions that failed on at least one execution.
+    pub failed: BTreeSet<AssertId>,
+    /// Number of executions that ran to completion.
+    pub completed: usize,
+    /// Number of executions blocked by an unsatisfied `assume`.
+    pub blocked: usize,
+}
+
+struct Runner<'a> {
+    domain: &'a [i64],
+    report: &'a mut ExecReport,
+}
+
+enum Flow {
+    Go,
+    Blocked,
+    Failed(#[allow(dead_code)] AssertId),
+}
+
+impl Runner<'_> {
+    /// Executes `s`, forking on non-determinism; `loc_counter` advances in
+    /// the canonical pre-order so ids match [`enumerate_locations`].
+    fn exec(&mut self, s: &Stmt, state: State, loc: u32) -> Vec<(State, Flow)> {
+        match s {
+            Stmt::Skip => vec![(state, Flow::Go)],
+            Stmt::Assert { id, cond, .. } => match eval_formula(&state, cond) {
+                Ok(true) => vec![(state, Flow::Go)],
+                Ok(false) => {
+                    let aid = id.expect("assert must be numbered before interpretation");
+                    self.report.failed.insert(aid);
+                    vec![(state, Flow::Failed(aid))]
+                }
+                Err(_) => vec![(state, Flow::Blocked)],
+            },
+            Stmt::Assume(cond) => match eval_formula(&state, cond) {
+                Ok(true) => {
+                    self.report.reached.insert(LocId(loc));
+                    vec![(state, Flow::Go)]
+                }
+                _ => {
+                    self.report.blocked += 1;
+                    vec![(state, Flow::Blocked)]
+                }
+            },
+            Stmt::Assign(x, e) => match eval_expr(&state, e) {
+                Ok(v) => {
+                    let mut st = state;
+                    st.set(x.clone(), v);
+                    vec![(st, Flow::Go)]
+                }
+                Err(_) => vec![(state, Flow::Blocked)],
+            },
+            Stmt::Havoc(x) => {
+                let is_map = matches!(state.vars.get(x.as_str()), Some(Value::Map { .. }));
+                self.domain
+                    .iter()
+                    .map(|&d| {
+                        let mut st = state.clone();
+                        let v = if is_map {
+                            Value::const_map(d)
+                        } else {
+                            Value::Int(d)
+                        };
+                        st.set(x.clone(), v);
+                        (st, Flow::Go)
+                    })
+                    .collect()
+            }
+            Stmt::Seq(ss) => {
+                let mut frontier = vec![(state, Flow::Go)];
+                let mut loc = loc;
+                for sub in ss {
+                    let next_loc = loc + loc_count(sub);
+                    let mut next = Vec::new();
+                    for (st, flow) in frontier {
+                        match flow {
+                            Flow::Go => next.extend(self.exec(sub, st, loc)),
+                            stopped => next.push((st, stopped)),
+                        }
+                    }
+                    frontier = next;
+                    loc = next_loc;
+                }
+                frontier
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let then_loc = loc;
+                let else_loc = loc + 1 + loc_count(then_branch);
+                let branches: Vec<bool> = match cond {
+                    BranchCond::NonDet => vec![true, false],
+                    BranchCond::Det(c) => match eval_formula(&state, c) {
+                        Ok(b) => vec![b],
+                        Err(_) => {
+                            return vec![(state, Flow::Blocked)];
+                        }
+                    },
+                };
+                let mut out = Vec::new();
+                for b in branches {
+                    let st = state.clone();
+                    if b {
+                        self.report.reached.insert(LocId(then_loc));
+                        out.extend(self.exec(then_branch, st, then_loc + 1));
+                    } else {
+                        self.report.reached.insert(LocId(else_loc));
+                        out.extend(self.exec(else_branch, st, else_loc + 1));
+                    }
+                }
+                out
+            }
+            Stmt::Call { .. } | Stmt::While { .. } => {
+                unreachable!("interpreter requires a core body")
+            }
+        }
+    }
+}
+
+/// Number of tracked locations inside a statement (matching
+/// [`enumerate_locations`]).
+fn loc_count(s: &Stmt) -> u32 {
+    match s {
+        Stmt::Skip | Stmt::Assert { .. } | Stmt::Assign(..) | Stmt::Havoc(_) => 0,
+        Stmt::Assume(_) => 1,
+        Stmt::Seq(ss) => ss.iter().map(loc_count).sum(),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => 2 + loc_count(then_branch) + loc_count(else_branch),
+        Stmt::Call { .. } | Stmt::While { .. } => unreachable!("core body required"),
+    }
+}
+
+/// Runs every execution of `body` from `init`, resolving `havoc` over
+/// `domain`, accumulating into `report`.
+pub fn run_all(body: &Stmt, init: &State, domain: &[i64], report: &mut ExecReport) {
+    let mut runner = Runner { domain, report };
+    let results = runner.exec(body, init.clone(), 0);
+    for (_, flow) in results {
+        match flow {
+            Flow::Go => report.completed += 1,
+            Flow::Blocked => {}
+            Flow::Failed(_) => {}
+        }
+    }
+}
+
+/// Convenience: enumerate all initial states assigning each of `int_vars`
+/// a value from `domain` and each of `map_vars` a constant map with default
+/// from `domain`, plus each ν-constant from `nus`, then run all executions
+/// of each. This is exponential and intended only for tiny oracle tests.
+pub fn brute_force(
+    body: &Stmt,
+    int_vars: &[&str],
+    map_vars: &[&str],
+    nus: &[NuConst],
+    domain: &[i64],
+    precondition: Option<&Formula>,
+) -> ExecReport {
+    let mut report = ExecReport::default();
+    let locs = enumerate_locations(body);
+    let n_slots = int_vars.len() + map_vars.len() + nus.len();
+    let d = domain.len();
+    let total = d.checked_pow(n_slots as u32).expect("domain too large");
+    for idx in 0..total {
+        let mut rem = idx;
+        let mut state = State::new();
+        for v in int_vars {
+            state.set(*v, Value::Int(domain[rem % d]));
+            rem /= d;
+        }
+        for v in map_vars {
+            state.set(*v, Value::const_map(domain[rem % d]));
+            rem /= d;
+        }
+        for nu in nus {
+            state.nus.insert(nu.clone(), Value::Int(domain[rem % d]));
+            rem /= d;
+        }
+        if let Some(pre) = precondition {
+            match eval_formula(&state, pre) {
+                Ok(true) => {}
+                _ => continue,
+            }
+        }
+        run_all(body, &state, domain, &mut report);
+    }
+    debug_assert!(report.reached.iter().all(|l| (l.0 as usize) < locs.len()));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn core_body(src: &str) -> (Stmt, Vec<String>) {
+        let prog = parse_program(src).expect("parses");
+        let proc = prog.procedures[0].clone();
+        let d = crate::desugar::desugar_procedure(&prog, &proc, crate::DesugarOptions::default())
+            .expect("desugars");
+        (d.body, d.inputs)
+    }
+
+    #[test]
+    fn simple_failure_detected() {
+        let (body, _) = core_body("procedure f(x: int) { assert x != 0; }");
+        let report = brute_force(&body, &["x"], &[], &[], &[-1, 0, 1], None);
+        assert_eq!(report.failed.len(), 1);
+    }
+
+    #[test]
+    fn precondition_suppresses_failure() {
+        let (body, _) = core_body("procedure f(x: int) { assert x != 0; }");
+        let pre = crate::parse::parse_formula("x != 0").expect("parses");
+        let report = brute_force(&body, &["x"], &[], &[], &[-1, 0, 1], Some(&pre));
+        assert!(report.failed.is_empty());
+    }
+
+    #[test]
+    fn dead_else_branch() {
+        let (body, _) = core_body(
+            "procedure f(x: int) {
+               assume x == 1;
+               if (x == 1) { skip; } else { skip; }
+             }",
+        );
+        let report = brute_force(&body, &["x"], &[], &[], &[0, 1], None);
+        // Locations: L0 after assume, L1 then, L2 else.
+        assert!(report.reached.contains(&LocId(0)));
+        assert!(report.reached.contains(&LocId(1)));
+        assert!(!report.reached.contains(&LocId(2)), "else branch is dead");
+    }
+
+    #[test]
+    fn failing_assert_terminates_execution() {
+        // After a failed assert, the next assert cannot also fail on the
+        // same execution; with domain {0} only A1 fails.
+        let (body, _) = core_body(
+            "procedure f(x: int) {
+               assert x != 0;
+               assert x == 99;
+             }",
+        );
+        let report = brute_force(&body, &["x"], &[], &[], &[0], None);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed.iter().next(), Some(&AssertId(0)));
+    }
+
+    #[test]
+    fn map_semantics_write_then_read() {
+        let (body, _) = core_body(
+            "global M: map;
+             procedure f(i: int) {
+               M[i] := 7;
+               assert M[i] == 7;
+               assert M[i + 1] == 7;
+             }",
+        );
+        let report = brute_force(&body, &["i"], &["M"], &[], &[0, 7], None);
+        // First assert never fails; second fails when default != 7.
+        assert_eq!(report.failed, [AssertId(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn nondet_branch_explores_both() {
+        let (body, _) = core_body(
+            "procedure f() {
+               if (*) { skip; } else { skip; }
+             }",
+        );
+        let report = brute_force(&body, &[], &[], &[], &[0], None);
+        assert_eq!(report.reached.len(), 2);
+    }
+
+    #[test]
+    fn havoc_enumerates_domain() {
+        let (body, _) = core_body(
+            "procedure f() {
+               var x: int;
+               havoc x;
+               assert x != 1;
+             }",
+        );
+        let report = brute_force(&body, &[], &[], &[], &[0, 1], None);
+        assert_eq!(report.failed.len(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Canonical enumeration of *tracked locations* (§2.3).
+//!
+//! To determine the dead set it suffices to track (a) the locations
+//! immediately inside `then` and `else` branches, and (b) the locations
+//! after each `assume` statement. This module assigns each such location a
+//! stable [`LocId`] by a canonical pre-order walk of the (core) body;
+//! both the reference interpreter and the VC-based analyzer use this same
+//! enumeration, so their results are directly comparable.
+
+use crate::stmt::Stmt;
+
+/// Identifier of a tracked location within a desugared procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId(pub u32);
+
+impl std::fmt::Display for LocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// What kind of program point a tracked location is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocKind {
+    /// First location inside a `then` branch.
+    ThenBranch,
+    /// First location inside an `else` branch.
+    ElseBranch,
+    /// Location immediately after an `assume`.
+    AfterAssume,
+}
+
+/// Metadata for a tracked location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocMeta {
+    /// The location's id.
+    pub id: LocId,
+    /// The kind of program point.
+    pub kind: LocKind,
+}
+
+/// Enumerates the tracked locations of a core (loop-free, call-free) body
+/// in canonical pre-order: for a conditional, the then-location, then the
+/// then-branch's locations, then the else-location, then the else-branch's;
+/// for an `assume`, the location just after it.
+pub fn enumerate_locations(body: &Stmt) -> Vec<LocMeta> {
+    let mut out = Vec::new();
+    walk(body, &mut out);
+    out
+}
+
+fn walk(s: &Stmt, out: &mut Vec<LocMeta>) {
+    match s {
+        Stmt::Skip | Stmt::Assert { .. } | Stmt::Assign(..) | Stmt::Havoc(_) => {}
+        Stmt::Assume(_) => {
+            let id = LocId(out.len() as u32);
+            out.push(LocMeta {
+                id,
+                kind: LocKind::AfterAssume,
+            });
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                walk(s, out);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let id = LocId(out.len() as u32);
+            out.push(LocMeta {
+                id,
+                kind: LocKind::ThenBranch,
+            });
+            walk(then_branch, out);
+            let id = LocId(out.len() as u32);
+            out.push(LocMeta {
+                id,
+                kind: LocKind::ElseBranch,
+            });
+            walk(else_branch, out);
+        }
+        Stmt::Call { .. } | Stmt::While { .. } => {
+            unreachable!("enumerate_locations requires a core body")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Formula;
+
+    #[test]
+    fn enumeration_order_is_preorder() {
+        // if (*) { assume true; } else { if (*) {} else {} }
+        let inner = Stmt::ite_nondet(Stmt::Skip, Stmt::Skip);
+        let s = Stmt::ite_nondet(Stmt::Assume(Formula::True), inner);
+        let locs = enumerate_locations(&s);
+        let kinds: Vec<LocKind> = locs.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LocKind::ThenBranch,  // outer then
+                LocKind::AfterAssume, // assume inside then
+                LocKind::ElseBranch,  // outer else
+                LocKind::ThenBranch,  // inner then
+                LocKind::ElseBranch,  // inner else
+            ]
+        );
+        assert_eq!(locs[3].id, LocId(3));
+    }
+}

@@ -1,0 +1,386 @@
+//! Pretty-printing of expressions, formulas, statements, and procedures in
+//! the surface syntax accepted by [`crate::parse`].
+
+use std::fmt;
+
+use crate::expr::{Expr, Formula, RelOp};
+use crate::program::{Procedure, Program};
+use crate::stmt::{BranchCond, Stmt};
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOp::Eq => "==",
+            RelOp::Ne => "!=",
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Precedence levels for expression printing.
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Add(..) | Expr::Sub(..) => 1,
+        Expr::Mul(..) => 2,
+        Expr::Neg(..) => 3,
+        _ => 4,
+    }
+}
+
+fn fmt_expr(e: &Expr, prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let my = expr_prec(e);
+    let paren = my < prec;
+    if paren {
+        write!(f, "(")?;
+    }
+    match e {
+        Expr::Var(v) => write!(f, "{v}")?,
+        Expr::Nu(nu) => write!(f, "{nu}")?,
+        Expr::Int(n) => write!(f, "{n}")?,
+        Expr::App(name, args) => {
+            write!(f, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(a, 0, f)?;
+            }
+            write!(f, ")")?;
+        }
+        Expr::Add(a, b) => {
+            fmt_expr(a, 1, f)?;
+            write!(f, " + ")?;
+            fmt_expr(b, 2, f)?;
+        }
+        Expr::Sub(a, b) => {
+            fmt_expr(a, 1, f)?;
+            write!(f, " - ")?;
+            fmt_expr(b, 2, f)?;
+        }
+        Expr::Mul(a, b) => {
+            fmt_expr(a, 2, f)?;
+            write!(f, " * ")?;
+            fmt_expr(b, 3, f)?;
+        }
+        Expr::Neg(a) => {
+            write!(f, "-")?;
+            fmt_expr(a, 3, f)?;
+        }
+        Expr::Read(m, i) => {
+            fmt_expr(m, 4, f)?;
+            write!(f, "[")?;
+            fmt_expr(i, 0, f)?;
+            write!(f, "]")?;
+        }
+        Expr::Write(m, i, v) => {
+            write!(f, "write(")?;
+            fmt_expr(m, 0, f)?;
+            write!(f, ", ")?;
+            fmt_expr(i, 0, f)?;
+            write!(f, ", ")?;
+            fmt_expr(v, 0, f)?;
+            write!(f, ")")?;
+        }
+        Expr::Ite(c, t, el) => {
+            write!(f, "ite({c}, ")?;
+            fmt_expr(t, 0, f)?;
+            write!(f, ", ")?;
+            fmt_expr(el, 0, f)?;
+            write!(f, ")")?;
+        }
+        Expr::Old(a) => {
+            write!(f, "old(")?;
+            fmt_expr(a, 0, f)?;
+            write!(f, ")")?;
+        }
+    }
+    if paren {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, 0, f)
+    }
+}
+
+/// Precedence levels for formula printing: `<==>` 1, `==>` 2, `||` 3,
+/// `&&` 4, `!` 5, atoms 6.
+fn formula_prec(x: &Formula) -> u8 {
+    match x {
+        Formula::Iff(..) => 1,
+        Formula::Implies(..) => 2,
+        Formula::Or(..) => 3,
+        Formula::And(..) => 4,
+        Formula::Not(..) => 5,
+        _ => 6,
+    }
+}
+
+fn fmt_formula(x: &Formula, prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let my = formula_prec(x);
+    let paren = my < prec;
+    if paren {
+        write!(f, "(")?;
+    }
+    match x {
+        Formula::True => write!(f, "true")?,
+        Formula::False => write!(f, "false")?,
+        Formula::Rel(op, a, b) => write!(f, "{a} {op} {b}")?,
+        Formula::Not(g) => {
+            write!(f, "!")?;
+            fmt_formula(g, 5, f)?;
+        }
+        Formula::And(fs) => {
+            if fs.is_empty() {
+                write!(f, "true")?;
+            } else {
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    fmt_formula(g, 5, f)?;
+                }
+            }
+        }
+        Formula::Or(fs) => {
+            if fs.is_empty() {
+                write!(f, "false")?;
+            } else {
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    fmt_formula(g, 4, f)?;
+                }
+            }
+        }
+        Formula::Implies(a, b) => {
+            fmt_formula(a, 3, f)?;
+            write!(f, " ==> ")?;
+            fmt_formula(b, 2, f)?;
+        }
+        Formula::Iff(a, b) => {
+            fmt_formula(a, 2, f)?;
+            write!(f, " <==> ")?;
+            fmt_formula(b, 2, f)?;
+        }
+    }
+    if paren {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_formula(self, 0, f)
+    }
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+    for _ in 0..level {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+fn fmt_stmt(s: &Stmt, level: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match s {
+        Stmt::Skip => {
+            indent(f, level)?;
+            writeln!(f, "skip;")
+        }
+        Stmt::Assert { id, cond, tag } => {
+            indent(f, level)?;
+            match id {
+                Some(aid) => writeln!(f, "assert {cond}; // {aid}: {tag}"),
+                None => writeln!(f, "assert {cond};"),
+            }
+        }
+        Stmt::Assume(cond) => {
+            indent(f, level)?;
+            writeln!(f, "assume {cond};")
+        }
+        Stmt::Assign(v, e) => {
+            indent(f, level)?;
+            writeln!(f, "{v} := {e};")
+        }
+        Stmt::Havoc(v) => {
+            indent(f, level)?;
+            writeln!(f, "havoc {v};")
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                fmt_stmt(s, level, f)?;
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            indent(f, level)?;
+            match cond {
+                BranchCond::Det(c) => writeln!(f, "if ({c}) {{")?,
+                BranchCond::NonDet => writeln!(f, "if (*) {{")?,
+            }
+            fmt_stmt(then_branch, level + 1, f)?;
+            if !matches!(**else_branch, Stmt::Skip)
+                && !matches!(&**else_branch, Stmt::Seq(v) if v.is_empty())
+            {
+                indent(f, level)?;
+                writeln!(f, "}} else {{")?;
+                fmt_stmt(else_branch, level + 1, f)?;
+            }
+            indent(f, level)?;
+            writeln!(f, "}}")
+        }
+        Stmt::Call {
+            lhs, callee, args, ..
+        } => {
+            indent(f, level)?;
+            write!(f, "call ")?;
+            if !lhs.is_empty() {
+                write!(f, "{} := ", lhs.join(", "))?;
+            }
+            write!(f, "{callee}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            writeln!(f, ");")
+        }
+        Stmt::While { cond, body } => {
+            indent(f, level)?;
+            match cond {
+                BranchCond::Det(c) => writeln!(f, "while ({c}) {{")?,
+                BranchCond::NonDet => writeln!(f, "while (*) {{")?,
+            }
+            fmt_stmt(body, level + 1, f)?;
+            indent(f, level)?;
+            writeln!(f, "}}")
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_stmt(self, 0, f)
+    }
+}
+
+impl fmt::Display for Procedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "procedure {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {}", self.var_sort(p).unwrap_or(crate::Sort::Int))?;
+        }
+        write!(f, ")")?;
+        if !self.returns.is_empty() {
+            write!(f, " returns (")?;
+            for (i, r) in self.returns.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{r}: {}", self.var_sort(r).unwrap_or(crate::Sort::Int))?;
+            }
+            write!(f, ")")?;
+        }
+        writeln!(f)?;
+        if self.contract.requires != Formula::True {
+            writeln!(f, "  requires {};", self.contract.requires)?;
+        }
+        if !self.contract.modifies.is_empty() {
+            writeln!(f, "  modifies {};", self.contract.modifies.join(", "))?;
+        }
+        if self.contract.ensures != Formula::True {
+            writeln!(f, "  ensures {};", self.contract.ensures)?;
+        }
+        match &self.body {
+            None => writeln!(f, ";"),
+            Some(body) => {
+                writeln!(f, "{{")?;
+                for l in &self.locals {
+                    writeln!(f, "  var {l}: {};", self.var_sort(l).unwrap_or(crate::Sort::Int))?;
+                }
+                fmt_stmt(body, 1, f)?;
+                writeln!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (g, s) in &self.globals {
+            writeln!(f, "global {g}: {s};")?;
+        }
+        for fd in &self.functions {
+            let args: Vec<String> = fd.args.iter().map(|s| s.to_string()).collect();
+            writeln!(f, "function {}({}): {};", fd.name, args.join(", "), fd.ret)?;
+        }
+        for p in &self.procedures {
+            writeln!(f)?;
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::{Expr, Formula, RelOp};
+    use crate::stmt::Stmt;
+
+    #[test]
+    fn expr_precedence() {
+        let e = Expr::Mul(
+            Box::new(Expr::Add(
+                Box::new(Expr::var("x")),
+                Box::new(Expr::Int(1)),
+            )),
+            Box::new(Expr::var("y")),
+        );
+        assert_eq!(e.to_string(), "(x + 1) * y");
+    }
+
+    #[test]
+    fn formula_precedence() {
+        let f = Formula::Implies(
+            Box::new(Formula::Rel(RelOp::Ge, Expr::var("n"), Expr::Int(0))),
+            Box::new(Formula::ne(Expr::var("buf"), Expr::Int(0))),
+        );
+        assert_eq!(f.to_string(), "n >= 0 ==> buf != 0");
+    }
+
+    #[test]
+    fn map_read_prints_bracketed() {
+        let e = Expr::read_var("Freed", Expr::var("c"));
+        assert_eq!(e.to_string(), "Freed[c]");
+    }
+
+    #[test]
+    fn stmt_printing() {
+        let s = Stmt::ite(
+            Formula::eq(Expr::var("x"), Expr::Int(0)),
+            Stmt::Assign("y".into(), Expr::Int(1)),
+            Stmt::Skip,
+        );
+        let text = s.to_string();
+        assert!(text.contains("if (x == 0) {"), "got: {text}");
+        assert!(text.contains("y := 1;"), "got: {text}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Programs, procedures, and contracts.
+
+use std::collections::BTreeMap;
+
+use crate::expr::Formula;
+use crate::stmt::Stmt;
+use crate::Sort;
+
+/// A procedure contract: precondition, postcondition, and modifies clause.
+///
+/// Calls are replaced by their specification (§2.1):
+/// `assert pre[args/params]; r, gl := ν…; assume post`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contract {
+    /// Precondition over parameters and globals.
+    pub requires: Formula,
+    /// Postcondition over parameters (pre-state), returns and modified
+    /// globals (post-state); `old(g)` refers to a global's pre-state value.
+    pub ensures: Formula,
+    /// Globals the procedure may modify.
+    pub modifies: Vec<String>,
+}
+
+impl Default for Contract {
+    fn default() -> Self {
+        Contract {
+            requires: Formula::True,
+            ensures: Formula::True,
+            modifies: Vec::new(),
+        }
+    }
+}
+
+impl Contract {
+    /// The trivial contract `requires true; ensures true; modifies ∅` —
+    /// the "unconstrained external procedure" of the paper's motivation.
+    pub fn unconstrained() -> Contract {
+        Contract::default()
+    }
+}
+
+/// Declaration of an uninterpreted function symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Argument sorts.
+    pub args: Vec<Sort>,
+    /// Result sort.
+    pub ret: Sort,
+}
+
+/// A procedure: signature, locals, contract, and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Procedure name.
+    pub name: String,
+    /// Parameter names, in order.
+    pub params: Vec<String>,
+    /// Return variable names, in order.
+    pub returns: Vec<String>,
+    /// Local variable names.
+    pub locals: Vec<String>,
+    /// Sorts of parameters, returns, and locals.
+    pub var_sorts: BTreeMap<String, Sort>,
+    /// The contract used when *this* procedure is called.
+    pub contract: Contract,
+    /// The body. `None` marks an external procedure (spec only).
+    pub body: Option<Stmt>,
+}
+
+impl Procedure {
+    /// Creates a procedure with `int`-sorted parameters and no returns,
+    /// locals, or contract — the common case in examples and tests.
+    pub fn new_simple(name: impl Into<String>, params: &[&str], body: Stmt) -> Procedure {
+        let params: Vec<String> = params.iter().map(|p| (*p).to_string()).collect();
+        let var_sorts = params.iter().map(|p| (p.clone(), Sort::Int)).collect();
+        Procedure {
+            name: name.into(),
+            params,
+            returns: Vec::new(),
+            locals: Vec::new(),
+            var_sorts,
+            contract: Contract::default(),
+            body: Some(body),
+        }
+    }
+
+    /// The sort of a parameter, return, or local, if declared.
+    pub fn var_sort(&self, name: &str) -> Option<Sort> {
+        self.var_sorts.get(name).copied()
+    }
+
+    /// Adds a local variable declaration.
+    pub fn add_local(&mut self, name: impl Into<String>, sort: Sort) {
+        let name = name.into();
+        self.locals.push(name.clone());
+        self.var_sorts.insert(name, sort);
+    }
+}
+
+/// A whole program: globals, uninterpreted functions, and procedures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global variables with their sorts.
+    pub globals: Vec<(String, Sort)>,
+    /// Uninterpreted function declarations.
+    pub functions: Vec<FuncDecl>,
+    /// Procedures, in declaration order.
+    pub procedures: Vec<Procedure>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a procedure by name.
+    pub fn procedure(&self, name: &str) -> Option<&Procedure> {
+        self.procedures.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a global's sort.
+    pub fn global_sort(&self, name: &str) -> Option<Sort> {
+        self.globals
+            .iter()
+            .find(|(g, _)| g == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// Looks up a function declaration.
+    pub fn function(&self, name: &str) -> Option<&FuncDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// The sort of `name` as seen from inside `proc`: procedure-scoped
+    /// variables shadow globals.
+    pub fn sort_in(&self, proc: &Procedure, name: &str) -> Option<Sort> {
+        proc.var_sort(name).or_else(|| self.global_sort(name))
+    }
+
+    /// Adds a global variable.
+    pub fn add_global(&mut self, name: impl Into<String>, sort: Sort) {
+        self.globals.push((name.into(), sort));
+    }
+
+    /// Total simple-statement count over all procedure bodies (the
+    /// "LOC (BPL)" proxy of Figure 5).
+    pub fn simple_stmt_count(&self) -> usize {
+        self.procedures
+            .iter()
+            .filter_map(|p| p.body.as_ref())
+            .map(Stmt::simple_stmt_count)
+            .sum()
+    }
+
+    /// Total number of `assert` statements over all procedure bodies.
+    pub fn assert_count(&self) -> usize {
+        let mut n = 0;
+        for p in &self.procedures {
+            if let Some(b) = &p.body {
+                b.for_each_assert(&mut |_| n += 1);
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_prefers_procedure_vars() {
+        let mut prog = Program::new();
+        prog.add_global("x", Sort::Map);
+        let p = Procedure::new_simple("f", &["x"], Stmt::Skip);
+        assert_eq!(prog.sort_in(&p, "x"), Some(Sort::Int));
+        let q = Procedure::new_simple("g", &[], Stmt::Skip);
+        assert_eq!(prog.sort_in(&q, "x"), Some(Sort::Map));
+        assert_eq!(prog.sort_in(&q, "y"), None);
+    }
+
+    #[test]
+    fn counts() {
+        let mut prog = Program::new();
+        prog.procedures.push(Procedure::new_simple(
+            "f",
+            &[],
+            Stmt::seq(vec![
+                Stmt::assert(Formula::True, "a"),
+                Stmt::assert(Formula::True, "b"),
+                Stmt::Skip,
+            ]),
+        ));
+        assert_eq!(prog.assert_count(), 2);
+        assert_eq!(prog.simple_stmt_count(), 3);
+    }
+}

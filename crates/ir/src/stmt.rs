@@ -1,0 +1,215 @@
+//! Statements of the simple language (Figure 3), plus the surface-level
+//! `call` and `while` forms that [`crate::desugar`] compiles away.
+
+use crate::expr::{Expr, Formula};
+
+/// Identifier of an assertion within a desugared procedure, assigned in
+/// textual order (the paper writes them `A1, A2, …`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AssertId(pub u32);
+
+impl std::fmt::Display for AssertId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "A{}", self.0 + 1)
+    }
+}
+
+/// The guard of a conditional: either a formula or the non-deterministic
+/// choice `*` of the paper's examples.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// A deterministic condition.
+    Det(Formula),
+    /// The non-deterministic choice `*`.
+    NonDet,
+}
+
+/// Statements (`Stmt` in Figure 3).
+///
+/// `Call` and `While` are surface-level forms; [`crate::desugar`] replaces
+/// calls by their specifications and unrolls loops, so the analyses in
+/// downstream crates only ever see the loop-free, call-free core.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// `skip`.
+    Skip,
+    /// `assert f`. `id` is `None` until assigned by desugaring; `tag` is a
+    /// human-readable provenance label (e.g. `"deref *p at 12:3"`).
+    Assert {
+        /// Stable identifier assigned by desugaring (textual order).
+        id: Option<AssertId>,
+        /// The asserted condition.
+        cond: Formula,
+        /// Provenance label used for reporting and ground-truth matching.
+        tag: String,
+    },
+    /// `assume f`.
+    Assume(Formula),
+    /// `x := e`. Map updates `m[i] := v` are represented as
+    /// `m := write(m, i, v)`.
+    Assign(String, Expr),
+    /// `havoc x`: assign a non-deterministic value.
+    Havoc(String),
+    /// Sequential composition (empty sequence is `skip`).
+    Seq(Vec<Stmt>),
+    /// `if (c) then s else t`.
+    If {
+        /// Branch condition (deterministic or `*`).
+        cond: BranchCond,
+        /// The `then` branch.
+        then_branch: Box<Stmt>,
+        /// The `else` branch.
+        else_branch: Box<Stmt>,
+    },
+    /// Surface form: `call x1, .., xn := pr(e1, .., em)` at call site
+    /// `site`. Desugared per §2.1.
+    Call {
+        /// Unique call-site label within the procedure.
+        site: u32,
+        /// Variables receiving the callee's return values.
+        lhs: Vec<String>,
+        /// Callee name.
+        callee: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// Surface form: `while (c) s`. Desugared by bounded unrolling.
+    While {
+        /// Loop condition (deterministic or `*`).
+        cond: BranchCond,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for an (unnumbered) assertion.
+    pub fn assert(cond: Formula, tag: impl Into<String>) -> Stmt {
+        Stmt::Assert {
+            id: None,
+            cond,
+            tag: tag.into(),
+        }
+    }
+
+    /// Convenience constructor for a two-way deterministic conditional.
+    pub fn ite(cond: Formula, then_branch: Stmt, else_branch: Stmt) -> Stmt {
+        Stmt::If {
+            cond: BranchCond::Det(cond),
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        }
+    }
+
+    /// Convenience constructor for `if (*) then s else t`.
+    pub fn ite_nondet(then_branch: Stmt, else_branch: Stmt) -> Stmt {
+        Stmt::If {
+            cond: BranchCond::NonDet,
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        }
+    }
+
+    /// Convenience constructor for sequencing.
+    pub fn seq(stmts: Vec<Stmt>) -> Stmt {
+        Stmt::Seq(stmts)
+    }
+
+    /// True if the statement (recursively) contains no `Call` or `While`.
+    pub fn is_core(&self) -> bool {
+        match self {
+            Stmt::Skip | Stmt::Assert { .. } | Stmt::Assume(_) | Stmt::Assign(..) | Stmt::Havoc(_) => {
+                true
+            }
+            Stmt::Seq(ss) => ss.iter().all(Stmt::is_core),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.is_core() && else_branch.is_core(),
+            Stmt::Call { .. } | Stmt::While { .. } => false,
+        }
+    }
+
+    /// Counts the simple (non-compound) statements, a proxy for the
+    /// "LOC (BPL)" measure of Figure 5.
+    pub fn simple_stmt_count(&self) -> usize {
+        match self {
+            Stmt::Skip
+            | Stmt::Assert { .. }
+            | Stmt::Assume(_)
+            | Stmt::Assign(..)
+            | Stmt::Havoc(_)
+            | Stmt::Call { .. } => 1,
+            Stmt::Seq(ss) => ss.iter().map(Stmt::simple_stmt_count).sum(),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + then_branch.simple_stmt_count() + else_branch.simple_stmt_count(),
+            Stmt::While { body, .. } => 1 + body.simple_stmt_count(),
+        }
+    }
+
+    /// Visits every assertion in textual order.
+    pub fn for_each_assert<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        match self {
+            Stmt::Assert { .. } => f(self),
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.for_each_assert(f);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.for_each_assert(f);
+                else_branch.for_each_assert(f);
+            }
+            Stmt::While { body, .. } => body.for_each_assert(f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Formula;
+
+    #[test]
+    fn assert_id_displays_one_based() {
+        assert_eq!(AssertId(0).to_string(), "A1");
+        assert_eq!(AssertId(4).to_string(), "A5");
+    }
+
+    #[test]
+    fn is_core_rejects_calls_and_loops() {
+        let call = Stmt::Call {
+            site: 0,
+            lhs: vec![],
+            callee: "f".into(),
+            args: vec![],
+        };
+        assert!(!call.is_core());
+        let w = Stmt::While {
+            cond: BranchCond::NonDet,
+            body: Box::new(Stmt::Skip),
+        };
+        assert!(!w.is_core());
+        let ok = Stmt::seq(vec![Stmt::Skip, Stmt::assert(Formula::True, "t")]);
+        assert!(ok.is_core());
+    }
+
+    #[test]
+    fn simple_stmt_count_counts_leaves_and_branches() {
+        let s = Stmt::ite(
+            Formula::True,
+            Stmt::seq(vec![Stmt::Skip, Stmt::Skip]),
+            Stmt::Havoc("x".into()),
+        );
+        assert_eq!(s.simple_stmt_count(), 4);
+    }
+}

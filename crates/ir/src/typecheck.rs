@@ -1,0 +1,314 @@
+//! Sort checking for programs.
+//!
+//! Catches front-end bugs early: every expression must be well-sorted
+//! (`read : map × int → int`, arithmetic over `int`, `<`/`<=` only over
+//! `int`, equality over matching sorts, declared function arities).
+
+use std::collections::BTreeMap;
+
+use crate::expr::{Expr, Formula, RelOp};
+use crate::program::{Procedure, Program};
+use crate::stmt::{BranchCond, Stmt};
+use crate::Sort;
+
+/// A sort error with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortError(pub String);
+
+impl std::fmt::Display for SortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sort error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SortError {}
+
+struct Checker<'a> {
+    program: &'a Program,
+    vars: BTreeMap<String, Sort>,
+    nu_sorts: BTreeMap<crate::expr::NuConst, Sort>,
+    in_ensures: bool,
+}
+
+impl Checker<'_> {
+    fn sort_of_var(&self, name: &str) -> Result<Sort, SortError> {
+        self.vars
+            .get(name)
+            .copied()
+            .or_else(|| self.program.global_sort(name))
+            .ok_or_else(|| SortError(format!("undeclared variable `{name}`")))
+    }
+
+    fn expr_sort(&self, e: &Expr) -> Result<Sort, SortError> {
+        match e {
+            Expr::Var(v) => self.sort_of_var(v),
+            Expr::Nu(nu) => self
+                .nu_sorts
+                .get(nu)
+                .copied()
+                .ok_or_else(|| SortError(format!("unknown ν-constant `{nu}`"))),
+            Expr::Int(_) => Ok(Sort::Int),
+            Expr::App(name, args) => {
+                let decl = self
+                    .program
+                    .function(name)
+                    .ok_or_else(|| SortError(format!("undeclared function `{name}`")))?;
+                if decl.args.len() != args.len() {
+                    return Err(SortError(format!(
+                        "function `{name}` expects {} arguments, got {}",
+                        decl.args.len(),
+                        args.len()
+                    )));
+                }
+                for (a, want) in args.iter().zip(&decl.args) {
+                    let got = self.expr_sort(a)?;
+                    if got != *want {
+                        return Err(SortError(format!(
+                            "argument of `{name}` has sort {got}, expected {want}"
+                        )));
+                    }
+                }
+                Ok(decl.ret)
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                self.expect(a, Sort::Int)?;
+                self.expect(b, Sort::Int)?;
+                Ok(Sort::Int)
+            }
+            Expr::Neg(a) => {
+                self.expect(a, Sort::Int)?;
+                Ok(Sort::Int)
+            }
+            Expr::Read(m, i) => {
+                self.expect(m, Sort::Map)?;
+                self.expect(i, Sort::Int)?;
+                Ok(Sort::Int)
+            }
+            Expr::Write(m, i, v) => {
+                self.expect(m, Sort::Map)?;
+                self.expect(i, Sort::Int)?;
+                self.expect(v, Sort::Int)?;
+                Ok(Sort::Map)
+            }
+            Expr::Ite(c, t, el) => {
+                self.check_formula(c)?;
+                let st = self.expr_sort(t)?;
+                let se = self.expr_sort(el)?;
+                if st != se {
+                    return Err(SortError(format!(
+                        "ite branches have different sorts: {st} vs {se}"
+                    )));
+                }
+                Ok(st)
+            }
+            Expr::Old(inner) => {
+                if !self.in_ensures {
+                    return Err(SortError("`old` is only legal in ensures clauses".into()));
+                }
+                self.expr_sort(inner)
+            }
+        }
+    }
+
+    fn expect(&self, e: &Expr, want: Sort) -> Result<(), SortError> {
+        let got = self.expr_sort(e)?;
+        if got != want {
+            return Err(SortError(format!(
+                "expression `{e}` has sort {got}, expected {want}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_formula(&self, f: &Formula) -> Result<(), SortError> {
+        match f {
+            Formula::True | Formula::False => Ok(()),
+            Formula::Rel(op, a, b) => {
+                let sa = self.expr_sort(a)?;
+                let sb = self.expr_sort(b)?;
+                if sa != sb {
+                    return Err(SortError(format!(
+                        "relation `{a} {op} {b}` compares {sa} with {sb}"
+                    )));
+                }
+                match op {
+                    RelOp::Eq | RelOp::Ne => Ok(()),
+                    _ if sa == Sort::Int => Ok(()),
+                    _ => Err(SortError(format!(
+                        "ordering `{op}` requires int operands, got {sa}"
+                    ))),
+                }
+            }
+            Formula::Not(g) => self.check_formula(g),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().try_for_each(|g| self.check_formula(g))
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                self.check_formula(a)?;
+                self.check_formula(b)
+            }
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), SortError> {
+        match s {
+            Stmt::Skip => Ok(()),
+            Stmt::Assert { cond, .. } => self.check_formula(cond),
+            Stmt::Assume(cond) => self.check_formula(cond),
+            Stmt::Assign(x, e) => {
+                let want = self.sort_of_var(x)?;
+                self.expect(e, want)
+            }
+            Stmt::Havoc(x) => self.sort_of_var(x).map(|_| ()),
+            Stmt::Seq(ss) => ss.iter().try_for_each(|s| self.check_stmt(s)),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if let BranchCond::Det(c) = cond {
+                    self.check_formula(c)?;
+                }
+                self.check_stmt(then_branch)?;
+                self.check_stmt(else_branch)
+            }
+            Stmt::While { cond, body } => {
+                if let BranchCond::Det(c) = cond {
+                    self.check_formula(c)?;
+                }
+                self.check_stmt(body)
+            }
+            Stmt::Call {
+                lhs, callee, args, ..
+            } => {
+                let cp = self
+                    .program
+                    .procedure(callee)
+                    .ok_or_else(|| SortError(format!("call to undeclared procedure `{callee}`")))?;
+                if cp.params.len() != args.len() || cp.returns.len() != lhs.len() {
+                    return Err(SortError(format!("arity mismatch calling `{callee}`")));
+                }
+                for (a, p) in args.iter().zip(&cp.params) {
+                    let want = cp.var_sort(p).unwrap_or(Sort::Int);
+                    self.expect(a, want)?;
+                }
+                for (x, r) in lhs.iter().zip(&cp.returns) {
+                    let want = cp.var_sort(r).unwrap_or(Sort::Int);
+                    let got = self.sort_of_var(x)?;
+                    if got != want {
+                        return Err(SortError(format!(
+                            "call target `{x}` has sort {got}, return `{r}` has sort {want}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Checks a procedure's contract and body.
+///
+/// # Errors
+///
+/// Returns the first [`SortError`] found.
+pub fn check_procedure(program: &Program, proc: &Procedure) -> Result<(), SortError> {
+    let mut checker = Checker {
+        program,
+        vars: proc.var_sorts.clone(),
+        nu_sorts: BTreeMap::new(),
+        in_ensures: false,
+    };
+    checker.check_formula(&proc.contract.requires)?;
+    checker.in_ensures = true;
+    checker.check_formula(&proc.contract.ensures)?;
+    checker.in_ensures = false;
+    for g in &proc.contract.modifies {
+        if program.global_sort(g).is_none() {
+            return Err(SortError(format!("modifies lists non-global `{g}`")));
+        }
+    }
+    if let Some(body) = &proc.body {
+        checker.check_stmt(body)?;
+    }
+    Ok(())
+}
+
+/// Checks every procedure of a program.
+///
+/// # Errors
+///
+/// Returns the first [`SortError`] found, prefixed with the procedure name.
+pub fn check_program(program: &Program) -> Result<(), SortError> {
+    for p in &program.procedures {
+        check_procedure(program, p).map_err(|e| SortError(format!("in `{}`: {}", p.name, e.0)))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    #[test]
+    fn accepts_well_sorted_program() {
+        let prog = parse_program(
+            "global Freed: map;
+             procedure f(p: int) {
+               assert Freed[p] == 0;
+               Freed[p] := 1;
+             }",
+        )
+        .expect("parses");
+        check_program(&prog).expect("well sorted");
+    }
+
+    #[test]
+    fn rejects_map_int_confusion() {
+        let prog = parse_program(
+            "global Freed: map;
+             procedure f(p: int) { p := Freed; }",
+        )
+        .expect("parses");
+        assert!(check_program(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_ordering_on_maps() {
+        let prog = parse_program(
+            "global A: map; global B: map;
+             procedure f() { assert A <= B; }",
+        )
+        .expect("parses");
+        assert!(check_program(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let prog = parse_program("procedure f() { x := 1; }").expect("parses");
+        assert!(check_program(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_old_outside_ensures() {
+        let prog = parse_program(
+            "global g: int;
+             procedure f()
+               requires old(g) == 0;
+             { skip; }",
+        )
+        .expect("parses");
+        assert!(check_program(&prog).is_err());
+    }
+
+    #[test]
+    fn checks_call_arity() {
+        let prog = parse_program(
+            "procedure callee(x: int) { skip; }
+             procedure caller() { call callee(1, 2); }",
+        )
+        .expect("parses");
+        assert!(check_program(&prog).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! The predicate cover `β_Q(wp(pr, true))` (§4.1).
+//!
+//! Given a predicate set `Q`, the cover is computed by enumerating all
+//! assignments over `Q` consistent with `VC(pr) ≡ ¬wp(pr, true)`
+//! (ALL-SAT) and negating each maximal cube into a maximal clause. The
+//! resulting conjunction of maximal clauses is the canonical
+//! representation of the weakest under-approximation of the weakest
+//! precondition expressible over `Q`.
+
+use acspec_ir::expr::Atom;
+use acspec_smt::TermId;
+use acspec_vcgen::analyzer::{ProcAnalyzer, Timeout};
+use acspec_vcgen::translate::formula_to_term;
+
+use crate::clause::{QClause, QLit};
+
+/// The predicate cover: the predicate set plus the maximal clauses of
+/// `β_Q(wp(pr, true))`.
+#[derive(Debug, Clone)]
+pub struct Cover {
+    /// The predicate set `Q` (indices referenced by the clause literals).
+    pub preds: Vec<Atom>,
+    /// Maximal clauses (every predicate occurs in each clause).
+    pub clauses: Vec<QClause>,
+    /// Indicator terms per predicate (for installing clause selectors).
+    pub indicators: Vec<TermId>,
+}
+
+/// Computes `PredicateCover_Q(pr)` by ALL-SAT enumeration (§4.1) with a
+/// default cap of 4096 cover clauses.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the analyzer's budget or the clause cap is
+/// exhausted (the paper reports the same: "others time out during the
+/// predicate cover generation", §5.1.4).
+pub fn predicate_cover(az: &mut ProcAnalyzer, q: &[Atom]) -> Result<Cover, Timeout> {
+    predicate_cover_capped(az, q, 4096)
+}
+
+/// Computes `PredicateCover_Q(pr)` with an explicit clause cap.
+///
+/// The enumeration's blocking clauses are scoped under a session literal,
+/// so the analyzer remains usable for ordinary `Dead`/`Fail` queries
+/// afterwards.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the analyzer's budget or `max_clauses` is
+/// exhausted.
+///
+/// # Panics
+///
+/// Panics if a predicate mentions names outside the input vocabulary
+/// (predicates produced by [`crate::mine`] never do).
+pub fn predicate_cover_capped(
+    az: &mut ProcAnalyzer,
+    q: &[Atom],
+    max_clauses: usize,
+) -> Result<Cover, Timeout> {
+    // Indicator per predicate: b_i ⇔ ⟦q_i⟧ over the input environment.
+    let env = az.input_env().clone();
+    let indicators: Vec<TermId> = q
+        .iter()
+        .map(|atom| {
+            let f = atom.to_formula();
+            let t = formula_to_term(&mut az.ctx, &env, &f)
+                .expect("predicates range over the input vocabulary");
+            az.add_indicator(t)
+        })
+        .collect();
+
+    // Session literal scoping the blocking clauses.
+    let session = az.ctx.fresh_bool_var("allsat");
+    let not_session = az.ctx.mk_not(session);
+
+    let mut clauses = Vec::new();
+    loop {
+        if clauses.len() >= max_clauses {
+            return Err(Timeout);
+        }
+        if !az.any_failure(&[], &[session])? {
+            break;
+        }
+        // Extract the cube over Q from the model and block it.
+        let mut cube: Vec<QLit> = Vec::with_capacity(q.len());
+        for (i, &b) in indicators.iter().enumerate() {
+            let value = az.model_bool(b).expect("indicator assigned in model");
+            cube.push(QLit {
+                pred: i,
+                positive: value,
+            });
+        }
+        // Blocking clause: ¬session ∨ ⋁ ¬lit.
+        let mut blocking: Vec<TermId> = Vec::with_capacity(cube.len() + 1);
+        blocking.push(not_session);
+        for l in &cube {
+            let b = indicators[l.pred];
+            blocking.push(if l.positive { az.ctx.mk_not(b) } else { b });
+        }
+        az.add_clause(&blocking);
+        // The cover clause is the negation of the cube.
+        clauses.push(cube.into_iter().map(QLit::negated).collect::<QClause>());
+        if q.is_empty() {
+            // With Q = {} a single failing model means β_Q(wp) = false:
+            // the empty cube blocks everything.
+            break;
+        }
+    }
+    clauses.sort();
+    clauses.dedup();
+    Ok(Cover {
+        preds: q.to_vec(),
+        clauses,
+        indicators,
+    })
+}
+
+impl Cover {
+    /// Installs a selector per clause on the analyzer, returning them in
+    /// clause order. Passing a subset of the selectors to `Dead`/`Fail`
+    /// evaluates the correspondingly weakened specification.
+    pub fn install_selectors(&self, az: &mut ProcAnalyzer) -> Vec<acspec_vcgen::Selector> {
+        self.install_handles(az).into_iter().map(|(s, _)| s).collect()
+    }
+
+    /// Like [`Cover::install_selectors`], but also returns each clause's
+    /// boolean body term, which callers need for entailment queries
+    /// between clause subsets (the minimality filter of Algorithm 2).
+    pub fn install_handles(
+        &self,
+        az: &mut ProcAnalyzer,
+    ) -> Vec<(acspec_vcgen::Selector, TermId)> {
+        self.clauses
+            .iter()
+            .map(|c| {
+                let parts: Vec<TermId> = c
+                    .lits()
+                    .iter()
+                    .map(|l| {
+                        let b = self.indicators[l.pred];
+                        if l.positive {
+                            b
+                        } else {
+                            az.ctx.mk_not(b)
+                        }
+                    })
+                    .collect();
+                let body = az.ctx.mk_or(parts);
+                (az.add_selector_term(body), body)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::clauses_to_formula;
+    use crate::mine::{mine_predicates, Abstraction};
+    use acspec_ir::parse::parse_program;
+    use acspec_ir::{desugar_procedure, DesugarOptions, DesugaredProc};
+    use acspec_vcgen::analyzer::AnalyzerConfig;
+
+    fn setup(src: &str) -> (DesugaredProc, ProcAnalyzer, Vec<Atom>) {
+        let prog = parse_program(src).expect("parses");
+        let proc = prog.procedures.last().expect("proc").clone();
+        let d = desugar_procedure(&prog, &proc, DesugarOptions::default()).expect("desugars");
+        let az = ProcAnalyzer::new(&d, AnalyzerConfig::default()).expect("encodes");
+        let q = mine_predicates(&d, Abstraction::concrete());
+        (d, az, q)
+    }
+
+    #[test]
+    fn cover_of_simple_assert() {
+        // assert x != 0 over Q = {x == 0}: failing cube is (x == 0), so
+        // the cover is the single clause (x != 0).
+        let (_, mut az, q) = setup("procedure f(x: int) { assert x != 0; }");
+        assert_eq!(q.len(), 1);
+        let cover = predicate_cover(&mut az, &q).expect("in budget");
+        assert_eq!(cover.clauses.len(), 1);
+        let f = clauses_to_formula(&cover.clauses, &cover.preds);
+        assert_eq!(f.to_string(), "x != 0");
+    }
+
+    #[test]
+    fn cover_is_empty_for_correct_procedure() {
+        let (_, mut az, q) = setup(
+            "procedure f(x: int) {
+               assume x != 0;
+               assert x != 0;
+             }",
+        );
+        let cover = predicate_cover(&mut az, &q).expect("in budget");
+        assert!(cover.clauses.is_empty(), "β_Q(wp) = true: {:?}", cover.clauses);
+    }
+
+    #[test]
+    fn cover_with_empty_q_is_false_for_buggy_procedure() {
+        // Q = {}: any failure makes the cover the empty clause (false).
+        let (_, mut az, _) = setup("procedure f(x: int) { assert x != 0; }");
+        let cover = predicate_cover(&mut az, &[]).expect("in budget");
+        assert_eq!(cover.clauses.len(), 1);
+        assert!(cover.clauses[0].is_empty());
+    }
+
+    #[test]
+    fn cover_clauses_are_maximal() {
+        let (_, mut az, q) = setup(
+            "procedure f(x: int, y: int) {
+               assert x != 0;
+               assert y != 0;
+             }",
+        );
+        assert_eq!(q.len(), 2);
+        let cover = predicate_cover(&mut az, &q).expect("in budget");
+        for c in &cover.clauses {
+            assert_eq!(c.len(), 2, "maximal clauses mention every predicate");
+        }
+        // Failing cubes: x=0 (any y), and x≠0 ∧ y=0. Over maximal cubes:
+        // {x=0,y=0}, {x=0,y≠0}, {x≠0,y=0} → 3 clauses.
+        assert_eq!(cover.clauses.len(), 3);
+        // Semantics: β_Q(wp) ⇔ x ≠ 0 ∧ y ≠ 0. Check via selectors.
+        let sels = cover.install_selectors(&mut az);
+        assert!(az.fail_set(&sels).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn analyzer_usable_after_allsat() {
+        // Blocking clauses are scoped: plain Fail(true) still reports the
+        // failure afterwards.
+        let (_, mut az, q) = setup("procedure f(x: int) { assert x != 0; }");
+        let _ = predicate_cover(&mut az, &q).expect("in budget");
+        assert_eq!(az.fail_set(&[]).expect("ok").len(), 1);
+    }
+
+    #[test]
+    fn figure1_cover_suppresses_all_failures() {
+        // The full predicate cover (over the concrete Q) is β_Q(wp) ≡ wp,
+        // which fails nothing and kills the inner-branch code.
+        let src = "
+            global Freed: map;
+            procedure Foo(c: int, buf: int, cmd: int) {
+              if (*) {
+                assert Freed[c] == 0;   Freed[c] := 1;
+                assert Freed[buf] == 0; Freed[buf] := 1;
+              } else {
+                if (cmd == 1) {
+                  if (*) {
+                    assert Freed[c] == 0;   Freed[c] := 1;
+                    assert Freed[buf] == 0; Freed[buf] := 1;
+                  }
+                }
+                assert Freed[c] == 0;   Freed[c] := 1;
+                assert Freed[buf] == 0; Freed[buf] := 1;
+              }
+            }";
+        let (_, mut az, q) = setup(src);
+        let cover = predicate_cover(&mut az, &q).expect("in budget");
+        assert!(!cover.clauses.is_empty());
+        let sels = cover.install_selectors(&mut az);
+        assert!(az.fail_set(&sels).expect("ok").is_empty(), "wp fails nothing");
+        assert!(!az.dead_set(&sels).expect("ok").is_empty(), "wp kills code → SIB");
+    }
+}

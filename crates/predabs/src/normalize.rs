@@ -1,0 +1,273 @@
+//! Boolean clause simplification (`Normalize`, §4.3) and clause pruning
+//! (`PruneClauses`, §4.3).
+
+use std::collections::BTreeSet;
+
+use crate::clause::QClause;
+
+/// Applies the three rules of §4.3 to a fix-point:
+///
+/// 1. **Resolution**: from `(c ∨ l)` and `(d ∨ ¬l)` add `(c ∨ d)`;
+/// 2. **Subsumption**: if `c` and `(c ∨ l)` are present, remove `(c ∨ l)`;
+/// 3. **Tautologies**: remove `(c ∨ l ∨ ¬l)`.
+///
+/// Resolution can blow up exponentially; `max_clauses` caps the working
+/// set (when hit, the current simplified set is returned — still
+/// equivalent to the input, just not fully normalized).
+pub fn normalize(clauses: &[QClause], max_clauses: usize) -> Vec<QClause> {
+    let mut set: BTreeSet<QClause> = clauses
+        .iter()
+        .filter(|c| !c.is_tautology())
+        .cloned()
+        .collect();
+    loop {
+        // Subsumption pass.
+        set = remove_subsumed(set);
+        // One resolution round: collect new resolvents.
+        let list: Vec<QClause> = set.iter().cloned().collect();
+        let mut added = false;
+        'outer: for i in 0..list.len() {
+            for j in 0..list.len() {
+                if i == j {
+                    continue;
+                }
+                for lit in list[i].lits() {
+                    if !lit.positive {
+                        continue;
+                    }
+                    if let Some(r) = list[i].resolve(&list[j], lit.pred) {
+                        if r.is_tautology() {
+                            continue;
+                        }
+                        // Only keep resolvents that subsume something or
+                        // are new and not subsumed (avoids runaway growth
+                        // while reaching the same fix-point for
+                        // subsumption-based simplification).
+                        if set.iter().any(|c| c.subsumes(&r)) {
+                            continue;
+                        }
+                        set.insert(r);
+                        added = true;
+                        if set.len() > max_clauses {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        if !added || set.len() > max_clauses {
+            return remove_subsumed(set).into_iter().collect();
+        }
+    }
+}
+
+fn remove_subsumed(set: BTreeSet<QClause>) -> BTreeSet<QClause> {
+    let list: Vec<QClause> = set.into_iter().collect();
+    let mut keep = vec![true; list.len()];
+    for i in 0..list.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..list.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if list[i].subsumes(&list[j]) && (list[i].len() < list[j].len() || i < j) {
+                keep[j] = false;
+            }
+        }
+    }
+    list.into_iter()
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(c))
+        .collect()
+}
+
+/// A syntactic quality measure for clauses (§4.3). Pruning *weakens* the
+/// specification and can reveal more warnings — it is not merely
+/// cosmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PruneConfig {
+    /// `k`-clause pruning: drop clauses with more than `k` literals
+    /// (`None` = keep all, the paper's `k = ∞` column).
+    pub max_literals: Option<usize>,
+    /// Drop clauses correlating the returns of two or more distinct call
+    /// sites (§4.3's alternative measure).
+    pub no_cross_call_correlations: bool,
+}
+
+/// Applies `PruneClauses` under the given quality measure. The
+/// `cross_call` predicate reports, for a predicate index, the set of call
+/// sites whose ν-constants it mentions.
+pub fn prune_clauses(
+    clauses: &[QClause],
+    config: PruneConfig,
+    call_sites_of_pred: &dyn Fn(usize) -> Vec<u32>,
+) -> Vec<QClause> {
+    clauses
+        .iter()
+        .filter(|c| {
+            if let Some(k) = config.max_literals {
+                if c.len() > k {
+                    return false;
+                }
+            }
+            if config.no_cross_call_correlations {
+                let mut sites = BTreeSet::new();
+                for l in c.lits() {
+                    sites.extend(call_sites_of_pred(l.pred));
+                }
+                if sites.len() >= 2 {
+                    return false;
+                }
+            }
+            true
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::QLit;
+
+    fn lit(p: usize, pos: bool) -> QLit {
+        QLit {
+            pred: p,
+            positive: pos,
+        }
+    }
+
+    fn cl(lits: &[(usize, bool)]) -> QClause {
+        lits.iter().map(|&(p, s)| lit(p, s)).collect()
+    }
+
+    #[test]
+    fn paper_example_maximal_clauses_simplify() {
+        // (a ∨ b) ∧ (a ∨ ¬b) normalizes to (a) (§4.3's example).
+        let input = vec![cl(&[(0, true), (1, true)]), cl(&[(0, true), (1, false)])];
+        let out = normalize(&input, 1000);
+        assert_eq!(out, vec![cl(&[(0, true)])]);
+    }
+
+    #[test]
+    fn tautologies_removed() {
+        let input = vec![cl(&[(0, true), (0, false)]), cl(&[(1, true)])];
+        let out = normalize(&input, 1000);
+        assert_eq!(out, vec![cl(&[(1, true)])]);
+    }
+
+    #[test]
+    fn subsumption_removes_supersets() {
+        let input = vec![cl(&[(0, true)]), cl(&[(0, true), (1, true)])];
+        let out = normalize(&input, 1000);
+        assert_eq!(out, vec![cl(&[(0, true)])]);
+    }
+
+    #[test]
+    fn full_maximal_cover_collapses() {
+        // All four maximal clauses over {a, b} minus one: e.g.
+        // (a∨b) ∧ (a∨¬b) ∧ (¬a∨b) ⇔ a ∧ b.
+        let input = vec![
+            cl(&[(0, true), (1, true)]),
+            cl(&[(0, true), (1, false)]),
+            cl(&[(0, false), (1, true)]),
+        ];
+        let out = normalize(&input, 1000);
+        assert_eq!(out, vec![cl(&[(0, true)]), cl(&[(1, true)])]);
+    }
+
+    /// Truth-table equivalence oracle over ≤ 4 predicates.
+    fn models(clauses: &[QClause], n: usize) -> Vec<bool> {
+        (0..(1usize << n))
+            .map(|m| {
+                clauses.iter().all(|c| {
+                    c.lits()
+                        .iter()
+                        .any(|l| ((m >> l.pred) & 1 == 1) == l.positive)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn normalize_preserves_semantics_on_random_sets() {
+        let mut seed = 0x77aa55ee11u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..100 {
+            let n = 3;
+            let n_clauses = 1 + (rng() % 5) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..n_clauses {
+                let mut lits = Vec::new();
+                for p in 0..n {
+                    match rng() % 3 {
+                        0 => lits.push(lit(p, true)),
+                        1 => lits.push(lit(p, false)),
+                        _ => {}
+                    }
+                }
+                if lits.is_empty() {
+                    lits.push(lit(0, true));
+                }
+                clauses.push(QClause::new(lits));
+            }
+            let out = normalize(&clauses, 1000);
+            assert_eq!(
+                models(&clauses, n),
+                models(&out, n),
+                "normalize changed semantics: {clauses:?} → {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_literal_pruning() {
+        let input = vec![
+            cl(&[(0, true)]),
+            cl(&[(0, true), (1, true)]),
+            cl(&[(0, true), (1, true), (2, true)]),
+        ];
+        let out = prune_clauses(
+            &input,
+            PruneConfig {
+                max_literals: Some(2),
+                no_cross_call_correlations: false,
+            },
+            &|_| vec![],
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn cross_call_pruning() {
+        // pred 0 mentions site 0, pred 1 mentions site 1, pred 2 no site.
+        let sites = |p: usize| -> Vec<u32> {
+            match p {
+                0 => vec![0],
+                1 => vec![1],
+                _ => vec![],
+            }
+        };
+        let input = vec![
+            cl(&[(0, true), (1, true)]),  // correlates two calls → pruned
+            cl(&[(0, true), (2, true)]),  // one call → kept
+            cl(&[(2, true)]),             // no calls → kept
+        ];
+        let out = prune_clauses(
+            &input,
+            PruneConfig {
+                max_literals: None,
+                no_cross_call_correlations: true,
+            },
+            &sites,
+        );
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests (proptest) for clause normalization and pruning.
+
+use proptest::prelude::*;
+
+use acspec_predabs::clause::{QClause, QLit};
+use acspec_predabs::normalize::{normalize, prune_clauses, PruneConfig};
+
+const NPREDS: usize = 4;
+
+prop_compose! {
+    fn clause()(lits in prop::collection::vec((0usize..NPREDS, any::<bool>()), 1..5))
+        -> QClause
+    {
+        lits.into_iter()
+            .map(|(p, pos)| QLit { pred: p, positive: pos })
+            .collect()
+    }
+}
+
+prop_compose! {
+    fn clause_set()(cs in prop::collection::vec(clause(), 0..8)) -> Vec<QClause> {
+        cs
+    }
+}
+
+/// Truth table of a clause set over `NPREDS` predicates.
+fn models(clauses: &[QClause]) -> Vec<bool> {
+    (0..(1usize << NPREDS))
+        .map(|m| {
+            clauses.iter().all(|c| {
+                c.lits()
+                    .iter()
+                    .any(|l| ((m >> l.pred) & 1 == 1) == l.positive)
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn normalize_preserves_semantics(cs in clause_set()) {
+        let out = normalize(&cs, 10_000);
+        prop_assert_eq!(models(&cs), models(&out), "in={:?} out={:?}", cs, out);
+    }
+
+    #[test]
+    fn normalize_is_idempotent_semantically(cs in clause_set()) {
+        let once = normalize(&cs, 10_000);
+        let twice = normalize(&once, 10_000);
+        prop_assert_eq!(models(&once), models(&twice));
+    }
+
+    #[test]
+    fn normalize_removes_tautologies_and_subsumed(cs in clause_set()) {
+        let out = normalize(&cs, 10_000);
+        for c in &out {
+            prop_assert!(!c.is_tautology());
+        }
+        for (i, c) in out.iter().enumerate() {
+            for (j, d) in out.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !(c.subsumes(d) && c != d),
+                        "{:?} subsumes {:?}",
+                        c,
+                        d
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_weakens(cs in clause_set(), k in 1usize..4) {
+        let pruned = prune_clauses(
+            &cs,
+            PruneConfig { max_literals: Some(k), no_cross_call_correlations: false },
+            &|_| vec![],
+        );
+        // Every model of the original is a model of the pruned set
+        // (dropping clauses only weakens, §4.3).
+        let before = models(&cs);
+        let after = models(&pruned);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(!b || *a, "pruning must weaken");
+        }
+        for c in &pruned {
+            prop_assert!(c.len() <= k);
+        }
+    }
+
+    #[test]
+    fn resolution_is_sound(c1 in clause(), c2 in clause(), pivot in 0usize..NPREDS) {
+        if let Some(r) = c1.resolve(&c2, pivot) {
+            // Every model of {c1, c2} satisfies the resolvent.
+            for m in 0..(1usize << NPREDS) {
+                let sat = |c: &QClause| {
+                    c.lits().iter().any(|l| ((m >> l.pred) & 1 == 1) == l.positive)
+                };
+                if sat(&c1) && sat(&c2) {
+                    prop_assert!(sat(&r), "resolvent {:?} violated at {:#b}", r, m);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Linear integer arithmetic via general simplex (Dutertre–de Moura) with
+//! branch hints for lazy integer splitting.
+//!
+//! All atoms in this workspace range over mathematical integers, so strict
+//! inequalities are tightened at translation time (`x < y` becomes
+//! `x ≤ y - 1`); the simplex core therefore only handles non-strict bounds
+//! with integer constants, and rationals appear only transiently through
+//! pivoting. When the rational optimum assigns a fractional value to an
+//! integer variable, [`Lia::find_fractional`] reports it so the outer
+//! solver can add a `x ≤ ⌊v⌋ ∨ x ≥ ⌈v⌉` split lemma.
+//!
+//! The engine is rebuilt per theory check (lazy SMT), so bounds are only
+//! asserted, never retracted.
+
+use std::collections::HashMap;
+
+use crate::rat::Rat;
+
+/// A linear-arithmetic variable (problem variable or internal slack).
+pub type LiaVar = usize;
+
+/// Opaque tag identifying the origin of a bound (an asserted literal or a
+/// theory-propagated equality).
+pub type ReasonTag = u32;
+
+/// Conflict: the conjunction of the tagged assertions is infeasible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiaConflict {
+    /// Responsible reason tags (deduplicated).
+    pub reasons: Vec<ReasonTag>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bound {
+    value: Rat,
+    reason: ReasonTag,
+}
+
+/// The simplex engine.
+#[derive(Debug, Default)]
+pub struct Lia {
+    /// Number of variables (problem + slack).
+    n: usize,
+    /// How many of the variables are problem variables (created by
+    /// [`Lia::new_var`]); the rest are slacks.
+    n_problem: usize,
+    /// Tableau rows: `basic var -> (nonbasic var -> coefficient)`.
+    rows: HashMap<LiaVar, HashMap<LiaVar, Rat>>,
+    /// Current assignment.
+    beta: Vec<Rat>,
+    lower: Vec<Option<Bound>>,
+    upper: Vec<Option<Bound>>,
+    /// Slack registry keyed by the normalized linear form.
+    slacks: HashMap<Vec<(LiaVar, Rat)>, LiaVar>,
+}
+
+impl Lia {
+    /// Creates an empty engine.
+    pub fn new() -> Lia {
+        Lia::default()
+    }
+
+    /// Allocates a problem variable (integer-sorted).
+    pub fn new_var(&mut self) -> LiaVar {
+        let v = self.alloc();
+        self.n_problem = self.n_problem.max(v + 1);
+        v
+    }
+
+    fn alloc(&mut self) -> LiaVar {
+        let v = self.n;
+        self.n += 1;
+        self.beta.push(Rat::ZERO);
+        self.lower.push(None);
+        self.upper.push(None);
+        v
+    }
+
+    fn is_basic(&self, v: LiaVar) -> bool {
+        self.rows.contains_key(&v)
+    }
+
+    /// Returns the variable standing for the linear form
+    /// `Σ coeff·var` (a problem variable if the form is a single unit
+    /// monomial, otherwise a slack with a tableau row).
+    pub fn form_var(&mut self, form: &[(LiaVar, Rat)]) -> LiaVar {
+        // Normalize: combine duplicates, drop zeros, sort.
+        let mut combined: HashMap<LiaVar, Rat> = HashMap::new();
+        for &(v, c) in form {
+            *combined.entry(v).or_insert(Rat::ZERO) += c;
+        }
+        let mut norm: Vec<(LiaVar, Rat)> = combined
+            .into_iter()
+            .filter(|(_, c)| !c.is_zero())
+            .collect();
+        norm.sort_by_key(|&(v, _)| v);
+        if norm.len() == 1 && norm[0].1 == Rat::ONE {
+            return norm[0].0;
+        }
+        if let Some(&s) = self.slacks.get(&norm) {
+            return s;
+        }
+        let s = self.alloc();
+        // Row: s = Σ c·x, expressed over the *current nonbasic* expansion:
+        // substitute any basic vars by their rows.
+        let mut row: HashMap<LiaVar, Rat> = HashMap::new();
+        for &(v, c) in &norm {
+            if let Some(r) = self.rows.get(&v) {
+                for (&x, &a) in r {
+                    *row.entry(x).or_insert(Rat::ZERO) += c * a;
+                }
+            } else {
+                *row.entry(v).or_insert(Rat::ZERO) += c;
+            }
+        }
+        row.retain(|_, c| !c.is_zero());
+        self.beta[s] = row
+            .iter()
+            .fold(Rat::ZERO, |acc, (&x, &a)| acc + a * self.beta[x]);
+        self.rows.insert(s, row);
+        self.slacks.insert(norm, s);
+        s
+    }
+
+    /// Asserts `v ≤ c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a conflict if this contradicts the current lower bound.
+    pub fn assert_upper(
+        &mut self,
+        v: LiaVar,
+        c: Rat,
+        reason: ReasonTag,
+    ) -> Result<(), LiaConflict> {
+        if let Some(u) = self.upper[v] {
+            if u.value <= c {
+                return Ok(());
+            }
+        }
+        if let Some(l) = self.lower[v] {
+            if c < l.value {
+                return Err(LiaConflict {
+                    reasons: dedup(vec![l.reason, reason]),
+                });
+            }
+        }
+        self.upper[v] = Some(Bound { value: c, reason });
+        if !self.is_basic(v) && self.beta[v] > c {
+            self.update(v, c);
+        }
+        Ok(())
+    }
+
+    /// Asserts `v ≥ c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a conflict if this contradicts the current upper bound.
+    pub fn assert_lower(
+        &mut self,
+        v: LiaVar,
+        c: Rat,
+        reason: ReasonTag,
+    ) -> Result<(), LiaConflict> {
+        if let Some(l) = self.lower[v] {
+            if l.value >= c {
+                return Ok(());
+            }
+        }
+        if let Some(u) = self.upper[v] {
+            if c > u.value {
+                return Err(LiaConflict {
+                    reasons: dedup(vec![u.reason, reason]),
+                });
+            }
+        }
+        self.lower[v] = Some(Bound { value: c, reason });
+        if !self.is_basic(v) && self.beta[v] < c {
+            self.update(v, c);
+        }
+        Ok(())
+    }
+
+    /// Sets nonbasic `v` to `c`, updating dependent basic variables.
+    fn update(&mut self, v: LiaVar, c: Rat) {
+        let delta = c - self.beta[v];
+        for (&b, row) in &self.rows {
+            if let Some(&a) = row.get(&v) {
+                self.beta[b] += a * delta;
+            }
+        }
+        self.beta[v] = c;
+    }
+
+    /// Pivots basic `b` with nonbasic `j` and sets `b`'s value to `v`.
+    fn pivot_and_update(&mut self, b: LiaVar, j: LiaVar, v: Rat) {
+        let a_bj = self.rows[&b][&j];
+        let theta = (v - self.beta[b]) / a_bj;
+        self.beta[b] = v;
+        self.beta[j] += theta;
+        let cols: Vec<LiaVar> = self.rows.keys().copied().filter(|&i| i != b).collect();
+        for i in cols {
+            if let Some(&a_ij) = self.rows[&i].get(&j) {
+                self.beta[i] += a_ij * theta;
+            }
+        }
+        self.pivot(b, j);
+    }
+
+    /// Pivot: make `j` basic and `b` nonbasic.
+    fn pivot(&mut self, b: LiaVar, j: LiaVar) {
+        let row_b = self.rows.remove(&b).expect("b is basic");
+        let a_bj = row_b[&j];
+        // j = (b - Σ_{k≠j} a_k x_k) / a_bj
+        let mut row_j: HashMap<LiaVar, Rat> = HashMap::new();
+        row_j.insert(b, Rat::ONE / a_bj);
+        for (&k, &a) in &row_b {
+            if k != j {
+                row_j.insert(k, -a / a_bj);
+            }
+        }
+        // Substitute into all other rows that mention j.
+        let basics: Vec<LiaVar> = self.rows.keys().copied().collect();
+        for i in basics {
+            let a_ij = match self.rows[&i].get(&j) {
+                Some(&a) => a,
+                None => continue,
+            };
+            let row_i = self.rows.get_mut(&i).expect("exists");
+            row_i.remove(&j);
+            let updates: Vec<(LiaVar, Rat)> =
+                row_j.iter().map(|(&k, &a)| (k, a_ij * a)).collect();
+            for (k, add) in updates {
+                let e = row_i.entry(k).or_insert(Rat::ZERO);
+                *e += add;
+                if e.is_zero() {
+                    row_i.remove(&k);
+                }
+            }
+        }
+        self.rows.insert(j, row_j);
+    }
+
+    /// Runs the simplex check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a conflict (with Farkas-style reasons) if the asserted
+    /// bounds are rationally infeasible.
+    pub fn check(&mut self) -> Result<(), LiaConflict> {
+        loop {
+            // Smallest violating basic variable (Bland's rule: termination).
+            let mut violator: Option<(LiaVar, bool)> = None; // (var, below_lower)
+            let mut basics: Vec<LiaVar> = self.rows.keys().copied().collect();
+            basics.sort_unstable();
+            for &b in &basics {
+                if let Some(l) = self.lower[b] {
+                    if self.beta[b] < l.value {
+                        violator = Some((b, true));
+                        break;
+                    }
+                }
+                if let Some(u) = self.upper[b] {
+                    if self.beta[b] > u.value {
+                        violator = Some((b, false));
+                        break;
+                    }
+                }
+            }
+            let (b, below) = match violator {
+                None => return Ok(()),
+                Some(x) => x,
+            };
+            let mut cols: Vec<(LiaVar, Rat)> =
+                self.rows[&b].iter().map(|(&k, &a)| (k, a)).collect();
+            cols.sort_by_key(|&(k, _)| k);
+            let mut pivot_col: Option<LiaVar> = None;
+            for &(j, a) in &cols {
+                let ok = if below {
+                    // Need to increase b.
+                    (a.signum() > 0 && self.can_increase(j)) || (a.signum() < 0 && self.can_decrease(j))
+                } else {
+                    (a.signum() > 0 && self.can_decrease(j)) || (a.signum() < 0 && self.can_increase(j))
+                };
+                if ok {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            match pivot_col {
+                Some(j) => {
+                    let target = if below {
+                        self.lower[b].expect("violated lower").value
+                    } else {
+                        self.upper[b].expect("violated upper").value
+                    };
+                    self.pivot_and_update(b, j, target);
+                }
+                None => {
+                    // Infeasible: Farkas explanation from the row.
+                    let mut reasons = vec![if below {
+                        self.lower[b].expect("violated lower").reason
+                    } else {
+                        self.upper[b].expect("violated upper").reason
+                    }];
+                    for &(j, a) in &cols {
+                        let bound = if below == (a.signum() > 0) {
+                            // b below lower & positive coeff → j is at its
+                            // upper bound (couldn't increase), and dually.
+                            self.upper[j]
+                        } else {
+                            self.lower[j]
+                        };
+                        if let Some(bd) = bound {
+                            reasons.push(bd.reason);
+                        }
+                    }
+                    return Err(LiaConflict {
+                        reasons: dedup(reasons),
+                    });
+                }
+            }
+        }
+    }
+
+    fn can_increase(&self, v: LiaVar) -> bool {
+        match self.upper[v] {
+            None => true,
+            Some(u) => self.beta[v] < u.value,
+        }
+    }
+
+    fn can_decrease(&self, v: LiaVar) -> bool {
+        match self.lower[v] {
+            None => true,
+            Some(l) => self.beta[v] > l.value,
+        }
+    }
+
+    /// The current value of a variable (meaningful after a successful
+    /// [`Lia::check`]).
+    pub fn value(&self, v: LiaVar) -> Rat {
+        self.beta[v]
+    }
+
+    /// Finds a *problem* variable whose current value is fractional, for
+    /// branch-and-bound splitting. Returns `(var, value)`.
+    pub fn find_fractional(&self) -> Option<(LiaVar, Rat)> {
+        (0..self.n_problem).find_map(|v| {
+            if self.beta[v].is_integer() {
+                None
+            } else {
+                Some((v, self.beta[v]))
+            }
+        })
+    }
+}
+
+fn dedup(mut v: Vec<ReasonTag>) -> Vec<ReasonTag> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rat {
+        Rat::int(n)
+    }
+
+    #[test]
+    fn simple_bounds_feasible() {
+        let mut s = Lia::new();
+        let x = s.new_var();
+        s.assert_lower(x, r(1), 0).expect("ok");
+        s.assert_upper(x, r(5), 1).expect("ok");
+        s.check().expect("feasible");
+        assert!(s.value(x) >= r(1) && s.value(x) <= r(5));
+    }
+
+    #[test]
+    fn direct_bound_conflict() {
+        let mut s = Lia::new();
+        let x = s.new_var();
+        s.assert_lower(x, r(3), 7).expect("ok");
+        let err = s.assert_upper(x, r(2), 8).unwrap_err();
+        assert_eq!(err.reasons, vec![7, 8]);
+    }
+
+    #[test]
+    fn sum_constraint_infeasible() {
+        // x + y ≤ 1, x ≥ 1, y ≥ 1 → infeasible.
+        let mut s = Lia::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let f = s.form_var(&[(x, Rat::ONE), (y, Rat::ONE)]);
+        s.assert_upper(f, r(1), 0).expect("ok");
+        s.assert_lower(x, r(1), 1).expect("ok");
+        s.assert_lower(y, r(1), 2).expect("ok");
+        let err = s.check().unwrap_err();
+        assert_eq!(err.reasons, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn difference_chain_feasible_and_values() {
+        // x - y ≤ -1 (x < y), y - z ≤ -1, z ≤ 10, x ≥ 0.
+        let mut s = Lia::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let z = s.new_var();
+        let xy = s.form_var(&[(x, Rat::ONE), (y, -Rat::ONE)]);
+        let yz = s.form_var(&[(y, Rat::ONE), (z, -Rat::ONE)]);
+        s.assert_upper(xy, r(-1), 0).expect("ok");
+        s.assert_upper(yz, r(-1), 1).expect("ok");
+        s.assert_upper(z, r(10), 2).expect("ok");
+        s.assert_lower(x, r(0), 3).expect("ok");
+        s.check().expect("feasible");
+        assert!(s.value(x) < s.value(y));
+        assert!(s.value(y) < s.value(z));
+        assert!(s.value(z) <= r(10));
+        assert!(s.value(x) >= r(0));
+    }
+
+    #[test]
+    fn difference_cycle_infeasible() {
+        // x - y ≤ -1, y - x ≤ -1 → infeasible.
+        let mut s = Lia::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let xy = s.form_var(&[(x, Rat::ONE), (y, -Rat::ONE)]);
+        let yx = s.form_var(&[(y, Rat::ONE), (x, -Rat::ONE)]);
+        s.assert_upper(xy, r(-1), 10).expect("ok");
+        s.assert_upper(yx, r(-1), 11).expect("ok");
+        let err = s.check().unwrap_err();
+        assert_eq!(err.reasons, vec![10, 11]);
+    }
+
+    #[test]
+    fn equality_via_two_bounds() {
+        let mut s = Lia::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        // x = 3, y = x + 2 → y = 5.
+        s.assert_lower(x, r(3), 0).expect("ok");
+        s.assert_upper(x, r(3), 1).expect("ok");
+        let f = s.form_var(&[(y, Rat::ONE), (x, -Rat::ONE)]);
+        s.assert_lower(f, r(2), 2).expect("ok");
+        s.assert_upper(f, r(2), 3).expect("ok");
+        s.check().expect("feasible");
+        assert_eq!(s.value(y), r(5));
+    }
+
+    #[test]
+    fn fractional_detection() {
+        // 2x = 1 → x = 1/2.
+        let mut s = Lia::new();
+        let x = s.new_var();
+        let f = s.form_var(&[(x, r(2))]);
+        s.assert_lower(f, r(1), 0).expect("ok");
+        s.assert_upper(f, r(1), 1).expect("ok");
+        s.check().expect("rationally feasible");
+        let (v, val) = s.find_fractional().expect("x is fractional");
+        assert_eq!(v, x);
+        assert_eq!(val, Rat::new(1, 2));
+    }
+
+    #[test]
+    fn shared_slack_for_equal_forms() {
+        let mut s = Lia::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let f1 = s.form_var(&[(x, Rat::ONE), (y, Rat::ONE)]);
+        let f2 = s.form_var(&[(y, Rat::ONE), (x, Rat::ONE)]);
+        assert_eq!(f1, f2);
+        // Unit monomial returns the problem var itself.
+        let f3 = s.form_var(&[(x, Rat::ONE)]);
+        assert_eq!(f3, x);
+    }
+
+    #[test]
+    fn many_random_systems_against_feasibility_oracle() {
+        // Random small integer programs; compare simplex rational
+        // feasibility with brute force over a box (if brute force finds an
+        // integer point, simplex must be feasible).
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..60 {
+            let mut s = Lia::new();
+            let vars = [s.new_var(), s.new_var(), s.new_var()];
+            let mut constraints = Vec::new();
+            for t in 0..4 {
+                let c1 = (rng() % 5) as i64 - 2;
+                let c2 = (rng() % 5) as i64 - 2;
+                let c3 = (rng() % 5) as i64 - 2;
+                let b = (rng() % 9) as i64 - 4;
+                let upper = rng() % 2 == 0;
+                constraints.push((c1, c2, c3, b, upper));
+                let f = s.form_var(&[(vars[0], r(c1)), (vars[1], r(c2)), (vars[2], r(c3))]);
+                let res = if upper {
+                    s.assert_upper(f, r(b), t)
+                } else {
+                    s.assert_lower(f, r(b), t)
+                };
+                if res.is_err() {
+                    constraints.pop();
+                    // Record as immediate conflict: brute force must agree.
+                }
+            }
+            // Box bounds to keep brute force finite.
+            for (i, &v) in vars.iter().enumerate() {
+                s.assert_lower(v, r(-4), 100 + i as u32).expect("box");
+                s.assert_upper(v, r(4), 200 + i as u32).expect("box");
+            }
+            let feasible = s.check().is_ok();
+            // Brute force integer check within the box.
+            let mut brute = false;
+            'search: for x in -4..=4i64 {
+                for y in -4..=4i64 {
+                    for z in -4..=4i64 {
+                        let ok = constraints.iter().all(|&(c1, c2, c3, b, upper)| {
+                            let lhs = c1 * x + c2 * y + c3 * z;
+                            if upper {
+                                lhs <= b
+                            } else {
+                                lhs >= b
+                            }
+                        });
+                        if ok {
+                            brute = true;
+                            break 'search;
+                        }
+                    }
+                }
+            }
+            // Integer feasible ⇒ rationally feasible.
+            if brute {
+                assert!(feasible, "simplex missed a feasible point: {constraints:?}");
+            }
+        }
+    }
+}

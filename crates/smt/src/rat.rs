@@ -1,0 +1,325 @@
+//! Exact rational arithmetic for the simplex core.
+//!
+//! Numerator/denominator over `i128` with eager normalization. The solver's
+//! inputs are small `i64` constants, and simplex pivots on normalized rows,
+//! so `i128` headroom is ample for the formulas this workspace generates;
+//! overflow panics rather than silently wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    /// Always positive.
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// Creates an integer rational.
+    pub fn int(n: i64) -> Rat {
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Floor as an integer.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling as an integer.
+    pub fn ceil(&self) -> i128 {
+        -((-*self).floor())
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn recip(&self) -> Rat {
+        Rat::new(self.den, self.num)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::int(n)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(
+            self.num
+                .checked_mul(rhs.den)
+                .and_then(|a| a.checked_add(rhs.num.checked_mul(self.den).expect("rat overflow")))
+                .expect("rat overflow"),
+            self.den.checked_mul(rhs.den).expect("rat overflow"),
+        )
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        Rat::new(
+            self.num.checked_mul(rhs.num).expect("rat overflow"),
+            self.den.checked_mul(rhs.den).expect("rat overflow"),
+        )
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a * (1/b)
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        (self.num.checked_mul(other.den).expect("rat overflow"))
+            .cmp(&other.num.checked_mul(self.den).expect("rat overflow"))
+    }
+}
+
+/// A value of the form `r + d·δ` where `δ` is an infinitesimal — used by
+/// the simplex core to represent strict bounds (`x < c` as `x ≤ c - δ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeltaRat {
+    /// Standard part.
+    pub real: Rat,
+    /// Infinitesimal coefficient.
+    pub delta: Rat,
+}
+
+impl DeltaRat {
+    /// Zero.
+    pub const ZERO: DeltaRat = DeltaRat {
+        real: Rat::ZERO,
+        delta: Rat::ZERO,
+    };
+
+    /// `r + 0δ`.
+    pub fn real(r: Rat) -> DeltaRat {
+        DeltaRat {
+            real: r,
+            delta: Rat::ZERO,
+        }
+    }
+
+    /// `r + dδ`.
+    pub fn with_delta(r: Rat, d: Rat) -> DeltaRat {
+        DeltaRat { real: r, delta: d }
+    }
+
+    /// Scales by a rational.
+    pub fn scale(self, k: Rat) -> DeltaRat {
+        DeltaRat {
+            real: self.real * k,
+            delta: self.delta * k,
+        }
+    }
+}
+
+impl Add for DeltaRat {
+    type Output = DeltaRat;
+    fn add(self, rhs: DeltaRat) -> DeltaRat {
+        DeltaRat {
+            real: self.real + rhs.real,
+            delta: self.delta + rhs.delta,
+        }
+    }
+}
+
+impl Sub for DeltaRat {
+    type Output = DeltaRat;
+    fn sub(self, rhs: DeltaRat) -> DeltaRat {
+        DeltaRat {
+            real: self.real - rhs.real,
+            delta: self.delta - rhs.delta,
+        }
+    }
+}
+
+impl Neg for DeltaRat {
+    type Output = DeltaRat;
+    fn neg(self) -> DeltaRat {
+        DeltaRat {
+            real: -self.real,
+            delta: -self.delta,
+        }
+    }
+}
+
+impl PartialOrd for DeltaRat {
+    fn partial_cmp(&self, other: &DeltaRat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeltaRat {
+    fn cmp(&self, other: &DeltaRat) -> Ordering {
+        self.real
+            .cmp(&other.real)
+            .then_with(|| self.delta.cmp(&other.delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::int(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::int(-1) < Rat::ZERO);
+        assert!(Rat::new(7, 2) > Rat::int(3));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn delta_ordering_models_strictness() {
+        // x ≤ 3 - δ is strictly below 3.
+        let strict = DeltaRat::with_delta(Rat::int(3), -Rat::ONE);
+        let loose = DeltaRat::real(Rat::int(3));
+        assert!(strict < loose);
+    }
+}

@@ -1,0 +1,860 @@
+//! A CDCL SAT solver in the MiniSat lineage: two-watched-literal
+//! propagation, first-UIP clause learning, VSIDS decision heuristic with an
+//! indexed max-heap, phase saving, Luby restarts, learnt-clause database
+//! reduction, and incremental solving under assumptions.
+//!
+//! The theory layers sit *outside* this solver (lazy SMT): they inspect the
+//! full model produced here and respond with conflict or lemma clauses.
+
+use std::fmt;
+
+/// A boolean variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Creates a literal with the given polarity (`true` = positive).
+    pub fn new(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var().0)
+        } else {
+            write!(f, "!v{}", self.var().0)
+        }
+    }
+}
+
+/// Tri-state assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Result of a `solve` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying (total) assignment was found.
+    Sat,
+    /// The clauses (under the assumptions) are unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted.
+    Unknown,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: usize,
+    blocker: Lit,
+}
+
+/// Indexed max-heap over variable activities.
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<Var>,
+    pos: Vec<i32>, // -1 if absent
+}
+
+impl VarOrder {
+    fn contains(&self, v: Var) -> bool {
+        (v.0 as usize) < self.pos.len() && self.pos[v.0 as usize] >= 0
+    }
+
+    fn grow(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(-1);
+        }
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.0 as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.0 as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.0 as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            let i = self.pos[v.0 as usize] as usize;
+            self.sift_up(i, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].0 as usize] > act[self.heap[parent].0 as usize] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && act[self.heap[l].0 as usize] > act[self.heap[best].0 as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && act[self.heap[r].0 as usize] > act[self.heap[best].0 as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].0 as usize] = i as i32;
+        self.pos[self.heap[j].0 as usize] = j as i32;
+    }
+}
+
+/// The CDCL solver.
+#[derive(Debug)]
+pub struct Sat {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarOrder,
+    phase: Vec<bool>,
+    ok: bool,
+    n_learnts: usize,
+    max_learnts: usize,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Total conflicts over the solver's lifetime (statistics).
+    pub conflicts: u64,
+    /// Total decisions over the solver's lifetime (statistics).
+    pub decisions: u64,
+    /// Total propagations over the solver's lifetime (statistics).
+    pub propagations: u64,
+}
+
+impl Default for Sat {
+    fn default() -> Self {
+        Sat::new()
+    }
+}
+
+impl Sat {
+    /// Creates an empty solver.
+    pub fn new() -> Sat {
+        Sat {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarOrder::default(),
+            phase: Vec::new(),
+            ok: true,
+            n_learnts: 0,
+            max_learnts: 4000,
+            seen: Vec::new(),
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Current assignment of a variable.
+    pub fn value(&self, v: Var) -> LBool {
+        self.assigns[v.0 as usize]
+    }
+
+    /// Current truth value of a literal.
+    pub fn lit_value(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().0 as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.is_positive()),
+            LBool::False => LBool::from_bool(!l.is_positive()),
+        }
+    }
+
+    /// The literals assigned at the current state, in trail order.
+    pub fn trail(&self) -> &[Lit] {
+        &self.trail
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause or conflicting units at level 0).
+    ///
+    /// May be called between `solve` invocations (the trail is rewound to
+    /// the root level first).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        // Simplify: drop false lits (level 0), detect satisfied/tautology.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!((l.var().0 as usize) < self.assigns.len(), "unknown var");
+            match self.lit_value(l) {
+                LBool::True => return true,
+                LBool::False => continue,
+                LBool::Undef => {
+                    if c.contains(&l.negated()) {
+                        return true; // tautology
+                    }
+                    if !c.contains(&l) {
+                        c.push(l);
+                    }
+                }
+            }
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(c, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        let cref = self.clauses.len();
+        self.watches[lits[0].negated().index()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].negated().index()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        if learnt {
+            self.n_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().0 as usize;
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.phase[v] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause reference if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = p.negated();
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.clauses[cref].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Ensure false_lit is at position 1.
+                {
+                    let lits = &mut self.clauses[cref].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[lk.negated().index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[i].blocker = first;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    // Keep remaining watchers in the list.
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[p.index()].append(&mut ws);
+            // Restore remaining watchers if we broke early.
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.0 as usize] = LBool::Undef;
+            self.reason[v.0 as usize] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.0 as usize] += self.var_inc;
+        if self.activity[v.0 as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn cla_bump(&mut self, cref: usize) {
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backtrack level).
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.cla_bump(conflict);
+            let start = usize::from(p.is_some());
+            // Clone lits to appease the borrow checker (clauses are small).
+            let lits = self.clauses[conflict].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var().0 as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.var_bump(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find next literal to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var().0 as usize;
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.expect("found").negated();
+                break;
+            }
+            conflict = self.reason[pv].expect("non-decision has a reason");
+        }
+
+        // Cheap self-subsumption minimization: drop a literal if its reason
+        // clause's other literals are all already in the learnt clause.
+        let mut minimized: Vec<Lit> = vec![learnt[0]];
+        'lits: for &l in learnt.iter().skip(1) {
+            if let Some(r) = self.reason[l.var().0 as usize] {
+                let lits = &self.clauses[r].lits;
+                if lits.len() > 1
+                    && lits[1..].iter().all(|&q| {
+                        self.seen[q.var().0 as usize] || self.level[q.var().0 as usize] == 0
+                    })
+                {
+                    continue 'lits; // redundant
+                }
+            }
+            minimized.push(l);
+        }
+        let learnt = minimized;
+
+        for &l in &learnt {
+            self.seen[l.var().0 as usize] = false;
+        }
+        // Also clear seen flags left from dropped literals.
+        for v in 0..self.seen.len() {
+            self.seen[v] = false;
+        }
+
+        // Backtrack level: second-highest level in the clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().0 as usize]
+                    > self.level[learnt[max_i].var().0 as usize]
+                {
+                    max_i = i;
+                }
+            }
+            let mut learnt = learnt;
+            learnt.swap(1, max_i);
+            let bt = self.level[learnt[1].var().0 as usize];
+            return (learnt, bt);
+        };
+        (learnt, bt)
+    }
+
+    fn reduce_db(&mut self) {
+        // Delete the lower-activity half of the learnt clauses, keeping
+        // reason clauses.
+        let mut acts: Vec<f64> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .map(|c| c.activity)
+            .collect();
+        if acts.len() < 100 {
+            return;
+        }
+        acts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = acts[acts.len() / 2];
+        let locked: std::collections::HashSet<usize> =
+            self.reason.iter().flatten().copied().collect();
+        let mut removed = 0;
+        for (i, c) in self.clauses.iter_mut().enumerate() {
+            if c.learnt && !c.deleted && c.activity < median && !locked.contains(&i) && c.lits.len() > 2
+            {
+                c.deleted = true;
+                removed += 1;
+            }
+        }
+        self.n_learnts -= removed;
+        // Deleted clauses are skipped lazily during propagation.
+    }
+
+    fn luby(i: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 ...
+        let mut k = 1u32;
+        loop {
+            if i == (1u64 << k) - 1 {
+                return 1u64 << (k - 1);
+            }
+            if i < (1u64 << k) - 1 {
+                return Sat::luby(i - (1u64 << (k - 1)) + 1);
+            }
+            k += 1;
+        }
+    }
+
+    /// Solves under the given assumption literals with an optional conflict
+    /// budget. The solver may be reused afterwards (clauses persist).
+    pub fn solve(&mut self, assumptions: &[Lit], budget: Option<u64>) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let start_conflicts = self.conflicts;
+        let mut restart_num = 1u64;
+        let mut conflicts_until_restart = Sat::luby(restart_num) * 128;
+
+        loop {
+            if let Some(b) = budget {
+                if self.conflicts - start_conflicts > b {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+            }
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                // A conflict at or below the assumption levels means the
+                // assumptions are inconsistent with the clauses only when
+                // analysis would backtrack above them; handle by checking
+                // the backtrack target below.
+                let (learnt, bt) = self.analyze(confl);
+                let assumption_levels = self
+                    .trail_lim
+                    .len()
+                    .min(assumptions.len()) as u32;
+                if bt < assumption_levels {
+                    // Re-deciding an assumption would flip it: the learnt
+                    // clause will become unit on an assumption-level
+                    // literal. Keep the clause, backtrack, and let
+                    // propagation + re-decision detect unsatisfiability.
+                }
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    if self.lit_value(learnt[0]) == LBool::False {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    if self.lit_value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], None);
+                    }
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    self.cla_bump(cref);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if self.n_learnts > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts += self.max_learnts / 10;
+                }
+            } else {
+                // No conflict.
+                if conflicts_until_restart == 0 && self.decision_level() > assumptions.len() as u32
+                {
+                    restart_num += 1;
+                    conflicts_until_restart = Sat::luby(restart_num) * 128;
+                    self.cancel_until(assumptions.len() as u32);
+                    continue;
+                }
+                // Place assumptions as the first decisions.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                // Pick a branching variable.
+                let next = loop {
+                    match self.order.pop_max(&self.activity) {
+                        None => break None,
+                        Some(v) => {
+                            if self.assigns[v.0 as usize] == LBool::Undef {
+                                break Some(v);
+                            }
+                        }
+                    }
+                };
+                match next {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let l = Lit::new(v, self.phase[v.0 as usize]);
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(sat: &mut Sat, n: usize) -> Vec<Var> {
+        (0..n).map(|_| sat.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Sat::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[Lit::pos(v[0])]));
+        assert_eq!(s.solve(&[], None), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), LBool::True);
+        assert!(!s.add_clause(&[Lit::neg(v[0])]));
+        assert_eq!(s.solve(&[], None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Sat::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(&[], None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
+        let mut s = Sat::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        #[allow(clippy::needless_range_loop)] // index pairs are the point
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i][j]), Lit::neg(p[k][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[], None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_restrict_models() {
+        let mut s = Sat::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(&[Lit::neg(v[0])], None), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), LBool::True);
+        // Incompatible assumptions.
+        s.add_clause(&[Lit::neg(v[0]), Lit::neg(v[1])]);
+        assert_eq!(
+            s.solve(&[Lit::pos(v[0]), Lit::pos(v[1])], None),
+            SolveResult::Unsat
+        );
+        // Solver still usable afterwards.
+        assert_eq!(s.solve(&[], None), SolveResult::Sat);
+    }
+
+    #[test]
+    fn model_is_total() {
+        let mut s = Sat::new();
+        let v = lits(&mut s, 5);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(&[], None), SolveResult::Sat);
+        for var in v {
+            assert_ne!(s.value(var), LBool::Undef);
+        }
+    }
+
+    #[test]
+    fn all_sat_enumeration_via_blocking() {
+        // x ∨ y has 3 models.
+        let mut s = Sat::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        let mut count = 0;
+        while s.solve(&[], None) == SolveResult::Sat {
+            count += 1;
+            assert!(count <= 3, "too many models");
+            let blocking: Vec<Lit> = v
+                .iter()
+                .map(|&var| match s.value(var) {
+                    LBool::True => Lit::neg(var),
+                    _ => Lit::pos(var),
+                })
+                .collect();
+            if !s.add_clause(&blocking) {
+                break;
+            }
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn budget_returns_unknown_or_finishes() {
+        let mut s = Sat::new();
+        // A moderately hard random-ish instance; budget 0 conflicts.
+        let v = lits(&mut s, 30);
+        for i in 0..28 {
+            s.add_clause(&[Lit::pos(v[i]), Lit::neg(v[i + 1]), Lit::pos(v[i + 2])]);
+            s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1]), Lit::neg(v[i + 2])]);
+        }
+        let r = s.solve(&[], Some(0));
+        assert!(matches!(r, SolveResult::Sat | SolveResult::Unknown));
+    }
+}

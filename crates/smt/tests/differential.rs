@@ -1,0 +1,192 @@
+//! Differential testing of the SMT solver against brute-force evaluation.
+//!
+//! Random boolean combinations of linear atoms over a small boxed integer
+//! domain: the box constraints are part of the formula, so solver verdicts
+//! and exhaustive enumeration must agree exactly.
+
+use acspec_smt::{Ctx, SmtResult, Solver, TermId};
+
+const BOX: i64 = 3;
+const NVARS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Atom(u8, usize, usize, i64), // op, lhs var, rhs var, constant
+    Not(Box<Ast>),
+    And(Box<Ast>, Box<Ast>),
+    Or(Box<Ast>, Box<Ast>),
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_ast(rng: &mut Rng, depth: u32) -> Ast {
+    if depth == 0 || rng.below(3) == 0 {
+        let op = rng.below(6) as u8;
+        let a = rng.below(NVARS as u64) as usize;
+        let b = rng.below(NVARS as u64) as usize;
+        let c = rng.below(2 * BOX as u64 + 1) as i64 - BOX;
+        return Ast::Atom(op, a, b, c);
+    }
+    match rng.below(3) {
+        0 => Ast::Not(Box::new(random_ast(rng, depth - 1))),
+        1 => Ast::And(
+            Box::new(random_ast(rng, depth - 1)),
+            Box::new(random_ast(rng, depth - 1)),
+        ),
+        _ => Ast::Or(
+            Box::new(random_ast(rng, depth - 1)),
+            Box::new(random_ast(rng, depth - 1)),
+        ),
+    }
+}
+
+/// Atom semantics: `x_a op (x_b + c)` where op cycles through
+/// ==, !=, <, <=, plus `x_a == c` and `2*x_a <= x_b + c`.
+fn eval(ast: &Ast, vals: &[i64]) -> bool {
+    match ast {
+        Ast::Atom(op, a, b, c) => match op {
+            0 => vals[*a] == vals[*b] + c,
+            1 => vals[*a] != vals[*b] + c,
+            2 => vals[*a] < vals[*b] + c,
+            3 => vals[*a] <= vals[*b] + c,
+            4 => vals[*a] == *c,
+            _ => 2 * vals[*a] <= vals[*b] + c,
+        },
+        Ast::Not(f) => !eval(f, vals),
+        Ast::And(f, g) => eval(f, vals) && eval(g, vals),
+        Ast::Or(f, g) => eval(f, vals) || eval(g, vals),
+    }
+}
+
+fn translate(ast: &Ast, ctx: &mut Ctx, vars: &[TermId]) -> TermId {
+    match ast {
+        Ast::Atom(op, a, b, c) => {
+            let xa = vars[*a];
+            let xb = vars[*b];
+            let cc = ctx.mk_int(*c);
+            let rhs = ctx.mk_add(vec![xb, cc]);
+            match op {
+                0 => ctx.mk_eq(xa, rhs),
+                1 => {
+                    let e = ctx.mk_eq(xa, rhs);
+                    ctx.mk_not(e)
+                }
+                2 => ctx.mk_lt(xa, rhs),
+                3 => ctx.mk_le(xa, rhs),
+                4 => ctx.mk_eq(xa, cc),
+                _ => {
+                    let two_xa = ctx.mk_mulc(2, xa);
+                    ctx.mk_le(two_xa, rhs)
+                }
+            }
+        }
+        Ast::Not(f) => {
+            let t = translate(f, ctx, vars);
+            ctx.mk_not(t)
+        }
+        Ast::And(f, g) => {
+            let tf = translate(f, ctx, vars);
+            let tg = translate(g, ctx, vars);
+            ctx.mk_and(vec![tf, tg])
+        }
+        Ast::Or(f, g) => {
+            let tf = translate(f, ctx, vars);
+            let tg = translate(g, ctx, vars);
+            ctx.mk_or(vec![tf, tg])
+        }
+    }
+}
+
+fn brute_force_sat(ast: &Ast) -> bool {
+    let side = (2 * BOX + 1) as usize;
+    let total = side.pow(NVARS as u32);
+    for idx in 0..total {
+        let mut rem = idx;
+        let mut vals = [0i64; NVARS];
+        for v in &mut vals {
+            *v = (rem % side) as i64 - BOX;
+            rem /= side;
+        }
+        if eval(ast, &vals) {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn solver_agrees_with_brute_force_on_random_formulas() {
+    let mut rng = Rng(0x5eed5eed_cafef00d);
+    let mut sat_count = 0;
+    let mut unsat_count = 0;
+    for case in 0..300 {
+        let ast = random_ast(&mut rng, 4);
+        let mut ctx = Ctx::new();
+        let mut solver = Solver::new();
+        let vars: Vec<TermId> = (0..NVARS)
+            .map(|i| ctx.mk_int_var(format!("x{i}")))
+            .collect();
+        // Box constraints so the domains match exactly.
+        let lo = ctx.mk_int(-BOX);
+        let hi = ctx.mk_int(BOX);
+        for &v in &vars {
+            let a = ctx.mk_le(lo, v);
+            let b = ctx.mk_le(v, hi);
+            solver.assert_term(&mut ctx, a);
+            solver.assert_term(&mut ctx, b);
+        }
+        let t = translate(&ast, &mut ctx, &vars);
+        solver.assert_term(&mut ctx, t);
+        let got = solver.check(&mut ctx, &[]);
+        let want = brute_force_sat(&ast);
+        match (got, want) {
+            (SmtResult::Sat, true) => sat_count += 1,
+            (SmtResult::Unsat, false) => unsat_count += 1,
+            other => panic!("case {case}: solver={other:?} brute={want} ast={ast:?}"),
+        }
+    }
+    // Sanity: the generator produces a healthy mix.
+    assert!(sat_count > 50, "only {sat_count} sat cases");
+    assert!(unsat_count > 10, "only {unsat_count} unsat cases");
+}
+
+#[test]
+fn incremental_reuse_with_assumption_selectors() {
+    // Emulate the vcgen usage pattern: one solver, selector literals,
+    // repeated checks under different assumption sets.
+    let mut ctx = Ctx::new();
+    let mut solver = Solver::new();
+    let x = ctx.mk_int_var("x");
+    let zero = ctx.mk_int(0);
+    let ten = ctx.mk_int(10);
+    let s1 = ctx.mk_bool_var("s1"); // selects x > 0
+    let s2 = ctx.mk_bool_var("s2"); // selects x < 0
+    let s3 = ctx.mk_bool_var("s3"); // selects x <= 10
+    let pos = ctx.mk_lt(zero, x);
+    let neg = ctx.mk_lt(x, zero);
+    let le10 = ctx.mk_le(x, ten);
+    let i1 = ctx.mk_implies(s1, pos);
+    let i2 = ctx.mk_implies(s2, neg);
+    let i3 = ctx.mk_implies(s3, le10);
+    for t in [i1, i2, i3] {
+        solver.assert_term(&mut ctx, t);
+    }
+    assert_eq!(solver.check(&mut ctx, &[s1, s3]), SmtResult::Sat);
+    assert_eq!(solver.check(&mut ctx, &[s1, s2]), SmtResult::Unsat);
+    assert_eq!(solver.check(&mut ctx, &[s2, s3]), SmtResult::Sat);
+    assert_eq!(solver.check(&mut ctx, &[s1, s2, s3]), SmtResult::Unsat);
+    assert_eq!(solver.check(&mut ctx, &[]), SmtResult::Sat);
+}

@@ -1,0 +1,219 @@
+//! Differential testing of the array theory (lazy read-over-write
+//! lemmas) against brute-force evaluation over small concrete maps.
+//!
+//! Formulas combine one map variable, writes, reads at symbolic indices,
+//! and integer constraints; indices and values range over a small box, so
+//! exhaustive evaluation of every (map, index-values) assignment is an
+//! exact oracle. Maps are enumerated as functions on the index box with a
+//! default value outside it — reads at boxed indices never observe the
+//! default, so the enumeration is exact for these formulas.
+
+use acspec_smt::{Ctx, SmtResult, Solver, TermId};
+
+const B: i64 = 1; // indices and values range over -1..=1
+const NIDX: usize = 2; // symbolic index variables i0, i1
+
+/// A random array formula: a chain of writes followed by equality
+/// constraints over reads.
+#[derive(Debug, Clone)]
+struct ArrayCase {
+    /// Writes applied in order: (index var, value constant).
+    writes: Vec<(usize, i64)>,
+    /// Constraints: (read index var, expected constant, polarity).
+    reads: Vec<(usize, i64, bool)>,
+    /// Equalities between index variables: (a, b, polarity).
+    idx_rels: Vec<(usize, usize, bool)>,
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_case(rng: &mut Rng) -> ArrayCase {
+    let nwrites = (rng.below(3)) as usize;
+    let nreads = 1 + rng.below(2) as usize;
+    let nrels = rng.below(2) as usize;
+    ArrayCase {
+        writes: (0..nwrites)
+            .map(|_| {
+                (
+                    rng.below(NIDX as u64) as usize,
+                    rng.below(2 * B as u64 + 1) as i64 - B,
+                )
+            })
+            .collect(),
+        reads: (0..nreads)
+            .map(|_| {
+                (
+                    rng.below(NIDX as u64) as usize,
+                    rng.below(2 * B as u64 + 1) as i64 - B,
+                    rng.below(2) == 0,
+                )
+            })
+            .collect(),
+        idx_rels: (0..nrels)
+            .map(|_| {
+                (
+                    rng.below(NIDX as u64) as usize,
+                    rng.below(NIDX as u64) as usize,
+                    rng.below(2) == 0,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Brute force: enumerate index assignments in the box and base maps as
+/// value vectors over the box.
+fn brute_force(case: &ArrayCase) -> bool {
+    let side = (2 * B + 1) as usize;
+    let idx_total = side.pow(NIDX as u32);
+    let map_total = side.pow(side as u32);
+    for ia in 0..idx_total {
+        let mut rem = ia;
+        let mut idx = [0i64; NIDX];
+        for v in &mut idx {
+            *v = (rem % side) as i64 - B;
+            rem /= side;
+        }
+        // Index relations are map-independent.
+        if !case
+            .idx_rels
+            .iter()
+            .all(|&(a, b, pos)| (idx[a] == idx[b]) == pos)
+        {
+            continue;
+        }
+        'maps: for ma in 0..map_total {
+            let mut rem = ma;
+            let mut base = [0i64; 3];
+            for v in &mut base {
+                *v = (rem % side) as i64 - B;
+                rem /= side;
+            }
+            let lookup = |m: &[i64; 3], i: i64| -> i64 { m[(i + B) as usize] };
+            let mut m = base;
+            for &(wi, wv) in &case.writes {
+                m[(idx[wi] + B) as usize] = wv;
+            }
+            for &(ri, rv, pos) in &case.reads {
+                if (lookup(&m, idx[ri]) == rv) != pos {
+                    continue 'maps;
+                }
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn to_solver(case: &ArrayCase) -> SmtResult {
+    let mut ctx = Ctx::new();
+    let mut solver = Solver::new();
+    let idx: Vec<TermId> = (0..NIDX)
+        .map(|i| ctx.mk_int_var(format!("i{i}")))
+        .collect();
+    // Box the indices so the brute-force domain matches.
+    let lo = ctx.mk_int(-B);
+    let hi = ctx.mk_int(B);
+    for &v in &idx {
+        let a = ctx.mk_le(lo, v);
+        let b = ctx.mk_le(v, hi);
+        solver.assert_term(&mut ctx, a);
+        solver.assert_term(&mut ctx, b);
+    }
+    let mut m = ctx.mk_map_var("m");
+    for &(wi, wv) in &case.writes {
+        let v = ctx.mk_int(wv);
+        m = ctx.mk_write(m, idx[wi], v);
+    }
+    for &(ri, rv, pos) in &case.reads {
+        let r = ctx.mk_read(m, idx[ri]);
+        let c = ctx.mk_int(rv);
+        let eq = ctx.mk_eq(r, c);
+        let t = if pos { eq } else { ctx.mk_not(eq) };
+        solver.assert_term(&mut ctx, t);
+    }
+    for &(a, b, pos) in &case.idx_rels {
+        let eq = ctx.mk_eq(idx[a], idx[b]);
+        let t = if pos { eq } else { ctx.mk_not(eq) };
+        solver.assert_term(&mut ctx, t);
+    }
+    solver.check(&mut ctx, &[])
+}
+
+#[test]
+fn array_theory_agrees_with_brute_force() {
+    let mut rng = Rng(0x00dd_ba11_5eed);
+    let mut sat = 0;
+    let mut unsat = 0;
+    for case_no in 0..400 {
+        let case = random_case(&mut rng);
+        let got = to_solver(&case);
+        let want = brute_force(&case);
+        match (got, want) {
+            (SmtResult::Sat, true) => sat += 1,
+            (SmtResult::Unsat, false) => unsat += 1,
+            other => panic!("case {case_no}: solver={other:?} brute={want}\n{case:?}"),
+        }
+    }
+    assert!(sat > 100, "generator health: {sat} sat");
+    assert!(unsat > 30, "generator health: {unsat} unsat");
+}
+
+/// Nested writes at the *same* symbolic index: only the last survives.
+#[test]
+fn overwrite_semantics() {
+    let mut ctx = Ctx::new();
+    let mut solver = Solver::new();
+    let i = ctx.mk_int_var("i");
+    let m = ctx.mk_map_var("m");
+    let v1 = ctx.mk_int(1);
+    let v2 = ctx.mk_int(2);
+    let w1 = ctx.mk_write(m, i, v1);
+    let w2 = ctx.mk_write(w1, i, v2);
+    let r = ctx.mk_read(w2, i);
+    let eq = ctx.mk_eq(r, v1);
+    solver.assert_term(&mut ctx, eq);
+    assert_eq!(solver.check(&mut ctx, &[]), SmtResult::Unsat);
+}
+
+/// Writes at provably distinct indices commute for reads.
+#[test]
+fn distinct_writes_commute() {
+    let mut ctx = Ctx::new();
+    let mut solver = Solver::new();
+    let i = ctx.mk_int_var("i");
+    let j = ctx.mk_int_var("j");
+    let ne = {
+        let eq = ctx.mk_eq(i, j);
+        ctx.mk_not(eq)
+    };
+    solver.assert_term(&mut ctx, ne);
+    let m = ctx.mk_map_var("m");
+    let v1 = ctx.mk_int(1);
+    let v2 = ctx.mk_int(2);
+    let wij = {
+        let w = ctx.mk_write(m, i, v1);
+        ctx.mk_write(w, j, v2)
+    };
+    // read(w_ij, i) must be 1.
+    let r = ctx.mk_read(wij, i);
+    let bad = {
+        let eq = ctx.mk_eq(r, v1);
+        ctx.mk_not(eq)
+    };
+    solver.assert_term(&mut ctx, bad);
+    assert_eq!(solver.check(&mut ctx, &[]), SmtResult::Unsat);
+}

@@ -1,0 +1,268 @@
+//! Property-based tests (proptest) for the SMT substrate.
+
+use proptest::prelude::*;
+
+use acspec_smt::sat::{Lit, Sat, SolveResult, Var};
+use acspec_smt::{Ctx, Rat, SmtResult, Solver, TermId};
+
+// ---------------------------------------------------------------------
+// CDCL SAT vs. brute force on random small CNFs.
+// ---------------------------------------------------------------------
+
+fn brute_force_cnf(n_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    for m in 0..(1usize << n_vars) {
+        let ok = clauses.iter().all(|c| {
+            c.iter()
+                .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+prop_compose! {
+    fn cnf_instance()(
+        n_vars in 1usize..8,
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..8, any::<bool>()), 1..5),
+            0..20,
+        ),
+    ) -> (usize, Vec<Vec<(usize, bool)>>) {
+        let clauses: Vec<Vec<(usize, bool)>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().map(|(v, p)| (v % n_vars, p)).collect())
+            .collect();
+        (n_vars, clauses)
+    }
+}
+
+proptest! {
+    #[test]
+    fn cdcl_agrees_with_brute_force((n_vars, clauses) in cnf_instance()) {
+        let mut sat = Sat::new();
+        let vars: Vec<Var> = (0..n_vars).map(|_| sat.new_var()).collect();
+        let mut early_unsat = false;
+        for c in &clauses {
+            let lits: Vec<Lit> = c.iter().map(|&(v, p)| Lit::new(vars[v], p)).collect();
+            if !sat.add_clause(&lits) {
+                early_unsat = true;
+            }
+        }
+        let got = if early_unsat {
+            SolveResult::Unsat
+        } else {
+            sat.solve(&[], None)
+        };
+        let want = brute_force_cnf(n_vars, &clauses);
+        prop_assert_eq!(got == SolveResult::Sat, want);
+        // If SAT, the model must satisfy every clause.
+        if got == SolveResult::Sat {
+            for c in &clauses {
+                let ok = c.iter().any(|&(v, p)| {
+                    (sat.value(vars[v]) == acspec_smt::sat::LBool::True) == p
+                });
+                prop_assert!(ok, "model violates clause {:?}", c);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_under_assumptions_is_sound(
+        (n_vars, clauses) in cnf_instance(),
+        assumption_bits in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        // solve(assumptions) == solve() of clauses + assumption units.
+        let build = |extra_units: bool| -> (Sat, Vec<Var>, bool) {
+            let mut sat = Sat::new();
+            let vars: Vec<Var> = (0..n_vars).map(|_| sat.new_var()).collect();
+            let mut ok = true;
+            for c in &clauses {
+                let lits: Vec<Lit> = c.iter().map(|&(v, p)| Lit::new(vars[v], p)).collect();
+                ok &= sat.add_clause(&lits);
+            }
+            if extra_units {
+                for (v, &b) in vars.iter().zip(&assumption_bits) {
+                    ok &= sat.add_clause(&[Lit::new(*v, b)]);
+                }
+            }
+            (sat, vars, ok)
+        };
+        let (mut with_assumptions, vars, ok1) = build(false);
+        let assumptions: Vec<Lit> = vars
+            .iter()
+            .zip(&assumption_bits)
+            .map(|(v, &b)| Lit::new(*v, b))
+            .collect();
+        let r1 = if ok1 {
+            with_assumptions.solve(&assumptions, None)
+        } else {
+            SolveResult::Unsat
+        };
+        let (mut with_units, _, ok2) = build(true);
+        let r2 = if ok2 {
+            with_units.solve(&[], None)
+        } else {
+            SolveResult::Unsat
+        };
+        prop_assert_eq!(r1, r2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rational arithmetic laws.
+// ---------------------------------------------------------------------
+
+prop_compose! {
+    fn rat()(num in -1000i128..1000, den in 1i128..50) -> Rat {
+        Rat::new(num, den)
+    }
+}
+
+proptest! {
+    #[test]
+    fn rat_field_laws(a in rat(), b in rat(), c in rat()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Rat::ZERO);
+        if !b.is_zero() {
+            prop_assert_eq!((a / b) * b, a);
+        }
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in rat()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rat::new(f, 1) <= a);
+        prop_assert!(a <= Rat::new(c, 1));
+        prop_assert!(c - f <= 1);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        }
+    }
+
+    #[test]
+    fn rat_ordering_total(a in rat(), b in rat()) {
+        let lt = a < b;
+        let gt = a > b;
+        let eq = a == b;
+        prop_assert_eq!(usize::from(lt) + usize::from(gt) + usize::from(eq), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full SMT solver vs. brute force over boxed integer formulas.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum F {
+    Atom(u8, usize, usize, i64),
+    Not(Box<F>),
+    And(Box<F>, Box<F>),
+    Or(Box<F>, Box<F>),
+}
+
+fn f_strategy() -> impl Strategy<Value = F> {
+    let leaf = (0u8..5, 0usize..3, 0usize..3, -2i64..3)
+        .prop_map(|(op, a, b, c)| F::Atom(op, a, b, c));
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| F::Not(Box::new(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn f_eval(f: &F, vals: &[i64; 3]) -> bool {
+    match f {
+        F::Atom(op, a, b, c) => match op {
+            0 => vals[*a] == vals[*b] + c,
+            1 => vals[*a] != vals[*b] + c,
+            2 => vals[*a] < vals[*b] + c,
+            3 => vals[*a] <= vals[*b] + c,
+            _ => vals[*a] == *c,
+        },
+        F::Not(g) => !f_eval(g, vals),
+        F::And(a, b) => f_eval(a, vals) && f_eval(b, vals),
+        F::Or(a, b) => f_eval(a, vals) || f_eval(b, vals),
+    }
+}
+
+fn f_to_term(f: &F, ctx: &mut Ctx, vars: &[TermId; 3]) -> TermId {
+    match f {
+        F::Atom(op, a, b, c) => {
+            let xa = vars[*a];
+            let xb = vars[*b];
+            let cc = ctx.mk_int(*c);
+            let rhs = ctx.mk_add(vec![xb, cc]);
+            match op {
+                0 => ctx.mk_eq(xa, rhs),
+                1 => {
+                    let e = ctx.mk_eq(xa, rhs);
+                    ctx.mk_not(e)
+                }
+                2 => ctx.mk_lt(xa, rhs),
+                3 => ctx.mk_le(xa, rhs),
+                _ => ctx.mk_eq(xa, cc),
+            }
+        }
+        F::Not(g) => {
+            let t = f_to_term(g, ctx, vars);
+            ctx.mk_not(t)
+        }
+        F::And(a, b) => {
+            let ta = f_to_term(a, ctx, vars);
+            let tb = f_to_term(b, ctx, vars);
+            ctx.mk_and(vec![ta, tb])
+        }
+        F::Or(a, b) => {
+            let ta = f_to_term(a, ctx, vars);
+            let tb = f_to_term(b, ctx, vars);
+            ctx.mk_or(vec![ta, tb])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn smt_agrees_with_brute_force_in_a_box(f in f_strategy()) {
+        const B: i64 = 2;
+        let mut ctx = Ctx::new();
+        let mut solver = Solver::new();
+        let vars = [
+            ctx.mk_int_var("x0"),
+            ctx.mk_int_var("x1"),
+            ctx.mk_int_var("x2"),
+        ];
+        let lo = ctx.mk_int(-B);
+        let hi = ctx.mk_int(B);
+        for &v in &vars {
+            let a = ctx.mk_le(lo, v);
+            let b = ctx.mk_le(v, hi);
+            solver.assert_term(&mut ctx, a);
+            solver.assert_term(&mut ctx, b);
+        }
+        let t = f_to_term(&f, &mut ctx, &vars);
+        solver.assert_term(&mut ctx, t);
+        let got = solver.check(&mut ctx, &[]);
+
+        let mut want = false;
+        'all: for x in -B..=B {
+            for y in -B..=B {
+                for z in -B..=B {
+                    if f_eval(&f, &[x, y, z]) {
+                        want = true;
+                        break 'all;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got == SmtResult::Sat, want, "formula {:?}", f);
+    }
+}

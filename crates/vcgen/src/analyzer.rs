@@ -1,0 +1,555 @@
+//! The `Dead(f)` / `Fail(f)` query engine (§2.3).
+//!
+//! A desugared procedure is encoded once into the SMT solver by symbolic
+//! execution with ite-merging at joins: every execution is characterized
+//! by the initial values of inputs, the values of ν-constants, the values
+//! chosen by `havoc`, and fresh boolean choice variables for `if (*)`.
+//! Each tracked location `l` and assertion `a` gets a *guard literal*:
+//!
+//! * `g_l → pc_l` — forcing `g_l` asks for an execution reaching `l`;
+//! * `g_a → pc_a ∧ ¬cond_a` — forcing `g_a` asks for an execution that
+//!   reaches `a` and fails it.
+//!
+//! Input-state sets `f` (environment specifications) are installed as
+//! *selector literals* `s → f`; `Dead`/`Fail` for any clause subset is then
+//! a sequence of incremental SMT checks under assumptions — the
+//! incremental interface the paper's prototype lacked (§5).
+//!
+//! Per §2.3, an execution blocked by a later `assume` still *reached*
+//! earlier locations, and assertions terminate failing executions, so an
+//! assertion contributes its condition to the path constraint of
+//! everything after it.
+
+use std::collections::BTreeSet;
+
+use acspec_ir::desugar::DesugaredProc;
+use acspec_ir::expr::Formula;
+use acspec_ir::locs::{enumerate_locations, LocId};
+use acspec_ir::stmt::{AssertId, BranchCond, Stmt};
+use acspec_ir::Sort;
+use acspec_smt::{Ctx, SmtResult, Solver, TermId};
+
+use crate::translate::{expr_to_term, formula_to_term, Env, TranslateError};
+
+/// A selector literal standing for an installed environment specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Selector(TermId);
+
+/// Analysis failure: the per-procedure budget was exhausted (the paper's
+/// timeouts, Figure 6/8 "TO" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeout;
+
+impl std::fmt::Display for Timeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analysis budget exhausted")
+    }
+}
+
+impl std::error::Error for Timeout {}
+
+/// Configuration for a [`ProcAnalyzer`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzerConfig {
+    /// Total SAT-conflict budget across all queries for this procedure
+    /// (`None` = unlimited). This is the deterministic analogue of the
+    /// paper's 10-second timeout.
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            conflict_budget: Some(2_000_000),
+        }
+    }
+}
+
+/// The per-procedure query engine.
+#[derive(Debug)]
+pub struct ProcAnalyzer {
+    /// Term context (public so callers can build predicate terms).
+    pub ctx: Ctx,
+    solver: Solver,
+    /// Guard literal per tracked location.
+    loc_guards: Vec<(LocId, TermId)>,
+    /// Raw path condition per tracked location (for path profiling).
+    loc_pcs: Vec<(LocId, TermId)>,
+    /// Lazily created indicators `b ⇔ pc_l` (for path profiling).
+    loc_indicators: Vec<TermId>,
+    /// Guard literal per assertion.
+    assert_guards: Vec<(AssertId, TermId)>,
+    /// Guard literal for "some assertion fails" (`¬wp(pr, true)`).
+    fail_any: TermId,
+    /// Input environment (initial incarnations + ν-constants), used to
+    /// translate environment specifications and predicates.
+    input_env: Env,
+    budget_left: Option<u64>,
+    /// Count of SMT queries issued (statistics).
+    pub queries: u64,
+}
+
+struct EncodeState {
+    env: Env,
+    /// Path constraint to the current point.
+    pc: TermId,
+    /// Accumulated fail guards (built as encoding proceeds).
+    fails: Vec<(AssertId, TermId)>,
+    locs: Vec<(LocId, TermId)>,
+    next_loc: u32,
+}
+
+impl ProcAnalyzer {
+    /// Encodes a desugared procedure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] if the body refers to unbound names
+    /// (indicates a front-end bug).
+    pub fn new(proc: &DesugaredProc, config: AnalyzerConfig) -> Result<ProcAnalyzer, TranslateError> {
+        let mut ctx = Ctx::new();
+        let mut solver = Solver::new();
+
+        // Initial incarnations: every named variable (params, returns,
+        // locals, globals) is an unconstrained symbol; ν-constants too.
+        let mut env = Env::default();
+        for (name, sort) in &proc.vars {
+            let t = match sort {
+                Sort::Int => ctx.mk_int_var(format!("{name}!0")),
+                Sort::Map => ctx.mk_map_var(format!("{name}!0")),
+            };
+            env.vars.insert(name.clone(), t);
+        }
+        for (nu, sort) in &proc.nus {
+            let t = match sort {
+                Sort::Int => ctx.mk_int_var(format!("{nu}")),
+                Sort::Map => ctx.mk_map_var(format!("{nu}")),
+            };
+            env.nus.insert(nu.clone(), t);
+        }
+        let input_env = env.clone();
+
+        let mut st = EncodeState {
+            env,
+            pc: ctx.mk_bool(true),
+            fails: Vec::new(),
+            locs: Vec::new(),
+            next_loc: 0,
+        };
+        encode(&mut ctx, &mut st, &proc.body)?;
+        debug_assert_eq!(
+            st.locs.len(),
+            enumerate_locations(&proc.body).len(),
+            "location enumeration must match the canonical walk"
+        );
+
+        // Materialize guard literals.
+        let loc_pcs = st.locs.clone();
+        let mut loc_guards = Vec::with_capacity(st.locs.len());
+        for (id, pc) in st.locs {
+            let g = ctx.fresh_bool_var(&format!("reach_L{}", id.0));
+            let imp = ctx.mk_implies(g, pc);
+            solver.assert_term(&mut ctx, imp);
+            loc_guards.push((id, g));
+        }
+        let mut assert_guards = Vec::with_capacity(st.fails.len());
+        let mut fail_disjuncts = Vec::new();
+        for (id, cond) in st.fails {
+            let g = ctx.fresh_bool_var(&format!("fail_{id}"));
+            let imp = ctx.mk_implies(g, cond);
+            solver.assert_term(&mut ctx, imp);
+            assert_guards.push((id, g));
+            fail_disjuncts.push(g);
+        }
+        let fail_any = ctx.fresh_bool_var("fail_any");
+        let disj = ctx.mk_or(fail_disjuncts);
+        let imp = ctx.mk_implies(fail_any, disj);
+        solver.assert_term(&mut ctx, imp);
+
+        Ok(ProcAnalyzer {
+            ctx,
+            solver,
+            loc_guards,
+            loc_pcs,
+            loc_indicators: Vec::new(),
+            assert_guards,
+            fail_any,
+            input_env,
+            budget_left: config.conflict_budget,
+            queries: 0,
+        })
+    }
+
+    /// The tracked locations.
+    pub fn locations(&self) -> Vec<LocId> {
+        self.loc_guards.iter().map(|&(id, _)| id).collect()
+    }
+
+    /// The assertions.
+    pub fn assertions(&self) -> Vec<AssertId> {
+        self.assert_guards.iter().map(|&(id, _)| id).collect()
+    }
+
+    /// The input environment (initial incarnations and ν-constants) —
+    /// predicates and specifications are translated against this.
+    pub fn input_env(&self) -> &Env {
+        &self.input_env
+    }
+
+    /// Installs an environment specification (a formula over inputs) and
+    /// returns its selector. The formula constrains inputs only while its
+    /// selector is passed in the active set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] if the formula refers to names outside
+    /// the input vocabulary.
+    pub fn add_selector(&mut self, spec: &Formula) -> Result<Selector, TranslateError> {
+        let body = formula_to_term(&mut self.ctx, &self.input_env, spec)?;
+        let s = self.ctx.fresh_bool_var("sel");
+        let imp = self.ctx.mk_implies(s, body);
+        self.solver.assert_term(&mut self.ctx, imp);
+        Ok(Selector(s))
+    }
+
+    /// Installs a boolean term (over input-vocabulary terms) as a
+    /// selector.
+    pub fn add_selector_term(&mut self, body: TermId) -> Selector {
+        let s = self.ctx.fresh_bool_var("sel");
+        let imp = self.ctx.mk_implies(s, body);
+        self.solver.assert_term(&mut self.ctx, imp);
+        Selector(s)
+    }
+
+    /// Registers an indicator for a boolean term: a literal forced equal
+    /// to the term's truth value in every model (used for ALL-SAT
+    /// enumeration by the predicate-cover construction).
+    pub fn add_indicator(&mut self, body: TermId) -> TermId {
+        let b = self.ctx.fresh_bool_var("ind");
+        let iff = self.ctx.mk_iff(b, body);
+        self.solver.assert_term(&mut self.ctx, iff);
+        b
+    }
+
+    /// Adds a permanent clause over boolean terms (used for ALL-SAT
+    /// blocking).
+    pub fn add_clause(&mut self, parts: &[TermId]) {
+        self.solver.add_clause_terms(&mut self.ctx, parts);
+    }
+
+    /// The truth value of a term in the last model (after a `Sat` query).
+    pub fn model_bool(&self, t: TermId) -> Option<bool> {
+        self.solver.bool_value(t)
+    }
+
+    /// A concrete environment witness from the last satisfiable query:
+    /// integer values for the integer-sorted inputs and ν-constants that
+    /// were relevant to the query. Call right after a query returned
+    /// `true` (e.g. [`ProcAnalyzer::can_fail`]) to obtain the input state
+    /// that exhibits the behavior.
+    pub fn input_witness(&self) -> std::collections::BTreeMap<String, i64> {
+        let mut out = std::collections::BTreeMap::new();
+        for (name, &t) in &self.input_env.vars {
+            if let Some(v) = self.solver.int_value(t) {
+                out.insert(name.clone(), v);
+            }
+        }
+        for (nu, &t) in &self.input_env.nus {
+            if let Some(v) = self.solver.int_value(t) {
+                out.insert(nu.to_string(), v);
+            }
+        }
+        out
+    }
+
+    /// If `assert` can fail under the active selectors, returns a
+    /// concrete input witness for one failing execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] if the budget is exhausted.
+    pub fn failure_witness(
+        &mut self,
+        assert: AssertId,
+        active: &[Selector],
+    ) -> Result<Option<std::collections::BTreeMap<String, i64>>, Timeout> {
+        if self.can_fail(assert, active)? {
+            Ok(Some(self.input_witness()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn check(&mut self, assumptions: &[TermId]) -> Result<bool, Timeout> {
+        if matches!(self.budget_left, Some(0)) {
+            return Err(Timeout);
+        }
+        self.queries += 1;
+        let before = self.solver.conflicts();
+        // Bound this query by the remaining per-procedure pool.
+        self.solver.set_sat_budget(self.budget_left);
+        let result = self.solver.check(&mut self.ctx, assumptions);
+        let spent = self.solver.conflicts() - before;
+        if let Some(b) = &mut self.budget_left {
+            *b = b.saturating_sub(spent.max(1));
+        }
+        match result {
+            SmtResult::Sat => Ok(true),
+            SmtResult::Unsat => Ok(false),
+            SmtResult::Unknown => Err(Timeout),
+        }
+    }
+
+    /// Is the given tracked location reachable under the active selectors?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] if the budget is exhausted.
+    pub fn is_reachable(&mut self, loc: LocId, active: &[Selector]) -> Result<bool, Timeout> {
+        let g = self
+            .loc_guards
+            .iter()
+            .find(|&&(id, _)| id == loc)
+            .map(|&(_, g)| g)
+            .expect("unknown location");
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.push(g);
+        self.check(&assumptions)
+    }
+
+    /// Can the given assertion fail under the active selectors?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] if the budget is exhausted.
+    pub fn can_fail(&mut self, assert: AssertId, active: &[Selector]) -> Result<bool, Timeout> {
+        let g = self
+            .assert_guards
+            .iter()
+            .find(|&&(id, _)| id == assert)
+            .map(|&(_, g)| g)
+            .expect("unknown assertion");
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.push(g);
+        self.check(&assumptions)
+    }
+
+    /// `Dead(f)` for the input set selected by `active` (§2.3): the
+    /// tracked locations unreachable from every selected input state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] if the budget is exhausted.
+    pub fn dead_set(&mut self, active: &[Selector]) -> Result<BTreeSet<LocId>, Timeout> {
+        let locs = self.locations();
+        let mut dead = BTreeSet::new();
+        for l in locs {
+            if !self.is_reachable(l, active)? {
+                dead.insert(l);
+            }
+        }
+        Ok(dead)
+    }
+
+    /// `Fail(f)` for the input set selected by `active` (§2.3): the
+    /// assertions that can fail on at least one execution from a selected
+    /// input state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] if the budget is exhausted.
+    pub fn fail_set(&mut self, active: &[Selector]) -> Result<BTreeSet<AssertId>, Timeout> {
+        let asserts = self.assertions();
+        let mut fail = BTreeSet::new();
+        for a in asserts {
+            if self.can_fail(a, active)? {
+                fail.insert(a);
+            }
+        }
+        Ok(fail)
+    }
+
+    /// Whether *some* assertion can fail under the active selectors —
+    /// i.e. satisfiability of `f ∧ ¬wp(pr, true)`, the `VC(pr)` check of
+    /// §4.1. The `extra` assumptions are appended (used by ALL-SAT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] if the budget is exhausted.
+    pub fn any_failure(&mut self, active: &[Selector], extra: &[TermId]) -> Result<bool, Timeout> {
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.push(self.fail_any);
+        assumptions.extend_from_slice(extra);
+        self.check(&assumptions)
+    }
+
+    /// Whether the selected input-state set is non-empty (theory
+    /// consistency of the selectors plus `extra` assumptions), with no
+    /// reachability or failure forced. Used for semantic normalization of
+    /// specifications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] if the budget is exhausted.
+    pub fn is_consistent(&mut self, active: &[Selector], extra: &[TermId]) -> Result<bool, Timeout> {
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.extend_from_slice(extra);
+        self.check(&assumptions)
+    }
+
+    /// Remaining conflict budget (diagnostics).
+    pub fn budget_left(&self) -> Option<u64> {
+        self.budget_left
+    }
+
+    /// Enumerates the *path profiles* feasible under the active
+    /// selectors: the distinct truth vectors of the tracked-location
+    /// reach conditions over all executions (ALL-SAT, capped at `cap`
+    /// profiles). This supports the paper's alternative `Dead` metric
+    /// "in terms of path coverage rather than branch coverage" (§2.3):
+    /// a specification kills a *path* iff a profile feasible under `true`
+    /// disappears.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] if the budget or `cap` is exhausted.
+    pub fn path_profiles(
+        &mut self,
+        active: &[Selector],
+        cap: usize,
+    ) -> Result<BTreeSet<Vec<bool>>, Timeout> {
+        // Lazily create an indicator per tracked location: b ⇔ pc_l.
+        if self.loc_indicators.is_empty() {
+            let guards: Vec<(acspec_ir::locs::LocId, TermId)> = self.loc_pcs.clone();
+            for (_, pc) in guards {
+                let b = self.add_indicator(pc);
+                self.loc_indicators.push(b);
+            }
+        }
+        let session = self.ctx.fresh_bool_var("paths");
+        let not_session = self.ctx.mk_not(session);
+        let mut profiles = BTreeSet::new();
+        loop {
+            let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+            assumptions.push(session);
+            if !self.check(&assumptions)? {
+                break;
+            }
+            let mut vector = Vec::with_capacity(self.loc_indicators.len());
+            let mut blocking: Vec<TermId> = vec![not_session];
+            for &b in &self.loc_indicators.clone() {
+                let v = self.model_bool(b).unwrap_or(false);
+                vector.push(v);
+                blocking.push(if v { self.ctx.mk_not(b) } else { b });
+            }
+            self.add_clause(&blocking);
+            profiles.insert(vector);
+            if profiles.len() > cap {
+                return Err(Timeout);
+            }
+        }
+        Ok(profiles)
+    }
+}
+
+/// Symbolic execution with ite-merging.
+fn encode(ctx: &mut Ctx, st: &mut EncodeState, s: &Stmt) -> Result<(), TranslateError> {
+    match s {
+        Stmt::Skip => Ok(()),
+        Stmt::Assert { id, cond, .. } => {
+            let c = formula_to_term(ctx, &st.env, cond)?;
+            let id = id.expect("asserts numbered by desugaring");
+            let nc = ctx.mk_not(c);
+            let fail_cond = ctx.mk_and(vec![st.pc, nc]);
+            st.fails.push((id, fail_cond));
+            // Execution continues past the assert only if it held.
+            st.pc = ctx.mk_and(vec![st.pc, c]);
+            Ok(())
+        }
+        Stmt::Assume(cond) => {
+            let c = formula_to_term(ctx, &st.env, cond)?;
+            st.pc = ctx.mk_and(vec![st.pc, c]);
+            let id = LocId(st.next_loc);
+            st.next_loc += 1;
+            st.locs.push((id, st.pc));
+            Ok(())
+        }
+        Stmt::Assign(x, e) => {
+            let t = expr_to_term(ctx, &st.env, e)?;
+            st.env.vars.insert(x.clone(), t);
+            Ok(())
+        }
+        Stmt::Havoc(x) => {
+            let old = st
+                .env
+                .vars
+                .get(x)
+                .copied()
+                .ok_or_else(|| TranslateError::UnboundVar(x.clone()))?;
+            let fresh = match ctx.sort(old) {
+                acspec_smt::TermSort::Map => ctx.fresh_map_var(&format!("{x}!h")),
+                _ => ctx.fresh_int_var(&format!("{x}!h")),
+            };
+            st.env.vars.insert(x.clone(), fresh);
+            Ok(())
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                encode(ctx, st, s)?;
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let c = match cond {
+                BranchCond::Det(f) => formula_to_term(ctx, &st.env, f)?,
+                BranchCond::NonDet => ctx.fresh_bool_var("choice"),
+            };
+            let entry_pc = st.pc;
+            let entry_env = st.env.clone();
+
+            // Then branch.
+            let then_loc = LocId(st.next_loc);
+            st.next_loc += 1;
+            st.pc = ctx.mk_and(vec![entry_pc, c]);
+            st.locs.push((then_loc, st.pc));
+            encode(ctx, st, then_branch)?;
+            let then_pc = st.pc;
+            let then_env = std::mem::take(&mut st.env);
+
+            // Else branch.
+            let nc = ctx.mk_not(c);
+            let else_loc = LocId(st.next_loc);
+            st.next_loc += 1;
+            st.env = entry_env;
+            st.pc = ctx.mk_and(vec![entry_pc, nc]);
+            st.locs.push((else_loc, st.pc));
+            encode(ctx, st, else_branch)?;
+            let else_pc = st.pc;
+            let else_env = std::mem::take(&mut st.env);
+
+            // Join: merge path constraints and variable values.
+            st.pc = ctx.mk_or(vec![then_pc, else_pc]);
+            let mut merged = Env {
+                nus: then_env.nus,
+                ..Env::default()
+            };
+            for (name, &tv) in &then_env.vars {
+                let ev = *else_env
+                    .vars
+                    .get(name)
+                    .expect("same variables in both branches");
+                let value = if tv == ev { tv } else { ctx.mk_ite(c, tv, ev) };
+                merged.vars.insert(name.clone(), value);
+            }
+            st.env = merged;
+            Ok(())
+        }
+        Stmt::Call { .. } | Stmt::While { .. } => {
+            panic!("analyzer requires a core (desugared) body")
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! VC generation and the `Dead`/`Fail` query engine for ACSpec.
+//!
+//! This crate plays the role BOOGIE's VC pipeline plays for the paper's
+//! prototype:
+//!
+//! * [`translate`] — IR expressions/formulas to solver terms;
+//! * [`wp`] — the textbook weakest-precondition transformer of §2.2
+//!   (used for readable specs and as a semantic cross-check);
+//! * [`analyzer`] — an efficient single-encoding query engine answering
+//!   `Dead(f)` and `Fail(f)` (§2.3) incrementally under selector
+//!   assumptions, with a deterministic per-procedure budget standing in
+//!   for the paper's 10-second timeout.
+//!
+//! # Example
+//!
+//! ```
+//! use acspec_ir::parse::parse_program;
+//! use acspec_ir::{desugar_procedure, DesugarOptions};
+//! use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+//!
+//! let prog = parse_program(
+//!     "procedure f(x: int) { assert x != 0; }",
+//! ).expect("parses");
+//! let proc = prog.procedures[0].clone();
+//! let d = desugar_procedure(&prog, &proc, DesugarOptions::default()).expect("desugars");
+//! let mut az = ProcAnalyzer::new(&d, AnalyzerConfig::default()).expect("encodes");
+//! // Under the demonic (unconstrained) environment the assert can fail…
+//! assert_eq!(az.fail_set(&[]).expect("within budget").len(), 1);
+//! // …but under the spec x != 0 it cannot.
+//! let spec = acspec_ir::parse::parse_formula("x != 0").expect("parses");
+//! let sel = az.add_selector(&spec).expect("input vocabulary");
+//! assert!(az.fail_set(&[sel]).expect("within budget").is_empty());
+//! ```
+
+pub mod analyzer;
+pub mod translate;
+pub mod wp;
+
+pub use analyzer::{AnalyzerConfig, ProcAnalyzer, Selector, Timeout};
+pub use translate::{expr_to_term, formula_to_term, Env, TranslateError};
+pub use wp::{wp, WpResult};

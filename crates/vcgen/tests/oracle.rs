@@ -1,0 +1,296 @@
+//! Validates the VC-based `Dead`/`Fail` engine against the brute-force
+//! reference interpreter and against the paper's worked examples.
+
+use acspec_ir::interp::brute_force;
+use acspec_ir::locs::LocId;
+use acspec_ir::parse::{parse_formula, parse_program};
+use acspec_ir::stmt::AssertId;
+use acspec_ir::{desugar_procedure, DesugarOptions, DesugaredProc};
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+
+fn desugared(src: &str) -> DesugaredProc {
+    let prog = parse_program(src).expect("parses");
+    acspec_ir::typecheck::check_program(&prog).expect("well sorted");
+    let proc = prog.procedures.last().expect("has procedure").clone();
+    desugar_procedure(&prog, &proc, DesugarOptions::default()).expect("desugars")
+}
+
+fn analyzer(d: &DesugaredProc) -> ProcAnalyzer {
+    ProcAnalyzer::new(d, AnalyzerConfig::default()).expect("encodes")
+}
+
+/// Figure 1 of the paper, with the missing `return` modeled by branch
+/// structure (our core language has no returns; HAVOC-style lowering
+/// produces the same shape).
+const FIGURE1: &str = "
+    global Freed: map;
+    procedure Foo(c: int, buf: int, cmd: int) {
+      if (*) {
+        assert Freed[c] == 0;   Freed[c] := 1;    /* A1 */
+        assert Freed[buf] == 0; Freed[buf] := 1;  /* A2 */
+      } else {
+        if (cmd == 1) {
+          if (*) {
+            assert Freed[c] == 0;   Freed[c] := 1;    /* A3 */
+            assert Freed[buf] == 0; Freed[buf] := 1;  /* A4 */
+            /* ERROR: missing return falls through */
+          }
+        }
+        assert Freed[c] == 0;   Freed[c] := 1;    /* A5 */
+        assert Freed[buf] == 0; Freed[buf] := 1;  /* A6 */
+      }
+    }";
+
+#[test]
+fn figure1_demonic_environment_fails_everything() {
+    let d = desugared(FIGURE1);
+    let mut az = analyzer(&d);
+    // The conservative verifier reports all six asserts (§1.1.1).
+    let fails = az.fail_set(&[]).expect("in budget");
+    assert_eq!(fails.len(), 6);
+    // No dead code under `true`.
+    assert!(az.dead_set(&[]).expect("in budget").is_empty());
+}
+
+#[test]
+fn figure1_wp_spec_kills_code() {
+    let d = desugared(FIGURE1);
+    let mut az = analyzer(&d);
+    // The weakest precondition (§1.1.1):
+    // cmd != READ && !Freed[c] && !Freed[buf] && c != buf
+    let wp_spec =
+        parse_formula("cmd != 1 && Freed[c] == 0 && Freed[buf] == 0 && c != buf").expect("parses");
+    let sel = az.add_selector(&wp_spec).expect("inputs");
+    let fails = az.fail_set(&[sel]).expect("in budget");
+    assert!(fails.is_empty(), "WP fails nothing: {fails:?}");
+    let dead = az.dead_set(&[sel]).expect("in budget");
+    assert!(!dead.is_empty(), "WP creates dead code (A3/A4 branch)");
+}
+
+#[test]
+fn figure1_almost_correct_spec_fails_exactly_a5() {
+    let d = desugared(FIGURE1);
+    let mut az = analyzer(&d);
+    // The paper's almost-correct specification:
+    // !Freed[c] && !Freed[buf] && c != buf
+    let ac = parse_formula("Freed[c] == 0 && Freed[buf] == 0 && c != buf").expect("parses");
+    let sel = az.add_selector(&ac).expect("inputs");
+    let dead = az.dead_set(&[sel]).expect("in budget");
+    assert!(dead.is_empty(), "almost-correct spec kills no code: {dead:?}");
+    let fails = az.fail_set(&[sel]).expect("in budget");
+    // Exactly one failure: A5 (the true double-free; footnote 1 explains
+    // why A6 cannot also fail).
+    assert_eq!(fails.len(), 1, "got {fails:?}");
+    let a5 = d
+        .asserts
+        .iter()
+        .map(|m| m.id)
+        .nth(4)
+        .expect("six asserts");
+    assert!(fails.contains(&a5));
+}
+
+#[test]
+fn assume_locations_are_tracked() {
+    let d = desugared(
+        "procedure f(x: int) {
+           assume x > 0;
+           if (x < 0) { skip; } else { skip; }
+         }",
+    );
+    let mut az = analyzer(&d);
+    let dead = az.dead_set(&[]).expect("in budget");
+    // L0 (after assume) live; L1 (then of x<0) dead; L2 (else) live.
+    assert_eq!(dead.into_iter().collect::<Vec<_>>(), vec![LocId(1)]);
+}
+
+#[test]
+fn blocked_execution_still_reaches_earlier_locations() {
+    // The location after the first assume is reachable even though the
+    // second assume always blocks.
+    let d = desugared(
+        "procedure f(x: int) {
+           assume x > 0;
+           assume x < 0;
+         }",
+    );
+    let mut az = analyzer(&d);
+    let dead = az.dead_set(&[]).expect("in budget");
+    assert_eq!(dead.into_iter().collect::<Vec<_>>(), vec![LocId(1)]);
+}
+
+#[test]
+fn failing_assert_blocks_later_failures_on_same_path() {
+    // assert x != 0; assert x != 0 — the second can never be the first
+    // failure.
+    let d = desugared(
+        "procedure f(x: int) {
+           assert x != 0;
+           assert x != 0;
+         }",
+    );
+    let mut az = analyzer(&d);
+    let fails = az.fail_set(&[]).expect("in budget");
+    assert_eq!(fails.into_iter().collect::<Vec<_>>(), vec![AssertId(0)]);
+}
+
+#[test]
+fn nu_constants_are_inputs() {
+    let d = desugared(
+        "procedure malloc() returns (p: int);
+         procedure f() {
+           var p: int;
+           call p := malloc();
+           assert p != 0;
+         }",
+    );
+    assert_eq!(d.nus.len(), 1);
+    let mut az = analyzer(&d);
+    assert_eq!(az.fail_set(&[]).expect("in budget").len(), 1);
+    // Selecting ν != 0 suppresses the failure.
+    let nu = d.nus[0].0.clone();
+    let spec = acspec_ir::Formula::ne(acspec_ir::Expr::Nu(nu), acspec_ir::Expr::Int(0));
+    let sel = az.add_selector(&spec).expect("nu is an input");
+    assert!(az.fail_set(&[sel]).expect("in budget").is_empty());
+}
+
+#[test]
+fn matches_interpreter_on_random_programs() {
+    // Deterministic random programs over small int domains; compare
+    // Dead/Fail with brute force. No maps (brute force enumerates const
+    // maps only) and deterministic value domain {-1, 0, 1}.
+    let mut seed = 0xabcdef12u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let vars = ["x", "y", "z"];
+    for case in 0..40 {
+        let mut stmts = Vec::new();
+        let n = 3 + (rng() % 4) as usize;
+        for _ in 0..n {
+            let v = vars[(rng() % 3) as usize];
+            let w = vars[(rng() % 3) as usize];
+            let c = (rng() % 3) as i64 - 1;
+            match rng() % 6 {
+                0 => stmts.push(format!("assert {v} != {c};")),
+                1 => stmts.push(format!("assume {v} <= {w};")),
+                2 => stmts.push(format!("{v} := {w} + {c};")),
+                3 => stmts.push(format!("havoc {v};")),
+                4 => stmts.push(format!(
+                    "if ({v} == {c}) {{ {v} := {w}; }} else {{ assert {w} >= {c}; }}"
+                )),
+                _ => stmts.push(format!("if (*) {{ {v} := {c}; }}")),
+            }
+        }
+        let src = format!(
+            "procedure f(x: int, y: int, z: int) {{ {} }}",
+            stmts.join("\n")
+        );
+        let d = desugared(&src);
+        let mut az = analyzer(&d);
+        let got_dead = az.dead_set(&[]).expect("in budget");
+        let got_fail = az.fail_set(&[]).expect("in budget");
+        let report = brute_force(&d.body, &["x", "y", "z"], &[], &[], &[-1, 0, 1], None);
+        // The brute-force domain {-1,0,1} under-approximates the integer
+        // semantics: everything brute force reaches/fails, the analyzer
+        // must also reach/fail.
+        for l in report.reached.iter() {
+            assert!(
+                !got_dead.contains(l),
+                "case {case}: analyzer says {l} dead but interpreter reached it\n{src}"
+            );
+        }
+        for a in report.failed.iter() {
+            assert!(
+                got_fail.contains(a),
+                "case {case}: analyzer misses failure {a}\n{src}"
+            );
+        }
+        // For havoc-free programs, boxing the *inputs* to the brute-force
+        // domain makes the two semantics coincide exactly (intermediate
+        // values are deterministic functions of the inputs either way).
+        if !src.contains("havoc") {
+            let box_spec =
+                parse_formula("x >= -1 && x <= 1 && y >= -1 && y <= 1 && z >= -1 && z <= 1")
+                    .expect("parses");
+            let sel = az.add_selector(&box_spec).expect("inputs");
+            let boxed_dead = az.dead_set(&[sel]).expect("in budget");
+            let boxed_fail = az.fail_set(&[sel]).expect("in budget");
+            let all_locs: std::collections::BTreeSet<LocId> =
+                az.locations().into_iter().collect();
+            let brute_dead: std::collections::BTreeSet<LocId> =
+                all_locs.difference(&report.reached).copied().collect();
+            assert_eq!(boxed_dead, brute_dead, "case {case}: dead sets differ\n{src}");
+            assert_eq!(boxed_fail, report.failed, "case {case}: fail sets differ\n{src}");
+        }
+    }
+}
+
+#[test]
+fn wp_cross_check_no_failure_iff_wp_valid() {
+    // ¬wp(body,true) satisfiable ⇔ some assertion can fail (any_failure).
+    let srcs = [
+        "procedure f(x: int) { assert x != 0; }",
+        "procedure f(x: int) { assume x > 0; assert x > -1; }",
+        "procedure f(x: int) { if (x == 0) { assert x == 0; } }",
+        "procedure f(x: int, y: int) { if (*) { assert x != y; } }",
+    ];
+    let expect_fail = [true, false, false, true];
+    for (src, want) in srcs.iter().zip(expect_fail) {
+        let d = desugared(src);
+        let mut az = analyzer(&d);
+        let got = az.any_failure(&[], &[]).expect("in budget");
+        assert_eq!(got, want, "src={src}");
+    }
+}
+
+#[test]
+fn selector_sets_compose_conjunctively() {
+    let d = desugared(
+        "procedure f(x: int, y: int) {
+           assert x != 0;
+           assert y != 0;
+         }",
+    );
+    let mut az = analyzer(&d);
+    let s1 = az
+        .add_selector(&parse_formula("x != 0").expect("f"))
+        .expect("inputs");
+    let s2 = az
+        .add_selector(&parse_formula("y != 0").expect("f"))
+        .expect("inputs");
+    assert_eq!(az.fail_set(&[]).expect("ok").len(), 2);
+    assert_eq!(az.fail_set(&[s1]).expect("ok").len(), 1);
+    assert_eq!(az.fail_set(&[s2]).expect("ok").len(), 1);
+    assert_eq!(az.fail_set(&[s1, s2]).expect("ok").len(), 0);
+}
+
+#[test]
+fn lemma1_monotonicity_on_figure1() {
+    // C1 ⊆ C2 ⇒ Dead(C1) ⊆ Dead(C2) and Fail(C2) ⊆ Fail(C1).
+    let d = desugared(FIGURE1);
+    let mut az = analyzer(&d);
+    let clauses = [
+        parse_formula("Freed[c] == 0").expect("f"),
+        parse_formula("Freed[buf] == 0").expect("f"),
+        parse_formula("c != buf").expect("f"),
+        parse_formula("cmd != 1").expect("f"),
+    ];
+    let sels: Vec<_> = clauses
+        .iter()
+        .map(|c| az.add_selector(c).expect("inputs"))
+        .collect();
+    for k in 0..=sels.len() {
+        let smaller = &sels[..k.saturating_sub(1)];
+        let larger = &sels[..k];
+        let dead_small = az.dead_set(smaller).expect("ok");
+        let dead_large = az.dead_set(larger).expect("ok");
+        assert!(dead_small.is_subset(&dead_large));
+        let fail_small = az.fail_set(smaller).expect("ok");
+        let fail_large = az.fail_set(larger).expect("ok");
+        assert!(fail_large.is_subset(&fail_small));
+    }
+}

@@ -1,0 +1,266 @@
+//! `acspec` — command-line front end for the ACSpec analysis.
+//!
+//! ```text
+//! acspec <file.c | file.acs> [options]
+//!
+//!   --config <Conc|A0|A1|A2>   abstract configuration (default Conc)
+//!   --prune <k>                k-clause pruning (default: off)
+//!   --cons                     also show the conservative verifier's output
+//!   --interproc                infer callee preconditions first (§7)
+//!   --all-configs              analyze under all four configurations
+//!   --specs                    print the almost-correct specifications
+//!   --format <text|json>       output format (default text)
+//!   --triage                    rank all warnings by confidence
+//! ```
+//!
+//! `.c` inputs go through the HAVOC-style front end (null-dereference
+//! assertions are inserted automatically); anything else is parsed as
+//! the Boogie-like surface language.
+
+use std::process::ExitCode;
+
+use acspec_core::{
+    analyze_procedure, cons_baseline, infer_preconditions, triage_program, AcspecOptions,
+    ConfigName, ProcReport, SibStatus,
+};
+use acspec_ir::Program;
+use acspec_vcgen::analyzer::AnalyzerConfig;
+
+struct Cli {
+    path: String,
+    config: ConfigName,
+    prune: Option<usize>,
+    cons: bool,
+    interproc: bool,
+    all_configs: bool,
+    show_specs: bool,
+    json: bool,
+    triage: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        path: String::new(),
+        config: ConfigName::Conc,
+        prune: None,
+        cons: false,
+        interproc: false,
+        all_configs: false,
+        show_specs: false,
+        json: false,
+        triage: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                let v = args.get(i + 1).ok_or("--config needs a value")?;
+                cli.config = match v.as_str() {
+                    "Conc" | "conc" => ConfigName::Conc,
+                    "A0" | "a0" => ConfigName::A0,
+                    "A1" | "a1" => ConfigName::A1,
+                    "A2" | "a2" => ConfigName::A2,
+                    other => return Err(format!("unknown config `{other}`")),
+                };
+                i += 2;
+            }
+            "--prune" => {
+                let v = args.get(i + 1).ok_or("--prune needs a value")?;
+                cli.prune = Some(v.parse().map_err(|_| "--prune needs an integer")?);
+                i += 2;
+            }
+            "--cons" => {
+                cli.cons = true;
+                i += 1;
+            }
+            "--interproc" => {
+                cli.interproc = true;
+                i += 1;
+            }
+            "--all-configs" => {
+                cli.all_configs = true;
+                i += 1;
+            }
+            "--specs" => {
+                cli.show_specs = true;
+                i += 1;
+            }
+            "--triage" => {
+                cli.triage = true;
+                i += 1;
+            }
+            "--format" => {
+                let v = args.get(i + 1).ok_or("--format needs a value")?;
+                cli.json = match v.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other if cli.path.is_empty() && !other.starts_with('-') => {
+                cli.path = other.to_string();
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if cli.path.is_empty() {
+        return Err("no input file".into());
+    }
+    Ok(cli)
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = if path.ends_with(".c") {
+        acspec_cfront::compile_c(&source).map_err(|e| e.to_string())?
+    } else {
+        acspec_ir::parse::parse_program(&source).map_err(|e| e.to_string())?
+    };
+    acspec_ir::typecheck::check_program(&program).map_err(|e| e.to_string())?;
+    Ok(program)
+}
+
+fn print_report(r: &ProcReport, show_specs: bool) {
+    let verdict = if r.timed_out() {
+        "TIMEOUT".to_string()
+    } else {
+        r.status.to_string()
+    };
+    println!(
+        "  [{}] {:<8} |Q|={:<3} warnings={}",
+        r.config,
+        verdict,
+        r.stats.n_predicates,
+        r.warnings.len()
+    );
+    if show_specs {
+        for spec in &r.specs {
+            println!("      spec: {spec}");
+        }
+    }
+    for w in &r.warnings {
+        println!("      warning {}: {}", w.assert, w.tag);
+        if let Some(witness) = &w.witness {
+            println!("        witness: {witness}");
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let cli = parse_args()?;
+    let mut program = load_program(&cli.path)?;
+
+    let mut opts = AcspecOptions::for_config(cli.config);
+    if let Some(k) = cli.prune {
+        opts = opts.with_k_pruning(k);
+    }
+
+    if cli.interproc {
+        let inferred = infer_preconditions(&program, &opts).map_err(|e| e.to_string())?;
+        for (name, spec) in &inferred.inferred {
+            println!("inferred precondition for `{name}`: requires {spec};");
+        }
+        program = inferred.program;
+        if !inferred.inferred.is_empty() {
+            println!();
+        }
+    }
+
+    if cli.triage {
+        let ranked = triage_program(&program, &opts).map_err(|e| e.to_string())?;
+        if ranked.is_empty() {
+            println!("no warnings: every unproven obligation was suppressed");
+            return Ok(false);
+        }
+        println!("{} warning(s), highest confidence first:\n", ranked.len());
+        for r in &ranked {
+            println!("[{}] {} :: {} ({})", r.confidence, r.proc_name, r.warning.assert, r.warning.tag);
+            if let Some(w) = &r.warning.witness {
+                println!("    witness: {w}");
+            }
+            if let Some(spec) = &r.spec {
+                println!("    almost-correct spec: {spec}");
+            }
+        }
+        return Ok(true);
+    }
+
+    let configs: Vec<ConfigName> = if cli.all_configs {
+        ConfigName::all().to_vec()
+    } else {
+        vec![cli.config]
+    };
+
+    let mut any_warning = false;
+    let mut json_reports: Vec<String> = Vec::new();
+    for proc in program.procedures.clone() {
+        if proc.body.is_none() {
+            continue;
+        }
+        let cons = cons_baseline(&program, &proc, AnalyzerConfig::default())
+            .map_err(|e| e.to_string())?;
+        if cons.status == SibStatus::Correct {
+            continue;
+        }
+        if !cli.json {
+            println!("procedure {}:", proc.name);
+        }
+        for &config in &configs {
+            let mut o = AcspecOptions::for_config(config);
+            o.prune = opts.prune;
+            let r = analyze_procedure(&program, &proc, &o).map_err(|e| e.to_string())?;
+            any_warning |= !r.warnings.is_empty();
+            if cli.json {
+                json_reports.push(r.to_json());
+            } else {
+                print_report(&r, cli.show_specs);
+            }
+        }
+        if cli.cons {
+            if cli.json {
+                json_reports.push(cons.to_json());
+            } else {
+                println!("  [Cons] {} warnings", cons.warnings.len());
+                for w in &cons.warnings {
+                    println!("      warning {}: {}", w.assert, w.tag);
+                }
+            }
+        }
+        if !cli.json {
+            println!();
+        }
+    }
+    if cli.json {
+        println!("[{}]", json_reports.join(",\n"));
+    }
+    Ok(any_warning)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(any_warning) => {
+            if any_warning {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: acspec <file.c | file.acs> [--config Conc|A0|A1|A2] [--prune k] \
+                 [--cons] [--interproc] [--all-configs] [--specs] [--triage] \
+                 [--format text|json]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the ACSpec reproduction workspace.
+//!
+//! Re-exports the individual crates under stable names so examples and
+//! integration tests can `use acspec_repro::…`. See the workspace README
+//! for the architecture overview.
+
+pub use acspec_benchgen as benchgen;
+pub use acspec_cfront as cfront;
+pub use acspec_core as core;
+pub use acspec_ir as ir;
+pub use acspec_predabs as predabs;
+pub use acspec_smt as smt;
+pub use acspec_vcgen as vcgen;

@@ -1,0 +1,179 @@
+//! Workspace-level integration tests: the full pipeline from C source to
+//! ranked warnings, across all crates through the `acspec_repro` facade.
+
+use acspec_repro::cfront::compile_c;
+use acspec_repro::core::{
+    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus,
+};
+use acspec_repro::ir::parse::parse_program;
+use acspec_repro::vcgen::analyzer::AnalyzerConfig;
+
+/// The complete Figure 1 scenario in C, through the HAVOC-style front
+/// end: parse → instrument → desugar → analyze.
+#[test]
+fn c_double_free_end_to_end() {
+    let src = "
+        void dispatch(int *c, char *buf, int cmd) {
+          if (nondet()) {
+            free(c);
+            free(buf);
+            return;
+          }
+          if (cmd == 1) {
+            if (nondet()) {
+              free(c);
+              free(buf);
+              /* ERROR: missing return */
+            }
+          }
+          free(c);
+          free(buf);
+        }";
+    let program = compile_c(src).expect("compiles");
+    let proc = program.procedure("dispatch").expect("exists").clone();
+
+    let cons = cons_baseline(&program, &proc, AnalyzerConfig::default()).expect("ok");
+    assert_eq!(cons.warnings.len(), 6, "Cons floods: {:?}", cons.warnings);
+
+    let report =
+        analyze_procedure(&program, &proc, &AcspecOptions::for_config(ConfigName::Conc))
+            .expect("ok");
+    assert_eq!(report.status, SibStatus::Sib);
+    assert_eq!(report.warnings.len(), 1, "got {:?}", report.warnings);
+    // The surviving warning is the double free after the missing return
+    // (the 5th free — first of the fall-through pair).
+    assert!(report.warnings[0].tag.starts_with("double-free@"));
+}
+
+/// The fixed variant (with the return) reports nothing anywhere.
+#[test]
+fn c_fixed_double_free_is_clean() {
+    let src = "
+        void dispatch(int *c, char *buf, int cmd) {
+          if (nondet()) {
+            free(c);
+            free(buf);
+            return;
+          }
+          if (cmd == 1) {
+            if (nondet()) {
+              free(c);
+              free(buf);
+              return;
+            }
+          }
+          free(c);
+          free(buf);
+        }";
+    let program = compile_c(src).expect("compiles");
+    let proc = program.procedure("dispatch").expect("exists").clone();
+    for config in ConfigName::all() {
+        let report =
+            analyze_procedure(&program, &proc, &AcspecOptions::for_config(config)).expect("ok");
+        assert!(
+            report.warnings.is_empty(),
+            "[{config}] false alarm: {:?}",
+            report.warnings
+        );
+    }
+}
+
+/// Surface-syntax and C front ends produce consistent verdicts on the
+/// same semantics.
+#[test]
+fn surface_and_c_frontends_agree() {
+    let c_prog = compile_c(
+        "int *malloc(int n);
+         void f(void) {
+           int *p = malloc(8);
+           if (p == NULL) { *p = 1; }
+         }",
+    )
+    .expect("compiles");
+    let s_prog = parse_program(
+        "procedure malloc() returns (r: int);
+         procedure f() {
+           var p: int;
+           call p := malloc();
+           if (p == 0) {
+             assert p != 0;
+             skip;
+           }
+         }",
+    )
+    .expect("parses");
+    for (prog, which) in [(&c_prog, "C"), (&s_prog, "surface")] {
+        let proc = prog.procedure("f").expect("exists").clone();
+        let r = analyze_procedure(prog, &proc, &AcspecOptions::for_config(ConfigName::Conc))
+            .expect("ok");
+        assert_eq!(r.status, SibStatus::Sib, "{which}: doomed deref is a SIB");
+        assert_eq!(r.warnings.len(), 1, "{which}");
+    }
+}
+
+/// Benchmark generation → evaluation is deterministic end to end.
+#[test]
+fn evaluation_is_deterministic() {
+    use acspec_repro::benchgen::samate::cwe476;
+    let run = || {
+        let bm = cwe476(99, 8);
+        let mut verdicts = Vec::new();
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            let r = analyze_procedure(
+                &bm.program,
+                proc,
+                &AcspecOptions::for_config(ConfigName::A1),
+            )
+            .expect("ok");
+            let mut tags: Vec<String> = r.warnings.iter().map(|w| w.tag.clone()).collect();
+            tags.sort();
+            verdicts.push((proc.name.clone(), format!("{}", r.status), tags));
+        }
+        verdicts
+    };
+    assert_eq!(run(), run());
+}
+
+/// The smt crate is usable standalone through the facade.
+#[test]
+fn facade_reexports_solver() {
+    use acspec_repro::smt::{Ctx, SmtResult, Solver};
+    let mut ctx = Ctx::new();
+    let mut solver = Solver::new();
+    let x = ctx.mk_int_var("x");
+    let one = ctx.mk_int(1);
+    let lt = ctx.mk_lt(x, one);
+    let gt = ctx.mk_lt(one, x);
+    solver.assert_term(&mut ctx, lt);
+    solver.assert_term(&mut ctx, gt);
+    assert_eq!(solver.check(&mut ctx, &[]), SmtResult::Unsat);
+}
+
+/// Stress: a moderately branchy C function flows through every stage
+/// within budget.
+#[test]
+fn branchy_function_analyzes_within_budget() {
+    let src = "
+        struct node { int v; struct node *next; };
+        struct node *get(void);
+        void walk(struct node *n, int k) {
+          if (n == NULL) { return; }
+          if (k > 0) {
+            struct node *m = n->next;
+            if (m != NULL) {
+              m->v = k;
+            }
+          }
+          n->v = 0;
+        }";
+    let program = compile_c(src).expect("compiles");
+    let proc = program.procedure("walk").expect("exists").clone();
+    for config in ConfigName::all() {
+        let r = analyze_procedure(&program, &proc, &AcspecOptions::for_config(config))
+            .expect("ok");
+        assert!(!r.timed_out(), "[{config}] timed out");
+    }
+}
