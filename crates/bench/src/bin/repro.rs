@@ -19,12 +19,15 @@
 
 use std::time::Instant;
 
-use acspec_bench::{classify, evaluate, format_table, BenchEval, EvalOptions, PRUNE_LEVELS};
+use acspec_bench::{
+    classify, evaluate, evaluate_with, format_table, BenchEval, EvalOptions, PRUNE_LEVELS,
+};
 use acspec_benchgen::suite::{generate_entry, SuiteEntry, SuiteKind, SUITE};
 use acspec_benchgen::Benchmark;
-use acspec_core::{analyze_procedure, AcspecOptions, ConfigName};
+use acspec_core::{analyze_procedure, AcspecOptions, ConfigName, StageTotals};
 use acspec_ir::{desugar_procedure, DesugarOptions};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+use acspec_vcgen::stage::Stage;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -108,7 +111,10 @@ fn fig5(scale: usize) {
     ]);
     println!(
         "{}",
-        format_table(&["Bench", "LOC (C)", "Stmts (IR)", "Procs", "Asserts"], &rows)
+        format_table(
+            &["Bench", "LOC (C)", "Stmts (IR)", "Procs", "Asserts"],
+            &rows
+        )
     );
 }
 
@@ -171,8 +177,14 @@ fn fig7(scale: usize) {
     let mut rows = Vec::new();
     let mut totals = [(0usize, 0usize, 0usize); 4];
     for (bm, ev) in &evals {
-        let gt = bm.ground_truth.as_ref().expect("SAMATE corpora are labeled");
-        let mut row = vec![bm.name.clone(), (gt.buggy.len() + gt.safe.len()).to_string()];
+        let gt = bm
+            .ground_truth
+            .as_ref()
+            .expect("SAMATE corpora are labeled");
+        let mut row = vec![
+            bm.name.clone(),
+            (gt.buggy.len() + gt.safe.len()).to_string(),
+        ];
         for (slot, tags) in [
             ev.warning_tags(0, 0),
             ev.warning_tags(1, 0),
@@ -246,10 +258,20 @@ fn fig8(scale: usize) {
     );
 }
 
-/// Figure 9: per-procedure averages on the large benchmarks.
+/// Figure 9: per-procedure averages on the large benchmarks, plus the
+/// per-stage breakdown collected by the analysis sessions' observer.
 fn fig9(scale: usize) {
     println!("== Figure 9: per-procedure averages on large benchmarks (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Large], scale);
+    let opts = EvalOptions::default();
+    let mut totals = StageTotals::default();
+    let evals: Vec<(Benchmark, BenchEval)> = entries(&[SuiteKind::Large])
+        .into_iter()
+        .map(|e| {
+            let bm = generate_entry(e, scale);
+            let ev = evaluate_with(&bm, &opts, &mut totals);
+            (bm, ev)
+        })
+        .collect();
     let mut rows = Vec::new();
     for (bm, ev) in &evals {
         let mut row = vec![bm.name.clone()];
@@ -264,13 +286,42 @@ fn fig9(scale: usize) {
     println!(
         "{}",
         format_table(
-            &[
-                "Bench", "Conc P", "C", "T(s)", "A1 P", "C", "T(s)", "A2 P", "C", "T(s)",
-            ],
+            &["Bench", "Conc P", "C", "T(s)", "A1 P", "C", "T(s)", "A2 P", "C", "T(s)",],
             &rows
         )
     );
     println!("(P = avg predicates/proc, C = avg cover clauses/proc, T = avg seconds/proc)\n");
+
+    // The stage table the single-number `T` column used to hide: one row
+    // per label (`shared` = the once-per-procedure encode + screen every
+    // configuration reuses), per-stage average seconds and total queries.
+    println!(
+        "Per-stage breakdown (SessionObserver events, {} procs):\n",
+        totals.procs()
+    );
+    let n = totals.procs().max(1) as f64;
+    let mut stage_rows = Vec::new();
+    for (label, table) in totals.iter() {
+        let name = label.map_or_else(|| "shared".to_string(), |l| l.to_string());
+        let mut row = vec![name];
+        for stage in Stage::ALL {
+            let m = table.get(stage);
+            row.push(if m.seconds > 0.0 || m.queries > 0 {
+                format!("{:.3}", m.seconds / n)
+            } else {
+                "-".to_string()
+            });
+            row.push(m.queries.to_string());
+        }
+        stage_rows.push(row);
+    }
+    let mut headers = vec!["Label"];
+    for stage in Stage::ALL {
+        headers.push(stage.name());
+        headers.push("Q");
+    }
+    println!("{}", format_table(&headers, &stage_rows));
+    println!("(per stage: avg seconds/proc, then total solver queries)\n");
 }
 
 /// Ablation: the paper names the missing incremental solver interface as
@@ -342,11 +393,19 @@ fn ablation_normalize(scale: usize) {
             }
         }
         rows.push(vec![
-            if apply { "Normalize on" } else { "Normalize off" }.to_string(),
+            if apply {
+                "Normalize on"
+            } else {
+                "Normalize off"
+            }
+            .to_string(),
             warnings.to_string(),
         ]);
     }
-    println!("{}", format_table(&["Variant", "warnings (Conc, k=1)"], &rows));
+    println!(
+        "{}",
+        format_table(&["Variant", "warnings (Conc, k=1)"], &rows)
+    );
     println!("(§4.3: quality measures cannot be applied directly to maximal clauses)\n");
 }
 

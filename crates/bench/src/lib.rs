@@ -14,8 +14,8 @@ use std::collections::BTreeSet;
 
 use acspec_benchgen::Benchmark;
 use acspec_core::{
-    analyze_procedure_multi, cons_baseline, AcspecOptions, AnalysisOutcome, ConfigName,
-    ProcReport, SibStatus,
+    AcspecOptions, ConfigName, NullObserver, ProcReport, ProgramAnalysis, SessionObserver,
+    SibStatus,
 };
 use acspec_predabs::normalize::PruneConfig;
 use acspec_vcgen::analyzer::AnalyzerConfig;
@@ -78,18 +78,31 @@ impl Default for EvalOptions {
     }
 }
 
-/// Evaluates one procedure (all configurations and prune levels), or
-/// `None` if the conservative verifier proves it correct.
-fn evaluate_proc(
-    program: &acspec_ir::Program,
-    proc: &acspec_ir::Procedure,
+/// Runs the full evaluation over a benchmark, fanning per-procedure
+/// analysis sessions out over [`ProgramAnalysis`]'s worker pool (one
+/// encode serves `Cons` and every configuration/prune variant).
+/// Results are collected in procedure order, so the output is
+/// deterministic regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if a generated benchmark fails to analyze (a generator bug).
+pub fn evaluate(bm: &Benchmark, opts: &EvalOptions) -> BenchEval {
+    evaluate_with(bm, opts, &mut NullObserver)
+}
+
+/// Like [`evaluate`], but streams stage completions to `observer` (in
+/// deterministic procedure order) — the data source for `repro fig9`'s
+/// per-stage columns.
+///
+/// # Panics
+///
+/// Panics if a generated benchmark fails to analyze (a generator bug).
+pub fn evaluate_with(
+    bm: &Benchmark,
     opts: &EvalOptions,
-) -> Option<ProcEval> {
-    let cons = cons_baseline(program, proc, opts.analyzer)
-        .unwrap_or_else(|e| panic!("cons failed on {}: {e}", proc.name));
-    if cons.status == SibStatus::Correct {
-        return None;
-    }
+    observer: &mut dyn SessionObserver,
+) -> BenchEval {
     let prune_variants: Vec<PruneConfig> = PRUNE_LEVELS
         .iter()
         .map(|k| PruneConfig {
@@ -97,87 +110,36 @@ fn evaluate_proc(
             no_cross_call_correlations: false,
         })
         .collect();
-    let mut reports = Vec::with_capacity(opts.configs.len());
-    let mut timed_out = cons.outcome == AnalysisOutcome::TimedOut;
-    for &config in opts.configs {
-        let mut aopts = AcspecOptions::for_config(config);
-        aopts.analyzer = opts.analyzer;
-        let per_prune = analyze_procedure_multi(program, proc, &aopts, &prune_variants)
-            .unwrap_or_else(|e| panic!("analysis failed on {}: {e}", proc.name));
-        timed_out |= per_prune.iter().any(ProcReport::timed_out);
-        reports.push(per_prune);
-    }
-    Some(ProcEval {
-        name: proc.name.clone(),
-        reports,
-        cons,
-        timed_out,
-    })
-}
-
-/// Runs the full evaluation over a benchmark, fanning procedures out
-/// over worker threads. Results are collected in procedure order, so
-/// the output is deterministic regardless of thread count.
-///
-/// # Panics
-///
-/// Panics if a generated benchmark fails to analyze (a generator bug).
-pub fn evaluate(bm: &Benchmark, opts: &EvalOptions) -> BenchEval {
-    let defined: Vec<&acspec_ir::Procedure> = bm
-        .program
-        .procedures
-        .iter()
-        .filter(|p| p.body.is_some())
-        .collect();
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    }
-    .min(defined.len().max(1));
-
-    let results: Vec<Option<ProcEval>> = if threads <= 1 {
-        defined
-            .iter()
-            .map(|p| evaluate_proc(&bm.program, p, opts))
-            .collect()
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<ProcEval>>> =
-            (0..defined.len()).map(|_| std::sync::Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= defined.len() {
-                        break;
-                    }
-                    let result = evaluate_proc(&bm.program, defined[i], opts);
-                    *slots[i].lock().expect("no poisoning") = result;
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("no poisoning"))
-            .collect()
+    let base = AcspecOptions {
+        analyzer: opts.analyzer,
+        ..AcspecOptions::default()
     };
+    let results = ProgramAnalysis::new(&bm.program)
+        .options(base)
+        .configs(opts.configs)
+        .prune_variants(&prune_variants)
+        .threads(opts.threads)
+        .run(observer)
+        .unwrap_or_else(|e| panic!("analysis failed on `{}`: {e}", bm.name));
 
     let mut procs = Vec::new();
     let mut correct = 0;
     let mut timeouts = 0;
-    for r in results {
-        match r {
-            None => correct += 1,
-            Some(pe) => {
-                if pe.timed_out {
-                    timeouts += 1;
-                }
-                procs.push(pe);
-            }
+    for pa in results {
+        if pa.cons.status == SibStatus::Correct {
+            correct += 1;
+            continue;
         }
+        let timed_out = pa.timed_out();
+        if timed_out {
+            timeouts += 1;
+        }
+        procs.push(ProcEval {
+            name: pa.proc_name,
+            reports: pa.reports,
+            cons: pa.cons,
+            timed_out,
+        });
     }
     BenchEval {
         name: bm.name.clone(),
@@ -242,12 +204,15 @@ impl BenchEval {
         }
         let n = rows.len() as f64;
         (
-            rows.iter().map(|r| r.stats.n_predicates as f64).sum::<f64>() / n,
+            rows.iter()
+                .map(|r| r.stats.n_predicates as f64)
+                .sum::<f64>()
+                / n,
             rows.iter()
                 .map(|r| r.stats.n_cover_clauses as f64)
                 .sum::<f64>()
                 / n,
-            rows.iter().map(|r| r.stats.seconds).sum::<f64>() / n,
+            rows.iter().map(|r| r.stats.seconds()).sum::<f64>() / n,
         )
     }
 }
@@ -265,10 +230,7 @@ pub struct Classification {
 }
 
 /// Classifies a set of reported warning tags against ground truth.
-pub fn classify(
-    gt: &acspec_benchgen::GroundTruth,
-    reported: &BTreeSet<String>,
-) -> Classification {
+pub fn classify(gt: &acspec_benchgen::GroundTruth, reported: &BTreeSet<String>) -> Classification {
     let fp = gt.safe.iter().filter(|t| reported.contains(*t)).count();
     let fn_ = gt.buggy.iter().filter(|t| !reported.contains(*t)).count();
     let total = gt.safe.len() + gt.buggy.len();

@@ -134,7 +134,9 @@ pub fn generate(name: &str, seed: u64, n_procs: usize, mix: PatternMix) -> Bench
 /// through; `buggy` omits the `return` after the command-specific frees.
 /// The command test uses the driver-typical `switch` dispatch.
 fn double_free(b: &mut SrcBuilder, i: usize, buggy: bool) {
-    b.line(format!("void drv_dispatch_{i}(int *c, char *buf, int cmd) {{"));
+    b.line(format!(
+        "void drv_dispatch_{i}(int *c, char *buf, int cmd) {{"
+    ));
     b.line("  if (nondet()) {");
     b.line("    free(c);");
     b.line("    free(buf);");
@@ -192,7 +194,9 @@ fn sl_assert(b: &mut SrcBuilder, i: usize) {
 /// the guard, so its stronger spec kills the later null check's else
 /// branch.
 fn buffer_corr(b: &mut SrcBuilder, i: usize) {
-    b.line(format!("void drv_process_{i}(int mBufferLength, char *mBuffer) {{"));
+    b.line(format!(
+        "void drv_process_{i}(int mBufferLength, char *mBuffer) {{"
+    ));
     b.line("  int j;");
     b.line("  if (mBufferLength >= 1) {");
     b.line("    for (j = 0; j < mBufferLength; j++) {");

@@ -38,23 +38,108 @@ pub struct SuiteEntry {
 
 /// The full suite (Figure 5's row names).
 pub const SUITE: &[SuiteEntry] = &[
-    SuiteEntry { name: "CWE476", kind: SuiteKind::Samate, seed: 476, size: 60 },
-    SuiteEntry { name: "CWE690", kind: SuiteKind::Samate, seed: 690, size: 80 },
-    SuiteEntry { name: "ansicon", kind: SuiteKind::Small, seed: 101, size: 29 },
-    SuiteEntry { name: "space", kind: SuiteKind::Small, seed: 102, size: 26 },
-    SuiteEntry { name: "cancel", kind: SuiteKind::Small, seed: 103, size: 9 },
-    SuiteEntry { name: "event", kind: SuiteKind::Small, seed: 104, size: 7 },
-    SuiteEntry { name: "firefly", kind: SuiteKind::Small, seed: 105, size: 9 },
-    SuiteEntry { name: "moufilter", kind: SuiteKind::Small, seed: 106, size: 7 },
-    SuiteEntry { name: "vserial", kind: SuiteKind::Small, seed: 107, size: 23 },
-    SuiteEntry { name: "Drv1", kind: SuiteKind::Large, seed: 201, size: 80 },
-    SuiteEntry { name: "Drv2", kind: SuiteKind::Large, seed: 202, size: 120 },
-    SuiteEntry { name: "Drv3", kind: SuiteKind::Large, seed: 203, size: 20 },
-    SuiteEntry { name: "Drv4", kind: SuiteKind::Large, seed: 204, size: 40 },
-    SuiteEntry { name: "Drv5", kind: SuiteKind::Large, seed: 205, size: 66 },
-    SuiteEntry { name: "Drv6", kind: SuiteKind::Large, seed: 206, size: 49 },
-    SuiteEntry { name: "Drv7", kind: SuiteKind::Large, seed: 207, size: 200 },
-    SuiteEntry { name: "Lib1", kind: SuiteKind::Large, seed: 208, size: 115 },
+    SuiteEntry {
+        name: "CWE476",
+        kind: SuiteKind::Samate,
+        seed: 476,
+        size: 60,
+    },
+    SuiteEntry {
+        name: "CWE690",
+        kind: SuiteKind::Samate,
+        seed: 690,
+        size: 80,
+    },
+    SuiteEntry {
+        name: "ansicon",
+        kind: SuiteKind::Small,
+        seed: 101,
+        size: 29,
+    },
+    SuiteEntry {
+        name: "space",
+        kind: SuiteKind::Small,
+        seed: 102,
+        size: 26,
+    },
+    SuiteEntry {
+        name: "cancel",
+        kind: SuiteKind::Small,
+        seed: 103,
+        size: 9,
+    },
+    SuiteEntry {
+        name: "event",
+        kind: SuiteKind::Small,
+        seed: 104,
+        size: 7,
+    },
+    SuiteEntry {
+        name: "firefly",
+        kind: SuiteKind::Small,
+        seed: 105,
+        size: 9,
+    },
+    SuiteEntry {
+        name: "moufilter",
+        kind: SuiteKind::Small,
+        seed: 106,
+        size: 7,
+    },
+    SuiteEntry {
+        name: "vserial",
+        kind: SuiteKind::Small,
+        seed: 107,
+        size: 23,
+    },
+    SuiteEntry {
+        name: "Drv1",
+        kind: SuiteKind::Large,
+        seed: 201,
+        size: 80,
+    },
+    SuiteEntry {
+        name: "Drv2",
+        kind: SuiteKind::Large,
+        seed: 202,
+        size: 120,
+    },
+    SuiteEntry {
+        name: "Drv3",
+        kind: SuiteKind::Large,
+        seed: 203,
+        size: 20,
+    },
+    SuiteEntry {
+        name: "Drv4",
+        kind: SuiteKind::Large,
+        seed: 204,
+        size: 40,
+    },
+    SuiteEntry {
+        name: "Drv5",
+        kind: SuiteKind::Large,
+        seed: 205,
+        size: 66,
+    },
+    SuiteEntry {
+        name: "Drv6",
+        kind: SuiteKind::Large,
+        seed: 206,
+        size: 49,
+    },
+    SuiteEntry {
+        name: "Drv7",
+        kind: SuiteKind::Large,
+        seed: 207,
+        size: 200,
+    },
+    SuiteEntry {
+        name: "Lib1",
+        kind: SuiteKind::Large,
+        seed: 208,
+        size: 115,
+    },
 ];
 
 /// Generates one suite entry at the given scale divisor (`1` = full).
@@ -142,8 +227,18 @@ mod tests {
     fn suite_names_match_figure5() {
         let names: Vec<&str> = SUITE.iter().map(|e| e.name).collect();
         for expected in [
-            "CWE476", "CWE690", "ansicon", "space", "cancel", "event", "firefly", "moufilter",
-            "vserial", "Drv1", "Drv7", "Lib1",
+            "CWE476",
+            "CWE690",
+            "ansicon",
+            "space",
+            "cancel",
+            "event",
+            "firefly",
+            "moufilter",
+            "vserial",
+            "Drv1",
+            "Drv7",
+            "Lib1",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

@@ -28,8 +28,8 @@ enum Tok {
 }
 
 const PUNCTS: &[&str] = &[
-    "==", "!=", "<=", ">=", "&&", "||", "->", "++", "--", "+=", "-=", "(", ")", "{", "}", "[",
-    "]", ";", ",", ":", "=", "<", ">", "!", "*", "+", "-", "&", ".",
+    "==", "!=", "<=", ">=", "&&", "||", "->", "++", "--", "+=", "-=", "(", ")", "{", "}", "[", "]",
+    ";", ",", ":", "=", "<", ">", "!", "*", "+", "-", "&", ".",
 ];
 
 fn lex(src: &str) -> Result<Vec<(Tok, u32)>, CParseError> {
@@ -175,7 +175,8 @@ impl P {
             "int" | "char" | "long" | "unsigned" | "size_t" | "bool" => {
                 self.bump();
                 // Consume extra specifier words (`unsigned int`, …).
-                while matches!(self.peek(), Tok::Ident(s) if matches!(s.as_str(), "int" | "char" | "long")) {
+                while matches!(self.peek(), Tok::Ident(s) if matches!(s.as_str(), "int" | "char" | "long"))
+                {
                     self.bump();
                 }
                 Some(CType::Int)
@@ -355,9 +356,7 @@ impl P {
                     match self.bump() {
                         Tok::Num(n) => Some(if negative { -n } else { n }),
                         other => {
-                            return Err(self.err(format!(
-                                "expected case constant, found {other:?}"
-                            )))
+                            return Err(self.err(format!("expected case constant, found {other:?}")))
                         }
                     }
                 } else if self.at_ident("default") {
@@ -382,10 +381,7 @@ impl P {
                         // fall through (it ends in `return`), for the
                         // default arm, and before the closing brace.
                         let ends_in_return = matches!(body.last(), Some(CStmt::Return(_)));
-                        if label.is_none()
-                            || self.peek() == &Tok::Punct("}")
-                            || ends_in_return
-                        {
+                        if label.is_none() || self.peek() == &Tok::Punct("}") || ends_in_return {
                             break;
                         }
                         return Err(self.err("case bodies must end with `break`"));
@@ -602,9 +598,7 @@ impl P {
                     }
                     other => {
                         return Err(CParseError {
-                            msg: format!(
-                                "`.` is only supported as `(*p).field`, got {other:?}"
-                            ),
+                            msg: format!("`.` is only supported as `(*p).field`, got {other:?}"),
                             line,
                         })
                     }

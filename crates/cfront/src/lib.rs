@@ -82,7 +82,10 @@ mod tests {
         let body = f.body.as_ref().expect("body");
         let printed = body.to_string();
         assert!(printed.contains("assert p != 0"), "got:\n{printed}");
-        assert!(printed.contains("Mem := write(Mem, p, 1)"), "got:\n{printed}");
+        assert!(
+            printed.contains("Mem := write(Mem, p, 1)"),
+            "got:\n{printed}"
+        );
     }
 
     #[test]
@@ -113,7 +116,10 @@ mod tests {
             .expect("body")
             .to_string();
         assert!(printed.contains("Freed[p] == 0"), "got:\n{printed}");
-        assert!(printed.contains("Freed := write(Freed, p, 1)"), "got:\n{printed}");
+        assert!(
+            printed.contains("Freed := write(Freed, p, 1)"),
+            "got:\n{printed}"
+        );
     }
 
     #[test]
@@ -134,7 +140,10 @@ mod tests {
         // The deref assert must appear *inside* the x != 0 branch.
         let outer = printed.find("if (x != 0)").expect("outer check");
         let assert_pos = printed.find("assert x != 0").expect("deref assert");
-        assert!(assert_pos > outer, "assert guarded by null check:\n{printed}");
+        assert!(
+            assert_pos > outer,
+            "assert guarded by null check:\n{printed}"
+        );
     }
 
     #[test]
@@ -237,7 +246,10 @@ mod tests {
             .and_then(|p| p.body.as_ref())
             .expect("body")
             .to_string();
-        assert!(printed.contains("fld_s_f := write(fld_s_f, p, 1)"), "got:\n{printed}");
+        assert!(
+            printed.contains("fld_s_f := write(fld_s_f, p, 1)"),
+            "got:\n{printed}"
+        );
         // One deref assert (not two: `(*p).f` is a single access).
         assert_eq!(prog.assert_count(), 1);
     }

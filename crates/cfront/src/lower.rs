@@ -116,8 +116,7 @@ pub fn lower_c_program(cprog: &CProgram) -> Result<Program, LowerError> {
             has_early_return: false,
             ret_type: f.ret.clone(),
         };
-        lw.types
-            .insert("%ret".to_string(), f.ret.clone());
+        lw.types.insert("%ret".to_string(), f.ret.clone());
         let (mut lowered, may_return) = lw.lower_stmts(body)?;
         if may_return {
             // Initialize the flag at entry.
@@ -188,14 +187,10 @@ impl Lowerer<'_> {
     fn type_of(&self, e: &CExpr) -> Result<CType, LowerError> {
         match e {
             CExpr::Num(_) | CExpr::Null => Ok(CType::Int),
-            CExpr::Var(n, l) => self
-                .types
-                .get(n)
-                .cloned()
-                .ok_or_else(|| LowerError {
-                    msg: format!("unknown variable `{n}`"),
-                    line: *l,
-                }),
+            CExpr::Var(n, l) => self.types.get(n).cloned().ok_or_else(|| LowerError {
+                msg: format!("unknown variable `{n}`"),
+                line: *l,
+            }),
             CExpr::Deref(p, l) => match self.type_of(p)? {
                 CType::Ptr(inner) => Ok(*inner),
                 other => err(format!("dereference of non-pointer `{other:?}`"), *l),
@@ -298,9 +293,7 @@ impl Lowerer<'_> {
                 let (pre, v) = self.lower_expr(inner)?;
                 Ok((pre, Expr::Neg(Box::new(v))))
             }
-            CExpr::Bin(op, a, b)
-                if matches!(op, CBinOp::Add | CBinOp::Sub | CBinOp::Mul) =>
-            {
+            CExpr::Bin(op, a, b) if matches!(op, CBinOp::Add | CBinOp::Sub | CBinOp::Mul) => {
                 let (mut pre, av) = self.lower_expr(a)?;
                 let (pre_b, bv) = self.lower_expr(b)?;
                 pre.extend(pre_b);
@@ -373,12 +366,7 @@ impl Lowerer<'_> {
 
     /// Lowers a condition with C short-circuit semantics into branching
     /// statements.
-    fn lower_cond(
-        &mut self,
-        e: &CExpr,
-        then_b: Stmt,
-        else_b: Stmt,
-    ) -> Result<Stmt, LowerError> {
+    fn lower_cond(&mut self, e: &CExpr, then_b: Stmt, else_b: Stmt) -> Result<Stmt, LowerError> {
         match e {
             CExpr::Bin(CBinOp::And, a, b) => {
                 let inner = self.lower_cond(b, then_b, else_b.clone())?;
@@ -416,11 +404,7 @@ impl Lowerer<'_> {
             other => {
                 // Truthiness of an integer value: e != 0.
                 let (mut pre, v) = self.lower_expr(other)?;
-                pre.push(Stmt::ite(
-                    Formula::ne(v, Expr::Int(0)),
-                    then_b,
-                    else_b,
-                ));
+                pre.push(Stmt::ite(Formula::ne(v, Expr::Int(0)), then_b, else_b));
                 Ok(Stmt::seq(pre))
             }
         }
@@ -483,11 +467,7 @@ impl Lowerer<'_> {
                         ));
                         pre.push(Stmt::Assign(
                             "Mem".into(),
-                            Expr::Write(
-                                Box::new(Expr::var("Mem")),
-                                Box::new(pv),
-                                Box::new(rv),
-                            ),
+                            Expr::Write(Box::new(Expr::var("Mem")), Box::new(pv), Box::new(rv)),
                         ));
                     }
                     CLval::Arrow(p, f, line) => {
@@ -587,10 +567,7 @@ impl Lowerer<'_> {
                 let (mut pre, pv) = self.lower_expr(e)?;
                 // Figure 1's model: assert !Freed[p]; Freed[p] := true.
                 pre.push(Stmt::assert(
-                    Formula::eq(
-                        Expr::read_var("Freed", pv.clone()),
-                        Expr::Int(0),
-                    ),
+                    Formula::eq(Expr::read_var("Freed", pv.clone()), Expr::Int(0)),
                     format!("double-free@{line}"),
                 ));
                 pre.push(Stmt::Assign(
@@ -643,11 +620,7 @@ impl Lowerer<'_> {
                 ),
             ]);
         }
-        let guarded = self.lower_cond(
-            cond,
-            body_s,
-            Stmt::Assign(cont.clone(), Expr::Int(0)),
-        )?;
+        let guarded = self.lower_cond(cond, body_s, Stmt::Assign(cont.clone(), Expr::Int(0)))?;
         let w = Stmt::While {
             cond: BranchCond::Det(Formula::eq(Expr::var(cont.clone()), Expr::Int(1))),
             body: Box::new(guarded),

@@ -47,13 +47,17 @@ impl ConfigName {
     pub fn at_least_as_precise_as(self, other: ConfigName) -> bool {
         let a = self.abstraction();
         let b = other.abstraction();
-        (!a.ignore_conditionals || b.ignore_conditionals)
-            && (!a.havoc_returns || b.havoc_returns)
+        (!a.ignore_conditionals || b.ignore_conditionals) && (!a.havoc_returns || b.havoc_returns)
     }
 
     /// All four configurations, most precise first.
     pub fn all() -> [ConfigName; 4] {
-        [ConfigName::Conc, ConfigName::A0, ConfigName::A1, ConfigName::A2]
+        [
+            ConfigName::Conc,
+            ConfigName::A0,
+            ConfigName::A1,
+            ConfigName::A2,
+        ]
     }
 }
 
@@ -70,8 +74,7 @@ impl std::fmt::Display for ConfigName {
 
 /// The metric deciding when a specification is "too strong" (§2.3: the
 /// definition of `Dead` is a parameter of the analysis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DeadMetric {
     /// Branch coverage (the paper's default): a specification is too
     /// strong if some tracked location becomes unreachable.
@@ -86,7 +89,6 @@ pub enum DeadMetric {
         max_profiles: usize,
     },
 }
-
 
 /// Options for a full ACSpec analysis of one procedure.
 #[derive(Debug, Clone, Copy)]

@@ -1,24 +1,22 @@
-//! The end-to-end ACSpec pipeline (`FindAbstractSIBs`, Algorithm 1) and
-//! the conservative-verifier baseline (`Cons`).
+//! Thin one-shot entry points over the staged session layer
+//! ([`crate::session`]): the end-to-end ACSpec pipeline
+//! (`FindAbstractSIBs`, Algorithm 1) and the conservative-verifier
+//! baseline (`Cons`).
+//!
+//! Each function builds a [`ProcSession`] (one desugar, one encode) and
+//! runs the requested slice of it. Callers analyzing one procedure
+//! under several configurations should hold a session directly — or use
+//! [`crate::session::ProgramAnalysis`] for whole programs — so the
+//! encode and the demonic screen are shared instead of repeated.
 
-use std::collections::BTreeSet;
-use std::time::Instant;
-
-use acspec_ir::desugar::{desugar_procedure, DesugarError, DesugarOptions};
-use acspec_ir::expr::Formula;
+use acspec_ir::desugar::DesugarError;
 use acspec_ir::program::{Procedure, Program};
-use acspec_ir::stmt::AssertId;
-use acspec_predabs::clause::{clauses_to_formula, QClause};
-use acspec_predabs::cover::{predicate_cover_capped, Cover};
-use acspec_predabs::mine::mine_predicates;
-use acspec_predabs::normalize::{normalize, prune_clauses};
-use acspec_smt::TermId;
-use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, Selector};
+use acspec_vcgen::analyzer::AnalyzerConfig;
 use acspec_vcgen::translate::TranslateError;
 
-use crate::config::{AcspecOptions, DeadMetric};
-use crate::report::{AnalysisOutcome, ProcReport, ProcStats, SibStatus, Warning};
-use crate::search::{find_almost_correct_specs_with, DeadCheck};
+use crate::config::AcspecOptions;
+use crate::report::ProcReport;
+use crate::session::ProcSession;
 
 /// Errors that abort an analysis (as opposed to timeouts, which are
 /// reported inside [`ProcReport`]).
@@ -53,106 +51,6 @@ impl From<TranslateError> for AcspecError {
     }
 }
 
-/// Installs a selector for an arbitrary clause set over the cover's
-/// indicator terms.
-fn install_clause_set_selector(
-    az: &mut ProcAnalyzer,
-    cover: &Cover,
-    clauses: &[QClause],
-) -> Selector {
-    let mut conj: Vec<TermId> = Vec::with_capacity(clauses.len());
-    for c in clauses {
-        let parts: Vec<TermId> = c
-            .lits()
-            .iter()
-            .map(|l| {
-                let b = cover.indicators[l.pred];
-                if l.positive {
-                    b
-                } else {
-                    az.ctx.mk_not(b)
-                }
-            })
-            .collect();
-        conj.push(az.ctx.mk_or(parts));
-    }
-    let body = az.ctx.mk_and(conj);
-    az.add_selector_term(body)
-}
-
-/// Computes the *strongest* clause set with the same consistent input
-/// states as `clauses` by enumerating the specification's
-/// theory-satisfiable cubes and negating the complement, then Boolean
-/// normalizing.
-///
-/// The maximal-clause cover omits clauses for theory-inconsistent cubes
-/// (ALL-SAT never produces them), which leaves weaker-looking Boolean
-/// forms than the paper's displayed specifications (e.g. Figure 1's
-/// `!Freed[c] && !Freed[buf] && c != buf`); this pass recovers the
-/// paper's form. Returns `None` (caller falls back to syntactic
-/// normalization) when `|Q|` is too large for cube enumeration.
-fn semantic_normal_form(
-    az: &mut ProcAnalyzer,
-    cover: &Cover,
-    clauses: &[QClause],
-    normalize_cap: usize,
-) -> Option<Vec<QClause>> {
-    use acspec_predabs::clause::QLit;
-    let nq = cover.preds.len();
-    if nq == 0 || nq > 10 {
-        return None;
-    }
-    let sel = install_clause_set_selector(az, cover, clauses);
-    let session = az.ctx.fresh_bool_var("semnf");
-    let not_session = az.ctx.mk_not(session);
-    let mut models: std::collections::HashSet<u32> = std::collections::HashSet::new();
-    loop {
-        match az.is_consistent(&[sel], &[session]) {
-            Ok(true) => {}
-            Ok(false) => break,
-            Err(_) => return None,
-        }
-        let mut mask = 0u32;
-        let mut blocking: Vec<TermId> = vec![not_session];
-        for (i, &b) in cover.indicators.iter().enumerate() {
-            let v = az.model_bool(b).unwrap_or(false);
-            if v {
-                mask |= 1 << i;
-            }
-            blocking.push(if v { az.ctx.mk_not(b) } else { b });
-        }
-        az.add_clause(&blocking);
-        models.insert(mask);
-        if models.len() > 256 {
-            return None;
-        }
-    }
-    // Strongest equivalent: forbid every cube that is not a consistent
-    // model of the specification.
-    let mut out = Vec::new();
-    for mask in 0..(1u32 << nq) {
-        if models.contains(&mask) {
-            continue;
-        }
-        let lits: Vec<QLit> = (0..nq)
-            .map(|i| QLit {
-                pred: i,
-                positive: mask & (1 << i) == 0,
-            })
-            .collect();
-        out.push(QClause::new(lits));
-    }
-    Some(normalize(&out, normalize_cap))
-}
-
-/// Renders a witness environment as `name = value` pairs.
-fn render_witness(w: &std::collections::BTreeMap<String, i64>) -> String {
-    w.iter()
-        .map(|(k, v)| format!("{k} = {v}"))
-        .collect::<Vec<_>>()
-        .join(", ")
-}
-
 /// Runs the full ACSpec analysis (`FindAbstractSIBs`, Algorithm 1) on one
 /// procedure: desugar → encode → mine `Q` → predicate cover → Algorithm 2
 /// → `Normalize`/`PruneClauses` → collect warnings.
@@ -161,7 +59,8 @@ fn render_witness(w: &std::collections::BTreeMap<String, i64>) -> String {
 ///
 /// Returns [`AcspecError`] for malformed inputs; analysis-budget
 /// exhaustion is reported via [`ProcReport::outcome`] instead (the
-/// paper's "TO" column).
+/// paper's "TO" column), with the interrupted stage in
+/// [`ProcReport::timeout_stage`].
 pub fn analyze_procedure(
     program: &Program,
     proc: &Procedure,
@@ -186,184 +85,13 @@ pub fn analyze_procedure_multi(
     opts: &AcspecOptions,
     prune_variants: &[acspec_predabs::normalize::PruneConfig],
 ) -> Result<Vec<ProcReport>, AcspecError> {
-    let start = Instant::now();
-    let d = desugar_procedure(program, proc, DesugarOptions::default())?;
-    let mut az = ProcAnalyzer::new(&d, opts.analyzer)?;
-    let tag_of = |id: AssertId| -> String {
-        d.asserts
-            .get(id.0 as usize)
-            .map(|m| m.tag.clone())
-            .unwrap_or_default()
-    };
-    let mut report = ProcReport {
-        proc_name: proc.name.clone(),
-        config: opts.config,
-        status: SibStatus::MayBug,
-        warnings: Vec::new(),
-        specs: Vec::new(),
-        min_fail: 0,
-        stats: ProcStats::default(),
-        outcome: AnalysisOutcome::Ok,
-    };
-    let n_variants = prune_variants.len().max(1);
-    let replicate = |mut r: ProcReport, az: &ProcAnalyzer, start: Instant, n: usize| {
-        r.stats.solver_queries = az.queries;
-        r.stats.seconds = start.elapsed().as_secs_f64();
-        vec![r; n]
-    };
-    let timeout_report = |mut r: ProcReport, az: &ProcAnalyzer, start: Instant, n: usize| {
-        r.outcome = AnalysisOutcome::TimedOut;
-        replicate(r, az, start, n)
-    };
-
-    // The `true` baseline is removed before the analysis (§2.3): dead
-    // locations for branch coverage, feasible profiles for path coverage.
-    let dead_check = match opts.dead_metric {
-        DeadMetric::BranchCoverage => match az.dead_set(&[]) {
-            Ok(d) => DeadCheck::Branch { baseline_dead: d },
-            Err(_) => return Ok(timeout_report(report, &az, start, n_variants)),
-        },
-        DeadMetric::PathCoverage { max_profiles } => match az.path_profiles(&[], max_profiles) {
-            Ok(p) => DeadCheck::Path {
-                baseline_profiles: p,
-                cap: max_profiles,
-            },
-            Err(_) => return Ok(timeout_report(report, &az, start, n_variants)),
-        },
-    };
-
-    // The conservative screen: procedures with no demonic failures are
-    // correct; the paper excludes them from all statistics.
-    let demonic_fail = match az.fail_set(&[]) {
-        Ok(f) => f,
-        Err(_) => return Ok(timeout_report(report, &az, start, n_variants)),
-    };
-    if demonic_fail.is_empty() {
-        report.status = SibStatus::Correct;
-        return Ok(replicate(report, &az, start, n_variants));
-    }
-
-    // Mine Q under the configuration's abstraction.
-    let q = mine_predicates(&d, opts.config.abstraction());
-    report.stats.n_predicates = q.len();
-    if q.len() > opts.max_predicates {
-        return Ok(timeout_report(report, &az, start, n_variants));
-    }
-
-    // Predicate cover (ALL-SAT).
-    let cover = match predicate_cover_capped(&mut az, &q, opts.max_cover_clauses) {
-        Ok(c) => c,
-        Err(_) => return Ok(timeout_report(report, &az, start, n_variants)),
-    };
-    report.stats.n_cover_clauses = cover.clauses.len();
-
-    // Algorithm 2.
-    let handles = cover.install_handles(&mut az);
-    let selectors: Vec<acspec_vcgen::Selector> = handles.iter().map(|&(s, _)| s).collect();
-    let bodies: Vec<acspec_smt::TermId> = handles.iter().map(|&(_, b)| b).collect();
-    let search = match find_almost_correct_specs_with(
-        &mut az,
-        &selectors,
-        &dead_check,
-        opts.max_search_nodes,
-        Some(&bodies),
-    ) {
-        Ok(s) => s,
-        Err(_) => return Ok(timeout_report(report, &az, start, n_variants)),
-    };
-    report.stats.search_nodes = search.nodes_visited;
-    report.status = if search.root_dead {
-        SibStatus::Sib
-    } else {
-        SibStatus::MayBug
-    };
-    report.min_fail = search.min_fail;
-
-    // Normalize each output spec once, then prune per variant and collect
-    // E = Fail(Φ) for each variant.
-    let call_sites_of_pred = |p: usize| -> Vec<u32> {
-        cover.preds[p]
-            .nu_consts()
-            .into_iter()
-            .map(|nu| nu.site)
-            .collect()
-    };
-    let mut normalized_specs: Vec<Vec<QClause>> = Vec::new();
-    for subset in &search.specs {
-        let clauses: Vec<QClause> = subset
-            .iter()
-            .map(|&i| cover.clauses[i as usize].clone())
-            .collect();
-        let normalized = if opts.apply_normalize {
-            semantic_normal_form(&mut az, &cover, &clauses, opts.normalize_max_clauses)
-                .unwrap_or_else(|| normalize(&clauses, opts.normalize_max_clauses))
-        } else {
-            clauses
-        };
-        normalized_specs.push(normalized);
-    }
-
-    let variants: Vec<acspec_predabs::normalize::PruneConfig> = if prune_variants.is_empty() {
-        vec![opts.prune]
-    } else {
-        prune_variants.to_vec()
-    };
-    let mut out = Vec::with_capacity(variants.len());
-    for prune in &variants {
-        let mut warnings: BTreeSet<AssertId> = BTreeSet::new();
-        let mut witnesses: std::collections::BTreeMap<AssertId, String> =
-            std::collections::BTreeMap::new();
-        let mut specs: Vec<Formula> = Vec::new();
-        let mut timed_out = false;
-        for normalized in &normalized_specs {
-            let pruned = prune_clauses(normalized, *prune, &call_sites_of_pred);
-            let spec_formula = clauses_to_formula(&pruned, &cover.preds);
-            if !specs.contains(&spec_formula) {
-                specs.push(spec_formula);
-            }
-            let sel = install_clause_set_selector(&mut az, &cover, &pruned);
-            match az.fail_set(&[sel]) {
-                Ok(f) => {
-                    for id in &f {
-                        if !witnesses.contains_key(id) {
-                            if let Ok(Some(w)) = az.failure_witness(*id, &[sel]) {
-                                if !w.is_empty() {
-                                    witnesses.insert(*id, render_witness(&w));
-                                }
-                            }
-                        }
-                    }
-                    warnings.extend(f);
-                }
-                Err(_) => {
-                    timed_out = true;
-                    break;
-                }
-            }
-        }
-        let mut r = report.clone();
-        r.specs = specs;
-        r.warnings = warnings
-            .into_iter()
-            .map(|id| Warning {
-                assert: id,
-                tag: tag_of(id),
-                witness: witnesses.remove(&id),
-            })
-            .collect();
-        r.stats.solver_queries = az.queries;
-        r.stats.seconds = start.elapsed().as_secs_f64();
-        if timed_out {
-            r.outcome = AnalysisOutcome::TimedOut;
-        }
-        out.push(r);
-    }
-    Ok(out)
+    let mut session = ProcSession::new(program, proc, opts.analyzer)?;
+    Ok(session.run_config(opts, prune_variants))
 }
 
 /// The conservative verifier baseline (`Cons`, BOOGIE in the paper):
 /// every assertion that can fail under the demonic (unconstrained)
-/// environment.
+/// environment, labeled [`crate::report::ReportLabel::Cons`].
 ///
 /// # Errors
 ///
@@ -374,40 +102,6 @@ pub fn cons_baseline(
     proc: &Procedure,
     analyzer: AnalyzerConfig,
 ) -> Result<ProcReport, AcspecError> {
-    let start = Instant::now();
-    let d = desugar_procedure(program, proc, DesugarOptions::default())?;
-    let mut az = ProcAnalyzer::new(&d, analyzer)?;
-    let mut report = ProcReport {
-        proc_name: proc.name.clone(),
-        config: crate::config::ConfigName::Conc,
-        status: SibStatus::MayBug,
-        warnings: Vec::new(),
-        specs: Vec::new(),
-        min_fail: 0,
-        stats: ProcStats::default(),
-        outcome: AnalysisOutcome::Ok,
-    };
-    match az.fail_set(&[]) {
-        Ok(fails) => {
-            if fails.is_empty() {
-                report.status = SibStatus::Correct;
-            }
-            report.warnings = fails
-                .into_iter()
-                .map(|id| Warning {
-                    assert: id,
-                    tag: d
-                        .asserts
-                        .get(id.0 as usize)
-                        .map(|m| m.tag.clone())
-                        .unwrap_or_default(),
-                    witness: None,
-                })
-                .collect();
-        }
-        Err(_) => report.outcome = AnalysisOutcome::TimedOut,
-    }
-    report.stats.solver_queries = az.queries;
-    report.stats.seconds = start.elapsed().as_secs_f64();
-    Ok(report)
+    let mut session = ProcSession::new(program, proc, analyzer)?;
+    Ok(session.cons())
 }

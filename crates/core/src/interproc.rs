@@ -85,9 +85,7 @@ fn bottom_up_order(program: &Program) -> Vec<String> {
     loop {
         let ready: Vec<String> = deps
             .iter()
-            .filter(|(n, cs)| {
-                !placed.contains(**n) && cs.iter().all(|c| placed.contains(c))
-            })
+            .filter(|(n, cs)| !placed.contains(**n) && cs.iter().all(|c| placed.contains(c)))
             .map(|(n, _)| (*n).to_string())
             .collect();
         if ready.is_empty() {
@@ -136,7 +134,9 @@ pub fn infer_preconditions(
         if q.is_empty() || q.len() > opts.max_predicates {
             continue;
         }
-        let Ok(baseline_dead) = az.dead_set(&[]) else { continue };
+        let Ok(baseline_dead) = az.dead_set(&[]) else {
+            continue;
+        };
         let Ok(cover) = predicate_cover_capped(&mut az, &q, opts.max_cover_clauses) else {
             continue;
         };
@@ -146,11 +146,15 @@ pub fn infer_preconditions(
         // Adopt only specs that kill no code (no SIB): otherwise the
         // callee's own warning machinery is the right reporter.
         let sels = cover.install_selectors(&mut az);
-        let Ok(consistent) = az.is_consistent(&sels, &[]) else { continue };
+        let Ok(consistent) = az.is_consistent(&sels, &[]) else {
+            continue;
+        };
         if !consistent {
             continue;
         }
-        let Ok(dead) = az.dead_set(&sels) else { continue };
+        let Ok(dead) = az.dead_set(&sels) else {
+            continue;
+        };
         if dead.difference(&baseline_dead).next().is_some() {
             continue;
         }
@@ -202,7 +206,11 @@ mod tests {
         assert_eq!(r.warnings.len(), 1, "got {:?}", r.warnings);
         assert!(r.warnings[0].tag.contains("pre:callee"));
         // The good caller stays clean.
-        let good = inferred.program.procedure("caller_good").expect("x").clone();
+        let good = inferred
+            .program
+            .procedure("caller_good")
+            .expect("x")
+            .clone();
         let r = analyze_procedure(&inferred.program, &good, &opts).expect("ok");
         assert!(r.warnings.is_empty(), "got {:?}", r.warnings);
     }

@@ -47,11 +47,20 @@ pub mod driver;
 pub mod interproc;
 pub mod report;
 pub mod search;
+pub mod session;
 pub mod triage;
 
 pub use config::{AcspecOptions, ConfigName, DeadMetric};
 pub use driver::{analyze_procedure, analyze_procedure_multi, cons_baseline, AcspecError};
 pub use interproc::{infer_preconditions, InferredContracts};
-pub use report::{AnalysisOutcome, ProcReport, ProcStats, SibStatus, Warning};
-pub use search::{find_almost_correct_specs, find_almost_correct_specs_with, DeadCheck, SearchOutcome};
+pub use report::{
+    AnalysisOutcome, ProcReport, ProcStats, ReportLabel, SibStatus, Warning, Witness,
+};
+pub use search::{
+    find_almost_correct_specs, find_almost_correct_specs_with, DeadCheck, SearchOutcome,
+};
+pub use session::{
+    NullObserver, ProcAnalysis, ProcSession, ProgramAnalysis, Screening, SessionObserver,
+    StageEvent, StageTotals,
+};
 pub use triage::{triage_procedure, triage_program, Confidence, RankedWarning};

@@ -1,14 +1,17 @@
 //! Warning reports produced by the analysis.
 
+use std::collections::BTreeMap;
+
 use acspec_ir::expr::Formula;
 use acspec_ir::stmt::AssertId;
-use serde::ser::SerializeStruct;
+use acspec_vcgen::stage::{Stage, StageTable};
+use serde::ser::{SerializeMap, SerializeStruct};
 use serde::{Serialize, Serializer};
 
 use crate::config::ConfigName;
 
 /// The SIB classification of Algorithm 1's `s`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SibStatus {
     /// The procedure is correct under the demonic environment: no
     /// assertion can fail at all (the conservative verifier labels it
@@ -30,13 +33,151 @@ impl std::fmt::Display for SibStatus {
     }
 }
 
+impl Serialize for SibStatus {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let name = match self {
+            SibStatus::Correct => "Correct",
+            SibStatus::Sib => "Sib",
+            SibStatus::MayBug => "MayBug",
+        };
+        serializer.serialize_unit_variant("SibStatus", 0, name)
+    }
+}
+
 /// Whether the analysis completed within budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnalysisOutcome {
     /// Completed.
     Ok,
     /// Budget exhausted (counted in the paper's "TO" columns).
     TimedOut,
+}
+
+impl Serialize for AnalysisOutcome {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let name = match self {
+            AnalysisOutcome::Ok => "Ok",
+            AnalysisOutcome::TimedOut => "TimedOut",
+        };
+        serializer.serialize_unit_variant("AnalysisOutcome", 0, name)
+    }
+}
+
+/// What a report describes: the conservative baseline (`Cons`, the
+/// modular verifier of the evaluation's first column) or one of the
+/// four abstract configurations. `Cons` is not a [`ConfigName`] — it is
+/// not a point of the Figure 4 lattice but the unscreened demonic
+/// baseline the configurations are measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReportLabel {
+    /// The conservative verifier baseline.
+    Cons,
+    /// An abstract configuration of Figure 4.
+    Config(ConfigName),
+}
+
+impl ReportLabel {
+    /// The configuration, unless this is the `Cons` baseline.
+    pub fn config(self) -> Option<ConfigName> {
+        match self {
+            ReportLabel::Cons => None,
+            ReportLabel::Config(c) => Some(c),
+        }
+    }
+
+    /// True for the `Cons` baseline.
+    pub fn is_cons(self) -> bool {
+        self == ReportLabel::Cons
+    }
+}
+
+impl From<ConfigName> for ReportLabel {
+    fn from(c: ConfigName) -> Self {
+        ReportLabel::Config(c)
+    }
+}
+
+impl PartialEq<ConfigName> for ReportLabel {
+    fn eq(&self, other: &ConfigName) -> bool {
+        self.config() == Some(*other)
+    }
+}
+
+impl std::fmt::Display for ReportLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportLabel::Cons => write!(f, "Cons"),
+            ReportLabel::Config(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl Serialize for ReportLabel {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+/// A concrete environment witness: input values (including ν-constants)
+/// under which the warned assertion fails within the almost-correct
+/// specification. Structured so downstream tooling can read values
+/// directly; [`std::fmt::Display`] renders the historical
+/// `name = value, …` form.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Witness {
+    values: BTreeMap<String, i64>,
+}
+
+impl Witness {
+    /// Wraps an input-environment assignment.
+    pub fn new(values: BTreeMap<String, i64>) -> Witness {
+        Witness { values }
+    }
+
+    /// The value assigned to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.values.get(name).copied()
+    }
+
+    /// `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// True when no input values were recovered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl From<BTreeMap<String, i64>> for Witness {
+    fn from(values: BTreeMap<String, i64>) -> Self {
+        Witness { values }
+    }
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (name, value) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{name} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for Witness {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.values.len()))?;
+        for (name, value) in &self.values {
+            map.serialize_entry(name, value)?;
+        }
+        map.end()
+    }
 }
 
 /// A single reported warning.
@@ -46,14 +187,12 @@ pub struct Warning {
     pub assert: AssertId,
     /// Its provenance tag (e.g. `deref *p@12`).
     pub tag: String,
-    /// A concrete environment witness (input values under which the
-    /// assertion fails within the almost-correct specification), when
-    /// available. Rendered as `name = value` pairs.
-    pub witness: Option<String>,
+    /// A concrete environment witness, when available.
+    pub witness: Option<Witness>,
 }
 
 /// Per-procedure statistics (Figure 9's `P`, `C`, `T` plus extras).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ProcStats {
     /// `|Q|` — predicates collected (Figure 9 column `P`).
     pub n_predicates: usize,
@@ -63,17 +202,64 @@ pub struct ProcStats {
     pub search_nodes: usize,
     /// SMT queries issued.
     pub solver_queries: u64,
-    /// Wall-clock seconds (Figure 9 column `T`).
-    pub seconds: f64,
+    /// Per-stage wall-clock/query breakdown (encode through evaluate).
+    pub stages: StageTable,
 }
 
-/// The full analysis report for one procedure under one configuration.
+impl ProcStats {
+    /// Total wall-clock seconds across stages (Figure 9 column `T`).
+    pub fn seconds(&self) -> f64 {
+        self.stages.total_seconds()
+    }
+}
+
+impl Serialize for ProcStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("ProcStats", 6)?;
+        st.serialize_field("n_predicates", &self.n_predicates)?;
+        st.serialize_field("n_cover_clauses", &self.n_cover_clauses)?;
+        st.serialize_field("search_nodes", &self.search_nodes)?;
+        st.serialize_field("solver_queries", &self.solver_queries)?;
+        st.serialize_field("seconds", &self.seconds())?;
+        struct StageEntry {
+            seconds: f64,
+            queries: u64,
+        }
+        impl Serialize for StageEntry {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut st = serializer.serialize_struct("StageEntry", 2)?;
+                st.serialize_field("seconds", &self.seconds)?;
+                st.serialize_field("queries", &self.queries)?;
+                st.end()
+            }
+        }
+        let stages: BTreeMap<&str, StageEntry> = self
+            .stages
+            .iter()
+            .filter(|(_, m)| m.queries > 0 || m.seconds > 0.0)
+            .map(|(stage, m)| {
+                (
+                    stage.name(),
+                    StageEntry {
+                        seconds: m.seconds,
+                        queries: m.queries,
+                    },
+                )
+            })
+            .collect();
+        st.serialize_field("stages", &stages)?;
+        st.end()
+    }
+}
+
+/// The full analysis report for one procedure under one configuration
+/// (or the `Cons` baseline).
 #[derive(Debug, Clone)]
 pub struct ProcReport {
     /// Procedure name.
     pub proc_name: String,
-    /// The abstract configuration analyzed.
-    pub config: ConfigName,
+    /// What was analyzed: `Cons` or an abstract configuration.
+    pub config: ReportLabel,
     /// SIB classification.
     pub status: SibStatus,
     /// High-confidence warnings: `E = Fail(Φ)` over the almost-correct
@@ -87,6 +273,9 @@ pub struct ProcReport {
     pub stats: ProcStats,
     /// Completion status.
     pub outcome: AnalysisOutcome,
+    /// The stage whose budget exhaustion caused a timeout, when the
+    /// outcome is [`AnalysisOutcome::TimedOut`].
+    pub timeout_stage: Option<Stage>,
 }
 
 impl ProcReport {
@@ -114,9 +303,9 @@ impl Serialize for Warning {
 
 impl Serialize for ProcReport {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("ProcReport", 8)?;
+        let mut st = serializer.serialize_struct("ProcReport", 9)?;
         st.serialize_field("proc_name", &self.proc_name)?;
-        st.serialize_field("config", &self.config.to_string())?;
+        st.serialize_field("config", &self.config)?;
         st.serialize_field("status", &self.status)?;
         st.serialize_field("warnings", &self.warnings)?;
         let specs: Vec<String> = self.specs.iter().map(Formula::to_string).collect();
@@ -124,6 +313,7 @@ impl Serialize for ProcReport {
         st.serialize_field("min_fail", &self.min_fail)?;
         st.serialize_field("stats", &self.stats)?;
         st.serialize_field("outcome", &self.outcome)?;
+        st.serialize_field("timeout_stage", &self.timeout_stage.map(Stage::name))?;
         st.end()
     }
 }
@@ -136,12 +326,12 @@ mod tests {
     fn report_serializes_to_json() {
         let report = ProcReport {
             proc_name: "Foo".into(),
-            config: ConfigName::Conc,
+            config: ReportLabel::Config(ConfigName::Conc),
             status: SibStatus::Sib,
             warnings: vec![Warning {
                 assert: AssertId(4),
                 tag: "pre:free@4".into(),
-                witness: Some("c = 1".into()),
+                witness: Some(Witness::new(BTreeMap::from([("c".to_string(), 1)]))),
             }],
             specs: vec![Formula::ne(
                 acspec_ir::expr::Expr::var("c"),
@@ -150,6 +340,7 @@ mod tests {
             min_fail: 1,
             stats: ProcStats::default(),
             outcome: AnalysisOutcome::Ok,
+            timeout_stage: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"proc_name\": \"Foo\""), "{json}");
@@ -158,6 +349,42 @@ mod tests {
         assert!(json.contains("\"status\": \"Sib\""), "{json}");
         // Valid JSON round trip through serde_json's Value.
         let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-        assert_eq!(value["warnings"][0]["witness"], "c = 1");
+        assert_eq!(value["warnings"][0]["witness"]["c"], 1);
+    }
+
+    #[test]
+    fn labels_distinguish_cons_from_configs() {
+        assert_eq!(ReportLabel::Cons.to_string(), "Cons");
+        assert_eq!(ReportLabel::Config(ConfigName::Conc).to_string(), "Conc");
+        assert_ne!(
+            ReportLabel::Cons,
+            ReportLabel::Config(ConfigName::Conc),
+            "the baseline is not the concrete configuration"
+        );
+        assert!(ReportLabel::Cons.is_cons());
+        assert_eq!(ReportLabel::Config(ConfigName::A1), ConfigName::A1);
+        assert_eq!(ReportLabel::Cons.config(), None);
+    }
+
+    #[test]
+    fn witness_renders_and_exposes_values() {
+        let w = Witness::new(BTreeMap::from([
+            ("cmd".to_string(), 1),
+            ("p".to_string(), 0),
+        ]));
+        assert_eq!(w.to_string(), "cmd = 1, p = 0");
+        assert_eq!(w.get("cmd"), Some(1));
+        assert_eq!(w.get("missing"), None);
+        assert_eq!(w.iter().count(), 2);
+    }
+
+    #[test]
+    fn stats_seconds_totals_stages() {
+        use acspec_vcgen::stage::Stage;
+        let mut stats = ProcStats::default();
+        stats.stages.record(Stage::Screen, 0.5, 3);
+        stats.stages.record(Stage::Search, 0.25, 2);
+        assert!((stats.seconds() - 0.75).abs() < 1e-9);
+        assert_eq!(stats.stages.total_queries(), 5);
     }
 }

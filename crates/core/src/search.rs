@@ -56,10 +56,7 @@ struct SubsetEval<'a> {
 
 impl SubsetEval<'_> {
     fn active(&self, subset: &BTreeSet<u32>) -> Vec<Selector> {
-        subset
-            .iter()
-            .map(|&i| self.selectors[i as usize])
-            .collect()
+        subset.iter().map(|&i| self.selectors[i as usize]).collect()
     }
 
     /// `Dead(⋀subset) ≠ ∅` modulo the `true`-baseline (§2.3). An
@@ -385,12 +382,10 @@ mod tests {
         // Every input fails: WP = false, Dead(WP) = everything (§3.1's
         // special case). The search weakens until code is live again and
         // reports the failure.
-        let (out, _) = run(
-            "procedure f(x: int) {
+        let (out, _) = run("procedure f(x: int) {
                if (*) { skip; } else { skip; }
                assert x != x;
-             }",
-        );
+             }");
         assert!(out.root_dead);
         assert_eq!(out.min_fail, 1);
     }

@@ -1,0 +1,1151 @@
+//! Staged analysis sessions: one desugar, one encode, many
+//! configurations.
+//!
+//! The historical drivers ([`crate::analyze_procedure`],
+//! [`crate::analyze_procedure_multi`], [`crate::cons_baseline`]) each
+//! desugared and re-encoded the procedure into a fresh solver, so
+//! evaluating the `Cons` baseline plus the configuration ladder paid for
+//! five encodings and five demonic screens per procedure. A
+//! [`ProcSession`] owns the desugared body and a single incremental
+//! [`ProcAnalyzer`], and exposes the pipeline as explicit stages:
+//!
+//! ```text
+//!   new ──► encode (once)
+//!             │
+//!   screen ──► Dead(true) baseline + demonic Fail(true)   (shared, cached)
+//!             │
+//!   per configuration (budget refilled each time):
+//!     mine ──► cover ──► search ──► evaluate(prune…)      (per-config)
+//! ```
+//!
+//! The `Cons` baseline is the demonic half of the shared screen, so a
+//! session serving `Cons` plus all four configurations issues the screen
+//! queries once instead of five times.
+//!
+//! ## Budgets
+//!
+//! The analyzer's conflict [`Budget`](acspec_vcgen::Budget) is refilled
+//! at the start of [`ProcSession::cons`] and each
+//! [`ProcSession::run_config`], so every configuration gets the same
+//! pool the old one-analyzer-per-config drivers granted. Because the
+//! shared screen is only *paid for* by whichever caller runs first,
+//! later configurations have strictly more budget available than before
+//! the refactor — timeouts can only decrease. Budget exhaustion
+//! surfaces as a [`StageError`] naming the stage it happened in;
+//! drivers fold it into [`ProcReport::outcome`] and
+//! [`ProcReport::timeout_stage`].
+//!
+//! ## Observers
+//!
+//! Every completed stage appends a [`StageEvent`] (stage, configuration
+//! label, wall-clock seconds, query count) to the session's event log.
+//! [`ProgramAnalysis`] replays the logs to a [`SessionObserver`] in
+//! procedure order after its parallel fan-out, so observer output is
+//! deterministic regardless of thread count.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use acspec_ir::desugar::{desugar_procedure, DesugarOptions, DesugaredProc};
+use acspec_ir::expr::{Atom, Formula};
+use acspec_ir::program::{Procedure, Program};
+use acspec_ir::stmt::AssertId;
+use acspec_predabs::clause::{clauses_to_formula, QClause};
+use acspec_predabs::cover::{predicate_cover_capped, Cover};
+use acspec_predabs::mine::mine_predicates;
+use acspec_predabs::normalize::{normalize, prune_clauses, PruneConfig};
+use acspec_smt::TermId;
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, Selector};
+use acspec_vcgen::stage::{Stage, StageError, StageMetrics, StageTable};
+
+use crate::config::{AcspecOptions, ConfigName, DeadMetric};
+use crate::driver::AcspecError;
+use crate::report::{
+    AnalysisOutcome, ProcReport, ProcStats, ReportLabel, SibStatus, Warning, Witness,
+};
+use crate::search::{find_almost_correct_specs_with, DeadCheck, SearchOutcome};
+
+/// The shared screen: the `Dead(true)` baseline (per the session's dead
+/// metric) and the demonic failure set `Fail(true)`.
+#[derive(Debug, Clone)]
+pub struct Screening {
+    /// The dead-code baseline, removed before the search (§2.3).
+    pub dead_check: DeadCheck,
+    /// `Fail(true)`: every assertion failable under the demonic
+    /// environment — the `Cons` baseline's warning set.
+    pub demonic_fail: BTreeSet<AssertId>,
+}
+
+/// One completed stage of a session, for [`SessionObserver`]s.
+#[derive(Debug, Clone)]
+pub struct StageEvent {
+    /// The procedure being analyzed.
+    pub proc_name: String,
+    /// The configuration the stage ran for; `None` for shared stages
+    /// (encode, screen) that every configuration reuses.
+    pub label: Option<ReportLabel>,
+    /// The completed stage.
+    pub stage: Stage,
+    /// Wall-clock seconds and query count of this stage run.
+    pub metrics: StageMetrics,
+}
+
+/// Receives stage completions (and procedure completions) from an
+/// analysis. [`ProgramAnalysis::run`] replays events in deterministic
+/// procedure order; a [`ProcSession`] used directly reports through
+/// [`ProcSession::take_events`].
+pub trait SessionObserver {
+    /// A pipeline stage finished.
+    fn stage_completed(&mut self, event: &StageEvent);
+    /// All work for a procedure finished.
+    fn proc_completed(&mut self, _proc_name: &str) {}
+}
+
+/// An observer that discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SessionObserver for NullObserver {
+    fn stage_completed(&mut self, _event: &StageEvent) {}
+}
+
+/// An observer accumulating per-label, per-stage totals — the data
+/// behind `repro fig9`'s stage columns.
+#[derive(Debug, Clone, Default)]
+pub struct StageTotals {
+    totals: BTreeMap<Option<ReportLabel>, StageTable>,
+    procs: usize,
+}
+
+impl StageTotals {
+    /// Accumulated metrics for a label (`None` = shared encode/screen).
+    pub fn table(&self, label: Option<ReportLabel>) -> StageTable {
+        self.totals.get(&label).copied().unwrap_or_default()
+    }
+
+    /// Number of completed procedures.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// `(label, table)` pairs, shared stages first.
+    pub fn iter(&self) -> impl Iterator<Item = (Option<ReportLabel>, &StageTable)> {
+        self.totals.iter().map(|(l, t)| (*l, t))
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn absorb(&mut self, other: &StageTotals) {
+        for (label, table) in &other.totals {
+            self.totals.entry(*label).or_default().merge(table);
+        }
+        self.procs += other.procs;
+    }
+}
+
+impl SessionObserver for StageTotals {
+    fn stage_completed(&mut self, event: &StageEvent) {
+        self.totals.entry(event.label).or_default().record(
+            event.stage,
+            event.metrics.seconds,
+            event.metrics.queries,
+        );
+    }
+
+    fn proc_completed(&mut self, _proc_name: &str) {
+        self.procs += 1;
+    }
+}
+
+/// Per-variant output of the evaluate stage.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The pruned almost-correct specifications, deduplicated.
+    pub specs: Vec<Formula>,
+    /// High-confidence warnings `E = Fail(Φ)` with witnesses.
+    pub warnings: Vec<Warning>,
+    /// Set if the budget ran out mid-evaluation (partial results kept,
+    /// as the paper's driver did).
+    pub timeout: Option<StageError>,
+}
+
+/// A staged per-procedure analysis session: one desugar, one encode,
+/// one incremental solver, shared across the `Cons` baseline and any
+/// number of configuration/prune runs.
+#[derive(Debug)]
+pub struct ProcSession {
+    proc_name: String,
+    desugared: DesugaredProc,
+    az: ProcAnalyzer,
+    demonic_fail: Option<BTreeSet<AssertId>>,
+    dead_baseline: Option<(DeadMetric, DeadCheck)>,
+    /// Snapshot of the shared stages (encode + screen) included in every
+    /// report's stage table.
+    shared: StageTable,
+    events: Vec<StageEvent>,
+}
+
+impl ProcSession {
+    /// Desugars and encodes the procedure (the one-time `Encode` stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcspecError`] for malformed inputs; budget exhaustion
+    /// is impossible here (encoding issues no queries).
+    pub fn new(
+        program: &Program,
+        proc: &Procedure,
+        analyzer: AnalyzerConfig,
+    ) -> Result<ProcSession, AcspecError> {
+        let desugar_start = Instant::now();
+        let desugared = desugar_procedure(program, proc, DesugarOptions::default())?;
+        let desugar_seconds = desugar_start.elapsed().as_secs_f64();
+        let mut az = ProcAnalyzer::new(&desugared, analyzer)?;
+        az.record_external(Stage::Encode, desugar_seconds);
+
+        let encode = az.stage_stats().get(Stage::Encode);
+        let mut shared = StageTable::default();
+        shared.record(Stage::Encode, encode.seconds, encode.queries);
+        let events = vec![StageEvent {
+            proc_name: proc.name.clone(),
+            label: None,
+            stage: Stage::Encode,
+            metrics: encode,
+        }];
+        Ok(ProcSession {
+            proc_name: proc.name.clone(),
+            desugared,
+            az,
+            demonic_fail: None,
+            dead_baseline: None,
+            shared,
+            events,
+        })
+    }
+
+    /// The procedure's name.
+    pub fn proc_name(&self) -> &str {
+        &self.proc_name
+    }
+
+    /// The desugared body the session encodes.
+    pub fn desugared(&self) -> &DesugaredProc {
+        &self.desugared
+    }
+
+    /// The shared analyzer (for staged callers building custom queries).
+    pub fn analyzer_mut(&mut self) -> &mut ProcAnalyzer {
+        &mut self.az
+    }
+
+    /// Drains the event log (stage completions in execution order).
+    pub fn take_events(&mut self) -> Vec<StageEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Runs `f` attributed to `stage`: solver time/queries are recorded
+    /// by the analyzer, and the wall-clock remainder (mining, clause
+    /// bookkeeping) is added via
+    /// [`ProcAnalyzer::record_external`], so stage tables reflect real
+    /// elapsed time. Appends a [`StageEvent`] and returns `f`'s result
+    /// with the stage's delta.
+    fn staged<T>(
+        &mut self,
+        stage: Stage,
+        label: Option<ReportLabel>,
+        f: impl FnOnce(&mut ProcSession) -> T,
+    ) -> (T, StageMetrics) {
+        self.az.set_stage(stage);
+        let wall = Instant::now();
+        let before = self.az.stage_stats().get(stage);
+        let out = f(self);
+        let query_seconds = self.az.stage_stats().get(stage).seconds - before.seconds;
+        let external = (wall.elapsed().as_secs_f64() - query_seconds).max(0.0);
+        self.az.record_external(stage, external);
+        let after = self.az.stage_stats().get(stage);
+        let metrics = StageMetrics {
+            seconds: after.seconds - before.seconds,
+            queries: after.queries - before.queries,
+        };
+        self.events.push(StageEvent {
+            proc_name: self.proc_name.clone(),
+            label,
+            stage,
+            metrics,
+        });
+        (out, metrics)
+    }
+
+    fn ensure_dead_baseline(&mut self, metric: DeadMetric) -> Result<(), StageError> {
+        if matches!(&self.dead_baseline, Some((m, _)) if *m == metric) {
+            return Ok(());
+        }
+        let (result, metrics) = self.staged(Stage::Screen, None, |s| match metric {
+            DeadMetric::BranchCoverage => {
+                s.az.dead_set(&[])
+                    .map(|baseline_dead| DeadCheck::Branch { baseline_dead })
+            }
+            DeadMetric::PathCoverage { max_profiles } => {
+                s.az.path_profiles(&[], max_profiles)
+                    .map(|baseline_profiles| DeadCheck::Path {
+                        baseline_profiles,
+                        cap: max_profiles,
+                    })
+            }
+        });
+        self.shared
+            .record(Stage::Screen, metrics.seconds, metrics.queries);
+        let check = result.map_err(|t| t.at(Stage::Screen))?;
+        self.dead_baseline = Some((metric, check));
+        Ok(())
+    }
+
+    fn ensure_demonic_fail(&mut self) -> Result<(), StageError> {
+        if self.demonic_fail.is_some() {
+            return Ok(());
+        }
+        let (result, metrics) = self.staged(Stage::Screen, None, |s| s.az.fail_set(&[]));
+        self.shared
+            .record(Stage::Screen, metrics.seconds, metrics.queries);
+        self.demonic_fail = Some(result.map_err(|t| t.at(Stage::Screen))?);
+        Ok(())
+    }
+
+    /// The shared screen: computes (once) and returns the `Dead(true)`
+    /// baseline under `metric` plus the demonic failure set. The dead
+    /// baseline is computed first, mirroring the historical driver's
+    /// query order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StageError`] at [`Stage::Screen`] on budget
+    /// exhaustion; completed halves stay cached, so a retry under a
+    /// refilled budget resumes where it stopped.
+    pub fn screen(&mut self, metric: DeadMetric) -> Result<Screening, StageError> {
+        self.ensure_dead_baseline(metric)?;
+        self.ensure_demonic_fail()?;
+        Ok(Screening {
+            dead_check: self
+                .dead_baseline
+                .as_ref()
+                .map(|(_, c)| c.clone())
+                .expect("just ensured"),
+            demonic_fail: self.demonic_fail.clone().expect("just ensured"),
+        })
+    }
+
+    /// The provenance tag of an assertion.
+    fn tag_of(&self, id: AssertId) -> String {
+        self.desugared
+            .asserts
+            .get(id.0 as usize)
+            .map(|m| m.tag.clone())
+            .unwrap_or_default()
+    }
+
+    /// A fresh report skeleton (empty warnings/specs — no heap clones).
+    fn blank_report(&self, label: ReportLabel, seed: &ReportSeed) -> ProcReport {
+        ProcReport {
+            proc_name: self.proc_name.clone(),
+            config: label,
+            status: seed.status,
+            warnings: Vec::new(),
+            specs: Vec::new(),
+            min_fail: seed.min_fail,
+            stats: ProcStats {
+                n_predicates: seed.n_predicates,
+                n_cover_clauses: seed.n_cover_clauses,
+                search_nodes: seed.search_nodes,
+                solver_queries: 0,
+                stages: StageTable::default(),
+            },
+            outcome: seed.outcome,
+            timeout_stage: seed.timeout_stage,
+        }
+    }
+
+    /// Stamps a report's stage table and query count: the shared
+    /// encode/screen snapshot plus this configuration's delta since
+    /// `run_baseline`.
+    fn stamp_stats(&self, report: &mut ProcReport, run_baseline: &StageTable) {
+        let mut stages = self.shared;
+        stages.merge(&self.az.stage_stats().since(run_baseline));
+        report.stats.solver_queries = stages.total_queries();
+        report.stats.stages = stages;
+    }
+
+    /// The `Cons` baseline: the demonic half of the shared screen,
+    /// labeled [`ReportLabel::Cons`]. Refills the budget first; reuses
+    /// the cached screen when a configuration already ran (zero new
+    /// queries).
+    pub fn cons(&mut self) -> ProcReport {
+        self.az.refill_budget();
+        let run_baseline = self.az.stage_stats();
+        let mut seed = ReportSeed::default();
+        let mut warnings = Vec::new();
+        match self.ensure_demonic_fail() {
+            Ok(()) => {
+                let fails = self.demonic_fail.as_ref().expect("just ensured").clone();
+                if fails.is_empty() {
+                    seed.status = SibStatus::Correct;
+                }
+                warnings = fails
+                    .into_iter()
+                    .map(|id| Warning {
+                        assert: id,
+                        tag: self.tag_of(id),
+                        witness: None,
+                    })
+                    .collect();
+            }
+            Err(e) => {
+                seed.outcome = AnalysisOutcome::TimedOut;
+                seed.timeout_stage = Some(e.stage);
+            }
+        }
+        let mut report = self.blank_report(ReportLabel::Cons, &seed);
+        report.warnings = warnings;
+        self.stamp_stats(&mut report, &run_baseline);
+        report
+    }
+
+    /// The `Mine` stage: collects the predicate vocabulary `Q` under the
+    /// configuration's abstraction (§4.4). Purely syntactic — no
+    /// queries; the stage records its wall-clock time. The caller (or
+    /// [`ProcSession::run_config`]) enforces `max_predicates`.
+    pub fn mine(&mut self, opts: &AcspecOptions) -> Vec<Atom> {
+        let label = Some(ReportLabel::Config(opts.config));
+        let abstraction = opts.config.abstraction();
+        self.staged(Stage::Mine, label, |s| {
+            mine_predicates(&s.desugared, abstraction)
+        })
+        .0
+    }
+
+    /// The `Cover` stage: the predicate cover `β_Q(wp)` via ALL-SAT
+    /// (§4.1), capped at `opts.max_cover_clauses`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StageError`] at [`Stage::Cover`] on budget or cap
+    /// exhaustion.
+    pub fn cover(&mut self, opts: &AcspecOptions, q: &[Atom]) -> Result<Cover, StageError> {
+        let label = Some(ReportLabel::Config(opts.config));
+        let cap = opts.max_cover_clauses;
+        self.staged(Stage::Cover, label, |s| {
+            predicate_cover_capped(&mut s.az, q, cap)
+        })
+        .0
+        .map_err(|t| t.at(Stage::Cover))
+    }
+
+    /// The `Search` stage: Algorithm 2's greedy weakening over the
+    /// installed cover, under the session's cached dead baseline for
+    /// `opts.dead_metric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StageError`] at [`Stage::Search`] on budget or node
+    /// exhaustion (at [`Stage::Screen`] if the dead baseline itself is
+    /// missing and times out).
+    pub fn search(
+        &mut self,
+        opts: &AcspecOptions,
+        cover: &Cover,
+    ) -> Result<SearchOutcome, StageError> {
+        self.ensure_dead_baseline(opts.dead_metric)?;
+        let dead_check = self
+            .dead_baseline
+            .as_ref()
+            .map(|(_, c)| c.clone())
+            .expect("just ensured");
+        let label = Some(ReportLabel::Config(opts.config));
+        let max_nodes = opts.max_search_nodes;
+        self.staged(Stage::Search, label, |s| {
+            let handles = cover.install_handles(&mut s.az);
+            let selectors: Vec<Selector> = handles.iter().map(|&(sel, _)| sel).collect();
+            let bodies: Vec<TermId> = handles.iter().map(|&(_, b)| b).collect();
+            find_almost_correct_specs_with(
+                &mut s.az,
+                &selectors,
+                &dead_check,
+                max_nodes,
+                Some(&bodies),
+            )
+        })
+        .0
+        .map_err(|t| t.at(Stage::Search))
+    }
+
+    /// Normalizes each output specification of the search once
+    /// (semantic normal form when `|Q|` permits, else syntactic), as the
+    /// first half of the `Evaluate` stage. Skipped (returns the raw
+    /// clauses) when `opts.apply_normalize` is off.
+    pub fn normal_form(
+        &mut self,
+        opts: &AcspecOptions,
+        cover: &Cover,
+        search: &SearchOutcome,
+    ) -> Vec<Vec<QClause>> {
+        let label = Some(ReportLabel::Config(opts.config));
+        let apply = opts.apply_normalize;
+        let cap = opts.normalize_max_clauses;
+        self.staged(Stage::Evaluate, label, |s| {
+            search
+                .specs
+                .iter()
+                .map(|subset| {
+                    let clauses: Vec<QClause> = subset
+                        .iter()
+                        .map(|&i| cover.clauses[i as usize].clone())
+                        .collect();
+                    if apply {
+                        semantic_normal_form(&mut s.az, cover, &clauses, cap)
+                            .unwrap_or_else(|| normalize(&clauses, cap))
+                    } else {
+                        clauses
+                    }
+                })
+                .collect()
+        })
+        .0
+    }
+
+    /// The `Evaluate` stage for one prune variant: prunes each
+    /// normalized specification (§4.3), collects the induced failures
+    /// `E = Fail(Φ)` and a concrete witness per warned assertion.
+    /// Budget exhaustion mid-way keeps the partial warning set and is
+    /// reported in [`Evaluation::timeout`].
+    pub fn evaluate(
+        &mut self,
+        opts: &AcspecOptions,
+        cover: &Cover,
+        normalized: &[Vec<QClause>],
+        prune: PruneConfig,
+    ) -> Evaluation {
+        let label = Some(ReportLabel::Config(opts.config));
+        self.staged(Stage::Evaluate, label, |s| {
+            let call_sites_of_pred = |p: usize| -> Vec<u32> {
+                cover.preds[p]
+                    .nu_consts()
+                    .into_iter()
+                    .map(|nu| nu.site)
+                    .collect()
+            };
+            let mut warned: BTreeSet<AssertId> = BTreeSet::new();
+            let mut witnesses: BTreeMap<AssertId, Witness> = BTreeMap::new();
+            let mut specs: Vec<Formula> = Vec::new();
+            let mut timeout = None;
+            for clauses in normalized {
+                let pruned = prune_clauses(clauses, prune, &call_sites_of_pred);
+                let spec_formula = clauses_to_formula(&pruned, &cover.preds);
+                if !specs.contains(&spec_formula) {
+                    specs.push(spec_formula);
+                }
+                let sel = install_clause_set_selector(&mut s.az, cover, &pruned);
+                match s.az.fail_set(&[sel]) {
+                    Ok(fails) => {
+                        for id in &fails {
+                            if !witnesses.contains_key(id) {
+                                if let Ok(Some(w)) = s.az.failure_witness(*id, &[sel]) {
+                                    if !w.is_empty() {
+                                        witnesses.insert(*id, Witness::from(w));
+                                    }
+                                }
+                            }
+                        }
+                        warned.extend(fails);
+                    }
+                    Err(t) => {
+                        timeout = Some(t.at(Stage::Evaluate));
+                        break;
+                    }
+                }
+            }
+            let warnings = warned
+                .into_iter()
+                .map(|id| Warning {
+                    assert: id,
+                    tag: s.tag_of(id),
+                    witness: witnesses.remove(&id),
+                })
+                .collect();
+            Evaluation {
+                specs,
+                warnings,
+                timeout,
+            }
+        })
+        .0
+    }
+
+    /// Runs the full pipeline (`FindAbstractSIBs`, Algorithm 1) for one
+    /// configuration, evaluating every prune variant against a single
+    /// mine/cover/search run. Returns one report per variant, in order
+    /// (`prune_variants` empty ⇒ one report for `opts.prune`). Budget
+    /// exhaustion is folded into the reports (`outcome`/`timeout_stage`),
+    /// never an error — encoding already succeeded at
+    /// [`ProcSession::new`].
+    pub fn run_config(
+        &mut self,
+        opts: &AcspecOptions,
+        prune_variants: &[PruneConfig],
+    ) -> Vec<ProcReport> {
+        let label = ReportLabel::Config(opts.config);
+        let variants: Vec<PruneConfig> = if prune_variants.is_empty() {
+            vec![opts.prune]
+        } else {
+            prune_variants.to_vec()
+        };
+        let n = variants.len();
+        self.az.refill_budget();
+        let mut seed = ReportSeed::default();
+
+        // Shared screen (cached after the first configuration): dead
+        // baseline first, then the demonic failure set — the historical
+        // driver's query order.
+        let screening = match self.screen(opts.dead_metric) {
+            Ok(s) => s,
+            Err(e) => return self.abort_reports(label, seed, e, n),
+        };
+        let run_baseline = self.az.stage_stats();
+
+        // The conservative screen: no demonic failures ⇒ correct; the
+        // paper excludes such procedures from all statistics.
+        if screening.demonic_fail.is_empty() {
+            seed.status = SibStatus::Correct;
+            return self.finish_reports(label, seed, n, &run_baseline);
+        }
+
+        // Mine Q; oversized vocabularies time out (ALL-SAT is 2^|Q|).
+        let q = self.mine(opts);
+        seed.n_predicates = q.len();
+        if q.len() > opts.max_predicates {
+            let e = StageError { stage: Stage::Mine };
+            return self.abort_reports(label, seed, e, n);
+        }
+
+        let cover = match self.cover(opts, &q) {
+            Ok(c) => c,
+            Err(e) => return self.abort_reports(label, seed, e, n),
+        };
+        seed.n_cover_clauses = cover.clauses.len();
+
+        let search = match self.search(opts, &cover) {
+            Ok(s) => s,
+            Err(e) => return self.abort_reports(label, seed, e, n),
+        };
+        seed.search_nodes = search.nodes_visited;
+        seed.status = if search.root_dead {
+            SibStatus::Sib
+        } else {
+            SibStatus::MayBug
+        };
+        seed.min_fail = search.min_fail;
+
+        let normalized = self.normal_form(opts, &cover, &search);
+        let mut out = Vec::with_capacity(n);
+        for prune in variants {
+            let evaluation = self.evaluate(opts, &cover, &normalized, prune);
+            let mut r = self.blank_report(label, &seed);
+            r.specs = evaluation.specs;
+            r.warnings = evaluation.warnings;
+            if let Some(e) = evaluation.timeout {
+                r.outcome = AnalysisOutcome::TimedOut;
+                r.timeout_stage = Some(e.stage);
+            }
+            self.stamp_stats(&mut r, &run_baseline);
+            out.push(r);
+        }
+        out
+    }
+
+    /// One report per variant for a run aborted by `error`.
+    fn abort_reports(
+        &mut self,
+        label: ReportLabel,
+        mut seed: ReportSeed,
+        error: StageError,
+        n: usize,
+    ) -> Vec<ProcReport> {
+        seed.outcome = AnalysisOutcome::TimedOut;
+        seed.timeout_stage = Some(error.stage);
+        let baseline = self.az.stage_stats();
+        self.finish_reports(label, seed, n, &baseline)
+    }
+
+    /// One identical report per variant, built fresh instead of cloning
+    /// a populated report `n` times.
+    fn finish_reports(
+        &self,
+        label: ReportLabel,
+        seed: ReportSeed,
+        n: usize,
+        run_baseline: &StageTable,
+    ) -> Vec<ProcReport> {
+        (0..n)
+            .map(|_| {
+                let mut r = self.blank_report(label, &seed);
+                self.stamp_stats(&mut r, run_baseline);
+                r
+            })
+            .collect()
+    }
+}
+
+/// Scalar fields shared by every variant's report.
+#[derive(Debug, Clone, Copy)]
+struct ReportSeed {
+    status: SibStatus,
+    min_fail: usize,
+    n_predicates: usize,
+    n_cover_clauses: usize,
+    search_nodes: usize,
+    outcome: AnalysisOutcome,
+    timeout_stage: Option<Stage>,
+}
+
+impl Default for ReportSeed {
+    fn default() -> Self {
+        ReportSeed {
+            status: SibStatus::MayBug,
+            min_fail: 0,
+            n_predicates: 0,
+            n_cover_clauses: 0,
+            search_nodes: 0,
+            outcome: AnalysisOutcome::Ok,
+            timeout_stage: None,
+        }
+    }
+}
+
+/// Installs a selector for an arbitrary clause set over the cover's
+/// indicator terms.
+fn install_clause_set_selector(
+    az: &mut ProcAnalyzer,
+    cover: &Cover,
+    clauses: &[QClause],
+) -> Selector {
+    let mut conj: Vec<TermId> = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        let parts: Vec<TermId> = c
+            .lits()
+            .iter()
+            .map(|l| {
+                let b = cover.indicators[l.pred];
+                if l.positive {
+                    b
+                } else {
+                    az.ctx.mk_not(b)
+                }
+            })
+            .collect();
+        conj.push(az.ctx.mk_or(parts));
+    }
+    let body = az.ctx.mk_and(conj);
+    az.add_selector_term(body)
+}
+
+/// Computes the *strongest* clause set with the same consistent input
+/// states as `clauses` by enumerating the specification's
+/// theory-satisfiable cubes and negating the complement, then Boolean
+/// normalizing.
+///
+/// The maximal-clause cover omits clauses for theory-inconsistent cubes
+/// (ALL-SAT never produces them), which leaves weaker-looking Boolean
+/// forms than the paper's displayed specifications (e.g. Figure 1's
+/// `!Freed[c] && !Freed[buf] && c != buf`); this pass recovers the
+/// paper's form. Returns `None` (caller falls back to syntactic
+/// normalization) when `|Q|` is too large for cube enumeration.
+fn semantic_normal_form(
+    az: &mut ProcAnalyzer,
+    cover: &Cover,
+    clauses: &[QClause],
+    normalize_cap: usize,
+) -> Option<Vec<QClause>> {
+    use acspec_predabs::clause::QLit;
+    let nq = cover.preds.len();
+    if nq == 0 || nq > 10 {
+        return None;
+    }
+    let sel = install_clause_set_selector(az, cover, clauses);
+    let session = az.ctx.fresh_bool_var("semnf");
+    let not_session = az.ctx.mk_not(session);
+    let mut models: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    loop {
+        match az.is_consistent(&[sel], &[session]) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(_) => return None,
+        }
+        let mut mask = 0u32;
+        let mut blocking: Vec<TermId> = vec![not_session];
+        for (i, &b) in cover.indicators.iter().enumerate() {
+            let v = az.model_bool(b).unwrap_or(false);
+            if v {
+                mask |= 1 << i;
+            }
+            blocking.push(if v { az.ctx.mk_not(b) } else { b });
+        }
+        az.add_clause(&blocking);
+        models.insert(mask);
+        if models.len() > 256 {
+            return None;
+        }
+    }
+    // Strongest equivalent: forbid every cube that is not a consistent
+    // model of the specification.
+    let mut out = Vec::new();
+    for mask in 0..(1u32 << nq) {
+        if models.contains(&mask) {
+            continue;
+        }
+        let lits: Vec<QLit> = (0..nq)
+            .map(|i| QLit {
+                pred: i,
+                positive: mask & (1 << i) == 0,
+            })
+            .collect();
+        out.push(QClause::new(lits));
+    }
+    Some(normalize(&out, normalize_cap))
+}
+
+/// Program-level orchestration: a session per defined procedure, fanned
+/// out over a scoped worker pool, with deterministic ordering and
+/// observer replay.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis<'p> {
+    program: &'p Program,
+    base: AcspecOptions,
+    configs: Vec<ConfigName>,
+    prune_variants: Vec<PruneConfig>,
+    threads: usize,
+    skip_correct: bool,
+}
+
+/// Everything one session produced for one procedure.
+#[derive(Debug, Clone)]
+pub struct ProcAnalysis {
+    /// Procedure name.
+    pub proc_name: String,
+    /// The `Cons` baseline report.
+    pub cons: ProcReport,
+    /// `reports[config][variant]`, parallel to the requested configs and
+    /// prune variants. Empty when the procedure was screened correct and
+    /// correct procedures are skipped.
+    pub reports: Vec<Vec<ProcReport>>,
+    /// The session's stage events, in execution order.
+    pub events: Vec<StageEvent>,
+}
+
+impl ProcAnalysis {
+    /// True if the baseline or any configuration variant timed out.
+    pub fn timed_out(&self) -> bool {
+        self.cons.timed_out() || self.reports.iter().flatten().any(ProcReport::timed_out)
+    }
+}
+
+impl<'p> ProgramAnalysis<'p> {
+    /// An analysis of `program` under the evaluation's default ladder
+    /// (`Conc`, `A1`, `A2`), no pruning, default options, all cores.
+    pub fn new(program: &'p Program) -> ProgramAnalysis<'p> {
+        ProgramAnalysis {
+            program,
+            base: AcspecOptions::default(),
+            configs: vec![ConfigName::Conc, ConfigName::A1, ConfigName::A2],
+            prune_variants: Vec::new(),
+            threads: 0,
+            skip_correct: true,
+        }
+    }
+
+    /// Sets the option template (per-config runs override `config`).
+    #[must_use]
+    pub fn options(mut self, base: AcspecOptions) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the analyzer budget.
+    #[must_use]
+    pub fn analyzer(mut self, analyzer: AnalyzerConfig) -> Self {
+        self.base.analyzer = analyzer;
+        self
+    }
+
+    /// Sets the configurations to run, in order.
+    #[must_use]
+    pub fn configs(mut self, configs: &[ConfigName]) -> Self {
+        self.configs = configs.to_vec();
+        self
+    }
+
+    /// Sets the prune variants each configuration evaluates (empty =
+    /// just the template's `prune`).
+    #[must_use]
+    pub fn prune_variants(mut self, variants: &[PruneConfig]) -> Self {
+        self.prune_variants = variants.to_vec();
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    /// Output is deterministic regardless of this setting.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Whether to skip the configuration ladder for procedures the
+    /// conservative screen proves correct (default `true`, as the
+    /// paper's evaluation does).
+    #[must_use]
+    pub fn skip_correct(mut self, skip: bool) -> Self {
+        self.skip_correct = skip;
+        self
+    }
+
+    fn analyze_one(&self, proc: &Procedure) -> Result<ProcAnalysis, AcspecError> {
+        let mut session = ProcSession::new(self.program, proc, self.base.analyzer)?;
+        let cons = session.cons();
+        let reports = if self.skip_correct && cons.status == SibStatus::Correct {
+            Vec::new()
+        } else {
+            self.configs
+                .iter()
+                .map(|&config| {
+                    let mut opts = self.base;
+                    opts.config = config;
+                    session.run_config(&opts, &self.prune_variants)
+                })
+                .collect()
+        };
+        Ok(ProcAnalysis {
+            proc_name: proc.name.clone(),
+            cons,
+            reports,
+            events: session.take_events(),
+        })
+    }
+
+    /// Analyzes every defined procedure, fanning sessions out over the
+    /// worker pool, then replays stage events to `observer` in procedure
+    /// order (so observer output is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in procedure order) [`AcspecError`]; budget
+    /// timeouts are folded into the reports instead.
+    pub fn run(
+        &self,
+        observer: &mut dyn SessionObserver,
+    ) -> Result<Vec<ProcAnalysis>, AcspecError> {
+        let defined: Vec<&Procedure> = self
+            .program
+            .procedures
+            .iter()
+            .filter(|p| p.body.is_some())
+            .collect();
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+        .min(defined.len().max(1));
+
+        let results: Vec<Result<ProcAnalysis, AcspecError>> = if threads <= 1 {
+            defined.iter().map(|p| self.analyze_one(p)).collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<Result<ProcAnalysis, AcspecError>>>> = (0
+                ..defined.len())
+                .map(|_| std::sync::Mutex::new(None))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= defined.len() {
+                            break;
+                        }
+                        let result = self.analyze_one(defined[i]);
+                        *slots[i].lock().expect("no poisoning") = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("no poisoning")
+                        .expect("worker filled slot")
+                })
+                .collect()
+        };
+
+        let mut out = Vec::with_capacity(results.len());
+        for result in results {
+            let pa = result?;
+            for event in &pa.events {
+                observer.stage_completed(event);
+            }
+            observer.proc_completed(&pa.proc_name);
+            out.push(pa);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acspec_ir::parse::parse_program;
+
+    const FIGURE1: &str = "
+        global Freed: map;
+        procedure Foo(c: int, buf: int, cmd: int) {
+          if (*) {
+            assert Freed[c] == 0;   Freed[c] := 1;
+            assert Freed[buf] == 0; Freed[buf] := 1;
+          } else {
+            if (cmd == 1) {
+              if (*) {
+                assert Freed[c] == 0;   Freed[c] := 1;
+                assert Freed[buf] == 0; Freed[buf] := 1;
+              }
+            }
+            assert Freed[c] == 0;   Freed[c] := 1;
+            assert Freed[buf] == 0; Freed[buf] := 1;
+          }
+        }";
+
+    /// The acceptance criterion of the session refactor: one encode
+    /// serves `Cons` plus every configuration and prune variant.
+    #[test]
+    fn one_encode_serves_cons_and_all_configs() {
+        let prog = parse_program(FIGURE1).expect("parses");
+        let proc = prog.procedures[0].clone();
+        let mut session =
+            ProcSession::new(&prog, &proc, AnalyzerConfig::default()).expect("encodes");
+        let cons = session.cons();
+        assert_eq!(cons.config, ReportLabel::Cons);
+        assert!(!cons.warnings.is_empty());
+        let variants = [
+            PruneConfig::default(),
+            PruneConfig {
+                max_literals: Some(1),
+                no_cross_call_correlations: false,
+            },
+        ];
+        for config in ConfigName::all() {
+            let opts = AcspecOptions::for_config(config);
+            let reports = session.run_config(&opts, &variants);
+            assert_eq!(reports.len(), variants.len());
+            for r in &reports {
+                assert_eq!(r.config, config);
+                assert!(!r.timed_out(), "{config} timed out");
+            }
+        }
+        let events = session.take_events();
+        let encodes = events.iter().filter(|e| e.stage == Stage::Encode).count();
+        assert_eq!(encodes, 1, "exactly one encode across Cons + 4 configs");
+        let screens: u64 = events
+            .iter()
+            .filter(|e| e.stage == Stage::Screen)
+            .map(|e| e.metrics.queries)
+            .sum();
+        // Screen = dead baseline + |asserts| demonic fail checks, issued
+        // once, not once per configuration.
+        assert!(screens > 0);
+        let per_config_screens = events
+            .iter()
+            .filter(|e| e.stage == Stage::Screen && e.label.is_some())
+            .count();
+        assert_eq!(
+            per_config_screens, 0,
+            "screen events are shared (unlabeled)"
+        );
+    }
+
+    #[test]
+    fn session_reports_carry_stage_breakdowns() {
+        let prog = parse_program(FIGURE1).expect("parses");
+        let proc = prog.procedures[0].clone();
+        let mut session =
+            ProcSession::new(&prog, &proc, AnalyzerConfig::default()).expect("encodes");
+        let opts = AcspecOptions::for_config(ConfigName::Conc);
+        let r = &session.run_config(&opts, &[])[0];
+        assert!(r.stats.solver_queries > 0);
+        assert_eq!(r.stats.solver_queries, r.stats.stages.total_queries());
+        assert!(r.stats.stages.get(Stage::Screen).queries > 0);
+        assert!(r.stats.stages.get(Stage::Cover).queries > 0);
+        assert!(r.stats.stages.get(Stage::Search).queries > 0);
+        assert!(r.stats.stages.get(Stage::Evaluate).queries > 0);
+        assert!(r.stats.seconds() > 0.0);
+        assert_eq!(r.timeout_stage, None);
+    }
+
+    #[test]
+    fn budget_exhaustion_names_the_stage() {
+        let prog = parse_program(FIGURE1).expect("parses");
+        let proc = prog.procedures[0].clone();
+        let mut session = ProcSession::new(
+            &prog,
+            &proc,
+            AnalyzerConfig {
+                conflict_budget: Some(1),
+            },
+        )
+        .expect("encodes");
+        let opts = AcspecOptions::for_config(ConfigName::Conc);
+        let r = &session.run_config(&opts, &[])[0];
+        assert!(r.timed_out());
+        assert_eq!(r.timeout_stage, Some(Stage::Screen));
+    }
+
+    #[test]
+    fn program_analysis_is_deterministic_across_thread_counts() {
+        let prog = parse_program(
+            "procedure f(x: int) { if (x == 0) { assert x != 0; } }
+             procedure g(p: int) { assert p != 0; }
+             procedure ok(x: int) { assume x > 0; assert x > 0; }",
+        )
+        .expect("parses");
+        let run = |threads: usize| {
+            let mut totals = StageTotals::default();
+            let results = ProgramAnalysis::new(&prog)
+                .threads(threads)
+                .run(&mut totals)
+                .expect("analyzes");
+            (results, totals)
+        };
+        let (serial, t1) = run(1);
+        let (parallel, t4) = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.proc_name, b.proc_name);
+            assert_eq!(a.cons.warnings, b.cons.warnings);
+            assert_eq!(a.reports.len(), b.reports.len());
+            for (ra, rb) in a.reports.iter().flatten().zip(b.reports.iter().flatten()) {
+                assert_eq!(ra.config, rb.config);
+                assert_eq!(ra.status, rb.status);
+                assert_eq!(ra.warnings, rb.warnings);
+            }
+        }
+        assert_eq!(t1.procs(), t4.procs());
+        // Query counts are solver-deterministic; only seconds may differ.
+        for (label, table) in t1.iter() {
+            assert_eq!(
+                table.total_queries(),
+                t4.table(label).total_queries(),
+                "queries differ for {label:?}"
+            );
+        }
+        // `ok` is screened correct: cons present, ladder skipped.
+        let ok = serial.iter().find(|p| p.proc_name == "ok").expect("ok");
+        assert_eq!(ok.cons.status, SibStatus::Correct);
+        assert!(ok.reports.is_empty());
+    }
+}

@@ -19,8 +19,9 @@
 use acspec_ir::program::{Procedure, Program};
 
 use crate::config::{AcspecOptions, ConfigName};
-use crate::driver::{analyze_procedure, cons_baseline, AcspecError};
+use crate::driver::AcspecError;
 use crate::report::{SibStatus, Warning};
+use crate::session::ProcSession;
 
 /// Confidence levels, highest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -94,7 +95,10 @@ pub fn triage_procedure(
     proc: &Procedure,
     base: &AcspecOptions,
 ) -> Result<Vec<RankedWarning>, AcspecError> {
-    let cons = cons_baseline(program, proc, base.analyzer)?;
+    // One session serves the baseline and the whole ladder: the
+    // procedure is desugared, encoded, and screened exactly once.
+    let mut session = ProcSession::new(program, proc, base.analyzer)?;
+    let cons = session.cons();
     if cons.status == SibStatus::Correct {
         return Ok(Vec::new());
     }
@@ -112,7 +116,11 @@ pub fn triage_procedure(
         for config in configs {
             let mut opts = *base;
             opts.config = config;
-            let r = analyze_procedure(program, proc, &opts)?;
+            let r = session
+                .run_config(&opts, &[opts.prune])
+                .into_iter()
+                .next()
+                .expect("one variant requested");
             if r.timed_out() {
                 continue;
             }

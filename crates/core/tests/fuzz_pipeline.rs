@@ -6,9 +6,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use acspec_core::{
-    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus,
-};
+use acspec_core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus};
 use acspec_ir::expr::{Expr, Formula, RelOp};
 use acspec_ir::program::{Contract, Procedure, Program};
 use acspec_ir::stmt::{BranchCond, Stmt};
@@ -105,7 +103,11 @@ fn random_program(seed: u64) -> Program {
         contract: Contract::unconstrained(),
         body: None,
     });
-    let body = Stmt::seq((0..rng.gen_range(2..5)).map(|_| random_stmt(&mut rng, 3)).collect());
+    let body = Stmt::seq(
+        (0..rng.gen_range(2..5))
+            .map(|_| random_stmt(&mut rng, 3))
+            .collect(),
+    );
     prog.procedures
         .push(Procedure::new_simple("fuzzed", &["x", "y", "z"], body));
     prog

@@ -1,9 +1,7 @@
 //! End-to-end reproduction of the paper's worked examples through the
 //! full ACSpec pipeline.
 
-use acspec_core::{
-    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus,
-};
+use acspec_core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus};
 use acspec_ir::parse::parse_program;
 use acspec_vcgen::analyzer::AnalyzerConfig;
 
@@ -95,18 +93,19 @@ fn figure1_warning_has_a_consistent_witness() {
     let w = &r.warnings[0];
     let witness = w.witness.as_ref().expect("witness attached");
     // The failing environment must drive the cmd == 1 path (the missing
-    // return) and use distinct pointers.
-    assert!(witness.contains("cmd = 1"), "witness: {witness}");
+    // return) and use distinct pointers. Values are structured — no
+    // string parsing — and the Display form keeps the `k = v` rendering.
+    assert_eq!(witness.get("cmd"), Some(1), "witness: {witness}");
     let get = |name: &str| -> i64 {
         witness
-            .split(", ")
-            .find_map(|kv| {
-                let (k, v) = kv.split_once(" = ")?;
-                (k == name).then(|| v.parse().expect("integer"))
-            })
+            .get(name)
             .unwrap_or_else(|| panic!("{name} missing from witness: {witness}"))
     };
     assert_ne!(get("c"), get("buf"), "spec requires non-aliasing");
+    assert!(
+        witness.to_string().contains("cmd = 1"),
+        "display form: {witness}"
+    );
 }
 
 /// Figure 2 (SAMATE): `calloc` may return 0; the flaw is the unchecked

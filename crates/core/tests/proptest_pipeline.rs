@@ -11,9 +11,7 @@
 use proptest::prelude::*;
 
 use acspec_benchgen::drivers::{generate, PatternMix};
-use acspec_core::{
-    analyze_procedure_multi, cons_baseline, AcspecOptions, ConfigName, SibStatus,
-};
+use acspec_core::{analyze_procedure_multi, cons_baseline, AcspecOptions, ConfigName, SibStatus};
 use acspec_predabs::normalize::PruneConfig;
 use acspec_vcgen::analyzer::AnalyzerConfig;
 

@@ -66,7 +66,11 @@ fn check_theorem1(src: &str) {
     let mut az = ProcAnalyzer::new(&d, AnalyzerConfig::default()).expect("encodes");
     let baseline_dead = az.dead_set(&[]).expect("ok");
     let q = mine_predicates(&d, Abstraction::concrete());
-    assert!(q.len() <= 4, "test programs must have tiny Q, got {}", q.len());
+    assert!(
+        q.len() <= 4,
+        "test programs must have tiny Q, got {}",
+        q.len()
+    );
     let cover = predicate_cover(&mut az, &q).expect("ok");
     let n = cover.clauses.len();
     assert!(n <= 8, "cover too large for brute force: {n}");
@@ -127,12 +131,8 @@ fn check_theorem1(src: &str) {
             // superset either is equivalent or has dead code.
             for (j, sj) in subsets.iter().enumerate() {
                 if sj.len() > subsets[i].len() && subsets[i].is_subset(sj) && !dead_of[j] {
-                    let equivalent = implies(
-                        &cover.preds,
-                        &as_clauses(&subsets[i]),
-                        &as_clauses(sj),
-                        &d,
-                    );
+                    let equivalent =
+                        implies(&cover.preds, &as_clauses(&subsets[i]), &as_clauses(sj), &d);
                     if !equivalent {
                         return false;
                     }
@@ -144,7 +144,10 @@ fn check_theorem1(src: &str) {
     let min_k = candidates.iter().map(|&i| fail_of[i]).min();
     let acs: Vec<usize> = match min_k {
         None => vec![],
-        Some(k) => candidates.into_iter().filter(|&i| fail_of[i] == k).collect(),
+        Some(k) => candidates
+            .into_iter()
+            .filter(|&i| fail_of[i] == k)
+            .collect(),
     };
 
     // The algorithm under test (with the Definition 4 minimality filter).

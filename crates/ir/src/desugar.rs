@@ -175,12 +175,7 @@ fn transform(ctx: &mut Ctx<'_>, s: &Stmt) -> Result<Stmt, DesugarError> {
     }
 }
 
-fn unroll(
-    ctx: &mut Ctx<'_>,
-    cond: &BranchCond,
-    body: &Stmt,
-    n: u32,
-) -> Result<Stmt, DesugarError> {
+fn unroll(ctx: &mut Ctx<'_>, cond: &BranchCond, body: &Stmt, n: u32) -> Result<Stmt, DesugarError> {
     if n == 0 {
         // Residual iterations are cut: the loop must have exited.
         return Ok(match cond {
@@ -281,10 +276,7 @@ fn expand_call(
                 if let Expr::Var(x) = lhs_e {
                     if post_state.contains(x)
                         && !definitional.contains_key(x)
-                        && rhs_e
-                            .free_vars()
-                            .iter()
-                            .all(|v| !post_state.contains(v))
+                        && rhs_e.free_vars().iter().all(|v| !post_state.contains(v))
                     {
                         definitional.insert(x.clone(), rhs_e.clone());
                         return false;
@@ -387,7 +379,9 @@ fn resolve_old(
                     .get(g)
                     .map(|t| Expr::var(t.clone()))
                     .ok_or_else(|| DesugarError::BadOld(format!("old({g}) in `{callee}`"))),
-                other => Err(DesugarError::BadOld(format!("old({other:?}) in `{callee}`"))),
+                other => Err(DesugarError::BadOld(format!(
+                    "old({other:?}) in `{callee}`"
+                ))),
             },
             Expr::Var(_) | Expr::Nu(_) | Expr::Int(_) => Ok(e.clone()),
             Expr::App(f2, args) => Ok(Expr::App(
@@ -629,7 +623,10 @@ mod tests {
         let cond = Formula::Rel(RelOp::Lt, Expr::var("i"), Expr::var("n"));
         let body = Stmt::seq(vec![
             Stmt::assert(Formula::ne(Expr::var("buf"), Expr::Int(0)), "deref"),
-            Stmt::Assign("i".into(), Expr::Add(Box::new(Expr::var("i")), Box::new(Expr::Int(1)))),
+            Stmt::Assign(
+                "i".into(),
+                Expr::Add(Box::new(Expr::var("i")), Box::new(Expr::Int(1))),
+            ),
         ]);
         prog.procedures.push(Procedure::new_simple(
             "loopy",

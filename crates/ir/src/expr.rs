@@ -154,7 +154,11 @@ impl Atom {
         let lhs = lhs.fold_consts();
         let rhs = rhs.fold_consts();
         if op == RelOp::Eq && rhs < lhs {
-            Atom { op, lhs: rhs, rhs: lhs }
+            Atom {
+                op,
+                lhs: rhs,
+                rhs: lhs,
+            }
         } else {
             Atom { op, lhs, rhs }
         }
@@ -316,9 +320,10 @@ impl Expr {
     pub fn eliminate_writes(&self) -> Expr {
         match self {
             Expr::Var(_) | Expr::Nu(_) | Expr::Int(_) => self.clone(),
-            Expr::App(f, args) => {
-                Expr::App(f.clone(), args.iter().map(|a| a.eliminate_writes()).collect())
-            }
+            Expr::App(f, args) => Expr::App(
+                f.clone(),
+                args.iter().map(|a| a.eliminate_writes()).collect(),
+            ),
             Expr::Add(a, b) => Expr::Add(
                 Box::new(a.eliminate_writes()),
                 Box::new(b.eliminate_writes()),
@@ -574,9 +579,7 @@ impl Formula {
     pub fn eliminate_writes(&self) -> Formula {
         match self {
             Formula::True | Formula::False => self.clone(),
-            Formula::Rel(op, a, b) => {
-                Formula::Rel(*op, a.eliminate_writes(), b.eliminate_writes())
-            }
+            Formula::Rel(op, a, b) => Formula::Rel(*op, a.eliminate_writes(), b.eliminate_writes()),
             Formula::Not(f) => Formula::Not(Box::new(f.eliminate_writes())),
             Formula::And(fs) => Formula::And(fs.iter().map(Formula::eliminate_writes).collect()),
             Formula::Or(fs) => Formula::Or(fs.iter().map(Formula::eliminate_writes).collect()),
@@ -628,9 +631,7 @@ impl Formula {
             Formula::Rel(_, a, b) => a.contains_old() || b.contains_old(),
             Formula::Not(f) => f.contains_old(),
             Formula::And(fs) | Formula::Or(fs) => fs.iter().any(Formula::contains_old),
-            Formula::Implies(a, b) | Formula::Iff(a, b) => {
-                a.contains_old() || b.contains_old()
-            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => a.contains_old() || b.contains_old(),
         }
     }
 }
@@ -690,9 +691,7 @@ fn find_ite(e: &Expr) -> Option<(Formula, Expr, Expr)> {
         Expr::Ite(c, t, el) => Some(((**c).clone(), (**t).clone(), (**el).clone())),
         Expr::Var(_) | Expr::Nu(_) | Expr::Int(_) => None,
         Expr::App(_, args) => args.iter().find_map(find_ite),
-        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
-            find_ite(a).or_else(|| find_ite(b))
-        }
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => find_ite(a).or_else(|| find_ite(b)),
         Expr::Neg(a) | Expr::Old(a) => find_ite(a),
         Expr::Read(m, i) => find_ite(m).or_else(|| find_ite(i)),
         Expr::Write(m, i, v) => find_ite(m).or_else(|| find_ite(i)).or_else(|| find_ite(v)),

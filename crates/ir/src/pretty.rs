@@ -314,7 +314,11 @@ impl fmt::Display for Procedure {
             Some(body) => {
                 writeln!(f, "{{")?;
                 for l in &self.locals {
-                    writeln!(f, "  var {l}: {};", self.var_sort(l).unwrap_or(crate::Sort::Int))?;
+                    writeln!(
+                        f,
+                        "  var {l}: {};",
+                        self.var_sort(l).unwrap_or(crate::Sort::Int)
+                    )?;
                 }
                 fmt_stmt(body, 1, f)?;
                 writeln!(f, "}}")
@@ -348,10 +352,7 @@ mod tests {
     #[test]
     fn expr_precedence() {
         let e = Expr::Mul(
-            Box::new(Expr::Add(
-                Box::new(Expr::var("x")),
-                Box::new(Expr::Int(1)),
-            )),
+            Box::new(Expr::Add(Box::new(Expr::var("x")), Box::new(Expr::Int(1)))),
             Box::new(Expr::var("y")),
         );
         assert_eq!(e.to_string(), "(x + 1) * y");

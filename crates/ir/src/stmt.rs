@@ -118,9 +118,11 @@ impl Stmt {
     /// True if the statement (recursively) contains no `Call` or `While`.
     pub fn is_core(&self) -> bool {
         match self {
-            Stmt::Skip | Stmt::Assert { .. } | Stmt::Assume(_) | Stmt::Assign(..) | Stmt::Havoc(_) => {
-                true
-            }
+            Stmt::Skip
+            | Stmt::Assert { .. }
+            | Stmt::Assume(_)
+            | Stmt::Assign(..)
+            | Stmt::Havoc(_) => true,
             Stmt::Seq(ss) => ss.iter().all(Stmt::is_core),
             Stmt::If {
                 then_branch,

@@ -140,9 +140,7 @@ impl Checker<'_> {
                 }
             }
             Formula::Not(g) => self.check_formula(g),
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().try_for_each(|g| self.check_formula(g))
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().try_for_each(|g| self.check_formula(g)),
             Formula::Implies(a, b) | Formula::Iff(a, b) => {
                 self.check_formula(a)?;
                 self.check_formula(b)

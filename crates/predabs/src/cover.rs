@@ -121,16 +121,16 @@ impl Cover {
     /// clause order. Passing a subset of the selectors to `Dead`/`Fail`
     /// evaluates the correspondingly weakened specification.
     pub fn install_selectors(&self, az: &mut ProcAnalyzer) -> Vec<acspec_vcgen::Selector> {
-        self.install_handles(az).into_iter().map(|(s, _)| s).collect()
+        self.install_handles(az)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
     }
 
     /// Like [`Cover::install_selectors`], but also returns each clause's
     /// boolean body term, which callers need for entailment queries
     /// between clause subsets (the minimality filter of Algorithm 2).
-    pub fn install_handles(
-        &self,
-        az: &mut ProcAnalyzer,
-    ) -> Vec<(acspec_vcgen::Selector, TermId)> {
+    pub fn install_handles(&self, az: &mut ProcAnalyzer) -> Vec<(acspec_vcgen::Selector, TermId)> {
         self.clauses
             .iter()
             .map(|c| {
@@ -192,7 +192,11 @@ mod tests {
              }",
         );
         let cover = predicate_cover(&mut az, &q).expect("in budget");
-        assert!(cover.clauses.is_empty(), "β_Q(wp) = true: {:?}", cover.clauses);
+        assert!(
+            cover.clauses.is_empty(),
+            "β_Q(wp) = true: {:?}",
+            cover.clauses
+        );
     }
 
     #[test]
@@ -259,7 +263,13 @@ mod tests {
         let cover = predicate_cover(&mut az, &q).expect("in budget");
         assert!(!cover.clauses.is_empty());
         let sels = cover.install_selectors(&mut az);
-        assert!(az.fail_set(&sels).expect("ok").is_empty(), "wp fails nothing");
-        assert!(!az.dead_set(&sels).expect("ok").is_empty(), "wp kills code → SIB");
+        assert!(
+            az.fail_set(&sels).expect("ok").is_empty(),
+            "wp fails nothing"
+        );
+        assert!(
+            !az.dead_set(&sels).expect("ok").is_empty(),
+            "wp kills code → SIB"
+        );
     }
 }

@@ -39,7 +39,11 @@ pub fn mine_predicates(proc: &DesugaredProc, abs: Abstraction) -> Vec<Atom> {
         .into_iter()
         .filter(|a| {
             // Only environment vocabulary.
-            if !a.free_vars().iter().all(|v| input_vars.contains(v.as_str())) {
+            if !a
+                .free_vars()
+                .iter()
+                .all(|v| input_vars.contains(v.as_str()))
+            {
                 return false;
             }
             if abs.havoc_returns && !a.nu_consts().is_empty() {
@@ -181,8 +185,10 @@ mod tests {
              }",
             Abstraction::concrete(),
         );
-        assert!(q.contains(&"buf == c".to_string()) || q.contains(&"c == buf".to_string()),
-            "alias predicate expected: {q:?}");
+        assert!(
+            q.contains(&"buf == c".to_string()) || q.contains(&"c == buf".to_string()),
+            "alias predicate expected: {q:?}"
+        );
         assert!(q.iter().any(|p| p.contains("Freed[c]")), "got {q:?}");
         assert!(q.iter().any(|p| p.contains("Freed[buf]")), "got {q:?}");
     }
@@ -258,7 +264,10 @@ mod tests {
              }",
             Abstraction::concrete(),
         );
-        assert!(q.is_empty(), "uninitialized-local atoms are not inputs: {q:?}");
+        assert!(
+            q.is_empty(),
+            "uninitialized-local atoms are not inputs: {q:?}"
+        );
     }
 
     #[test]

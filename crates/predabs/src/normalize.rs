@@ -256,9 +256,9 @@ mod tests {
             }
         };
         let input = vec![
-            cl(&[(0, true), (1, true)]),  // correlates two calls → pruned
-            cl(&[(0, true), (2, true)]),  // one call → kept
-            cl(&[(2, true)]),             // no calls → kept
+            cl(&[(0, true), (1, true)]), // correlates two calls → pruned
+            cl(&[(0, true), (2, true)]), // one call → kept
+            cl(&[(2, true)]),            // no calls → kept
         ];
         let out = prune_clauses(
             &input,

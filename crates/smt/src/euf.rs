@@ -137,9 +137,7 @@ impl Euf {
 
     fn signature(&self, n: Node) -> (u32, Vec<Node>) {
         match &self.kinds[n as usize] {
-            NodeKind::App { func, args } => {
-                (*func, args.iter().map(|&a| self.find(a)).collect())
-            }
+            NodeKind::App { func, args } => (*func, args.iter().map(|&a| self.find(a)).collect()),
             NodeKind::Leaf { .. } => unreachable!("signature of a leaf"),
         }
     }
@@ -160,12 +158,7 @@ impl Euf {
     ///
     /// Returns the conflicting reason set if the two nodes are already
     /// equal.
-    pub fn assert_diseq(
-        &mut self,
-        a: Node,
-        b: Node,
-        reason: ReasonTag,
-    ) -> Result<(), EufConflict> {
+    pub fn assert_diseq(&mut self, a: Node, b: Node, reason: ReasonTag) -> Result<(), EufConflict> {
         if self.find(a) == self.find(b) {
             let mut reasons = self.explain(a, b);
             reasons.push(reason);
@@ -302,7 +295,11 @@ impl Euf {
             }
             // px[0..=ix] / py[0..=iy] are the distinct prefixes; px[ix] (==
             // py[iy] when both in range) is the common ancestor.
-            let explain_path = |path: &[Node], upto: usize, pending: &mut Vec<(Node, Node)>, reasons: &mut Vec<ReasonTag>, this: &Euf| {
+            let explain_path = |path: &[Node],
+                                upto: usize,
+                                pending: &mut Vec<(Node, Node)>,
+                                reasons: &mut Vec<ReasonTag>,
+                                this: &Euf| {
                 for &n in &path[..upto] {
                     match &this.proof_parent[n as usize] {
                         Some((_, EdgeLabel::Asserted(r))) => reasons.push(*r),

@@ -89,10 +89,8 @@ impl Lia {
         for &(v, c) in form {
             *combined.entry(v).or_insert(Rat::ZERO) += c;
         }
-        let mut norm: Vec<(LiaVar, Rat)> = combined
-            .into_iter()
-            .filter(|(_, c)| !c.is_zero())
-            .collect();
+        let mut norm: Vec<(LiaVar, Rat)> =
+            combined.into_iter().filter(|(_, c)| !c.is_zero()).collect();
         norm.sort_by_key(|&(v, _)| v);
         if norm.len() == 1 && norm[0].1 == Rat::ONE {
             return norm[0].0;
@@ -229,8 +227,7 @@ impl Lia {
             };
             let row_i = self.rows.get_mut(&i).expect("exists");
             row_i.remove(&j);
-            let updates: Vec<(LiaVar, Rat)> =
-                row_j.iter().map(|(&k, &a)| (k, a_ij * a)).collect();
+            let updates: Vec<(LiaVar, Rat)> = row_j.iter().map(|(&k, &a)| (k, a_ij * a)).collect();
             for (k, add) in updates {
                 let e = row_i.entry(k).or_insert(Rat::ZERO);
                 *e += add;
@@ -279,9 +276,11 @@ impl Lia {
             for &(j, a) in &cols {
                 let ok = if below {
                     // Need to increase b.
-                    (a.signum() > 0 && self.can_increase(j)) || (a.signum() < 0 && self.can_decrease(j))
+                    (a.signum() > 0 && self.can_increase(j))
+                        || (a.signum() < 0 && self.can_decrease(j))
                 } else {
-                    (a.signum() > 0 && self.can_decrease(j)) || (a.signum() < 0 && self.can_increase(j))
+                    (a.signum() > 0 && self.can_decrease(j))
+                        || (a.signum() < 0 && self.can_increase(j))
                 };
                 if ok {
                     pivot_col = Some(j);

@@ -179,13 +179,11 @@ impl VarOrder {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut best = i;
-            if l < self.heap.len()
-                && act[self.heap[l].0 as usize] > act[self.heap[best].0 as usize]
+            if l < self.heap.len() && act[self.heap[l].0 as usize] > act[self.heap[best].0 as usize]
             {
                 best = l;
             }
-            if r < self.heap.len()
-                && act[self.heap[r].0 as usize] > act[self.heap[best].0 as usize]
+            if r < self.heap.len() && act[self.heap[r].0 as usize] > act[self.heap[best].0 as usize]
             {
                 best = r;
             }
@@ -602,7 +600,11 @@ impl Sat {
             self.reason.iter().flatten().copied().collect();
         let mut removed = 0;
         for (i, c) in self.clauses.iter_mut().enumerate() {
-            if c.learnt && !c.deleted && c.activity < median && !locked.contains(&i) && c.lits.len() > 2
+            if c.learnt
+                && !c.deleted
+                && c.activity < median
+                && !locked.contains(&i)
+                && c.lits.len() > 2
             {
                 c.deleted = true;
                 removed += 1;
@@ -660,10 +662,7 @@ impl Sat {
                 // analysis would backtrack above them; handle by checking
                 // the backtrack target below.
                 let (learnt, bt) = self.analyze(confl);
-                let assumption_levels = self
-                    .trail_lim
-                    .len()
-                    .min(assumptions.len()) as u32;
+                let assumption_levels = self.trail_lim.len().min(assumptions.len()) as u32;
                 if bt < assumption_levels {
                     // Re-deciding an assumption would flip it: the learnt
                     // clause will become unit on an assumption-level

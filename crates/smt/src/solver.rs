@@ -8,7 +8,7 @@
 //! clauses or fresh lemmas; the loop repeats until the model is
 //! theory-consistent or the clauses are unsatisfiable.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::euf::{Euf, Node};
 use crate::lia::{Lia, LiaVar};
@@ -300,8 +300,7 @@ impl Solver {
     /// Checks satisfiability of the asserted terms under `assumptions`.
     pub fn check(&mut self, ctx: &mut Ctx, assumptions: &[TermId]) -> SmtResult {
         self.stats.checks += 1;
-        let assumption_lits: Vec<Lit> =
-            assumptions.iter().map(|&a| self.lit(ctx, a)).collect();
+        let assumption_lits: Vec<Lit> = assumptions.iter().map(|&a| self.lit(ctx, a)).collect();
         let mut branch_lemmas_this_check = 0u64;
         for _round in 0..self.config.max_theory_rounds {
             match self
@@ -489,11 +488,11 @@ impl Solver {
         let mut whys: Vec<Why> = (0..atoms.len()).map(Why::Atom).collect();
 
         let assert_linear = |lia: &mut Lia,
-                                 ctx: &Ctx,
-                                 lhs: TermId,
-                                 rhs: TermId,
-                                 strict: bool,
-                                 why: u32|
+                             ctx: &Ctx,
+                             lhs: TermId,
+                             rhs: TermId,
+                             strict: bool,
+                             why: u32|
          -> Result<(), crate::lia::LiaConflict> {
             // lhs - rhs (+1 if strict) ≤ 0, i.e. form ≤ -k (- strictness).
             let mut form: Vec<(LiaVar, Rat)> = Vec::new();
@@ -643,7 +642,7 @@ impl Solver {
 
         // 8. Model-based combination: equal-valued shared int terms that
         // EUF keeps distinct get a trichotomy lemma so SAT commits.
-        let mut by_value: HashMap<i128, Vec<(TermId, Node)>> = HashMap::new();
+        let mut by_value: BTreeMap<i128, Vec<(TermId, Node)>> = BTreeMap::new();
         for (&t, &n) in &enc.int_terms {
             if !enc.shared.contains(&t) {
                 continue;
@@ -743,11 +742,17 @@ enum TheoryOutcome {
 }
 
 /// Mapping from terms to E-graph nodes, rebuilt per theory check.
+///
+/// Ordered maps: several theory passes iterate these tables to emit
+/// lemmas and derived equalities, and the emission order steers simplex
+/// pivoting and hence which model the solver reports. `BTreeMap` keeps
+/// that order — and therefore witnesses — identical across solver
+/// instances encoding the same problem.
 #[derive(Default)]
 struct TheoryEncoding {
     euf: Euf,
-    int_terms: HashMap<TermId, Node>,
-    map_terms: HashMap<TermId, Node>,
+    int_terms: BTreeMap<TermId, Node>,
+    map_terms: BTreeMap<TermId, Node>,
     func_ids: HashMap<String, u32>,
     /// Int terms appearing in an argument position (congruence-relevant).
     shared: HashSet<TermId>,

@@ -374,7 +374,10 @@ impl Ctx {
         if then_t == else_t {
             return then_t;
         }
-        self.intern(Term::Ite(cond, then_t, else_t), self.sorts[then_t.0 as usize])
+        self.intern(
+            Term::Ite(cond, then_t, else_t),
+            self.sorts[then_t.0 as usize],
+        )
     }
 
     /// Renders a term for diagnostics.

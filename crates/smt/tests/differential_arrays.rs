@@ -121,9 +121,7 @@ fn brute_force(case: &ArrayCase) -> bool {
 fn to_solver(case: &ArrayCase) -> SmtResult {
     let mut ctx = Ctx::new();
     let mut solver = Solver::new();
-    let idx: Vec<TermId> = (0..NIDX)
-        .map(|i| ctx.mk_int_var(format!("i{i}")))
-        .collect();
+    let idx: Vec<TermId> = (0..NIDX).map(|i| ctx.mk_int_var(format!("i{i}"))).collect();
     // Box the indices so the brute-force domain matches.
     let lo = ctx.mk_int(-B);
     let hi = ctx.mk_int(B);

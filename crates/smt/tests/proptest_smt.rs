@@ -11,10 +11,9 @@ use acspec_smt::{Ctx, Rat, SmtResult, Solver, TermId};
 
 fn brute_force_cnf(n_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
     for m in 0..(1usize << n_vars) {
-        let ok = clauses.iter().all(|c| {
-            c.iter()
-                .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
-        });
+        let ok = clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos));
         if ok {
             return true;
         }
@@ -167,8 +166,8 @@ enum F {
 }
 
 fn f_strategy() -> impl Strategy<Value = F> {
-    let leaf = (0u8..5, 0usize..3, 0usize..3, -2i64..3)
-        .prop_map(|(op, a, b, c)| F::Atom(op, a, b, c));
+    let leaf =
+        (0u8..5, 0usize..3, 0usize..3, -2i64..3).prop_map(|(op, a, b, c)| F::Atom(op, a, b, c));
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|f| F::Not(Box::new(f))),

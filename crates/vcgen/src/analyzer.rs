@@ -29,6 +29,7 @@ use acspec_ir::stmt::{AssertId, BranchCond, Stmt};
 use acspec_ir::Sort;
 use acspec_smt::{Ctx, SmtResult, Solver, TermId};
 
+use crate::stage::{Budget, Stage, StageError, StageTable};
 use crate::translate::{expr_to_term, formula_to_term, Env, TranslateError};
 
 /// A selector literal standing for an installed environment specification.
@@ -47,6 +48,13 @@ impl std::fmt::Display for Timeout {
 }
 
 impl std::error::Error for Timeout {}
+
+impl Timeout {
+    /// Tags the timeout with the pipeline stage it interrupted.
+    pub fn at(self, stage: Stage) -> StageError {
+        StageError { stage }
+    }
+}
 
 /// Configuration for a [`ProcAnalyzer`].
 #[derive(Debug, Clone, Copy)]
@@ -84,7 +92,11 @@ pub struct ProcAnalyzer {
     /// Input environment (initial incarnations + ν-constants), used to
     /// translate environment specifications and predicates.
     input_env: Env,
-    budget_left: Option<u64>,
+    budget: Budget,
+    /// The stage queries are currently attributed to.
+    stage: Stage,
+    /// Per-stage query/time accounting.
+    stages: StageTable,
     /// Count of SMT queries issued (statistics).
     pub queries: u64,
 }
@@ -106,7 +118,11 @@ impl ProcAnalyzer {
     ///
     /// Returns a [`TranslateError`] if the body refers to unbound names
     /// (indicates a front-end bug).
-    pub fn new(proc: &DesugaredProc, config: AnalyzerConfig) -> Result<ProcAnalyzer, TranslateError> {
+    pub fn new(
+        proc: &DesugaredProc,
+        config: AnalyzerConfig,
+    ) -> Result<ProcAnalyzer, TranslateError> {
+        let encode_start = std::time::Instant::now();
         let mut ctx = Ctx::new();
         let mut solver = Solver::new();
 
@@ -166,6 +182,9 @@ impl ProcAnalyzer {
         let imp = ctx.mk_implies(fail_any, disj);
         solver.assert_term(&mut ctx, imp);
 
+        let mut stages = StageTable::default();
+        stages.record(Stage::Encode, encode_start.elapsed().as_secs_f64(), 0);
+
         Ok(ProcAnalyzer {
             ctx,
             solver,
@@ -175,9 +194,41 @@ impl ProcAnalyzer {
             assert_guards,
             fail_any,
             input_env,
-            budget_left: config.conflict_budget,
+            budget: Budget::new(config.conflict_budget),
+            stage: Stage::Screen,
+            stages,
             queries: 0,
         })
+    }
+
+    /// Sets the stage subsequent queries are attributed to.
+    pub fn set_stage(&mut self, stage: Stage) {
+        self.stage = stage;
+    }
+
+    /// The stage currently charged for queries.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// The per-stage query/time accounting so far.
+    pub fn stage_stats(&self) -> StageTable {
+        self.stages
+    }
+
+    /// Attributes wall-clock time spent *outside* the solver (e.g.
+    /// clause pruning, normal-form bookkeeping) to a stage, so the
+    /// stage table reflects real elapsed time and not just query time.
+    pub fn record_external(&mut self, stage: Stage, seconds: f64) {
+        self.stages.record(stage, seconds, 0);
+    }
+
+    /// Resets the conflict pool to its configured size. A session
+    /// sharing one analyzer across configurations calls this between
+    /// configurations, so each gets the same pool the old
+    /// one-analyzer-per-config drivers granted.
+    pub fn refill_budget(&mut self) {
+        self.budget.refill();
     }
 
     /// The tracked locations.
@@ -281,18 +332,19 @@ impl ProcAnalyzer {
     }
 
     fn check(&mut self, assumptions: &[TermId]) -> Result<bool, Timeout> {
-        if matches!(self.budget_left, Some(0)) {
+        if self.budget.exhausted() {
             return Err(Timeout);
         }
         self.queries += 1;
+        let start = std::time::Instant::now();
         let before = self.solver.conflicts();
         // Bound this query by the remaining per-procedure pool.
-        self.solver.set_sat_budget(self.budget_left);
+        self.solver.set_sat_budget(self.budget.left());
         let result = self.solver.check(&mut self.ctx, assumptions);
         let spent = self.solver.conflicts() - before;
-        if let Some(b) = &mut self.budget_left {
-            *b = b.saturating_sub(spent.max(1));
-        }
+        self.budget.charge(spent);
+        self.stages
+            .record(self.stage, start.elapsed().as_secs_f64(), 1);
         match result {
             SmtResult::Sat => Ok(true),
             SmtResult::Unsat => Ok(false),
@@ -391,7 +443,11 @@ impl ProcAnalyzer {
     /// # Errors
     ///
     /// Returns [`Timeout`] if the budget is exhausted.
-    pub fn is_consistent(&mut self, active: &[Selector], extra: &[TermId]) -> Result<bool, Timeout> {
+    pub fn is_consistent(
+        &mut self,
+        active: &[Selector],
+        extra: &[TermId],
+    ) -> Result<bool, Timeout> {
         let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
         assumptions.extend_from_slice(extra);
         self.check(&assumptions)
@@ -399,7 +455,7 @@ impl ProcAnalyzer {
 
     /// Remaining conflict budget (diagnostics).
     pub fn budget_left(&self) -> Option<u64> {
-        self.budget_left
+        self.budget.left()
     }
 
     /// Enumerates the *path profiles* feasible under the active

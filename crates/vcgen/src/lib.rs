@@ -35,9 +35,11 @@
 //! ```
 
 pub mod analyzer;
+pub mod stage;
 pub mod translate;
 pub mod wp;
 
 pub use analyzer::{AnalyzerConfig, ProcAnalyzer, Selector, Timeout};
+pub use stage::{Budget, Stage, StageError, StageMetrics, StageTable};
 pub use translate::{expr_to_term, formula_to_term, Env, TranslateError};
 pub use wp::{wp, WpResult};

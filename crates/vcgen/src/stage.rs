@@ -1,0 +1,237 @@
+//! Pipeline stages, the per-procedure conflict budget, and per-stage
+//! query/time accounting.
+//!
+//! The analysis session runs one [`ProcAnalyzer`](crate::ProcAnalyzer)
+//! through a fixed sequence of stages (encode once, then screen / mine /
+//! cover / search / evaluate per configuration). The analyzer attributes
+//! every query and its wall-clock time to the stage active when it was
+//! issued, so reports can break Figure 9's single `T` column into real
+//! per-stage columns, and budget exhaustion carries the stage it
+//! happened in instead of a bare [`Timeout`](crate::Timeout).
+
+use std::fmt;
+
+/// A stage of the per-procedure analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Desugaring + symbolic execution into the solver (no queries).
+    Encode,
+    /// The demonic baseline: `Fail(true)` and the `Dead` baseline.
+    Screen,
+    /// Predicate mining for a configuration's vocabulary.
+    Mine,
+    /// The predicate cover `β_Q(wp)` (ALL-SAT enumeration).
+    Cover,
+    /// Algorithm 2's greedy weakening search.
+    Search,
+    /// Re-evaluating `Fail`/witnesses under pruned specifications.
+    Evaluate,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Encode,
+        Stage::Screen,
+        Stage::Mine,
+        Stage::Cover,
+        Stage::Search,
+        Stage::Evaluate,
+    ];
+
+    /// A short lowercase name (stable; used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Encode => "encode",
+            Stage::Screen => "screen",
+            Stage::Mine => "mine",
+            Stage::Cover => "cover",
+            Stage::Search => "search",
+            Stage::Evaluate => "evaluate",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Budget exhaustion, tagged with the stage it happened in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageError {
+    /// The stage whose query exhausted the budget.
+    pub stage: Stage,
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis budget exhausted during {}", self.stage)
+    }
+}
+
+impl std::error::Error for StageError {}
+
+/// The per-procedure conflict pool — the deterministic analogue of the
+/// paper's 10-second timeout. Refillable, so a session sharing one
+/// analyzer across configurations can grant each configuration the same
+/// pool the old one-analyzer-per-config drivers did.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    initial: Option<u64>,
+    left: Option<u64>,
+}
+
+impl Budget {
+    /// A pool of `conflicts` SAT conflicts (`None` = unlimited).
+    pub fn new(conflicts: Option<u64>) -> Self {
+        Budget {
+            initial: conflicts,
+            left: conflicts,
+        }
+    }
+
+    /// Remaining conflicts (`None` = unlimited).
+    pub fn left(&self) -> Option<u64> {
+        self.left
+    }
+
+    /// True once the pool is empty.
+    pub fn exhausted(&self) -> bool {
+        matches!(self.left, Some(0))
+    }
+
+    /// Resets the pool to its initial size.
+    pub fn refill(&mut self) {
+        self.left = self.initial;
+    }
+
+    /// Deducts `spent` conflicts (at least one per query, so query-heavy
+    /// but conflict-free workloads still terminate), saturating at zero.
+    pub fn charge(&mut self, spent: u64) {
+        if let Some(left) = &mut self.left {
+            *left = left.saturating_sub(spent.max(1));
+        }
+    }
+}
+
+/// Accumulated cost of one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageMetrics {
+    /// Wall-clock seconds spent in the stage.
+    pub seconds: f64,
+    /// SMT queries issued by the stage.
+    pub queries: u64,
+}
+
+/// Per-stage metrics for one procedure/configuration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTable {
+    metrics: [StageMetrics; Stage::ALL.len()],
+}
+
+impl StageTable {
+    /// The metrics of one stage.
+    pub fn get(&self, stage: Stage) -> StageMetrics {
+        self.metrics[stage.index()]
+    }
+
+    /// Adds cost to a stage.
+    pub fn record(&mut self, stage: Stage, seconds: f64, queries: u64) {
+        let m = &mut self.metrics[stage.index()];
+        m.seconds += seconds;
+        m.queries += queries;
+    }
+
+    /// Adds every stage of `other` into `self`.
+    pub fn merge(&mut self, other: &StageTable) {
+        for stage in Stage::ALL {
+            let m = other.get(stage);
+            self.record(stage, m.seconds, m.queries);
+        }
+    }
+
+    /// `(stage, metrics)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, StageMetrics)> + '_ {
+        Stage::ALL.iter().map(|&s| (s, self.get(s)))
+    }
+
+    /// The per-stage difference `self - baseline`, for carving one
+    /// configuration's share out of a shared analyzer's cumulative
+    /// table. Saturates at zero (float noise aside, `baseline` is
+    /// expected to be a prefix snapshot of `self`).
+    pub fn since(&self, baseline: &StageTable) -> StageTable {
+        let mut delta = StageTable::default();
+        for stage in Stage::ALL {
+            let now = self.get(stage);
+            let then = baseline.get(stage);
+            delta.record(
+                stage,
+                (now.seconds - then.seconds).max(0.0),
+                now.queries.saturating_sub(then.queries),
+            );
+        }
+        delta
+    }
+
+    /// Total seconds across stages (Figure 9's `T` column).
+    pub fn total_seconds(&self) -> f64 {
+        self.metrics.iter().map(|m| m.seconds).sum()
+    }
+
+    /// Total queries across stages.
+    pub fn total_queries(&self) -> u64 {
+        self.metrics.iter().map(|m| m.queries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_charges_at_least_one_and_refills() {
+        let mut b = Budget::new(Some(3));
+        assert!(!b.exhausted());
+        b.charge(0);
+        assert_eq!(b.left(), Some(2));
+        b.charge(10);
+        assert!(b.exhausted());
+        b.refill();
+        assert_eq!(b.left(), Some(3));
+
+        let mut unlimited = Budget::new(None);
+        unlimited.charge(u64::MAX);
+        assert!(!unlimited.exhausted());
+        assert_eq!(unlimited.left(), None);
+    }
+
+    #[test]
+    fn table_records_and_totals() {
+        let mut t = StageTable::default();
+        t.record(Stage::Screen, 0.5, 10);
+        t.record(Stage::Search, 1.0, 5);
+        t.record(Stage::Screen, 0.25, 2);
+        assert_eq!(t.get(Stage::Screen).queries, 12);
+        assert_eq!(t.total_queries(), 17);
+        assert!((t.total_seconds() - 1.75).abs() < 1e-9);
+
+        let mut sum = StageTable::default();
+        sum.merge(&t);
+        sum.merge(&t);
+        assert_eq!(sum.total_queries(), 34);
+    }
+
+    #[test]
+    fn stage_error_names_the_stage() {
+        let e = StageError {
+            stage: Stage::Cover,
+        };
+        assert_eq!(e.to_string(), "analysis budget exhausted during cover");
+    }
+}

@@ -1,19 +1,22 @@
 //! Translation from IR expressions/formulas to solver terms.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use acspec_ir::expr::{Expr, Formula, NuConst, RelOp};
 use acspec_smt::term::{Term, TermSort};
 use acspec_smt::{Ctx, TermId};
 
 /// A variable environment: current solver term for each named variable and
-/// ν-constant.
+/// ν-constant. Ordered maps so that every walk over an environment (branch
+/// merges, witness extraction) visits entries in the same order in every
+/// session — term creation order, and therefore model enumeration, stays
+/// deterministic across repeated encodes of the same procedure.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
     /// Terms for named variables.
-    pub vars: HashMap<String, TermId>,
+    pub vars: BTreeMap<String, TermId>,
     /// Terms for ν-constants.
-    pub nus: HashMap<NuConst, TermId>,
+    pub nus: BTreeMap<NuConst, TermId>,
 }
 
 /// Errors during translation.

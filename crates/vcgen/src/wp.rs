@@ -73,10 +73,7 @@ fn go(s: &Stmt, post: Formula, fresh: &mut FreshNames) -> Formula {
             let x2 = fresh.fresh(x);
             post.subst(x, &Expr::var(x2))
         }
-        Stmt::Seq(ss) => ss
-            .iter()
-            .rev()
-            .fold(post, |acc, stmt| go(stmt, acc, fresh)),
+        Stmt::Seq(ss) => ss.iter().rev().fold(post, |acc, stmt| go(stmt, acc, fresh)),
         Stmt::If {
             cond,
             then_branch,
@@ -117,7 +114,10 @@ mod tests {
     fn wp_of_assert_is_condition() {
         let body = core_body("procedure f(x: int) { assert x != 0; }");
         let r = wp(&body, &Formula::True);
-        assert_eq!(r.formula, acspec_ir::parse::parse_formula("x != 0").expect("f"));
+        assert_eq!(
+            r.formula,
+            acspec_ir::parse::parse_formula("x != 0").expect("f")
+        );
         assert!(r.universals.is_empty());
     }
 
@@ -136,8 +136,7 @@ mod tests {
                 let mut st = State::new();
                 st.set("x", Value::Int(x));
                 st.set("y", Value::Int(y));
-                let wp_holds =
-                    acspec_ir::interp::eval_formula(&st, &r.formula).expect("evaluates");
+                let wp_holds = acspec_ir::interp::eval_formula(&st, &r.formula).expect("evaluates");
                 let expected = !(x == 0 && y == 0);
                 assert_eq!(wp_holds, expected, "at x={x}, y={y}");
             }

@@ -83,7 +83,11 @@ fn path_profiles_count_feasible_combinations() {
     );
     let mut az = analyzer(&correlated);
     let profiles = az.path_profiles(&[], 64).expect("in budget");
-    assert_eq!(profiles.len(), 2, "branches on the same predicate correlate");
+    assert_eq!(
+        profiles.len(),
+        2,
+        "branches on the same predicate correlate"
+    );
 }
 
 #[test]

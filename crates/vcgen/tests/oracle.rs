@@ -76,17 +76,15 @@ fn figure1_almost_correct_spec_fails_exactly_a5() {
     let ac = parse_formula("Freed[c] == 0 && Freed[buf] == 0 && c != buf").expect("parses");
     let sel = az.add_selector(&ac).expect("inputs");
     let dead = az.dead_set(&[sel]).expect("in budget");
-    assert!(dead.is_empty(), "almost-correct spec kills no code: {dead:?}");
+    assert!(
+        dead.is_empty(),
+        "almost-correct spec kills no code: {dead:?}"
+    );
     let fails = az.fail_set(&[sel]).expect("in budget");
     // Exactly one failure: A5 (the true double-free; footnote 1 explains
     // why A6 cannot also fail).
     assert_eq!(fails.len(), 1, "got {fails:?}");
-    let a5 = d
-        .asserts
-        .iter()
-        .map(|m| m.id)
-        .nth(4)
-        .expect("six asserts");
+    let a5 = d.asserts.iter().map(|m| m.id).nth(4).expect("six asserts");
     assert!(fails.contains(&a5));
 }
 
@@ -219,12 +217,17 @@ fn matches_interpreter_on_random_programs() {
             let sel = az.add_selector(&box_spec).expect("inputs");
             let boxed_dead = az.dead_set(&[sel]).expect("in budget");
             let boxed_fail = az.fail_set(&[sel]).expect("in budget");
-            let all_locs: std::collections::BTreeSet<LocId> =
-                az.locations().into_iter().collect();
+            let all_locs: std::collections::BTreeSet<LocId> = az.locations().into_iter().collect();
             let brute_dead: std::collections::BTreeSet<LocId> =
                 all_locs.difference(&report.reached).copied().collect();
-            assert_eq!(boxed_dead, brute_dead, "case {case}: dead sets differ\n{src}");
-            assert_eq!(boxed_fail, report.failed, "case {case}: fail sets differ\n{src}");
+            assert_eq!(
+                boxed_dead, brute_dead,
+                "case {case}: dead sets differ\n{src}"
+            );
+            assert_eq!(
+                boxed_fail, report.failed,
+                "case {case}: fail sets differ\n{src}"
+            );
         }
     }
 }

@@ -8,9 +8,7 @@
 //! ```
 
 use acspec_benchgen::drivers::{generate, PatternMix};
-use acspec_core::{
-    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus,
-};
+use acspec_core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus};
 use acspec_vcgen::analyzer::AnalyzerConfig;
 
 fn main() {

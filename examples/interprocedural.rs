@@ -7,10 +7,10 @@
 //! cargo run --example interprocedural
 //! ```
 
+use acspec_cfront::compile_c;
 use acspec_core::{
     analyze_procedure, infer_preconditions, triage_program, AcspecOptions, ConfigName,
 };
-use acspec_cfront::compile_c;
 
 const SRC: &str = r#"
 int *malloc(int n);
@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r = analyze_procedure(&program, proc, &opts)?;
         modular_warnings += r.warnings.len();
     }
-    println!("modular analysis (all configurations silent on the leaf): {modular_warnings} warnings");
+    println!(
+        "modular analysis (all configurations silent on the leaf): {modular_warnings} warnings"
+    );
 
     // Infer preconditions bottom-up (§7) and re-analyze.
     let inferred = infer_preconditions(&program, &opts)?;

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Weakest precondition (§2.2), after desugaring (loops unrolled twice).
     let d = desugar_procedure(&program, &proc, DesugarOptions::default())?;
     let wp_result = wp(&d.body, &acspec_ir::Formula::True);
-    println!("wp(body, true) over {} universal(s):", wp_result.universals.len());
+    println!(
+        "wp(body, true) over {} universal(s):",
+        wp_result.universals.len()
+    );
     let rendered = wp_result.formula.to_string();
     if rendered.len() > 400 {
         println!("  [{} characters — elided]", rendered.len());

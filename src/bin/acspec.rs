@@ -20,11 +20,10 @@
 use std::process::ExitCode;
 
 use acspec_core::{
-    analyze_procedure, cons_baseline, infer_preconditions, triage_program, AcspecOptions,
-    ConfigName, ProcReport, SibStatus,
+    infer_preconditions, triage_program, AcspecOptions, ConfigName, NullObserver, ProcReport,
+    ProgramAnalysis, SibStatus,
 };
 use acspec_ir::Program;
-use acspec_vcgen::analyzer::AnalyzerConfig;
 
 struct Cli {
     path: String,
@@ -180,7 +179,10 @@ fn run() -> Result<bool, String> {
         }
         println!("{} warning(s), highest confidence first:\n", ranked.len());
         for r in &ranked {
-            println!("[{}] {} :: {} ({})", r.confidence, r.proc_name, r.warning.assert, r.warning.tag);
+            println!(
+                "[{}] {} :: {} ({})",
+                r.confidence, r.proc_name, r.warning.assert, r.warning.tag
+            );
             if let Some(w) = &r.warning.witness {
                 println!("    witness: {w}");
             }
@@ -197,37 +199,37 @@ fn run() -> Result<bool, String> {
         vec![cli.config]
     };
 
+    // One session per procedure: the encode and the demonic screen are
+    // shared between the Cons baseline and every requested configuration.
+    let results = ProgramAnalysis::new(&program)
+        .options(opts)
+        .configs(&configs)
+        .run(&mut NullObserver)
+        .map_err(|e| e.to_string())?;
+
     let mut any_warning = false;
     let mut json_reports: Vec<String> = Vec::new();
-    for proc in program.procedures.clone() {
-        if proc.body.is_none() {
-            continue;
-        }
-        let cons = cons_baseline(&program, &proc, AnalyzerConfig::default())
-            .map_err(|e| e.to_string())?;
-        if cons.status == SibStatus::Correct {
+    for pa in &results {
+        if pa.cons.status == SibStatus::Correct {
             continue;
         }
         if !cli.json {
-            println!("procedure {}:", proc.name);
+            println!("procedure {}:", pa.proc_name);
         }
-        for &config in &configs {
-            let mut o = AcspecOptions::for_config(config);
-            o.prune = opts.prune;
-            let r = analyze_procedure(&program, &proc, &o).map_err(|e| e.to_string())?;
+        for r in pa.reports.iter().flatten() {
             any_warning |= !r.warnings.is_empty();
             if cli.json {
                 json_reports.push(r.to_json());
             } else {
-                print_report(&r, cli.show_specs);
+                print_report(r, cli.show_specs);
             }
         }
         if cli.cons {
             if cli.json {
-                json_reports.push(cons.to_json());
+                json_reports.push(pa.cons.to_json());
             } else {
-                println!("  [Cons] {} warnings", cons.warnings.len());
-                for w in &cons.warnings {
+                println!("  [Cons] {} warnings", pa.cons.warnings.len());
+                for w in &pa.cons.warnings {
                     println!("      warning {}: {}", w.assert, w.tag);
                 }
             }

@@ -2,9 +2,7 @@
 //! ranked warnings, across all crates through the `acspec_repro` facade.
 
 use acspec_repro::cfront::compile_c;
-use acspec_repro::core::{
-    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus,
-};
+use acspec_repro::core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus};
 use acspec_repro::ir::parse::parse_program;
 use acspec_repro::vcgen::analyzer::AnalyzerConfig;
 
@@ -35,9 +33,12 @@ fn c_double_free_end_to_end() {
     let cons = cons_baseline(&program, &proc, AnalyzerConfig::default()).expect("ok");
     assert_eq!(cons.warnings.len(), 6, "Cons floods: {:?}", cons.warnings);
 
-    let report =
-        analyze_procedure(&program, &proc, &AcspecOptions::for_config(ConfigName::Conc))
-            .expect("ok");
+    let report = analyze_procedure(
+        &program,
+        &proc,
+        &AcspecOptions::for_config(ConfigName::Conc),
+    )
+    .expect("ok");
     assert_eq!(report.status, SibStatus::Sib);
     assert_eq!(report.warnings.len(), 1, "got {:?}", report.warnings);
     // The surviving warning is the double free after the missing return
@@ -172,8 +173,7 @@ fn branchy_function_analyzes_within_budget() {
     let program = compile_c(src).expect("compiles");
     let proc = program.procedure("walk").expect("exists").clone();
     for config in ConfigName::all() {
-        let r = analyze_procedure(&program, &proc, &AcspecOptions::for_config(config))
-            .expect("ok");
+        let r = analyze_procedure(&program, &proc, &AcspecOptions::for_config(config)).expect("ok");
         assert!(!r.timed_out(), "[{config}] timed out");
     }
 }

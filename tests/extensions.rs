@@ -4,8 +4,8 @@
 
 use acspec_repro::cfront::compile_c;
 use acspec_repro::core::{
-    analyze_procedure, infer_preconditions, triage_program, AcspecOptions, ConfigName,
-    Confidence, DeadMetric, SibStatus,
+    analyze_procedure, infer_preconditions, triage_program, AcspecOptions, Confidence, ConfigName,
+    DeadMetric, SibStatus,
 };
 
 const DRIVER: &str = "
@@ -33,8 +33,7 @@ const DRIVER: &str = "
 #[test]
 fn triage_ranks_c_driver_warnings() {
     let program = compile_c(DRIVER).expect("compiles");
-    let ranked =
-        triage_program(&program, &AcspecOptions::default()).expect("triages");
+    let ranked = triage_program(&program, &AcspecOptions::default()).expect("triages");
     assert!(!ranked.is_empty());
     // The doomed dereference outranks the allocation inconsistency.
     let pos = |name: &str| {
@@ -81,8 +80,12 @@ fn witnesses_survive_the_c_pipeline() {
     let r = analyze_procedure(&program, &proc, &AcspecOptions::default()).expect("ok");
     assert_eq!(r.warnings.len(), 1);
     let w = r.warnings[0].witness.as_ref().expect("witness");
-    assert!(w.contains("cmd = 3"), "witness drives the guarded path: {w}");
-    assert!(w.contains("p = 0"), "witness nulls the pointer: {w}");
+    assert_eq!(
+        w.get("cmd"),
+        Some(3),
+        "witness drives the guarded path: {w}"
+    );
+    assert_eq!(w.get("p"), Some(0), "witness nulls the pointer: {w}");
 }
 
 #[test]

@@ -1,0 +1,151 @@
+//! Offline stand-in for [`criterion`] 0.5 (see `vendor/README.md`).
+//!
+//! Benchmarks compile and run, printing a mean wall-clock time per
+//! iteration — no warm-up modeling, outlier analysis, or HTML reports.
+//! Passing `--test` (as `cargo test --benches` does) runs each
+//! benchmark once as a smoke test.
+
+// Stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    smoke_test: bool,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke_test: std::env::args().any(|a| a == "--test"),
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark, printing its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget: if self.smoke_test {
+                Duration::ZERO
+            } else {
+                self.measurement
+            },
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id}: no iterations recorded");
+        } else {
+            let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+            println!("{id}: {:.3} ms/iter ({} iters)", mean * 1e3, b.iters);
+        }
+        self
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        loop {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], with an untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_iterations() {
+        let mut c = Criterion {
+            smoke_test: true,
+            measurement: Duration::ZERO,
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        assert!(ran >= 1);
+    }
+}

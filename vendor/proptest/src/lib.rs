@@ -1,0 +1,138 @@
+//! Offline stand-in for [`proptest`] 1.x (see `vendor/README.md`).
+//!
+//! Implements the strategy combinators and macros the ACSpec property
+//! tests use, driven by a deterministic per-test PRNG. Differences from
+//! upstream: no shrinking (failures report the raw generated input), no
+//! persisted regression files (`*.proptest-regressions` files are
+//! ignored), and string "regex" strategies only honor the `.{m,n}`
+//! length form the tests rely on.
+
+// Stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a
+/// plain test function that draws `config.cases` inputs and runs the
+/// body on each; `prop_assert!`-style failures abort the case with the
+/// generated input echoed in the panic message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                let strategy = ($($strat,)+);
+                for case in 0..config.cases {
+                    let values =
+                        $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    let repr = format!("{:?}", &values);
+                    let ($($pat,)+) = values;
+                    let mut run =
+                        || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    if let ::std::result::Result::Err(msg) = run() {
+                        panic!(
+                            "proptest `{}` failed at case #{} with input {}: {}",
+                            stringify!($name), case, repr, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `fn name()(pat in strategy, ...) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident()(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($pat,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Picks uniformly among the given strategies (all must share a value
+/// type). Upstream's `weight => strategy` arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`", lhs, rhs
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                lhs, rhs, format!($($fmt)+)
+            ));
+        }
+    }};
+}

@@ -1,0 +1,12 @@
+//! The usual `use proptest::prelude::*;` imports.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+
+/// Module-path aliases matching upstream's `prop::` namespace.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}

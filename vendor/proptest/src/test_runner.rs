@@ -1,0 +1,103 @@
+//! Test configuration and the deterministic PRNG driving generation.
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generator: SplitMix64 seeded from the test's name, so
+/// every test draws a stable stream across runs and platforms (there is
+/// no shrinking, so reproducibility comes from determinism instead).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary label (FNV-1a of the bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, span)` by rejection sampling over `u128`.
+    pub fn below(&mut self, span: u128) -> u128 {
+        assert!(span > 0, "empty range");
+        if span == 1 {
+            return 0;
+        }
+        let zone = u128::MAX - (u128::MAX % span + 1) % span;
+        loop {
+            let hi = u128::from(self.next_u64()) << 64;
+            let v = hi | u128::from(self.next_u64());
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, span)`.
+    pub fn below_usize(&mut self, span: usize) -> usize {
+        self.below(span as u128) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn deterministic_per_name() {
+        let xs: Vec<u64> = {
+            let mut r = TestRng::for_test("a");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let ys: Vec<u64> = {
+            let mut r = TestRng::for_test("a");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let zs: Vec<u64> = {
+            let mut r = TestRng::for_test("b");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            assert!(r.below_usize(3) < 3);
+        }
+    }
+}

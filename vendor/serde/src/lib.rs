@@ -1,0 +1,26 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment for this repository has no crates.io access, so
+//! external dependencies are vendored as minimal API-compatible subsets
+//! (see `vendor/README.md`). This crate provides exactly the
+//! serialization surface ACSpec uses: the [`Serialize`]/[`Serializer`]
+//! traits, the `SerializeStruct`/`SerializeSeq`/`SerializeMap` compound
+//! helpers, and blanket impls for the std types that appear in reports.
+//!
+//! There is no `derive` macro — impls are written by hand — and no
+//! `Deserialize` half: `serde_json::from_str` parses straight into
+//! `serde_json::Value` without going through a deserializer.
+
+// Stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+/// Error trait mirrored from `serde::ser::Error`: lets generic code
+/// construct serializer errors from display-able values.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying `msg`.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}

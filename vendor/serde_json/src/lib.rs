@@ -1,0 +1,83 @@
+//! Offline stand-in for [`serde_json`]: serializes any
+//! [`serde::Serialize`] value to (pretty) JSON text and parses JSON text
+//! into a dynamic [`Value`]. See `vendor/README.md` for why this exists.
+//!
+//! Supported surface: [`to_string`], [`to_string_pretty`], [`from_str`]
+//! (into [`Value`] only), [`Value`] indexing by key and position, and the
+//! comparison/accessor helpers tests use (`as_array`, `as_str`,
+//! `PartialEq` against literals).
+
+// Stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod parse;
+mod ser;
+mod value;
+
+pub use value::Value;
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] if a `Serialize` impl reports one (the std impls
+/// never do).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    ser::write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns [`Error`] if a `Serialize` impl reports one.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    ser::write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` into a dynamic [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] if a `Serialize` impl reports one.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ser::ValueSerializer)
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    parse::parse(s)
+}
+
+pub(crate) type Map = BTreeMap<String, Value>;

@@ -1,0 +1,219 @@
+//! Serialize → [`Value`] bridge and the JSON writer.
+
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct};
+use serde::{Serialize, Serializer};
+
+use crate::value::{Number, Value};
+use crate::{Error, Map};
+
+/// Serializer producing a [`Value`] tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeStruct = StructState;
+    type SerializeSeq = SeqState;
+    type SerializeMap = MapState;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::Int(v)))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(match i64::try_from(v) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::UInt(v)),
+        })
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::Float(v)))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_string()))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<StructState, Error> {
+        Ok(StructState { map: Map::new() })
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqState, Error> {
+        Ok(SeqState {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapState, Error> {
+        Ok(MapState { map: Map::new() })
+    }
+}
+
+/// In-progress struct.
+pub struct StructState {
+    map: Map,
+}
+
+impl SerializeStruct for StructState {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.map
+            .insert(key.to_string(), value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.map))
+    }
+}
+
+/// In-progress sequence.
+pub struct SeqState {
+    items: Vec<Value>,
+}
+
+impl SerializeSeq for SeqState {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+/// In-progress map.
+pub struct MapState {
+    map: Map,
+}
+
+impl SerializeMap for MapState {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::String(s) => s,
+            other => other.to_string(),
+        };
+        self.map.insert(key, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.map))
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `v` as JSON text. `indent = None` is compact; `Some(n)`
+/// pretty-prints with `n`-space indentation (serde_json style).
+pub fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(n * depth));
+    }
+}
