@@ -6,7 +6,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use acspec_benchgen::samate::{cwe476, cwe690};
-use acspec_core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName};
+use acspec_core::{
+    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, NullObserver, ProgramAnalysis,
+    TelemetryObserver,
+};
 use acspec_ir::parse::parse_program;
 use acspec_ir::{desugar_procedure, DesugarOptions, Program};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
@@ -123,5 +126,47 @@ fn bench_incremental(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_figure1, bench_samate, bench_incremental);
+/// Telemetry overhead: the same program analysis with the observer off
+/// (`NullObserver` — query recording disabled, the default) and on
+/// (`TelemetryObserver` — per-check records plus span assembly). The
+/// `off` numbers are the zero-cost-when-disabled check: they should
+/// match a build without the telemetry crate linked at all, since the
+/// only added work on that path is one untaken branch per `check()`.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let bm = acspec_benchgen::drivers::generate(
+        "telemetry-bench",
+        7,
+        8,
+        acspec_benchgen::drivers::PatternMix::default(),
+    );
+    c.bench_function("telemetry/off", |b| {
+        b.iter(|| {
+            let results = ProgramAnalysis::new(&bm.program)
+                .threads(1)
+                .run(&mut NullObserver)
+                .expect("analyzes");
+            std::hint::black_box(results.len());
+        })
+    });
+    c.bench_function("telemetry/on", |b| {
+        b.iter(|| {
+            let mut obs = TelemetryObserver::new();
+            let results = ProgramAnalysis::new(&bm.program)
+                .threads(1)
+                .run(&mut obs)
+                .expect("analyzes");
+            std::hint::black_box(results.len());
+            let out = obs.finish();
+            std::hint::black_box(out.trace.spans.len());
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_figure1,
+    bench_samate,
+    bench_incremental,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

@@ -7,75 +7,322 @@
 //! repro fig7  [--scale N]     C/FP/FN classification      (Figure 7)
 //! repro fig8  [--scale N]     large-benchmark warnings    (Figure 8)
 //! repro fig9  [--scale N]     per-procedure averages      (Figure 9)
+//! repro profile [--scale N] [--top K]
+//!                             top-K slowest procedures and solver
+//!                             queries, with stage/config attribution
 //! repro ablation-incremental  incremental vs. fresh-solver queries
 //! repro ablation-normalize    Normalize on/off
 //! repro ablation-interproc    inferred callee preconditions (§7)
 //! repro all   [--scale N]     everything above
+//!
+//!   --trace-out <path>        write a JSONL span trace of the run
+//!   --metrics-out <path>      write a JSON metrics snapshot
 //! ```
 //!
 //! `--scale N` divides every benchmark's procedure count by `N`
 //! (default 1 = full size). All generation is seeded; output is
-//! deterministic up to wall-clock columns.
+//! deterministic up to wall-clock columns. Unknown flags or extra
+//! positional arguments are rejected with the usage text.
 
 use std::time::Instant;
 
-use acspec_bench::{
-    classify, evaluate, evaluate_with, format_table, BenchEval, EvalOptions, PRUNE_LEVELS,
-};
+use acspec_bench::{classify, evaluate_with, format_table, BenchEval, EvalOptions, PRUNE_LEVELS};
 use acspec_benchgen::suite::{generate_entry, SuiteEntry, SuiteKind, SUITE};
 use acspec_benchgen::Benchmark;
-use acspec_core::{analyze_procedure, AcspecOptions, ConfigName, StageTotals};
+use acspec_core::{
+    analyze_procedure, AcspecOptions, ConfigName, NullObserver, SessionObserver, StageTotals,
+    TeeObserver, TelemetryObserver, TelemetryOutput,
+};
 use acspec_ir::{desugar_procedure, DesugarOptions};
+use acspec_telemetry::{opt, Manifest, Trace, Value};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
 use acspec_vcgen::stage::Stage;
 
-fn main() {
+const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|ablation-incremental|\
+ablation-normalize|ablation-interproc|all> [--scale N] [--top K] \
+[--trace-out path] [--metrics-out path]";
+
+const COMMANDS: &[&str] = &[
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "profile",
+    "ablation-incremental",
+    "ablation-normalize",
+    "ablation-interproc",
+    "all",
+];
+
+struct Cli {
+    cmd: String,
+    scale: usize,
+    top: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cmd = "all".to_string();
-    let mut scale = 1usize;
+    let mut cli = Cli {
+        cmd: String::new(),
+        scale: 1,
+        top: 10,
+        trace_out: None,
+        metrics_out: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = args
+                cli.scale = args
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--scale needs a positive integer");
-                        std::process::exit(2);
-                    });
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage_error("--scale needs a positive integer"));
                 i += 2;
             }
-            other => {
-                cmd = other.to_string();
+            "--top" => {
+                cli.top = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage_error("--top needs a positive integer"));
+                i += 2;
+            }
+            "--trace-out" => {
+                cli.trace_out = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage_error("--trace-out needs a path"))
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--metrics-out" => {
+                cli.metrics_out = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage_error("--metrics-out needs a path"))
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => {
+                usage_error(&format!("unknown flag `{flag}`"));
+            }
+            word if cli.cmd.is_empty() => {
+                if !COMMANDS.contains(&word) {
+                    usage_error(&format!("unknown command `{word}`"));
+                }
+                cli.cmd = word.to_string();
                 i += 1;
+            }
+            extra => {
+                usage_error(&format!("unexpected argument `{extra}`"));
             }
         }
     }
-    match cmd.as_str() {
+    if cli.cmd.is_empty() {
+        cli.cmd = "all".to_string();
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_args();
+    let telemetry_on = cli.trace_out.is_some() || cli.metrics_out.is_some();
+    let needs_trace = telemetry_on || cli.cmd == "profile";
+    let mut telemetry = TelemetryObserver::new();
+    let mut null = NullObserver;
+    let observer: &mut dyn SessionObserver = if needs_trace {
+        &mut telemetry
+    } else {
+        &mut null
+    };
+    let scale = cli.scale;
+    match cli.cmd.as_str() {
         "fig5" => fig5(scale),
-        "fig6" => fig6(scale),
-        "fig7" => fig7(scale),
-        "fig8" => fig8(scale),
-        "fig9" => fig9(scale),
+        "fig6" => fig6(scale, observer),
+        "fig7" => fig7(scale, observer),
+        "fig8" => fig8(scale, observer),
+        "fig9" => fig9(scale, observer),
+        "profile" => {} // runs below, after the observer is finished
         "ablation-incremental" => ablation_incremental(scale),
         "ablation-normalize" => ablation_normalize(scale),
         "ablation-interproc" => ablation_interproc(scale),
         "all" => {
             fig5(scale);
-            fig6(scale);
-            fig7(scale);
-            fig8(scale);
-            fig9(scale);
+            fig6(scale, observer);
+            fig7(scale, observer);
+            fig8(scale, observer);
+            fig9(scale, observer);
             ablation_incremental(scale);
             ablation_normalize(scale);
             ablation_interproc(scale);
         }
-        other => {
-            eprintln!("unknown command `{other}`; see the module docs");
-            std::process::exit(2);
-        }
+        _ => unreachable!("parse_args validated the command"),
     }
+    if cli.cmd == "profile" {
+        fig9_workload(scale, &mut telemetry);
+    }
+    if needs_trace {
+        let out = telemetry.finish();
+        if cli.cmd == "profile" {
+            profile(&out, cli.top);
+        }
+        write_sinks(&cli, &out);
+    }
+}
+
+fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
+    if !(cli.trace_out.is_some() || cli.metrics_out.is_some()) {
+        return;
+    }
+    let manifest = Manifest {
+        tool: "repro".into(),
+        command: cli.cmd.clone(),
+        scale: Some(cli.scale as u64),
+        threads: Some(EvalOptions::default().threads as u64),
+        configs: EvalOptions::default()
+            .configs
+            .iter()
+            .map(|c| c.to_string())
+            .collect(),
+        options: vec![opt(
+            "conflict_budget",
+            EvalOptions::default()
+                .analyzer
+                .conflict_budget
+                .map_or("none".into(), |b| b.to_string()),
+        )],
+    };
+    if let Some(path) = &cli.trace_out {
+        out.write_trace(path, Some(&manifest))
+            .unwrap_or_else(|e| usage_error(&format!("cannot write {path}: {e}")));
+    }
+    if let Some(path) = &cli.metrics_out {
+        out.write_metrics(path, Some(&manifest))
+            .unwrap_or_else(|e| usage_error(&format!("cannot write {path}: {e}")));
+    }
+}
+
+/// Runs the Figure 9 evaluation workload (large benchmarks) silently,
+/// feeding the observer — the data source for `repro profile`.
+fn fig9_workload(scale: usize, observer: &mut dyn SessionObserver) {
+    let opts = EvalOptions::default();
+    for e in entries(&[SuiteKind::Large]) {
+        let bm = generate_entry(e, scale);
+        let _ = evaluate_with(&bm, &opts, observer);
+    }
+}
+
+fn u64_attr(attrs: &[(&'static str, Value)], key: &str) -> Option<u64> {
+    attrs.iter().find_map(|(k, v)| match v {
+        Value::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+/// `repro profile`: top-K slowest procedures and solver queries of the
+/// Figure 9 workload, attributed to their stage and configuration via
+/// the span tree.
+fn profile(out: &TelemetryOutput, top: usize) {
+    println!("== Profile: top {top} slowest procedures and queries ==\n");
+
+    let mut procs: Vec<_> = out.trace.spans_of("procedure").collect();
+    procs.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+    let mut rows = Vec::new();
+    for span in procs.iter().take(top) {
+        let name = Trace::str_attr(span, "proc").unwrap_or("?");
+        // The procedure's slowest stage, with its config attribution.
+        let slowest = out
+            .trace
+            .spans_of("stage")
+            .filter(|s| out.trace.ancestry(s.id).iter().any(|a| a.id == span.id))
+            .max_by(|a, b| a.seconds.total_cmp(&b.seconds));
+        let (stage, label, stage_s) = slowest.map_or(("-", "-", 0.0), |s| {
+            let chain = out.trace.ancestry(s.id);
+            (
+                Trace::str_attr(s, "stage").unwrap_or("?"),
+                chain
+                    .iter()
+                    .find(|a| a.kind == "config")
+                    .and_then(|c| Trace::str_attr(c, "label"))
+                    .unwrap_or("?"),
+                s.seconds,
+            )
+        });
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", span.seconds),
+            format!("{stage} [{label}]"),
+            format!("{stage_s:.3}"),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["Procedure", "T(s)", "Slowest stage", "T(s)"], &rows)
+    );
+
+    let mut queries: Vec<_> = out.trace.events.iter().collect();
+    queries.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+    let mut qrows = Vec::new();
+    for e in queries.iter().take(top) {
+        let chain = out.trace.ancestry(e.span);
+        let find = |kind: &str, key: &str| {
+            chain
+                .iter()
+                .find(|s| s.kind == kind)
+                .and_then(|s| Trace::str_attr(s, key))
+                .unwrap_or("?")
+                .to_string()
+        };
+        let outcome = e
+            .attrs
+            .iter()
+            .find_map(|(k, v)| match v {
+                Value::Str(s) if *k == "outcome" => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| "?".into());
+        qrows.push(vec![
+            find("procedure", "proc"),
+            find("config", "label"),
+            find("stage", "stage"),
+            outcome,
+            u64_attr(&e.attrs, "conflicts").unwrap_or(0).to_string(),
+            format!("{:.6}", e.seconds),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Procedure",
+                "Config",
+                "Stage",
+                "Outcome",
+                "Conflicts",
+                "T(s)"
+            ],
+            &qrows
+        )
+    );
+    println!(
+        "({} procedures, {} solver queries profiled over the Figure 9 workload)\n",
+        out.trace.spans_of("procedure").count(),
+        out.trace.events.len()
+    );
 }
 
 fn entries(kinds: &[SuiteKind]) -> Vec<&'static SuiteEntry> {
@@ -118,22 +365,26 @@ fn fig5(scale: usize) {
     );
 }
 
-fn eval_entries(kinds: &[SuiteKind], scale: usize) -> Vec<(Benchmark, BenchEval)> {
+fn eval_entries(
+    kinds: &[SuiteKind],
+    scale: usize,
+    observer: &mut dyn SessionObserver,
+) -> Vec<(Benchmark, BenchEval)> {
     let opts = EvalOptions::default();
     entries(kinds)
         .into_iter()
         .map(|e| {
             let bm = generate_entry(e, scale);
-            let ev = evaluate(&bm, &opts);
+            let ev = evaluate_with(&bm, &opts, observer);
             (bm, ev)
         })
         .collect()
 }
 
 /// Figure 6: warning reduction on the small benchmarks.
-fn fig6(scale: usize) {
+fn fig6(scale: usize, observer: &mut dyn SessionObserver) {
     println!("== Figure 6: abstract configurations × clause pruning (small benchmarks, scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Samate, SuiteKind::Small], scale);
+    let evals = eval_entries(&[SuiteKind::Samate, SuiteKind::Small], scale, observer);
     let mut rows = Vec::new();
     let mut tot = vec![0usize; 3 * PRUNE_LEVELS.len() + 2];
     for (bm, ev) in &evals {
@@ -171,9 +422,9 @@ fn fig6(scale: usize) {
 }
 
 /// Figure 7: classification against ground truth on the SAMATE corpora.
-fn fig7(scale: usize) {
+fn fig7(scale: usize, observer: &mut dyn SessionObserver) {
     println!("== Figure 7: classification on labeled SAMATE corpora (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Samate], scale);
+    let evals = eval_entries(&[SuiteKind::Samate], scale, observer);
     let mut rows = Vec::new();
     let mut totals = [(0usize, 0usize, 0usize); 4];
     for (bm, ev) in &evals {
@@ -224,9 +475,9 @@ fn fig7(scale: usize) {
 }
 
 /// Figure 8: warnings on the large benchmarks.
-fn fig8(scale: usize) {
+fn fig8(scale: usize, observer: &mut dyn SessionObserver) {
     println!("== Figure 8: abstract configurations on large benchmarks (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Large], scale);
+    let evals = eval_entries(&[SuiteKind::Large], scale, observer);
     let mut rows = Vec::new();
     let mut tot = [0usize; 7];
     for (bm, ev) in &evals {
@@ -260,7 +511,7 @@ fn fig8(scale: usize) {
 
 /// Figure 9: per-procedure averages on the large benchmarks, plus the
 /// per-stage breakdown collected by the analysis sessions' observer.
-fn fig9(scale: usize) {
+fn fig9(scale: usize, observer: &mut dyn SessionObserver) {
     println!("== Figure 9: per-procedure averages on large benchmarks (scale 1/{scale}) ==\n");
     let opts = EvalOptions::default();
     let mut totals = StageTotals::default();
@@ -268,7 +519,8 @@ fn fig9(scale: usize) {
         .into_iter()
         .map(|e| {
             let bm = generate_entry(e, scale);
-            let ev = evaluate_with(&bm, &opts, &mut totals);
+            let mut tee = TeeObserver::new(&mut totals, &mut *observer);
+            let ev = evaluate_with(&bm, &opts, &mut tee);
             (bm, ev)
         })
         .collect();

@@ -1,0 +1,99 @@
+//! Telemetry determinism: the merged span tree is byte-identical across
+//! worker-thread counts (modulo wall-times), because spans are
+//! materialized during the session replay in procedure order — never in
+//! arrival order.
+
+use acspec_benchgen::drivers::{generate, PatternMix};
+use acspec_core::{ProgramAnalysis, TelemetryObserver, TelemetryOutput};
+use acspec_telemetry::TraceRender;
+
+fn run(threads: usize) -> TelemetryOutput {
+    let bm = generate("tel", 4242, 12, PatternMix::default());
+    let mut obs = TelemetryObserver::new();
+    ProgramAnalysis::new(&bm.program)
+        .threads(threads)
+        .run(&mut obs)
+        .expect("analyzes");
+    obs.finish()
+}
+
+#[test]
+fn merged_trace_is_identical_across_thread_counts() {
+    let serial = run(1);
+    let parallel = run(4);
+    let zeroed = TraceRender {
+        zero_times: true,
+        redact: false,
+    };
+    let a = serial.trace_jsonl_with(None, zeroed);
+    let b = parallel.trace_jsonl_with(None, zeroed);
+    assert!(
+        a == b,
+        "span trees differ between 1 and 4 threads:\n{}",
+        first_diff(&a, &b)
+    );
+    // Same span/event volume, and deterministic solver work counters.
+    assert_eq!(serial.trace.spans.len(), parallel.trace.spans.len());
+    assert_eq!(serial.trace.events.len(), parallel.trace.events.len());
+    for key in [
+        "solver.queries",
+        "solver.sat",
+        "solver.unsat",
+        "solver.conflicts",
+        "solver.decisions",
+        "solver.propagations",
+        "solver.theory_conflicts",
+        "procs",
+    ] {
+        assert_eq!(
+            serial.metrics.counter(key),
+            parallel.metrics.counter(key),
+            "counter {key} differs across thread counts"
+        );
+    }
+}
+
+#[test]
+fn every_stage_run_has_a_span_and_every_check_an_event() {
+    let out = run(2);
+    // One span per (procedure, config, stage-run): stage spans nest
+    // under config under procedure, and their query attrs sum to the
+    // solver-query event count.
+    let stage_spans: Vec<_> = out.trace.spans_of("stage").collect();
+    assert!(!stage_spans.is_empty());
+    for s in &stage_spans {
+        let kinds: Vec<&str> = out.trace.ancestry(s.id).iter().map(|a| a.kind).collect();
+        assert_eq!(kinds, ["stage", "config", "procedure", "program"]);
+    }
+    let span_queries: u64 = stage_spans
+        .iter()
+        .map(|s| {
+            s.attrs
+                .iter()
+                .find_map(|(k, v)| match v {
+                    acspec_telemetry::Value::U64(n) if *k == "queries" => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(
+        span_queries,
+        out.trace.events.len() as u64,
+        "one solver_query event per recorded check"
+    );
+    assert_eq!(out.metrics.counter("solver.queries"), span_queries);
+}
+
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}:\n  a: {la}\n  b: {lb}", i + 1);
+        }
+    }
+    format!(
+        "lengths differ: {} vs {} lines",
+        a.lines().count(),
+        b.lines().count()
+    )
+}

@@ -48,6 +48,7 @@ pub mod interproc;
 pub mod report;
 pub mod search;
 pub mod session;
+pub mod telemetry;
 pub mod triage;
 
 pub use config::{AcspecOptions, ConfigName, DeadMetric};
@@ -60,7 +61,8 @@ pub use search::{
     find_almost_correct_specs, find_almost_correct_specs_with, DeadCheck, SearchOutcome,
 };
 pub use session::{
-    NullObserver, ProcAnalysis, ProcSession, ProgramAnalysis, Screening, SessionObserver,
-    StageEvent, StageTotals,
+    NullObserver, ProcAnalysis, ProcSession, ProgramAnalysis, QueryEvent, Screening,
+    SessionObserver, StageEvent, StageTotals, TeeObserver,
 };
+pub use telemetry::{TelemetryObserver, TelemetryOutput};
 pub use triage::{triage_procedure, triage_program, Confidence, RankedWarning};

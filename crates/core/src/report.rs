@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use acspec_ir::expr::Formula;
 use acspec_ir::stmt::AssertId;
+use acspec_smt::SolverCounters;
 use acspec_vcgen::stage::{Stage, StageTable};
 use serde::ser::{SerializeMap, SerializeStruct};
 use serde::{Serialize, Serializer};
@@ -204,6 +205,10 @@ pub struct ProcStats {
     pub solver_queries: u64,
     /// Per-stage wall-clock/query breakdown (encode through evaluate).
     pub stages: StageTable,
+    /// Aggregate SAT/theory work counters (conflicts, decisions,
+    /// propagations, theory conflicts) for this report's queries —
+    /// shared stages plus the configuration's delta, like `stages`.
+    pub smt: SolverCounters,
 }
 
 impl ProcStats {
@@ -215,12 +220,24 @@ impl ProcStats {
 
 impl Serialize for ProcStats {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("ProcStats", 6)?;
+        let mut st = serializer.serialize_struct("ProcStats", 7)?;
         st.serialize_field("n_predicates", &self.n_predicates)?;
         st.serialize_field("n_cover_clauses", &self.n_cover_clauses)?;
         st.serialize_field("search_nodes", &self.search_nodes)?;
         st.serialize_field("solver_queries", &self.solver_queries)?;
         st.serialize_field("seconds", &self.seconds())?;
+        struct SmtEntry(SolverCounters);
+        impl Serialize for SmtEntry {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut st = serializer.serialize_struct("SmtEntry", 4)?;
+                st.serialize_field("conflicts", &self.0.conflicts)?;
+                st.serialize_field("decisions", &self.0.decisions)?;
+                st.serialize_field("propagations", &self.0.propagations)?;
+                st.serialize_field("theory_conflicts", &self.0.theory_conflicts)?;
+                st.end()
+            }
+        }
+        st.serialize_field("smt", &SmtEntry(self.smt))?;
         struct StageEntry {
             seconds: f64,
             queries: u64,

@@ -54,8 +54,8 @@ use acspec_predabs::clause::{clauses_to_formula, QClause};
 use acspec_predabs::cover::{predicate_cover_capped, Cover};
 use acspec_predabs::mine::mine_predicates;
 use acspec_predabs::normalize::{normalize, prune_clauses, PruneConfig};
-use acspec_smt::TermId;
-use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, Selector};
+use acspec_smt::{SolverCounters, TermId};
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, Selector};
 use acspec_vcgen::stage::{Stage, StageError, StageMetrics, StageTable};
 
 use crate::config::{AcspecOptions, ConfigName, DeadMetric};
@@ -86,8 +86,38 @@ pub struct StageEvent {
     pub label: Option<ReportLabel>,
     /// The completed stage.
     pub stage: Stage,
+    /// Index of this stage run within its session (0 = encode). A
+    /// session can run the same stage several times (e.g. `Evaluate`
+    /// once per prune variant); the sequence number identifies each run
+    /// so query events can name their enclosing one.
+    pub seq: u32,
     /// Wall-clock seconds and query count of this stage run.
     pub metrics: StageMetrics,
+}
+
+/// One completed solver query, for [`SessionObserver`]s that opt in via
+/// [`SessionObserver::wants_queries`]. This is the session-level view
+/// of the analyzer's per-`check()` hook
+/// ([`QueryRecord`](acspec_vcgen::analyzer::QueryRecord)), tagged with
+/// the procedure, configuration, and enclosing stage run.
+#[derive(Debug, Clone)]
+pub struct QueryEvent {
+    /// The procedure being analyzed.
+    pub proc_name: String,
+    /// The configuration the query ran for (`None` = shared stages).
+    pub label: Option<ReportLabel>,
+    /// The stage charged for the query.
+    pub stage: Stage,
+    /// [`StageEvent::seq`] of the stage run this query belongs to.
+    pub stage_seq: u32,
+    /// Query index within the session (0-based, issue order).
+    pub seq: u32,
+    /// How the query ended.
+    pub outcome: QueryOutcome,
+    /// Wall-clock seconds inside the solver.
+    pub seconds: f64,
+    /// SAT/theory work-counter deltas for this query alone.
+    pub counters: SolverCounters,
 }
 
 /// Receives stage completions (and procedure completions) from an
@@ -99,6 +129,58 @@ pub trait SessionObserver {
     fn stage_completed(&mut self, event: &StageEvent);
     /// All work for a procedure finished.
     fn proc_completed(&mut self, _proc_name: &str) {}
+    /// A solver query finished. Only delivered when
+    /// [`SessionObserver::wants_queries`] returns `true`; queries are
+    /// replayed *before* the [`StageEvent`] whose run issued them.
+    fn query_completed(&mut self, _event: &QueryEvent) {}
+    /// Whether this observer wants per-query events. Recording is a
+    /// per-`check()` cost, so sessions only enable it when asked
+    /// (default `false`).
+    fn wants_queries(&self) -> bool {
+        false
+    }
+}
+
+/// Fans events out to two observers (e.g. [`StageTotals`] plus a
+/// telemetry sink) in one [`ProgramAnalysis::run`].
+#[derive(Debug)]
+pub struct TeeObserver<'a, A: ?Sized, B: ?Sized> {
+    /// First receiver.
+    pub first: &'a mut A,
+    /// Second receiver.
+    pub second: &'a mut B,
+}
+
+impl<'a, A: ?Sized, B: ?Sized> TeeObserver<'a, A, B> {
+    /// Tees events to `first` then `second`.
+    pub fn new(first: &'a mut A, second: &'a mut B) -> Self {
+        TeeObserver { first, second }
+    }
+}
+
+impl<A, B> SessionObserver for TeeObserver<'_, A, B>
+where
+    A: SessionObserver + ?Sized,
+    B: SessionObserver + ?Sized,
+{
+    fn stage_completed(&mut self, event: &StageEvent) {
+        self.first.stage_completed(event);
+        self.second.stage_completed(event);
+    }
+
+    fn proc_completed(&mut self, proc_name: &str) {
+        self.first.proc_completed(proc_name);
+        self.second.proc_completed(proc_name);
+    }
+
+    fn query_completed(&mut self, event: &QueryEvent) {
+        self.first.query_completed(event);
+        self.second.query_completed(event);
+    }
+
+    fn wants_queries(&self) -> bool {
+        self.first.wants_queries() || self.second.wants_queries()
+    }
 }
 
 /// An observer that discards everything.
@@ -181,7 +263,12 @@ pub struct ProcSession {
     /// Snapshot of the shared stages (encode + screen) included in every
     /// report's stage table.
     shared: StageTable,
+    /// Solver-counter deltas of the shared stages, mirroring `shared`.
+    shared_smt: SolverCounters,
     events: Vec<StageEvent>,
+    /// Next [`StageEvent::seq`] (0 was the encode event).
+    stage_seq: u32,
+    query_events: Vec<QueryEvent>,
 }
 
 impl ProcSession {
@@ -209,6 +296,7 @@ impl ProcSession {
             proc_name: proc.name.clone(),
             label: None,
             stage: Stage::Encode,
+            seq: 0,
             metrics: encode,
         }];
         Ok(ProcSession {
@@ -218,8 +306,18 @@ impl ProcSession {
             demonic_fail: None,
             dead_baseline: None,
             shared,
+            shared_smt: SolverCounters::default(),
             events,
+            stage_seq: 1,
+            query_events: Vec::new(),
         })
+    }
+
+    /// Enables (or disables) per-query recording on the underlying
+    /// analyzer. Off by default; [`ProgramAnalysis::run`] turns it on
+    /// when the observer [`wants_queries`](SessionObserver::wants_queries).
+    pub fn set_query_recording(&mut self, on: bool) {
+        self.az.set_query_recording(on);
     }
 
     /// The procedure's name.
@@ -242,6 +340,15 @@ impl ProcSession {
         std::mem::take(&mut self.events)
     }
 
+    /// Drains the query log (empty unless
+    /// [`ProcSession::set_query_recording`] was turned on). Queries
+    /// appear grouped by their enclosing stage run, in stage completion
+    /// order — i.e. sorted by [`QueryEvent::stage_seq`] matching
+    /// [`StageEvent::seq`] order in [`ProcSession::take_events`].
+    pub fn take_query_events(&mut self) -> Vec<QueryEvent> {
+        std::mem::take(&mut self.query_events)
+    }
+
     /// Runs `f` attributed to `stage`: solver time/queries are recorded
     /// by the analyzer, and the wall-clock remainder (mining, clause
     /// bookkeeping) is added via
@@ -257,6 +364,7 @@ impl ProcSession {
         self.az.set_stage(stage);
         let wall = Instant::now();
         let before = self.az.stage_stats().get(stage);
+        let smt_before = self.az.solver_counters();
         let out = f(self);
         let query_seconds = self.az.stage_stats().get(stage).seconds - before.seconds;
         let external = (wall.elapsed().as_secs_f64() - query_seconds).max(0.0);
@@ -266,10 +374,34 @@ impl ProcSession {
             seconds: after.seconds - before.seconds,
             queries: after.queries - before.queries,
         };
+        let seq = self.stage_seq;
+        self.stage_seq += 1;
+        if label.is_none() {
+            // Shared stages contribute their whole counter delta to the
+            // shared-SMT snapshot (mirroring `self.shared`), whether or
+            // not per-query records are being kept.
+            let delta = self.az.solver_counters().since(&smt_before);
+            self.shared_smt.add(&delta);
+        }
+        if self.az.query_recording() {
+            for q in self.az.take_query_records() {
+                self.query_events.push(QueryEvent {
+                    proc_name: self.proc_name.clone(),
+                    label,
+                    stage: q.stage,
+                    stage_seq: seq,
+                    seq: q.seq,
+                    outcome: q.outcome,
+                    seconds: q.seconds,
+                    counters: q.counters,
+                });
+            }
+        }
         self.events.push(StageEvent {
             proc_name: self.proc_name.clone(),
             label,
             stage,
+            seq,
             metrics,
         });
         (out, metrics)
@@ -357,20 +489,29 @@ impl ProcSession {
                 search_nodes: seed.search_nodes,
                 solver_queries: 0,
                 stages: StageTable::default(),
+                smt: SolverCounters::default(),
             },
             outcome: seed.outcome,
             timeout_stage: seed.timeout_stage,
         }
     }
 
-    /// Stamps a report's stage table and query count: the shared
-    /// encode/screen snapshot plus this configuration's delta since
-    /// `run_baseline`.
-    fn stamp_stats(&self, report: &mut ProcReport, run_baseline: &StageTable) {
+    /// Stamps a report's stage table, query count, and SMT work
+    /// counters: the shared encode/screen snapshot plus this
+    /// configuration's delta since the run baselines.
+    fn stamp_stats(
+        &self,
+        report: &mut ProcReport,
+        run_baseline: &StageTable,
+        smt_baseline: &SolverCounters,
+    ) {
         let mut stages = self.shared;
         stages.merge(&self.az.stage_stats().since(run_baseline));
         report.stats.solver_queries = stages.total_queries();
         report.stats.stages = stages;
+        let mut smt = self.shared_smt;
+        smt.add(&self.az.solver_counters().since(smt_baseline));
+        report.stats.smt = smt;
     }
 
     /// The `Cons` baseline: the demonic half of the shared screen,
@@ -380,6 +521,7 @@ impl ProcSession {
     pub fn cons(&mut self) -> ProcReport {
         self.az.refill_budget();
         let run_baseline = self.az.stage_stats();
+        let smt_baseline = self.az.solver_counters();
         let mut seed = ReportSeed::default();
         let mut warnings = Vec::new();
         match self.ensure_demonic_fail() {
@@ -404,7 +546,7 @@ impl ProcSession {
         }
         let mut report = self.blank_report(ReportLabel::Cons, &seed);
         report.warnings = warnings;
-        self.stamp_stats(&mut report, &run_baseline);
+        self.stamp_stats(&mut report, &run_baseline, &smt_baseline);
         report
     }
 
@@ -608,12 +750,13 @@ impl ProcSession {
             Err(e) => return self.abort_reports(label, seed, e, n),
         };
         let run_baseline = self.az.stage_stats();
+        let smt_baseline = self.az.solver_counters();
 
         // The conservative screen: no demonic failures ⇒ correct; the
         // paper excludes such procedures from all statistics.
         if screening.demonic_fail.is_empty() {
             seed.status = SibStatus::Correct;
-            return self.finish_reports(label, seed, n, &run_baseline);
+            return self.finish_reports(label, seed, n, &run_baseline, &smt_baseline);
         }
 
         // Mine Q; oversized vocabularies time out (ALL-SAT is 2^|Q|).
@@ -653,7 +796,7 @@ impl ProcSession {
                 r.outcome = AnalysisOutcome::TimedOut;
                 r.timeout_stage = Some(e.stage);
             }
-            self.stamp_stats(&mut r, &run_baseline);
+            self.stamp_stats(&mut r, &run_baseline, &smt_baseline);
             out.push(r);
         }
         out
@@ -670,7 +813,8 @@ impl ProcSession {
         seed.outcome = AnalysisOutcome::TimedOut;
         seed.timeout_stage = Some(error.stage);
         let baseline = self.az.stage_stats();
-        self.finish_reports(label, seed, n, &baseline)
+        let smt_baseline = self.az.solver_counters();
+        self.finish_reports(label, seed, n, &baseline, &smt_baseline)
     }
 
     /// One identical report per variant, built fresh instead of cloning
@@ -681,11 +825,12 @@ impl ProcSession {
         seed: ReportSeed,
         n: usize,
         run_baseline: &StageTable,
+        smt_baseline: &SolverCounters,
     ) -> Vec<ProcReport> {
         (0..n)
             .map(|_| {
                 let mut r = self.blank_report(label, &seed);
-                self.stamp_stats(&mut r, run_baseline);
+                self.stamp_stats(&mut r, run_baseline, smt_baseline);
                 r
             })
             .collect()
@@ -836,6 +981,10 @@ pub struct ProcAnalysis {
     pub reports: Vec<Vec<ProcReport>>,
     /// The session's stage events, in execution order.
     pub events: Vec<StageEvent>,
+    /// The session's query events (empty unless the observer opted in
+    /// via [`SessionObserver::wants_queries`]), grouped by enclosing
+    /// stage run in stage completion order.
+    pub queries: Vec<QueryEvent>,
 }
 
 impl ProcAnalysis {
@@ -905,8 +1054,13 @@ impl<'p> ProgramAnalysis<'p> {
         self
     }
 
-    fn analyze_one(&self, proc: &Procedure) -> Result<ProcAnalysis, AcspecError> {
+    fn analyze_one(
+        &self,
+        proc: &Procedure,
+        record_queries: bool,
+    ) -> Result<ProcAnalysis, AcspecError> {
         let mut session = ProcSession::new(self.program, proc, self.base.analyzer)?;
+        session.set_query_recording(record_queries);
         let cons = session.cons();
         let reports = if self.skip_correct && cons.status == SibStatus::Correct {
             Vec::new()
@@ -925,6 +1079,7 @@ impl<'p> ProgramAnalysis<'p> {
             cons,
             reports,
             events: session.take_events(),
+            queries: session.take_query_events(),
         })
     }
 
@@ -954,9 +1109,13 @@ impl<'p> ProgramAnalysis<'p> {
             self.threads
         }
         .min(defined.len().max(1));
+        let record_queries = observer.wants_queries();
 
         let results: Vec<Result<ProcAnalysis, AcspecError>> = if threads <= 1 {
-            defined.iter().map(|p| self.analyze_one(p)).collect()
+            defined
+                .iter()
+                .map(|p| self.analyze_one(p, record_queries))
+                .collect()
         } else {
             let next = std::sync::atomic::AtomicUsize::new(0);
             let slots: Vec<std::sync::Mutex<Option<Result<ProcAnalysis, AcspecError>>>> = (0
@@ -970,7 +1129,7 @@ impl<'p> ProgramAnalysis<'p> {
                         if i >= defined.len() {
                             break;
                         }
-                        let result = self.analyze_one(defined[i]);
+                        let result = self.analyze_one(defined[i], record_queries);
                         *slots[i].lock().expect("no poisoning") = Some(result);
                     });
                 }
@@ -988,8 +1147,19 @@ impl<'p> ProgramAnalysis<'p> {
         let mut out = Vec::with_capacity(results.len());
         for result in results {
             let pa = result?;
+            // Queries are grouped by stage run in stage completion
+            // order, so a single cursor delivers each stage's queries
+            // just before its `stage_completed`.
+            let mut cursor = 0;
             for event in &pa.events {
+                while cursor < pa.queries.len() && pa.queries[cursor].stage_seq == event.seq {
+                    observer.query_completed(&pa.queries[cursor]);
+                    cursor += 1;
+                }
                 observer.stage_completed(event);
+            }
+            for query in &pa.queries[cursor..] {
+                observer.query_completed(query);
             }
             observer.proc_completed(&pa.proc_name);
             out.push(pa);

@@ -1,0 +1,353 @@
+//! The [`TelemetryObserver`]: turns session events into a span tree and
+//! a metrics registry (the `--trace-out` / `--metrics-out` backends).
+//!
+//! The observer rides [`ProgramAnalysis::run`]'s deterministic replay
+//! (events arrive in procedure order regardless of worker-thread
+//! count), building one [`TraceBuf`] per procedure and assembling them
+//! in that same stable order — so the finished trace is byte-identical
+//! across thread counts, modulo wall-times.
+//!
+//! Span tree:
+//!
+//! ```text
+//!   program
+//!     └─ procedure (proc=…)
+//!          └─ config (label=shared|Cons|Conc|…)
+//!               └─ stage (stage=…, seq=…, queries=…)
+//!                    · solver_query events (outcome, counters, seconds)
+//! ```
+//!
+//! [`ProgramAnalysis::run`]: crate::session::ProgramAnalysis::run
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use acspec_telemetry::{Manifest, MetricsRegistry, SpanHandle, Trace, TraceBuf, TraceRender};
+
+use crate::report::ReportLabel;
+use crate::session::{QueryEvent, SessionObserver, StageEvent};
+
+/// Per-procedure recording state.
+#[derive(Debug)]
+struct ProcTrace {
+    buf: TraceBuf,
+    root: SpanHandle,
+    configs: BTreeMap<Option<ReportLabel>, SpanHandle>,
+    /// Queries replayed ahead of their owning stage event.
+    pending: Vec<QueryEvent>,
+}
+
+impl ProcTrace {
+    fn new(proc_name: &str) -> ProcTrace {
+        let mut buf = TraceBuf::new();
+        let root = buf.push_span(None, "procedure", vec![("proc", proc_name.into())], 0.0);
+        ProcTrace {
+            buf,
+            root,
+            configs: BTreeMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn config_span(&mut self, label: Option<ReportLabel>) -> SpanHandle {
+        let root = self.root;
+        *self.configs.entry(label).or_insert_with(|| {
+            let name = label.map_or_else(|| "shared".to_string(), |l| l.to_string());
+            self.buf
+                .push_span(Some(root), "config", vec![("label", name.into())], 0.0)
+        })
+    }
+}
+
+/// Label text used in span attributes and metric names.
+fn label_name(label: Option<ReportLabel>) -> String {
+    label.map_or_else(|| "shared".to_string(), |l| l.to_string())
+}
+
+/// A [`SessionObserver`] that records spans, solver-query events, and
+/// metrics. Opt into per-query events by construction — its
+/// [`wants_queries`](SessionObserver::wants_queries) returns `true`, so
+/// sessions running under it enable the analyzer's query hook.
+///
+/// Call [`TelemetryObserver::finish`] after the analysis to assemble
+/// the deterministic trace and take the registry.
+#[derive(Debug, Default)]
+pub struct TelemetryObserver {
+    bufs: Vec<TraceBuf>,
+    current: Option<ProcTrace>,
+    metrics: MetricsRegistry,
+}
+
+impl TelemetryObserver {
+    /// An empty observer.
+    pub fn new() -> TelemetryObserver {
+        TelemetryObserver::default()
+    }
+
+    fn proc_trace(&mut self, proc_name: &str) -> &mut ProcTrace {
+        if self.current.is_none() {
+            self.current = Some(ProcTrace::new(proc_name));
+        }
+        self.current.as_mut().expect("just ensured")
+    }
+
+    /// Live view of the metrics registry (e.g. for progress displays).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Assembles the trace (stable procedure order) and hands over the
+    /// metrics registry.
+    pub fn finish(mut self) -> TelemetryOutput {
+        if let Some(pt) = self.current.take() {
+            // Defensive: a run that errored mid-procedure still yields
+            // the events recorded so far.
+            self.bufs.push(pt.buf);
+        }
+        let procs = self.bufs.len();
+        let trace = Trace::assemble("program", vec![("procs", procs.into())], self.bufs);
+        TelemetryOutput {
+            trace,
+            metrics: self.metrics,
+        }
+    }
+}
+
+impl SessionObserver for TelemetryObserver {
+    fn stage_completed(&mut self, event: &StageEvent) {
+        let stage_name = event.stage.name();
+        let pt = self.proc_trace(&event.proc_name);
+        let config = pt.config_span(event.label);
+        let span = pt.buf.push_span(
+            Some(config),
+            "stage",
+            vec![
+                ("stage", stage_name.into()),
+                ("seq", u64::from(event.seq).into()),
+                ("queries", event.metrics.queries.into()),
+            ],
+            event.metrics.seconds,
+        );
+        for q in pt.pending.drain(..) {
+            pt.buf.push_event(
+                span,
+                "solver_query",
+                vec![
+                    ("seq", u64::from(q.seq).into()),
+                    ("outcome", q.outcome.name().into()),
+                    ("conflicts", q.counters.conflicts.into()),
+                    ("decisions", q.counters.decisions.into()),
+                    ("propagations", q.counters.propagations.into()),
+                    ("theory_conflicts", q.counters.theory_conflicts.into()),
+                ],
+                q.seconds,
+            );
+        }
+        pt.buf.add_seconds(config, event.metrics.seconds);
+        let root = pt.root;
+        pt.buf.add_seconds(root, event.metrics.seconds);
+
+        self.metrics.gauge_add(
+            &format!("stage.{stage_name}.seconds"),
+            event.metrics.seconds,
+        );
+        self.metrics.inc(
+            &format!("stage.{stage_name}.queries"),
+            event.metrics.queries,
+        );
+        self.metrics
+            .gauge_add("stage.total_seconds", event.metrics.seconds);
+        self.metrics.observe("stage.seconds", event.metrics.seconds);
+        self.metrics.gauge_add(
+            &format!("config.{}.seconds", label_name(event.label)),
+            event.metrics.seconds,
+        );
+    }
+
+    fn query_completed(&mut self, event: &QueryEvent) {
+        self.metrics.inc("solver.queries", 1);
+        self.metrics
+            .inc(&format!("solver.{}", event.outcome.name()), 1);
+        self.metrics
+            .inc("solver.conflicts", event.counters.conflicts);
+        self.metrics
+            .inc("solver.decisions", event.counters.decisions);
+        self.metrics
+            .inc("solver.propagations", event.counters.propagations);
+        self.metrics
+            .inc("solver.theory_conflicts", event.counters.theory_conflicts);
+        self.metrics.observe("solver.query_seconds", event.seconds);
+        self.proc_trace(&event.proc_name)
+            .pending
+            .push(event.clone());
+    }
+
+    fn proc_completed(&mut self, proc_name: &str) {
+        let mut pt = self
+            .current
+            .take()
+            .unwrap_or_else(|| ProcTrace::new(proc_name));
+        // Stragglers (queries with no matching stage event) attach to
+        // the procedure span so they are never dropped.
+        let root = pt.root;
+        for q in std::mem::take(&mut pt.pending) {
+            pt.buf.push_event(
+                root,
+                "solver_query",
+                vec![
+                    ("seq", u64::from(q.seq).into()),
+                    ("outcome", q.outcome.name().into()),
+                ],
+                q.seconds,
+            );
+        }
+        self.bufs.push(pt.buf);
+        self.metrics.inc("procs", 1);
+    }
+
+    fn wants_queries(&self) -> bool {
+        true
+    }
+}
+
+/// The assembled outputs of a [`TelemetryObserver`].
+#[derive(Debug)]
+pub struct TelemetryOutput {
+    /// The deterministic span tree.
+    pub trace: Trace,
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl TelemetryOutput {
+    /// The JSONL trace (header line, then spans with their events).
+    pub fn trace_jsonl(&self, manifest: Option<&Manifest>) -> String {
+        self.trace.to_jsonl(manifest)
+    }
+
+    /// The JSONL trace with render options (determinism tests zero the
+    /// wall-times; golden tests also redact ids and counters).
+    pub fn trace_jsonl_with(&self, manifest: Option<&Manifest>, opts: TraceRender) -> String {
+        self.trace.to_jsonl_with(manifest, opts)
+    }
+
+    /// The schema-versioned metrics snapshot.
+    pub fn metrics_json(&self, manifest: Option<&Manifest>) -> String {
+        self.metrics.snapshot_json(manifest)
+    }
+
+    /// Writes the JSONL trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_trace(&self, path: &str, manifest: Option<&Manifest>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.trace_jsonl(manifest).as_bytes())
+    }
+
+    /// Writes the metrics snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_metrics(&self, path: &str, manifest: Option<&Manifest>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        let mut s = self.metrics_json(manifest);
+        s.push('\n');
+        f.write_all(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ProgramAnalysis;
+    use acspec_ir::parse::parse_program;
+
+    const TWO_PROCS: &str = "
+        procedure f(x: int) { if (x == 0) { assert x != 0; } }
+        procedure g(p: int) { assert p != 0; }";
+
+    fn run_telemetry(threads: usize) -> TelemetryOutput {
+        let prog = parse_program(TWO_PROCS).expect("parses");
+        let mut obs = TelemetryObserver::new();
+        ProgramAnalysis::new(&prog)
+            .threads(threads)
+            .run(&mut obs)
+            .expect("analyzes");
+        obs.finish()
+    }
+
+    #[test]
+    fn span_tree_covers_procedures_configs_and_stages() {
+        let out = run_telemetry(1);
+        let procs: Vec<&str> = out
+            .trace
+            .spans_of("procedure")
+            .filter_map(|s| Trace::str_attr(s, "proc"))
+            .collect();
+        assert_eq!(procs, vec!["f", "g"]);
+        // Every (procedure, config, stage) combination that ran has a
+        // stage span whose ancestry names it.
+        let stages: Vec<_> = out.trace.spans_of("stage").collect();
+        assert!(!stages.is_empty());
+        for s in &stages {
+            let chain = out.trace.ancestry(s.id);
+            assert_eq!(chain.last().expect("root").kind, "program");
+            assert_eq!(chain[1].kind, "config");
+            assert_eq!(chain[2].kind, "procedure");
+        }
+        // Each procedure has both shared and per-config work.
+        let labels: std::collections::BTreeSet<&str> = out
+            .trace
+            .spans_of("config")
+            .filter_map(|s| Trace::str_attr(s, "label"))
+            .collect();
+        assert!(labels.contains("shared"), "{labels:?}");
+        assert!(labels.contains("Conc"), "{labels:?}");
+    }
+
+    #[test]
+    fn one_query_event_per_solver_check() {
+        let out = run_telemetry(1);
+        let events = out.trace.events.len();
+        assert!(events > 0, "no solver_query events recorded");
+        assert_eq!(out.metrics.counter("solver.queries"), events as u64);
+        // Query totals agree with the stage tables' query counts.
+        let stage_queries: u64 = out
+            .trace
+            .spans_of("stage")
+            .map(|s| {
+                s.attrs
+                    .iter()
+                    .find_map(|(k, v)| match v {
+                        acspec_telemetry::Value::U64(n) if *k == "queries" => Some(*n),
+                        _ => None,
+                    })
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(stage_queries, events as u64);
+        // Outcome counters partition the total.
+        let by_outcome = out.metrics.counter("solver.sat")
+            + out.metrics.counter("solver.unsat")
+            + out.metrics.counter("solver.unknown");
+        assert_eq!(by_outcome, events as u64);
+    }
+
+    #[test]
+    fn metrics_snapshot_has_stage_and_solver_families() {
+        let out = run_telemetry(1);
+        assert!(out.metrics.gauge("stage.total_seconds") > 0.0);
+        assert_eq!(out.metrics.counter("procs"), 2);
+        assert!(out.metrics.counter("stage.screen.queries") > 0);
+        let hist = out
+            .metrics
+            .histogram("solver.query_seconds")
+            .expect("latency histogram");
+        assert_eq!(hist.count(), out.metrics.counter("solver.queries"));
+        let json = out.metrics_json(None);
+        assert!(json.starts_with("{\"schema\":1,"), "{json}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Golden-file test pinning the telemetry JSONL shapes.
+//!
+//! The golden render redacts ids and numeric attribute values and
+//! zeroes wall-times, so the file pins the *structure* — span kinds,
+//! nesting, attribute keys, stage/config/outcome strings — without
+//! pinning solver work counts that may drift with heuristics.
+//!
+//! Regenerate after an intentional shape change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p acspec-core --test telemetry_golden
+//! ```
+
+use acspec_core::{ProgramAnalysis, TelemetryObserver};
+use acspec_ir::parse::parse_program;
+use acspec_telemetry::TraceRender;
+
+const PROGRAM: &str = "
+    procedure f(x: int) { if (x == 0) { assert x != 0; } }
+    procedure ok(x: int) { assume x > 0; assert x > 0; }";
+
+const GOLDEN_PATH: &str = "tests/golden/telemetry_trace.jsonl";
+
+#[test]
+fn redacted_trace_matches_golden_file() {
+    let prog = parse_program(PROGRAM).expect("parses");
+    let mut obs = TelemetryObserver::new();
+    ProgramAnalysis::new(&prog)
+        .threads(1)
+        .run(&mut obs)
+        .expect("analyzes");
+    let out = obs.finish();
+    let rendered = out.trace_jsonl_with(
+        None,
+        TraceRender {
+            zero_times: true,
+            redact: true,
+        },
+    );
+
+    let path = format!("{}/{GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e} (run with UPDATE_GOLDEN=1)"));
+    assert!(
+        rendered == golden,
+        "telemetry trace shape changed; if intentional, regenerate with \
+         UPDATE_GOLDEN=1.\n--- expected ---\n{golden}\n--- actual ---\n{rendered}"
+    );
+}
+
+#[test]
+fn metrics_snapshot_shape_is_stable() {
+    let prog = parse_program(PROGRAM).expect("parses");
+    let mut obs = TelemetryObserver::new();
+    ProgramAnalysis::new(&prog)
+        .threads(1)
+        .run(&mut obs)
+        .expect("analyzes");
+    let out = obs.finish();
+    let json = out.metrics_json(None);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("snapshot parses");
+    assert_eq!(v["schema"], u64::from(acspec_telemetry::SCHEMA_VERSION));
+    // The metric families the snapshot must keep exposing.
+    for key in [
+        "procs",
+        "solver.queries",
+        "solver.sat",
+        "solver.unsat",
+        "solver.conflicts",
+        "solver.decisions",
+        "solver.propagations",
+        "solver.theory_conflicts",
+        "stage.encode.queries",
+        "stage.screen.queries",
+    ] {
+        assert!(
+            v["counters"][key].as_u64().is_some(),
+            "counter {key} missing from snapshot: {json}"
+        );
+    }
+    assert!(v["gauges"]["stage.total_seconds"].as_f64().is_some());
+    assert!(v["histograms"]["solver.query_seconds"]["count"]
+        .as_u64()
+        .is_some());
+}

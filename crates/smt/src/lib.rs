@@ -42,7 +42,7 @@ pub mod term;
 
 pub use rat::Rat;
 pub use sat::{Lit, SolveResult, Var};
-pub use solver::{SmtResult, SmtStats, Solver, SolverConfig};
+pub use solver::{SmtResult, SmtStats, Solver, SolverConfig, SolverCounters};
 pub use term::{Ctx, Term, TermId, TermSort};
 
 #[cfg(test)]

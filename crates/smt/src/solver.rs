@@ -42,6 +42,46 @@ pub struct SmtStats {
     pub combination_lemmas: u64,
 }
 
+/// A point-in-time snapshot of the solver's monotone work counters —
+/// the SAT core's conflicts/decisions/propagations plus the theory
+/// loop's conflict count. Telemetry captures one snapshot before and
+/// after each `check()` and reports the difference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverCounters {
+    /// SAT conflicts.
+    pub conflicts: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// SAT unit propagations.
+    pub propagations: u64,
+    /// Theory-conflict blocking clauses added.
+    pub theory_conflicts: u64,
+}
+
+impl SolverCounters {
+    /// The per-query delta `self - earlier` (saturating; counters are
+    /// monotone, so saturation only absorbs float-free bookkeeping
+    /// mistakes rather than hiding real work).
+    pub fn since(&self, earlier: &SolverCounters) -> SolverCounters {
+        SolverCounters {
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            theory_conflicts: self
+                .theory_conflicts
+                .saturating_sub(earlier.theory_conflicts),
+        }
+    }
+
+    /// Adds another snapshot's counts into this one.
+    pub fn add(&mut self, other: &SolverCounters) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.theory_conflicts += other.theory_conflicts;
+    }
+}
+
 /// Tuning knobs for the solver.
 #[derive(Debug, Clone, Copy)]
 pub struct SolverConfig {
@@ -342,6 +382,16 @@ impl Solver {
     /// Total SAT conflicts so far (for deterministic budgeting).
     pub fn conflicts(&self) -> u64 {
         self.sat.conflicts
+    }
+
+    /// A snapshot of the solver's monotone work counters.
+    pub fn counters(&self) -> SolverCounters {
+        SolverCounters {
+            conflicts: self.sat.conflicts,
+            decisions: self.sat.decisions,
+            propagations: self.sat.propagations,
+            theory_conflicts: self.stats.theory_conflicts,
+        }
     }
 
     fn theory_check(&mut self, ctx: &mut Ctx, branch_budget_used: &mut u64) -> TheoryOutcome {

@@ -1,0 +1,345 @@
+//! The metrics registry: named counters, float gauges, fixed-bucket
+//! latency histograms, and the schema-versioned JSON snapshot.
+//!
+//! Everything is keyed by `BTreeMap`, so snapshots are byte-stable for
+//! the same inputs — the same determinism discipline as the trace side.
+
+use std::collections::BTreeMap;
+
+use crate::json::{write_f64, write_str, Value};
+
+/// Version stamped into every trace header and metrics snapshot. Bump
+/// when a field is renamed, removed, or changes meaning; adding fields
+/// is backward-compatible and does not require a bump.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Default latency buckets (seconds) for query/stage histograms:
+/// decades from 10 µs to 100 s, which brackets everything from a cached
+/// SAT hit to a worst-case budget-bounded procedure.
+pub const LATENCY_BUCKETS: [f64; 8] = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+
+/// A fixed-bucket histogram. `counts[i]` counts observations `<=
+/// bounds[i]`; the final slot counts overflows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds (must be sorted).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds sorted");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Total of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bucket counts (last slot = overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Folds another histogram with identical bounds into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"bounds\":[");
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_f64(out, *b);
+        }
+        out.push_str("],\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str("],\"sum\":");
+        write_f64(out, self.sum);
+        out.push_str(",\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push('}');
+    }
+}
+
+/// What produced a metrics snapshot: tool, subcommand, and the knobs
+/// that shaped the run. Stored verbatim in the snapshot so a
+/// `BENCH_*.json` file is self-describing.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// The binary (`acspec`, `repro`).
+    pub tool: String,
+    /// The subcommand or input path.
+    pub command: String,
+    /// Benchmark scale divisor, when applicable.
+    pub scale: Option<u64>,
+    /// Worker-thread setting, when applicable (`0` = all cores).
+    pub threads: Option<u64>,
+    /// Configurations analyzed, in order.
+    pub configs: Vec<String>,
+    /// Free-form `key=value` options (prune level, budgets, …).
+    pub options: Vec<(String, String)>,
+}
+
+impl Manifest {
+    pub(crate) fn write_json(&self, out: &mut String) {
+        out.push_str("{\"tool\":");
+        write_str(out, &self.tool);
+        out.push_str(",\"command\":");
+        write_str(out, &self.command);
+        out.push_str(",\"scale\":");
+        match self.scale {
+            Some(s) => out.push_str(&s.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"threads\":");
+        match self.threads {
+            Some(t) => out.push_str(&t.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"configs\":[");
+        for (i, c) in self.configs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(out, c);
+        }
+        out.push_str("],\"options\":{");
+        for (i, (k, v)) in self.options.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(out, k);
+            out.push(':');
+            write_str(out, v);
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter (created at zero).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        if delta != 0 {
+            *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        } else {
+            self.counters.entry(name.to_string()).or_insert(0);
+        }
+    }
+
+    /// Adds `delta` to a float gauge (created at zero). Used for
+    /// accumulated seconds, where a counter's integer granularity would
+    /// round everything away.
+    pub fn gauge_add(&mut self, name: &str, delta: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Records an observation in a histogram with the default
+    /// [`LATENCY_BUCKETS`].
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.observe_with(name, &LATENCY_BUCKETS, value);
+    }
+
+    /// Records an observation in a histogram with explicit buckets
+    /// (only used on first creation; later calls reuse the existing
+    /// bounds).
+    pub fn observe_with(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// A counter's value (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (zero if never touched).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// A histogram, if any observation was recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds another registry into this one.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// The schema-versioned JSON snapshot: `{"schema":…,"manifest":…,
+    /// "counters":…,"gauges":…,"histograms":…}`. Keys are sorted
+    /// (`BTreeMap`), so equal registries produce equal bytes.
+    pub fn snapshot_json(&self, manifest: Option<&Manifest>) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        out.push_str(&SCHEMA_VERSION.to_string());
+        out.push_str(",\"manifest\":");
+        match manifest {
+            Some(m) => m.write_json(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, k);
+            out.push(':');
+            write_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, k);
+            out.push(':');
+            h.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Convenience: a `key=value` pair for [`Manifest::options`].
+pub fn opt(key: &str, value: impl std::fmt::Display) -> (String, String) {
+    (key.to_string(), value.to_string())
+}
+
+/// Unused-import guard: re-export the attribute value type for callers
+/// building manifests and attrs together.
+pub type AttrValue = Value;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[0.001, 0.01, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.005);
+        h.observe(0.05);
+        h.observe(5.0);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 5.0555).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots_deterministically() {
+        let mut r = MetricsRegistry::new();
+        r.inc("solver.queries", 3);
+        r.inc("solver.sat", 2);
+        r.gauge_add("stage.total_seconds", 0.5);
+        r.observe("solver.query_seconds", 0.002);
+        let manifest = Manifest {
+            tool: "repro".into(),
+            command: "fig9".into(),
+            scale: Some(8),
+            threads: Some(0),
+            configs: vec!["Conc".into(), "A1".into()],
+            options: vec![opt("budget", 400_000)],
+        };
+        let a = r.snapshot_json(Some(&manifest));
+        let b = r.snapshot_json(Some(&manifest));
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":1,"), "{a}");
+        assert!(a.contains("\"solver.queries\":3"), "{a}");
+        assert!(a.contains("\"stage.total_seconds\":0.5"), "{a}");
+        assert!(a.contains("\"scale\":8"), "{a}");
+        assert!(a.contains("\"budget\":\"400000\""), "{a}");
+    }
+
+    #[test]
+    fn merge_folds_counters_gauges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.inc("q", 1);
+        a.observe("lat", 0.5);
+        let mut b = MetricsRegistry::new();
+        b.inc("q", 2);
+        b.gauge_add("s", 1.5);
+        b.observe("lat", 0.5);
+        a.merge(&b);
+        assert_eq!(a.counter("q"), 3);
+        assert!((a.gauge("s") - 1.5).abs() < 1e-12);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! Spans, solver-query events, and the deterministic trace merge.
+//!
+//! A [`TraceBuf`] is a per-worker (in practice: per-procedure) recorder:
+//! spans carry a parent id, a kind, ordered `key=value` attributes, and
+//! wall-clock seconds, measured either live ([`TraceBuf::begin`] /
+//! [`TraceBuf::end`]) or stamped from an already-measured duration
+//! ([`TraceBuf::push_span`]). Point events ([`TraceBuf::push_event`])
+//! attach to a span — the pipeline uses them for one record per SMT
+//! `check()`.
+//!
+//! [`Trace::assemble`] merges buffers under a synthetic root span in the
+//! order the caller supplies them. Ids are assigned by that stable order
+//! — *not* by arrival time — so two runs of the same workload produce
+//! byte-identical traces (modulo wall-times) regardless of how many
+//! worker threads recorded the buffers.
+
+use std::time::Instant;
+
+use crate::json::{write_attrs, write_f64, write_str, Value};
+use crate::metrics::{Manifest, SCHEMA_VERSION};
+
+/// A span being recorded in a [`TraceBuf`] (index local to the buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle(usize);
+
+#[derive(Debug, Clone)]
+struct BufSpan {
+    parent: Option<usize>,
+    kind: &'static str,
+    attrs: Vec<(&'static str, Value)>,
+    seconds: f64,
+    started: Option<Instant>,
+}
+
+#[derive(Debug, Clone)]
+struct BufEvent {
+    span: usize,
+    kind: &'static str,
+    attrs: Vec<(&'static str, Value)>,
+    seconds: f64,
+}
+
+/// A per-worker span/event recorder.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuf {
+    spans: Vec<BufSpan>,
+    events: Vec<BufEvent>,
+}
+
+impl TraceBuf {
+    /// An empty buffer.
+    pub fn new() -> TraceBuf {
+        TraceBuf::default()
+    }
+
+    /// Number of spans recorded.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Opens a span under `parent` (`None` = a buffer root) and starts
+    /// its wall clock. Close it with [`TraceBuf::end`].
+    pub fn begin(&mut self, parent: Option<SpanHandle>, kind: &'static str) -> SpanHandle {
+        self.spans.push(BufSpan {
+            parent: parent.map(|h| h.0),
+            kind,
+            attrs: Vec::new(),
+            seconds: 0.0,
+            started: Some(Instant::now()),
+        });
+        SpanHandle(self.spans.len() - 1)
+    }
+
+    /// Closes a span opened by [`TraceBuf::begin`], stamping its
+    /// wall-clock duration. A span recorded via [`TraceBuf::push_span`]
+    /// keeps its stamped duration.
+    pub fn end(&mut self, h: SpanHandle) {
+        let span = &mut self.spans[h.0];
+        if let Some(t0) = span.started.take() {
+            span.seconds = t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Records a span with an already-measured duration.
+    pub fn push_span(
+        &mut self,
+        parent: Option<SpanHandle>,
+        kind: &'static str,
+        attrs: Vec<(&'static str, Value)>,
+        seconds: f64,
+    ) -> SpanHandle {
+        self.spans.push(BufSpan {
+            parent: parent.map(|h| h.0),
+            kind,
+            attrs,
+            seconds,
+            started: None,
+        });
+        SpanHandle(self.spans.len() - 1)
+    }
+
+    /// Appends an attribute to a span.
+    pub fn attr(&mut self, h: SpanHandle, key: &'static str, value: impl Into<Value>) {
+        self.spans[h.0].attrs.push((key, value.into()));
+    }
+
+    /// Adds `seconds` to a span's recorded duration (for spans that
+    /// aggregate several measured pieces).
+    pub fn add_seconds(&mut self, h: SpanHandle, seconds: f64) {
+        self.spans[h.0].seconds += seconds;
+    }
+
+    /// Records a point event under `span`.
+    pub fn push_event(
+        &mut self,
+        span: SpanHandle,
+        kind: &'static str,
+        attrs: Vec<(&'static str, Value)>,
+        seconds: f64,
+    ) {
+        self.events.push(BufEvent {
+            span: span.0,
+            kind,
+            attrs,
+            seconds,
+        });
+    }
+}
+
+/// A span in an assembled [`Trace`] (globally numbered).
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Stable id (depth-first over buffers in merge order).
+    pub id: u64,
+    /// Parent span id (`None` only for the root).
+    pub parent: Option<u64>,
+    /// The span kind (`program`, `procedure`, `config`, `stage`, …).
+    pub kind: &'static str,
+    /// Ordered `key=value` attributes.
+    pub attrs: Vec<(&'static str, Value)>,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// A point event in an assembled [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// The span the event belongs to.
+    pub span: u64,
+    /// The event kind (`solver_query`).
+    pub kind: &'static str,
+    /// Ordered `key=value` attributes.
+    pub attrs: Vec<(&'static str, Value)>,
+    /// Wall-clock seconds attributed to the event.
+    pub seconds: f64,
+}
+
+/// Rendering options for [`Trace::to_jsonl_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceRender {
+    /// Replace every wall-time with `0` (determinism comparisons).
+    pub zero_times: bool,
+    /// Replace ids and numeric attribute values with `0`, pinning only
+    /// the structural shape (golden-file tests).
+    pub redact: bool,
+}
+
+/// An assembled, deterministically-numbered trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Spans in id order (the root is id 0).
+    pub spans: Vec<Span>,
+    /// Events, in recording order per span.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Merges per-worker buffers under a fresh root span of `root_kind`.
+    ///
+    /// Buffers must be supplied in a *stable* order (e.g. procedure
+    /// declaration order) — ids are assigned from that order, so the
+    /// assembled trace is identical no matter which worker thread
+    /// recorded which buffer, or when.
+    pub fn assemble(
+        root_kind: &'static str,
+        root_attrs: Vec<(&'static str, Value)>,
+        bufs: Vec<TraceBuf>,
+    ) -> Trace {
+        let mut spans = Vec::new();
+        let mut events = Vec::new();
+        let root_seconds: f64 = bufs
+            .iter()
+            .flat_map(|b| b.spans.iter())
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.seconds)
+            .sum();
+        spans.push(Span {
+            id: 0,
+            parent: None,
+            kind: root_kind,
+            attrs: root_attrs,
+            seconds: root_seconds,
+        });
+        let mut next = 1u64;
+        for buf in bufs {
+            let offset = next;
+            for (i, s) in buf.spans.into_iter().enumerate() {
+                debug_assert!(s.started.is_none(), "span {i} left open");
+                spans.push(Span {
+                    id: offset + i as u64,
+                    parent: Some(s.parent.map_or(0, |p| offset + p as u64)),
+                    kind: s.kind,
+                    attrs: s.attrs,
+                    seconds: s.seconds,
+                });
+                next += 1;
+            }
+            for e in buf.events {
+                events.push(TraceEvent {
+                    span: offset + e.span as u64,
+                    kind: e.kind,
+                    attrs: e.attrs,
+                    seconds: e.seconds,
+                });
+            }
+        }
+        Trace { spans, events }
+    }
+
+    /// Renders the trace as JSONL: a schema header line, then one line
+    /// per span (in id order) with its events directly after it.
+    pub fn to_jsonl(&self, manifest: Option<&Manifest>) -> String {
+        self.to_jsonl_with(manifest, TraceRender::default())
+    }
+
+    /// [`Trace::to_jsonl`] with redaction options.
+    pub fn to_jsonl_with(&self, manifest: Option<&Manifest>, opts: TraceRender) -> String {
+        let mut out = String::new();
+        out.push_str("{\"type\":\"trace\",\"schema\":");
+        out.push_str(&SCHEMA_VERSION.to_string());
+        if let Some(m) = manifest {
+            out.push_str(",\"manifest\":");
+            m.write_json(&mut out);
+        }
+        out.push_str("}\n");
+
+        // Events grouped under their span, preserving recording order.
+        let mut by_span: Vec<Vec<&TraceEvent>> = vec![Vec::new(); self.spans.len()];
+        for e in &self.events {
+            if let Some(slot) = by_span.get_mut(e.span as usize) {
+                slot.push(e);
+            }
+        }
+        let id = |raw: u64| if opts.redact { 0 } else { raw };
+        let seconds = |raw: f64| {
+            if opts.zero_times || opts.redact {
+                0.0
+            } else {
+                raw
+            }
+        };
+        let attrs = |raw: &[(&'static str, Value)]| -> Vec<(&'static str, Value)> {
+            if opts.redact {
+                raw.iter().map(|(k, v)| (*k, v.zeroed())).collect()
+            } else {
+                raw.to_vec()
+            }
+        };
+        for span in &self.spans {
+            out.push_str("{\"type\":\"span\",\"id\":");
+            out.push_str(&id(span.id).to_string());
+            out.push_str(",\"parent\":");
+            match span.parent {
+                Some(p) => out.push_str(&id(p).to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"kind\":");
+            write_str(&mut out, span.kind);
+            out.push_str(",\"attrs\":");
+            write_attrs(&mut out, &attrs(&span.attrs));
+            out.push_str(",\"seconds\":");
+            write_f64(&mut out, seconds(span.seconds));
+            out.push_str("}\n");
+            for e in &by_span[span.id as usize] {
+                out.push_str("{\"type\":\"event\",\"span\":");
+                out.push_str(&id(e.span).to_string());
+                out.push_str(",\"kind\":");
+                write_str(&mut out, e.kind);
+                out.push_str(",\"attrs\":");
+                write_attrs(&mut out, &attrs(&e.attrs));
+                out.push_str(",\"seconds\":");
+                write_f64(&mut out, seconds(e.seconds));
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+
+    /// The spans of a given kind, in id order.
+    pub fn spans_of(&self, kind: &str) -> impl Iterator<Item = &Span> {
+        let kind = kind.to_string();
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// A span's string attribute, if present.
+    pub fn str_attr<'a>(span: &'a Span, key: &str) -> Option<&'a str> {
+        span.attrs.iter().find_map(|(k, v)| match v {
+            Value::Str(s) if *k == key => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Walks parent links from `id` up to the root, returning the chain
+    /// (starting at `id` itself).
+    pub fn ancestry(&self, id: u64) -> Vec<&Span> {
+        let mut out = Vec::new();
+        let mut cur = self.spans.get(id as usize);
+        while let Some(s) = cur {
+            out.push(s);
+            cur = s.parent.and_then(|p| self.spans.get(p as usize));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_renumbers_by_buffer_order_not_arrival() {
+        let mut b1 = TraceBuf::new();
+        let p1 = b1.push_span(None, "procedure", vec![("proc", "f".into())], 1.0);
+        b1.push_span(Some(p1), "stage", vec![("stage", "encode".into())], 0.5);
+
+        let mut b2 = TraceBuf::new();
+        let p2 = b2.push_span(None, "procedure", vec![("proc", "g".into())], 2.0);
+        b2.push_event(p2, "solver_query", vec![("seq", 0u64.into())], 0.1);
+
+        // Arrival order b2-then-b1 vs b1-then-b2 must produce different
+        // *content order* only via the caller's chosen stable order —
+        // the same input order always yields the same bytes.
+        let t_a = Trace::assemble("program", vec![], vec![b1.clone(), b2.clone()]);
+        let t_b = Trace::assemble("program", vec![], vec![b1, b2]);
+        assert_eq!(t_a.to_jsonl(None), t_b.to_jsonl(None));
+        assert_eq!(t_a.spans.len(), 4); // root + 3
+        assert_eq!(t_a.spans[1].parent, Some(0));
+        assert_eq!(t_a.spans[2].parent, Some(1));
+        assert_eq!(t_a.spans[3].parent, Some(0));
+        assert_eq!(t_a.events[0].span, 3);
+        // Root duration sums the buffer roots.
+        assert!((t_a.spans[0].seconds - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn begin_end_measures_wall_time() {
+        let mut b = TraceBuf::new();
+        let h = b.begin(None, "stage");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        b.end(h);
+        b.attr(h, "stage", "screen");
+        let t = Trace::assemble("program", vec![], vec![b]);
+        assert!(t.spans[1].seconds > 0.0);
+        assert_eq!(Trace::str_attr(&t.spans[1], "stage"), Some("screen"));
+    }
+
+    #[test]
+    fn redacted_render_zeroes_ids_times_and_numbers() {
+        let mut b = TraceBuf::new();
+        let p = b.push_span(
+            None,
+            "stage",
+            vec![("stage", "cover".into()), ("queries", 17u64.into())],
+            0.25,
+        );
+        b.push_event(
+            p,
+            "solver_query",
+            vec![("outcome", "sat".into()), ("conflicts", 5u64.into())],
+            0.01,
+        );
+        let t = Trace::assemble("program", vec![], vec![b]);
+        let s = t.to_jsonl_with(
+            None,
+            TraceRender {
+                zero_times: true,
+                redact: true,
+            },
+        );
+        assert!(s.contains("\"queries\":0"), "{s}");
+        assert!(s.contains("\"conflicts\":0"), "{s}");
+        assert!(s.contains("\"outcome\":\"sat\""), "{s}");
+        assert!(s.contains("\"seconds\":0"), "{s}");
+        assert!(!s.contains("0.25"), "{s}");
+    }
+
+    #[test]
+    fn ancestry_walks_to_root() {
+        let mut b = TraceBuf::new();
+        let p = b.push_span(None, "procedure", vec![], 0.0);
+        let c = b.push_span(Some(p), "config", vec![], 0.0);
+        b.push_span(Some(c), "stage", vec![], 0.0);
+        let t = Trace::assemble("program", vec![], vec![b]);
+        let chain: Vec<&str> = t.ancestry(3).iter().map(|s| s.kind).collect();
+        assert_eq!(chain, vec!["stage", "config", "procedure", "program"]);
+    }
+}

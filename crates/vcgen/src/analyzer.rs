@@ -27,7 +27,7 @@ use acspec_ir::expr::Formula;
 use acspec_ir::locs::{enumerate_locations, LocId};
 use acspec_ir::stmt::{AssertId, BranchCond, Stmt};
 use acspec_ir::Sort;
-use acspec_smt::{Ctx, SmtResult, Solver, TermId};
+use acspec_smt::{Ctx, SmtResult, Solver, SolverCounters, TermId};
 
 use crate::stage::{Budget, Stage, StageError, StageTable};
 use crate::translate::{expr_to_term, formula_to_term, Env, TranslateError};
@@ -54,6 +54,47 @@ impl Timeout {
     pub fn at(self, stage: Stage) -> StageError {
         StageError { stage }
     }
+}
+
+/// How one SMT `check()` ended (telemetry's view of
+/// [`SmtResult`](acspec_smt::SmtResult), plus budget pre-exhaustion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Satisfiable.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted (before or during the query).
+    Unknown,
+}
+
+impl QueryOutcome {
+    /// Stable lowercase name for sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryOutcome::Sat => "sat",
+            QueryOutcome::Unsat => "unsat",
+            QueryOutcome::Unknown => "unknown",
+        }
+    }
+}
+
+/// One record per SMT `check()`: the solver-query hook's payload.
+/// Captures the per-query delta of the SAT core's work counters and the
+/// theory-conflict count, the outcome, and the query's wall-clock
+/// latency, attributed to the pipeline stage active when it was issued.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRecord {
+    /// The stage charged for the query.
+    pub stage: Stage,
+    /// Query index within this analyzer (0-based, issue order).
+    pub seq: u32,
+    /// How the query ended.
+    pub outcome: QueryOutcome,
+    /// Wall-clock seconds inside the solver.
+    pub seconds: f64,
+    /// Work-counter deltas for this query alone.
+    pub counters: SolverCounters,
 }
 
 /// Configuration for a [`ProcAnalyzer`].
@@ -99,6 +140,11 @@ pub struct ProcAnalyzer {
     stages: StageTable,
     /// Count of SMT queries issued (statistics).
     pub queries: u64,
+    /// When set, every `check()` appends a [`QueryRecord`]. Off by
+    /// default so un-instrumented runs pay nothing but this flag test.
+    record_queries: bool,
+    /// Recorded queries awaiting [`ProcAnalyzer::take_query_records`].
+    query_log: Vec<QueryRecord>,
 }
 
 struct EncodeState {
@@ -198,7 +244,31 @@ impl ProcAnalyzer {
             stage: Stage::Screen,
             stages,
             queries: 0,
+            record_queries: false,
+            query_log: Vec::new(),
         })
+    }
+
+    /// Enables (or disables) per-query [`QueryRecord`] collection — the
+    /// solver-query hook. Disabled by default; when disabled, `check()`
+    /// pays only a branch.
+    pub fn set_query_recording(&mut self, on: bool) {
+        self.record_queries = on;
+    }
+
+    /// Whether per-query recording is on.
+    pub fn query_recording(&self) -> bool {
+        self.record_queries
+    }
+
+    /// Drains the recorded queries (issue order).
+    pub fn take_query_records(&mut self) -> Vec<QueryRecord> {
+        std::mem::take(&mut self.query_log)
+    }
+
+    /// A snapshot of the underlying solver's monotone work counters.
+    pub fn solver_counters(&self) -> SolverCounters {
+        self.solver.counters()
     }
 
     /// Sets the stage subsequent queries are attributed to.
@@ -337,14 +407,27 @@ impl ProcAnalyzer {
         }
         self.queries += 1;
         let start = std::time::Instant::now();
-        let before = self.solver.conflicts();
+        let before = self.solver.counters();
         // Bound this query by the remaining per-procedure pool.
         self.solver.set_sat_budget(self.budget.left());
         let result = self.solver.check(&mut self.ctx, assumptions);
-        let spent = self.solver.conflicts() - before;
+        let spent = self.solver.conflicts() - before.conflicts;
         self.budget.charge(spent);
-        self.stages
-            .record(self.stage, start.elapsed().as_secs_f64(), 1);
+        let seconds = start.elapsed().as_secs_f64();
+        self.stages.record(self.stage, seconds, 1);
+        if self.record_queries {
+            self.query_log.push(QueryRecord {
+                stage: self.stage,
+                seq: (self.queries - 1) as u32,
+                outcome: match result {
+                    SmtResult::Sat => QueryOutcome::Sat,
+                    SmtResult::Unsat => QueryOutcome::Unsat,
+                    SmtResult::Unknown => QueryOutcome::Unknown,
+                },
+                seconds,
+                counters: self.solver.counters().since(&before),
+            });
+        }
         match result {
             SmtResult::Sat => Ok(true),
             SmtResult::Unsat => Ok(false),

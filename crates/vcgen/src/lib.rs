@@ -39,7 +39,7 @@ pub mod stage;
 pub mod translate;
 pub mod wp;
 
-pub use analyzer::{AnalyzerConfig, ProcAnalyzer, Selector, Timeout};
+pub use analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, QueryRecord, Selector, Timeout};
 pub use stage::{Budget, Stage, StageError, StageMetrics, StageTable};
 pub use translate::{expr_to_term, formula_to_term, Env, TranslateError};
 pub use wp::{wp, WpResult};

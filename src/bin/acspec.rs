@@ -11,6 +11,8 @@
 //!   --specs                    print the almost-correct specifications
 //!   --format <text|json>       output format (default text)
 //!   --triage                    rank all warnings by confidence
+//!   --trace-out <path>         write a JSONL span trace of the run
+//!   --metrics-out <path>       write a JSON metrics snapshot
 //! ```
 //!
 //! `.c` inputs go through the HAVOC-style front end (null-dereference
@@ -21,9 +23,10 @@ use std::process::ExitCode;
 
 use acspec_core::{
     infer_preconditions, triage_program, AcspecOptions, ConfigName, NullObserver, ProcReport,
-    ProgramAnalysis, SibStatus,
+    ProgramAnalysis, SessionObserver, SibStatus, TelemetryObserver,
 };
 use acspec_ir::Program;
+use acspec_telemetry::{opt, Manifest};
 
 struct Cli {
     path: String,
@@ -35,6 +38,8 @@ struct Cli {
     show_specs: bool,
     json: bool,
     triage: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -48,6 +53,8 @@ fn parse_args() -> Result<Cli, String> {
         show_specs: false,
         json: false,
         triage: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -96,6 +103,16 @@ fn parse_args() -> Result<Cli, String> {
                     "text" => false,
                     other => return Err(format!("unknown format `{other}`")),
                 };
+                i += 2;
+            }
+            "--trace-out" => {
+                let v = args.get(i + 1).ok_or("--trace-out needs a path")?;
+                cli.trace_out = Some(v.clone());
+                i += 2;
+            }
+            "--metrics-out" => {
+                let v = args.get(i + 1).ok_or("--metrics-out needs a path")?;
+                cli.metrics_out = Some(v.clone());
                 i += 2;
             }
             "--help" | "-h" => {
@@ -201,11 +218,44 @@ fn run() -> Result<bool, String> {
 
     // One session per procedure: the encode and the demonic screen are
     // shared between the Cons baseline and every requested configuration.
+    // Telemetry recording costs a per-query hook, so the observer is a
+    // no-op unless a sink was requested.
+    let telemetry_on = cli.trace_out.is_some() || cli.metrics_out.is_some();
+    let mut null = NullObserver;
+    let mut telemetry = TelemetryObserver::new();
+    let observer: &mut dyn SessionObserver = if telemetry_on {
+        &mut telemetry
+    } else {
+        &mut null
+    };
     let results = ProgramAnalysis::new(&program)
         .options(opts)
         .configs(&configs)
-        .run(&mut NullObserver)
+        .run(observer)
         .map_err(|e| e.to_string())?;
+
+    if telemetry_on {
+        let manifest = Manifest {
+            tool: "acspec".into(),
+            command: cli.path.clone(),
+            scale: None,
+            threads: None,
+            configs: configs.iter().map(|c| c.to_string()).collect(),
+            options: vec![
+                opt("prune", cli.prune.map_or("off".into(), |k| k.to_string())),
+                opt("interproc", cli.interproc),
+            ],
+        };
+        let out = telemetry.finish();
+        if let Some(path) = &cli.trace_out {
+            out.write_trace(path, Some(&manifest))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &cli.metrics_out {
+            out.write_metrics(path, Some(&manifest))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
 
     let mut any_warning = false;
     let mut json_reports: Vec<String> = Vec::new();
@@ -260,7 +310,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: acspec <file.c | file.acs> [--config Conc|A0|A1|A2] [--prune k] \
                  [--cons] [--interproc] [--all-configs] [--specs] [--triage] \
-                 [--format text|json]"
+                 [--format text|json] [--trace-out path] [--metrics-out path]"
             );
             ExitCode::from(2)
         }
