@@ -1,0 +1,125 @@
+//! Criterion benchmarks of the query cache: the same pipeline workloads
+//! with the dominance cache on (default) and off (`query_cache: false`),
+//! plus a query-replay microbenchmark isolating the cache's effect on
+//! repeated `Dead`/`Fail` queries over selector subsets.
+
+#![allow(clippy::disallowed_names)] // `Foo` is the paper's procedure name
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use acspec_core::{analyze_procedure, AcspecOptions, ConfigName, NullObserver, ProgramAnalysis};
+use acspec_ir::parse::parse_program;
+use acspec_ir::{desugar_procedure, DesugarOptions, Program};
+use acspec_predabs::cover::predicate_cover;
+use acspec_predabs::mine::{mine_predicates, Abstraction};
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+
+fn figure1_program() -> Program {
+    parse_program(
+        "global Freed: map;
+         procedure free(p: int)
+           requires Freed[p] == 0;
+           modifies Freed;
+           ensures Freed == write(old(Freed), p, 1);
+         ;
+         procedure Foo(c: int, buf: int, cmd: int) {
+           if (*) {
+             call free(c);
+             call free(buf);
+           } else {
+             if (cmd == 1) {
+               if (*) {
+                 call free(c);
+                 call free(buf);
+               }
+             }
+             call free(c);
+             call free(buf);
+           }
+         }",
+    )
+    .expect("parses")
+}
+
+fn analyzer_config(query_cache: bool) -> AnalyzerConfig {
+    AnalyzerConfig {
+        query_cache,
+        ..AnalyzerConfig::default()
+    }
+}
+
+/// Full single-procedure pipeline on Figure 1, cache on vs off.
+fn bench_pipeline_cache(c: &mut Criterion) {
+    let prog = figure1_program();
+    let foo = prog.procedure("Foo").expect("exists").clone();
+    for (name, query_cache) in [("on", true), ("off", false)] {
+        c.bench_function(&format!("cache/figure1-a2-{name}"), |b| {
+            b.iter(|| {
+                let mut opts = AcspecOptions::for_config(ConfigName::A2);
+                opts.analyzer = analyzer_config(query_cache);
+                let r = analyze_procedure(&prog, &foo, &opts).expect("analyzes");
+                std::hint::black_box(r.warnings.len());
+            })
+        });
+    }
+}
+
+/// Whole-program staged session (one encode, four configs) on a
+/// generated driver program, cache on vs off — the `repro fig9` shape.
+fn bench_session_cache(c: &mut Criterion) {
+    let bm = acspec_benchgen::drivers::generate(
+        "cache-bench",
+        11,
+        6,
+        acspec_benchgen::drivers::PatternMix::default(),
+    );
+    for (name, query_cache) in [("on", true), ("off", false)] {
+        c.bench_function(&format!("cache/session-{name}"), |b| {
+            b.iter(|| {
+                let results = ProgramAnalysis::new(&bm.program)
+                    .analyzer(analyzer_config(query_cache))
+                    .threads(1)
+                    .run(&mut NullObserver)
+                    .expect("analyzes");
+                std::hint::black_box(results.len());
+            })
+        });
+    }
+}
+
+/// Repeated `Dead`/`Fail` over nested selector subsets — the access
+/// pattern Algorithm 2 generates, where dominance hits concentrate.
+fn bench_subset_queries(c: &mut Criterion) {
+    let prog = figure1_program();
+    let foo = prog.procedure("Foo").expect("exists").clone();
+    let d = desugar_procedure(&prog, &foo, DesugarOptions::default()).expect("desugars");
+    for (name, query_cache) in [("on", true), ("off", false)] {
+        let cfg = analyzer_config(query_cache);
+        c.bench_function(&format!("cache/subset-queries-{name}"), |b| {
+            b.iter(|| {
+                let mut az = ProcAnalyzer::new(&d, cfg).expect("encodes");
+                let q = mine_predicates(&d, Abstraction::concrete());
+                let cover = predicate_cover(&mut az, &q).expect("in budget");
+                let sels = cover.install_selectors(&mut az);
+                // Every prefix of the selector list, twice: the second
+                // sweep is all-hits with the cache on.
+                for _ in 0..2 {
+                    for i in 0..=sels.len() {
+                        let active = &sels[..i];
+                        let _ = std::hint::black_box(az.dead_set(active));
+                        let _ = std::hint::black_box(az.fail_set(active));
+                    }
+                }
+                std::hint::black_box(az.queries);
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_cache,
+    bench_session_cache,
+    bench_subset_queries
+);
+criterion_main!(benches);

@@ -17,6 +17,7 @@
 //!
 //!   --trace-out <path>        write a JSONL span trace of the run
 //!   --metrics-out <path>      write a JSON metrics snapshot
+//!   --no-query-cache          disable the monotone query cache
 //! ```
 //!
 //! `--scale N` divides every benchmark's procedure count by `N`
@@ -40,7 +41,7 @@ use acspec_vcgen::stage::Stage;
 
 const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|ablation-incremental|\
 ablation-normalize|ablation-interproc|all> [--scale N] [--top K] \
-[--trace-out path] [--metrics-out path]";
+[--trace-out path] [--metrics-out path] [--no-query-cache]";
 
 const COMMANDS: &[&str] = &[
     "fig5",
@@ -61,6 +62,7 @@ struct Cli {
     top: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    query_cache: bool,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -77,6 +79,9 @@ fn parse_args() -> Cli {
         top: 10,
         trace_out: None,
         metrics_out: None,
+        // Honors ACSPEC_NO_QUERY_CACHE (the CI cache-off matrix leg);
+        // `--no-query-cache` then forces it off regardless.
+        query_cache: AnalyzerConfig::default().query_cache,
     };
     let mut i = 0;
     while i < args.len() {
@@ -112,6 +117,10 @@ fn parse_args() -> Cli {
                         .clone(),
                 );
                 i += 2;
+            }
+            "--no-query-cache" => {
+                cli.query_cache = false;
+                i += 1;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -150,30 +159,31 @@ fn main() {
         &mut null
     };
     let scale = cli.scale;
+    let qc = cli.query_cache;
     match cli.cmd.as_str() {
         "fig5" => fig5(scale),
-        "fig6" => fig6(scale, observer),
-        "fig7" => fig7(scale, observer),
-        "fig8" => fig8(scale, observer),
-        "fig9" => fig9(scale, observer),
+        "fig6" => fig6(scale, observer, qc),
+        "fig7" => fig7(scale, observer, qc),
+        "fig8" => fig8(scale, observer, qc),
+        "fig9" => fig9(scale, observer, qc),
         "profile" => {} // runs below, after the observer is finished
-        "ablation-incremental" => ablation_incremental(scale),
+        "ablation-incremental" => ablation_incremental(scale, qc),
         "ablation-normalize" => ablation_normalize(scale),
         "ablation-interproc" => ablation_interproc(scale),
         "all" => {
             fig5(scale);
-            fig6(scale, observer);
-            fig7(scale, observer);
-            fig8(scale, observer);
-            fig9(scale, observer);
-            ablation_incremental(scale);
+            fig6(scale, observer, qc);
+            fig7(scale, observer, qc);
+            fig8(scale, observer, qc);
+            fig9(scale, observer, qc);
+            ablation_incremental(scale, qc);
             ablation_normalize(scale);
             ablation_interproc(scale);
         }
         _ => unreachable!("parse_args validated the command"),
     }
     if cli.cmd == "profile" {
-        fig9_workload(scale, &mut telemetry);
+        fig9_workload(scale, &mut telemetry, qc);
     }
     if needs_trace {
         let out = telemetry.finish();
@@ -182,6 +192,14 @@ fn main() {
         }
         write_sinks(&cli, &out);
     }
+}
+
+/// The evaluation options for this invocation: the defaults with the
+/// `--no-query-cache` escape hatch applied.
+fn eval_opts(query_cache: bool) -> EvalOptions {
+    let mut opts = EvalOptions::default();
+    opts.analyzer.query_cache = query_cache;
+    opts
 }
 
 fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
@@ -198,13 +216,16 @@ fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
             .iter()
             .map(|c| c.to_string())
             .collect(),
-        options: vec![opt(
-            "conflict_budget",
-            EvalOptions::default()
-                .analyzer
-                .conflict_budget
-                .map_or("none".into(), |b| b.to_string()),
-        )],
+        options: vec![
+            opt(
+                "conflict_budget",
+                EvalOptions::default()
+                    .analyzer
+                    .conflict_budget
+                    .map_or("none".into(), |b| b.to_string()),
+            ),
+            opt("query_cache", cli.query_cache),
+        ],
     };
     if let Some(path) = &cli.trace_out {
         out.write_trace(path, Some(&manifest))
@@ -218,8 +239,8 @@ fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
 
 /// Runs the Figure 9 evaluation workload (large benchmarks) silently,
 /// feeding the observer — the data source for `repro profile`.
-fn fig9_workload(scale: usize, observer: &mut dyn SessionObserver) {
-    let opts = EvalOptions::default();
+fn fig9_workload(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
+    let opts = eval_opts(query_cache);
     for e in entries(&[SuiteKind::Large]) {
         let bm = generate_entry(e, scale);
         let _ = evaluate_with(&bm, &opts, observer);
@@ -369,8 +390,9 @@ fn eval_entries(
     kinds: &[SuiteKind],
     scale: usize,
     observer: &mut dyn SessionObserver,
+    query_cache: bool,
 ) -> Vec<(Benchmark, BenchEval)> {
-    let opts = EvalOptions::default();
+    let opts = eval_opts(query_cache);
     entries(kinds)
         .into_iter()
         .map(|e| {
@@ -382,9 +404,14 @@ fn eval_entries(
 }
 
 /// Figure 6: warning reduction on the small benchmarks.
-fn fig6(scale: usize, observer: &mut dyn SessionObserver) {
+fn fig6(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
     println!("== Figure 6: abstract configurations × clause pruning (small benchmarks, scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Samate, SuiteKind::Small], scale, observer);
+    let evals = eval_entries(
+        &[SuiteKind::Samate, SuiteKind::Small],
+        scale,
+        observer,
+        query_cache,
+    );
     let mut rows = Vec::new();
     let mut tot = vec![0usize; 3 * PRUNE_LEVELS.len() + 2];
     for (bm, ev) in &evals {
@@ -422,9 +449,9 @@ fn fig6(scale: usize, observer: &mut dyn SessionObserver) {
 }
 
 /// Figure 7: classification against ground truth on the SAMATE corpora.
-fn fig7(scale: usize, observer: &mut dyn SessionObserver) {
+fn fig7(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
     println!("== Figure 7: classification on labeled SAMATE corpora (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Samate], scale, observer);
+    let evals = eval_entries(&[SuiteKind::Samate], scale, observer, query_cache);
     let mut rows = Vec::new();
     let mut totals = [(0usize, 0usize, 0usize); 4];
     for (bm, ev) in &evals {
@@ -475,9 +502,9 @@ fn fig7(scale: usize, observer: &mut dyn SessionObserver) {
 }
 
 /// Figure 8: warnings on the large benchmarks.
-fn fig8(scale: usize, observer: &mut dyn SessionObserver) {
+fn fig8(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
     println!("== Figure 8: abstract configurations on large benchmarks (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Large], scale, observer);
+    let evals = eval_entries(&[SuiteKind::Large], scale, observer, query_cache);
     let mut rows = Vec::new();
     let mut tot = [0usize; 7];
     for (bm, ev) in &evals {
@@ -511,9 +538,9 @@ fn fig8(scale: usize, observer: &mut dyn SessionObserver) {
 
 /// Figure 9: per-procedure averages on the large benchmarks, plus the
 /// per-stage breakdown collected by the analysis sessions' observer.
-fn fig9(scale: usize, observer: &mut dyn SessionObserver) {
+fn fig9(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
     println!("== Figure 9: per-procedure averages on large benchmarks (scale 1/{scale}) ==\n");
-    let opts = EvalOptions::default();
+    let opts = eval_opts(query_cache);
     let mut totals = StageTotals::default();
     let evals: Vec<(Benchmark, BenchEval)> = entries(&[SuiteKind::Large])
         .into_iter()
@@ -580,10 +607,13 @@ fn fig9(scale: usize, observer: &mut dyn SessionObserver) {
 /// its prototype's main inefficiency (§5). We compare answering all
 /// `Fail(true)`/`Dead(true)` queries from one persistent encoding versus
 /// re-encoding per query.
-fn ablation_incremental(scale: usize) {
+fn ablation_incremental(scale: usize, query_cache: bool) {
     println!("== Ablation: incremental vs. re-encoded solving (scale 1/{scale}) ==\n");
     let bm = generate_entry(&SUITE[2], scale); // ansicon
-    let cfg = AnalyzerConfig::default();
+    let cfg = AnalyzerConfig {
+        query_cache,
+        ..AnalyzerConfig::default()
+    };
     let mut inc_total = 0.0;
     let mut fresh_total = 0.0;
     let mut n_queries = 0usize;

@@ -71,6 +71,7 @@ impl Default for EvalOptions {
         EvalOptions {
             analyzer: AnalyzerConfig {
                 conflict_budget: Some(400_000),
+                ..AnalyzerConfig::default()
             },
             configs: &[ConfigName::Conc, ConfigName::A1, ConfigName::A2],
             threads: 0,

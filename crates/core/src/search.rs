@@ -43,7 +43,35 @@ pub struct SearchOutcome {
     pub nodes_visited: usize,
 }
 
+/// Is sorted `a` a subset of sorted `b` (clause-index sets)?
+fn ids_subset(a: &[u32], b: &[u32]) -> bool {
+    a.len() <= b.len() && {
+        let mut bi = b.iter().peekable();
+        a.iter().all(|x| {
+            while let Some(&&y) = bi.peek() {
+                bi.next();
+                match y.cmp(x) {
+                    std::cmp::Ordering::Less => {}
+                    std::cmp::Ordering::Equal => return true,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            false
+        })
+    }
+}
+
 /// Evaluator for clause subsets with memoization and early-exit counting.
+///
+/// With the analyzer's dominance cache enabled, §2.3 monotonicity is
+/// also applied at the subset level (strengthening/weakening in the
+/// clause lattice mirrors it): a subset of a dead-free set is dead-free
+/// (`Dead(⋀S) = ∅ ∧ S' ⊆ S ⇒ Dead(⋀S') = ∅`), a superset of a dead set
+/// is dead (including the inconsistent-spec case), and an early-exited
+/// failure count is a lower bound for every subset
+/// (`S' ⊆ S ⇒ |Fail(⋀S')| ≥ |Fail(⋀S)|`), tightening the `cap` pruning
+/// before any per-location query is issued. Disabled together with the
+/// cache so `--no-query-cache` reproduces the uncached query sequence.
 struct SubsetEval<'a> {
     az: &'a mut ProcAnalyzer,
     selectors: &'a [Selector],
@@ -52,6 +80,13 @@ struct SubsetEval<'a> {
     asserts: Vec<acspec_ir::stmt::AssertId>,
     dead_memo: HashMap<Vec<u32>, bool>,
     fail_memo: HashMap<Vec<u32>, usize>,
+    use_lattice: bool,
+    /// Maximal known dead-free subsets.
+    dead_free: Vec<Vec<u32>>,
+    /// Minimal known dead subsets.
+    deadly: Vec<Vec<u32>>,
+    /// `(subset, lower bound on |Fail(⋀subset)|)` from early exits.
+    fail_floors: Vec<(Vec<u32>, usize)>,
 }
 
 impl SubsetEval<'_> {
@@ -68,6 +103,16 @@ impl SubsetEval<'_> {
         let key: Vec<u32> = subset.iter().copied().collect();
         if let Some(&v) = self.dead_memo.get(&key) {
             return Ok(v);
+        }
+        if self.use_lattice {
+            if self.dead_free.iter().any(|s| ids_subset(&key, s)) {
+                self.dead_memo.insert(key, false);
+                return Ok(false);
+            }
+            if self.deadly.iter().any(|s| ids_subset(s, &key)) {
+                self.dead_memo.insert(key, true);
+                return Ok(true);
+            }
         }
         let active = self.active(subset);
         let mut result = !self.az.is_consistent(&active, &[])?;
@@ -93,16 +138,39 @@ impl SubsetEval<'_> {
                 }
             }
         }
+        if self.use_lattice {
+            if result {
+                if !self.deadly.iter().any(|s| ids_subset(s, &key)) {
+                    self.deadly.retain(|s| !ids_subset(&key, s));
+                    self.deadly.push(key.clone());
+                }
+            } else if !self.dead_free.iter().any(|s| ids_subset(&key, s)) {
+                self.dead_free.retain(|s| !ids_subset(s, &key));
+                self.dead_free.push(key.clone());
+            }
+        }
         self.dead_memo.insert(key, result);
         Ok(result)
     }
 
     /// `|Fail(⋀subset)|`, stopping early once the count exceeds `cap`.
-    /// Values above `cap` are reported as `cap + 1` and not memoized.
+    /// Values above `cap` are reported as `cap + 1` and not memoized
+    /// exactly (the partial count becomes a lattice lower bound).
     fn fail_count(&mut self, subset: &BTreeSet<u32>, cap: usize) -> Result<usize, Timeout> {
         let key: Vec<u32> = subset.iter().copied().collect();
         if let Some(&v) = self.fail_memo.get(&key) {
             return Ok(v);
+        }
+        if self.use_lattice {
+            // A floor recorded for a superset bounds this subset from
+            // below; past the cap the exact count is irrelevant.
+            if self
+                .fail_floors
+                .iter()
+                .any(|(s, f)| *f > cap && ids_subset(&key, s))
+            {
+                return Ok(cap + 1);
+            }
         }
         let active = self.active(subset);
         let mut count = 0;
@@ -110,6 +178,9 @@ impl SubsetEval<'_> {
             if self.az.can_fail(a, &active)? {
                 count += 1;
                 if count > cap {
+                    if self.use_lattice {
+                        self.fail_floors.push((key, count));
+                    }
                     return Ok(count);
                 }
             }
@@ -191,6 +262,7 @@ pub fn find_almost_correct_specs_with(
     let locs = az.locations();
     let asserts = az.assertions();
     let n_asserts = asserts.len();
+    let use_lattice = az.cache_enabled();
     let mut eval = SubsetEval {
         az,
         selectors,
@@ -199,6 +271,10 @@ pub fn find_almost_correct_specs_with(
         asserts,
         dead_memo: HashMap::new(),
         fail_memo: HashMap::new(),
+        use_lattice,
+        dead_free: Vec::new(),
+        deadly: Vec::new(),
+        fail_floors: Vec::new(),
     };
 
     let full: BTreeSet<u32> = (0..selectors.len() as u32).collect();

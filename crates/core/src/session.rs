@@ -56,6 +56,7 @@ use acspec_predabs::mine::mine_predicates;
 use acspec_predabs::normalize::{normalize, prune_clauses, PruneConfig};
 use acspec_smt::{SolverCounters, TermId};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, Selector};
+use acspec_vcgen::cache::CacheStats;
 use acspec_vcgen::stage::{Stage, StageError, StageMetrics, StageTable};
 
 use crate::config::{AcspecOptions, ConfigName, DeadMetric};
@@ -93,6 +94,11 @@ pub struct StageEvent {
     pub seq: u32,
     /// Wall-clock seconds and query count of this stage run.
     pub metrics: StageMetrics,
+    /// Dominance-cache counter deltas for this stage run (all zero when
+    /// the query cache is disabled). Kept out of [`StageMetrics`] — and
+    /// hence out of report stats — because cache activity is telemetry,
+    /// not part of the byte-stable report payload.
+    pub cache: CacheStats,
 }
 
 /// One completed solver query, for [`SessionObserver`]s that opt in via
@@ -298,6 +304,7 @@ impl ProcSession {
             stage: Stage::Encode,
             seq: 0,
             metrics: encode,
+            cache: CacheStats::default(),
         }];
         Ok(ProcSession {
             proc_name: proc.name.clone(),
@@ -365,6 +372,7 @@ impl ProcSession {
         let wall = Instant::now();
         let before = self.az.stage_stats().get(stage);
         let smt_before = self.az.solver_counters();
+        let cache_before = self.az.cache_stats();
         let out = f(self);
         let query_seconds = self.az.stage_stats().get(stage).seconds - before.seconds;
         let external = (wall.elapsed().as_secs_f64() - query_seconds).max(0.0);
@@ -403,6 +411,7 @@ impl ProcSession {
             stage,
             seq,
             metrics,
+            cache: self.az.cache_stats().since(&cache_before),
         });
         (out, metrics)
     }
@@ -1266,6 +1275,7 @@ mod tests {
             &proc,
             AnalyzerConfig {
                 conflict_budget: Some(1),
+                ..AnalyzerConfig::default()
             },
         )
         .expect("encodes");

@@ -13,7 +13,8 @@
 //!   program
 //!     └─ procedure (proc=…)
 //!          └─ config (label=shared|Cons|Conc|…)
-//!               └─ stage (stage=…, seq=…, queries=…)
+//!               └─ stage (stage=…, seq=…, queries=…, cache_hits=…,
+//!                         cache_misses=…)
 //!                    · solver_query events (outcome, counters, seconds)
 //! ```
 //!
@@ -125,6 +126,8 @@ impl SessionObserver for TelemetryObserver {
                 ("stage", stage_name.into()),
                 ("seq", u64::from(event.seq).into()),
                 ("queries", event.metrics.queries.into()),
+                ("cache_hits", event.cache.hits().into()),
+                ("cache_misses", event.cache.misses.into()),
             ],
             event.metrics.seconds,
         );
@@ -155,6 +158,12 @@ impl SessionObserver for TelemetryObserver {
             &format!("stage.{stage_name}.queries"),
             event.metrics.queries,
         );
+        self.metrics.inc("cache.hits", event.cache.hits());
+        self.metrics.inc("cache.hit_sat", event.cache.hits_sat);
+        self.metrics.inc("cache.hit_unsat", event.cache.hits_unsat);
+        self.metrics.inc("cache.misses", event.cache.misses);
+        self.metrics
+            .inc("cache.invalidations", event.cache.invalidations);
         self.metrics
             .gauge_add("stage.total_seconds", event.metrics.seconds);
         self.metrics.observe("stage.seconds", event.metrics.seconds);

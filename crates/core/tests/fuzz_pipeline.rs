@@ -6,7 +6,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use acspec_core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus};
+use acspec_core::{
+    analyze_procedure, cons_baseline, AcspecOptions, ConfigName, ProcReport, ProcStats, SibStatus,
+};
 use acspec_ir::expr::{Expr, Formula, RelOp};
 use acspec_ir::program::{Contract, Procedure, Program};
 use acspec_ir::stmt::{BranchCond, Stmt};
@@ -111,6 +113,38 @@ fn random_program(seed: u64) -> Program {
     prog.procedures
         .push(Procedure::new_simple("fuzzed", &["x", "y", "z"], body));
     prog
+}
+
+/// Report JSON with the runtime statistics zeroed. Query counts, stage
+/// wall-times, and solver work counters differ cache-on vs cache-off by
+/// design; every semantic field must be byte-identical.
+fn canonical_json(r: &ProcReport) -> String {
+    let mut r = r.clone();
+    r.stats = ProcStats::default();
+    r.to_json()
+}
+
+#[test]
+fn cache_on_and_off_reports_are_byte_identical() {
+    for seed in 0..25u64 {
+        let prog = random_program(seed);
+        let proc = prog.procedure("fuzzed").expect("exists").clone();
+        for config in [ConfigName::Conc, ConfigName::A1, ConfigName::A2] {
+            let mut on = AcspecOptions::for_config(config);
+            on.analyzer.query_cache = true;
+            let mut off = on;
+            off.analyzer.query_cache = false;
+            let r_on = analyze_procedure(&prog, &proc, &on)
+                .unwrap_or_else(|e| panic!("seed {seed} {config} on: {e}"));
+            let r_off = analyze_procedure(&prog, &proc, &off)
+                .unwrap_or_else(|e| panic!("seed {seed} {config} off: {e}"));
+            assert_eq!(
+                canonical_json(&r_on),
+                canonical_json(&r_off),
+                "seed {seed} {config}: cache changed the report"
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,163 @@
+//! Metamorphic monotonicity tests of the solver-level `Dead`/`Fail`
+//! queries, checked **directly against the solver with the query cache
+//! disabled**.
+//!
+//! Activating more cover-clause selectors strengthens the environment
+//! specification, so for selector subsets `S' ⊆ S`:
+//!
+//! * `Dead(⋀S') ⊆ Dead(⋀S)` — a stronger spec kills at least as much
+//!   code (Sat is monotone down in the assumption set);
+//! * `Fail(⋀S) ⊆ Fail(⋀S')` — a stronger spec fails at most as much
+//!   (Unsat is monotone up in the assumption set).
+//!
+//! These inclusions are exactly the dominance rules the query cache in
+//! `acspec_vcgen::cache` relies on; pinning them cache-off means the
+//! cache's soundness argument rests on an independently tested fact.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use acspec_benchgen::drivers::{generate, PatternMix};
+use acspec_ir::{desugar_procedure, DesugarOptions};
+use acspec_predabs::cover::predicate_cover;
+use acspec_predabs::mine::{mine_predicates, Abstraction};
+use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, Selector};
+
+fn cache_off() -> AnalyzerConfig {
+    AnalyzerConfig {
+        query_cache: false,
+        ..AnalyzerConfig::default()
+    }
+}
+
+/// Builds a cache-off analyzer with the procedure's full cover installed,
+/// or `None` when the procedure has no interesting cover (correct, too
+/// many predicates for affordable ALL-SAT, or over budget).
+fn installed_cover(
+    prog: &acspec_ir::program::Program,
+    proc: &acspec_ir::program::Procedure,
+) -> Option<(ProcAnalyzer, Vec<Selector>)> {
+    let d = desugar_procedure(prog, proc, DesugarOptions::default()).ok()?;
+    let q = mine_predicates(&d, Abstraction::concrete());
+    if q.len() > 6 {
+        return None;
+    }
+    let mut az = ProcAnalyzer::new(&d, cache_off()).ok()?;
+    assert!(!az.cache_enabled(), "cache must be off for these tests");
+    let cover = predicate_cover(&mut az, &q).ok()?;
+    if cover.clauses.is_empty() {
+        return None;
+    }
+    let sels = cover.install_selectors(&mut az);
+    Some((az, sels))
+}
+
+/// Random subset of `sels`, each element kept with probability `p`.
+fn subset(rng: &mut StdRng, sels: &[Selector], p: f64) -> Vec<Selector> {
+    sels.iter().copied().filter(|_| rng.gen_bool(p)).collect()
+}
+
+#[test]
+fn dead_and_fail_are_monotone_in_the_selector_subset() {
+    let mut checked = 0usize;
+    for seed in 0..12u64 {
+        let bm = generate("mono", seed, 3, PatternMix::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            let Some((mut az, sels)) = installed_cover(&bm.program, proc) else {
+                continue;
+            };
+            for _ in 0..4 {
+                // S' ⊆ S ⊆ sels by construction.
+                let s = subset(&mut rng, &sels, 0.6);
+                let s_sub = subset(&mut rng, &s, 0.6);
+                let (Ok(dead_s), Ok(dead_sub)) = (az.dead_set(&s), az.dead_set(&s_sub)) else {
+                    continue;
+                };
+                let (Ok(fail_s), Ok(fail_sub)) = (az.fail_set(&s), az.fail_set(&s_sub)) else {
+                    continue;
+                };
+                assert!(
+                    dead_sub.is_subset(&dead_s),
+                    "seed {seed} {}: Dead(⋀S') ⊄ Dead(⋀S): {dead_sub:?} vs {dead_s:?}",
+                    proc.name
+                );
+                assert!(
+                    fail_s.is_subset(&fail_sub),
+                    "seed {seed} {}: Fail(⋀S) ⊄ Fail(⋀S'): {fail_s:?} vs {fail_sub:?}",
+                    proc.name
+                );
+                checked += 1;
+            }
+            // No cached answers were involved in any of the above.
+            assert_eq!(
+                az.cache_stats().hits(),
+                0,
+                "cache-off analyzer hit its cache"
+            );
+        }
+    }
+    assert!(
+        checked >= 20,
+        "generator health: only {checked} subset pairs checked"
+    );
+}
+
+#[test]
+fn chain_endpoints_bound_every_subset() {
+    // ∅ ⊆ S ⊆ full gives the two-sided bound for every sampled S:
+    // Dead(∅) ⊆ Dead(S) ⊆ Dead(full) and Fail(full) ⊆ Fail(S) ⊆ Fail(∅).
+    let mut checked = 0usize;
+    for seed in 0..8u64 {
+        let bm = generate("mono-chain", seed, 3, PatternMix::default());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            let Some((mut az, sels)) = installed_cover(&bm.program, proc) else {
+                continue;
+            };
+            let (Ok(dead_bot), Ok(dead_top)) = (az.dead_set(&[]), az.dead_set(&sels)) else {
+                continue;
+            };
+            let (Ok(fail_bot), Ok(fail_top)) = (az.fail_set(&[]), az.fail_set(&sels)) else {
+                continue;
+            };
+            for _ in 0..3 {
+                let s = subset(&mut rng, &sels, 0.5);
+                let (Ok(dead_s), Ok(fail_s)) = (az.dead_set(&s), az.fail_set(&s)) else {
+                    continue;
+                };
+                assert!(
+                    dead_bot.is_subset(&dead_s),
+                    "Dead(∅) ⊆ Dead(S) in {}",
+                    proc.name
+                );
+                assert!(
+                    dead_s.is_subset(&dead_top),
+                    "Dead(S) ⊆ Dead(full) in {}",
+                    proc.name
+                );
+                assert!(
+                    fail_top.is_subset(&fail_s),
+                    "Fail(full) ⊆ Fail(S) in {}",
+                    proc.name
+                );
+                assert!(
+                    fail_s.is_subset(&fail_bot),
+                    "Fail(S) ⊆ Fail(∅) in {}",
+                    proc.name
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked >= 10,
+        "generator health: only {checked} chains checked"
+    );
+}

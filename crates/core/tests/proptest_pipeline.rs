@@ -15,6 +15,51 @@ use acspec_core::{analyze_procedure_multi, cons_baseline, AcspecOptions, ConfigN
 use acspec_predabs::normalize::PruneConfig;
 use acspec_vcgen::analyzer::AnalyzerConfig;
 
+/// Report JSON with runtime statistics zeroed (query counts and
+/// wall-times legitimately differ cache-on vs cache-off).
+fn canonical_json(r: &acspec_core::ProcReport) -> String {
+    let mut r = r.clone();
+    r.stats = acspec_core::ProcStats::default();
+    r.to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn query_cache_is_invisible_in_reports(seed in 0u64..10_000) {
+        let bm = generate("cache-eq", seed, 3, PatternMix::default());
+        let prune_levels: Vec<PruneConfig> = [None, Some(2)]
+            .iter()
+            .map(|k| PruneConfig { max_literals: *k, no_cross_call_correlations: false })
+            .collect();
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            for config in [ConfigName::Conc, ConfigName::A2] {
+                let mut on = AcspecOptions::for_config(config);
+                on.analyzer.query_cache = true;
+                let mut off = on;
+                off.analyzer.query_cache = false;
+                let r_on = analyze_procedure_multi(&bm.program, proc, &on, &prune_levels)
+                    .expect("analyzes");
+                let r_off = analyze_procedure_multi(&bm.program, proc, &off, &prune_levels)
+                    .expect("analyzes");
+                prop_assert_eq!(r_on.len(), r_off.len());
+                for (a, b) in r_on.iter().zip(&r_off) {
+                    prop_assert_eq!(
+                        canonical_json(a),
+                        canonical_json(b),
+                        "cache changed the report for {} under {}",
+                        proc.name,
+                        config
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
     #[test]

@@ -14,6 +14,7 @@
 use acspec_core::{ProgramAnalysis, TelemetryObserver};
 use acspec_ir::parse::parse_program;
 use acspec_telemetry::TraceRender;
+use acspec_vcgen::AnalyzerConfig;
 
 const PROGRAM: &str = "
     procedure f(x: int) { if (x == 0) { assert x != 0; } }
@@ -21,11 +22,22 @@ const PROGRAM: &str = "
 
 const GOLDEN_PATH: &str = "tests/golden/telemetry_trace.jsonl";
 
+/// The query cache changes how many solver queries run (fewer query
+/// events), so the golden pins the cache-on shape explicitly instead of
+/// inheriting `ACSPEC_NO_QUERY_CACHE` from the environment.
+fn cache_on() -> AnalyzerConfig {
+    AnalyzerConfig {
+        query_cache: true,
+        ..AnalyzerConfig::default()
+    }
+}
+
 #[test]
 fn redacted_trace_matches_golden_file() {
     let prog = parse_program(PROGRAM).expect("parses");
     let mut obs = TelemetryObserver::new();
     ProgramAnalysis::new(&prog)
+        .analyzer(cache_on())
         .threads(1)
         .run(&mut obs)
         .expect("analyzes");
@@ -57,6 +69,7 @@ fn metrics_snapshot_shape_is_stable() {
     let prog = parse_program(PROGRAM).expect("parses");
     let mut obs = TelemetryObserver::new();
     ProgramAnalysis::new(&prog)
+        .analyzer(cache_on())
         .threads(1)
         .run(&mut obs)
         .expect("analyzes");
@@ -76,6 +89,11 @@ fn metrics_snapshot_shape_is_stable() {
         "solver.theory_conflicts",
         "stage.encode.queries",
         "stage.screen.queries",
+        "cache.hits",
+        "cache.hit_sat",
+        "cache.hit_unsat",
+        "cache.misses",
+        "cache.invalidations",
     ] {
         assert!(
             v["counters"][key].as_u64().is_some(),

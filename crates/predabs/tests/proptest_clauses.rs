@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use acspec_predabs::clause::{QClause, QLit};
 use acspec_predabs::normalize::{normalize, prune_clauses, PruneConfig};
+use acspec_smt::{Ctx, SmtResult, Solver, TermId};
 
 const NPREDS: usize = 4;
 
@@ -36,7 +37,78 @@ fn models(clauses: &[QClause]) -> Vec<bool> {
         .collect()
 }
 
+/// Translates a clause set into a term over `vars` (one bool var per
+/// predicate index).
+fn clauses_to_term(ctx: &mut Ctx, vars: &[TermId], clauses: &[QClause]) -> TermId {
+    let parts: Vec<TermId> = clauses
+        .iter()
+        .map(|c| {
+            let lits: Vec<TermId> = c
+                .lits()
+                .iter()
+                .map(|l| {
+                    let v = vars[l.pred];
+                    if l.positive {
+                        v
+                    } else {
+                        ctx.mk_not(v)
+                    }
+                })
+                .collect();
+            ctx.mk_or(lits)
+        })
+        .collect();
+    ctx.mk_and(parts)
+}
+
+/// Solver-checked equivalence oracle: `⋀in ⇔ ⋀out` is valid iff its
+/// negation is Unsat. Independent of the truth-table oracle `models`.
+fn solver_equivalent(a: &[QClause], b: &[QClause]) -> bool {
+    let mut ctx = Ctx::new();
+    let vars: Vec<TermId> = (0..NPREDS)
+        .map(|i| ctx.mk_bool_var(format!("p{i}")))
+        .collect();
+    let ta = clauses_to_term(&mut ctx, &vars, a);
+    let tb = clauses_to_term(&mut ctx, &vars, b);
+    let iff = ctx.mk_iff(ta, tb);
+    let neg = ctx.mk_not(iff);
+    let mut solver = Solver::new();
+    solver.assert_term(&mut ctx, neg);
+    solver.check(&mut ctx, &[]) == SmtResult::Unsat
+}
+
 proptest! {
+    #[test]
+    fn normalize_is_a_syntactic_fixpoint(cs in clause_set()) {
+        // With a generous cap the result is fully normalized: running
+        // normalize again changes nothing, not even the order.
+        let once = normalize(&cs, 10_000);
+        let twice = normalize(&once, 10_000);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalize_is_solver_equivalent(cs in clause_set()) {
+        let out = normalize(&cs, 10_000);
+        prop_assert!(
+            solver_equivalent(&cs, &out),
+            "solver refutes in ⇔ out: in={:?} out={:?}", cs, out
+        );
+    }
+
+    #[test]
+    fn capped_normalize_is_still_solver_equivalent(cs in clause_set(), cap in 1usize..6) {
+        // Hitting `max_clauses` stops short of the fix-point but must
+        // never change the semantics (the cap returns the current —
+        // still equivalent — working set).
+        let out = normalize(&cs, cap);
+        prop_assert!(
+            solver_equivalent(&cs, &out),
+            "capped normalize changed semantics at cap {}: in={:?} out={:?}",
+            cap, cs, out
+        );
+    }
+
     #[test]
     fn normalize_preserves_semantics(cs in clause_set()) {
         let out = normalize(&cs, 10_000);

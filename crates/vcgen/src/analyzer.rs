@@ -29,6 +29,7 @@ use acspec_ir::stmt::{AssertId, BranchCond, Stmt};
 use acspec_ir::Sort;
 use acspec_smt::{Ctx, SmtResult, Solver, SolverCounters, TermId};
 
+use crate::cache::{CacheStats, QueryCache};
 use crate::stage::{Budget, Stage, StageError, StageTable};
 use crate::translate::{expr_to_term, formula_to_term, Env, TranslateError};
 
@@ -104,12 +105,21 @@ pub struct AnalyzerConfig {
     /// (`None` = unlimited). This is the deterministic analogue of the
     /// paper's 10-second timeout.
     pub conflict_budget: Option<u64>,
+    /// Enables the monotone dominance cache ([`crate::cache`]): queries
+    /// answered by §2.3 monotonicity skip the solver. On by default;
+    /// the `ACSPEC_NO_QUERY_CACHE` environment variable (set non-empty,
+    /// not `0`) or the CLI `--no-query-cache` flag disables it. Reports
+    /// are byte-identical either way — only query counts and wall time
+    /// change.
+    pub query_cache: bool,
 }
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
         AnalyzerConfig {
             conflict_budget: Some(2_000_000),
+            query_cache: std::env::var("ACSPEC_NO_QUERY_CACHE")
+                .map_or(true, |v| v.is_empty() || v == "0"),
         }
     }
 }
@@ -145,6 +155,30 @@ pub struct ProcAnalyzer {
     record_queries: bool,
     /// Recorded queries awaiting [`ProcAnalyzer::take_query_records`].
     query_log: Vec<QueryRecord>,
+    /// The monotone dominance cache (`None` when disabled).
+    cache: Option<QueryCache>,
+    /// One selector literal per distinct body term: re-installing the
+    /// same specification returns the original selector, so repeated
+    /// queries share an assumption key. Unconditional (not gated on the
+    /// dominance cache) so both cache modes install identical assertion
+    /// streams and issue identically-keyed queries.
+    selector_memo: std::collections::HashMap<TermId, Selector>,
+    /// Memoized [`ProcAnalyzer::failure_witness`] answers by canonical
+    /// assumption key. Sound because the witness oracle is a pure
+    /// function of the base assertion stream and the key; unconditional
+    /// so both cache modes report the witness computed at the same
+    /// pipeline point.
+    witness_memo:
+        std::collections::HashMap<Vec<TermId>, Option<std::collections::BTreeMap<String, i64>>>,
+    /// Every assertion installed unconditionally, in order: the encode
+    /// guard implications plus selector/indicator definitions, but *not*
+    /// session-scoped ALL-SAT blocking clauses. Replaying this stream
+    /// into a fresh solver reproduces the query semantics (blocking
+    /// clauses are ¬session-guarded and session literals occur nowhere
+    /// else), making witness models a pure function of the encoding and
+    /// the query — identical whether or not the cache pruned earlier
+    /// queries.
+    base_asserts: Vec<TermId>,
 }
 
 struct EncodeState {
@@ -207,11 +241,13 @@ impl ProcAnalyzer {
 
         // Materialize guard literals.
         let loc_pcs = st.locs.clone();
+        let mut base_asserts = Vec::new();
         let mut loc_guards = Vec::with_capacity(st.locs.len());
         for (id, pc) in st.locs {
             let g = ctx.fresh_bool_var(&format!("reach_L{}", id.0));
             let imp = ctx.mk_implies(g, pc);
             solver.assert_term(&mut ctx, imp);
+            base_asserts.push(imp);
             loc_guards.push((id, g));
         }
         let mut assert_guards = Vec::with_capacity(st.fails.len());
@@ -220,6 +256,7 @@ impl ProcAnalyzer {
             let g = ctx.fresh_bool_var(&format!("fail_{id}"));
             let imp = ctx.mk_implies(g, cond);
             solver.assert_term(&mut ctx, imp);
+            base_asserts.push(imp);
             assert_guards.push((id, g));
             fail_disjuncts.push(g);
         }
@@ -227,6 +264,7 @@ impl ProcAnalyzer {
         let disj = ctx.mk_or(fail_disjuncts);
         let imp = ctx.mk_implies(fail_any, disj);
         solver.assert_term(&mut ctx, imp);
+        base_asserts.push(imp);
 
         let mut stages = StageTable::default();
         stages.record(Stage::Encode, encode_start.elapsed().as_secs_f64(), 0);
@@ -246,7 +284,25 @@ impl ProcAnalyzer {
             queries: 0,
             record_queries: false,
             query_log: Vec::new(),
+            cache: config.query_cache.then(QueryCache::new),
+            selector_memo: std::collections::HashMap::new(),
+            witness_memo: std::collections::HashMap::new(),
+            base_asserts,
         })
+    }
+
+    /// Whether the monotone dominance cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The cache's monotone hit/miss counters (all zero when the cache
+    /// is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(QueryCache::stats)
+            .unwrap_or_default()
     }
 
     /// Enables (or disables) per-query [`QueryRecord`] collection — the
@@ -327,35 +383,47 @@ impl ProcAnalyzer {
     /// the input vocabulary.
     pub fn add_selector(&mut self, spec: &Formula) -> Result<Selector, TranslateError> {
         let body = formula_to_term(&mut self.ctx, &self.input_env, spec)?;
-        let s = self.ctx.fresh_bool_var("sel");
-        let imp = self.ctx.mk_implies(s, body);
-        self.solver.assert_term(&mut self.ctx, imp);
-        Ok(Selector(s))
+        Ok(self.add_selector_term(body))
     }
 
     /// Installs a boolean term (over input-vocabulary terms) as a
-    /// selector.
+    /// selector. A fresh-literal definition: cached answers survive it.
+    /// Terms are hash-consed, so re-installing a previously installed
+    /// body returns its existing selector instead of asserting a
+    /// duplicate implication — repeated specifications (e.g. prune
+    /// variants that pruned nothing) then share one assumption key.
     pub fn add_selector_term(&mut self, body: TermId) -> Selector {
+        if let Some(&s) = self.selector_memo.get(&body) {
+            return s;
+        }
         let s = self.ctx.fresh_bool_var("sel");
         let imp = self.ctx.mk_implies(s, body);
         self.solver.assert_term(&mut self.ctx, imp);
+        self.base_asserts.push(imp);
+        self.selector_memo.insert(body, Selector(s));
         Selector(s)
     }
 
     /// Registers an indicator for a boolean term: a literal forced equal
     /// to the term's truth value in every model (used for ALL-SAT
-    /// enumeration by the predicate-cover construction).
+    /// enumeration by the predicate-cover construction). A fresh-literal
+    /// definition: cached answers survive it.
     pub fn add_indicator(&mut self, body: TermId) -> TermId {
         let b = self.ctx.fresh_bool_var("ind");
         let iff = self.ctx.mk_iff(b, body);
         self.solver.assert_term(&mut self.ctx, iff);
+        self.base_asserts.push(iff);
         b
     }
 
     /// Adds a permanent clause over boolean terms (used for ALL-SAT
-    /// blocking).
+    /// blocking). The formula strengthens, so known-satisfiable cache
+    /// entries are dropped (known-unsatisfiable ones survive).
     pub fn add_clause(&mut self, parts: &[TermId]) {
         self.solver.add_clause_terms(&mut self.ctx, parts);
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate_sat();
+        }
     }
 
     /// The truth value of a term in the last model (after a `Sat` query).
@@ -386,6 +454,14 @@ impl ProcAnalyzer {
     /// If `assert` can fail under the active selectors, returns a
     /// concrete input witness for one failing execution.
     ///
+    /// The witness query runs against a fresh replay of the base
+    /// assertion stream (see `base_asserts`), so the model — and hence
+    /// the reported witness — is a pure function of the encoding and the
+    /// query, independent of the incremental solver's heuristic state
+    /// and of whether the dominance cache pruned earlier queries. A
+    /// cached `Unsat` still short-circuits (no model needed to refute);
+    /// a cached `Sat` never does (a model is the whole point).
+    ///
     /// # Errors
     ///
     /// Returns [`Timeout`] if the budget is exhausted.
@@ -394,11 +470,108 @@ impl ProcAnalyzer {
         assert: AssertId,
         active: &[Selector],
     ) -> Result<Option<std::collections::BTreeMap<String, i64>>, Timeout> {
-        if self.can_fail(assert, active)? {
-            Ok(Some(self.input_witness()))
-        } else {
-            Ok(None)
+        let g = self
+            .assert_guards
+            .iter()
+            .find(|&&(id, _)| id == assert)
+            .map(|&(_, g)| g)
+            .expect("unknown assertion");
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.push(g);
+        let key = QueryCache::canonical(&assumptions);
+        if let Some(w) = self.witness_memo.get(&key) {
+            return Ok(w.clone());
         }
+        if let Some(cache) = &mut self.cache {
+            if cache.refuted(&key) {
+                self.witness_memo.insert(key, None);
+                return Ok(None);
+            }
+        }
+        let witness = self.witness_check(&assumptions)?;
+        if let Some(cache) = &mut self.cache {
+            cache.insert(key.clone(), witness.is_some());
+        }
+        self.witness_memo.insert(key, witness.clone());
+        Ok(witness)
+    }
+
+    /// Solves `assumptions` against a fresh solver loaded with the base
+    /// assertion stream and, if satisfiable, reads the integer input
+    /// witness from that solver's model. Charged to the budget, query
+    /// count, stage table, and query log exactly like an incremental
+    /// `check()`.
+    fn witness_check(
+        &mut self,
+        assumptions: &[TermId],
+    ) -> Result<Option<std::collections::BTreeMap<String, i64>>, Timeout> {
+        if self.budget.exhausted() {
+            return Err(Timeout);
+        }
+        self.queries += 1;
+        let start = std::time::Instant::now();
+        let mut solver = Solver::new();
+        for &t in &self.base_asserts {
+            solver.assert_term(&mut self.ctx, t);
+        }
+        solver.set_sat_budget(self.budget.left());
+        let result = solver.check(&mut self.ctx, assumptions);
+        self.budget.charge(solver.conflicts());
+        let seconds = start.elapsed().as_secs_f64();
+        self.stages.record(self.stage, seconds, 1);
+        if self.record_queries {
+            self.query_log.push(QueryRecord {
+                stage: self.stage,
+                seq: (self.queries - 1) as u32,
+                outcome: match result {
+                    SmtResult::Sat => QueryOutcome::Sat,
+                    SmtResult::Unsat => QueryOutcome::Unsat,
+                    SmtResult::Unknown => QueryOutcome::Unknown,
+                },
+                seconds,
+                counters: solver.counters(),
+            });
+        }
+        match result {
+            SmtResult::Sat => {}
+            SmtResult::Unsat => return Ok(None),
+            SmtResult::Unknown => return Err(Timeout),
+        }
+        let mut out = std::collections::BTreeMap::new();
+        for (name, &t) in &self.input_env.vars {
+            if let Some(v) = solver.int_value(t) {
+                out.insert(name.clone(), v);
+            }
+        }
+        for (nu, &t) in &self.input_env.nus {
+            if let Some(v) = solver.int_value(t) {
+                out.insert(nu.to_string(), v);
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// `check()` behind the dominance cache: answers by lattice
+    /// dominance when possible, otherwise solves and records the
+    /// verdict. Only used for queries whose assumption set is exactly
+    /// selectors-plus-guards — ALL-SAT sessions and model-reading
+    /// callers go straight to [`ProcAnalyzer::check`].
+    fn check_cached(&mut self, assumptions: &[TermId]) -> Result<bool, Timeout> {
+        let key = match &mut self.cache {
+            None => return self.check(assumptions),
+            Some(cache) => {
+                let key = QueryCache::canonical(assumptions);
+                if let Some(answer) = cache.lookup(&key) {
+                    return Ok(answer);
+                }
+                key
+            }
+        };
+        let answer = self.check(assumptions)?;
+        if let Some(cache) = &mut self.cache {
+            cache.insert(key, answer);
+        }
+        Ok(answer)
     }
 
     fn check(&mut self, assumptions: &[TermId]) -> Result<bool, Timeout> {
@@ -449,7 +622,7 @@ impl ProcAnalyzer {
             .expect("unknown location");
         let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
         assumptions.push(g);
-        self.check(&assumptions)
+        self.check_cached(&assumptions)
     }
 
     /// Can the given assertion fail under the active selectors?
@@ -466,7 +639,7 @@ impl ProcAnalyzer {
             .expect("unknown assertion");
         let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
         assumptions.push(g);
-        self.check(&assumptions)
+        self.check_cached(&assumptions)
     }
 
     /// `Dead(f)` for the input set selected by `active` (§2.3): the
@@ -515,7 +688,13 @@ impl ProcAnalyzer {
         let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
         assumptions.push(self.fail_any);
         assumptions.extend_from_slice(extra);
-        self.check(&assumptions)
+        if extra.is_empty() {
+            self.check_cached(&assumptions)
+        } else {
+            // ALL-SAT sessions read the model afterwards; a dominance
+            // answer would leave it stale.
+            self.check(&assumptions)
+        }
     }
 
     /// Whether the selected input-state set is non-empty (theory
@@ -533,7 +712,13 @@ impl ProcAnalyzer {
     ) -> Result<bool, Timeout> {
         let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
         assumptions.extend_from_slice(extra);
-        self.check(&assumptions)
+        if extra.is_empty() {
+            self.check_cached(&assumptions)
+        } else {
+            // Callers passing extras (normal-form ALL-SAT, subset
+            // implication probes) read models or use session literals.
+            self.check(&assumptions)
+        }
     }
 
     /// Remaining conflict budget (diagnostics).

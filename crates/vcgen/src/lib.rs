@@ -11,7 +11,10 @@
 //! * [`analyzer`] — an efficient single-encoding query engine answering
 //!   `Dead(f)` and `Fail(f)` (§2.3) incrementally under selector
 //!   assumptions, with a deterministic per-procedure budget standing in
-//!   for the paper's 10-second timeout.
+//!   for the paper's 10-second timeout;
+//! * [`cache`] — the monotone dominance cache answering queries by
+//!   §2.3 monotonicity (subset/superset lattice dominance) before
+//!   falling back to the solver.
 //!
 //! # Example
 //!
@@ -35,11 +38,13 @@
 //! ```
 
 pub mod analyzer;
+pub mod cache;
 pub mod stage;
 pub mod translate;
 pub mod wp;
 
 pub use analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, QueryRecord, Selector, Timeout};
+pub use cache::{CacheStats, QueryCache};
 pub use stage::{Budget, Stage, StageError, StageMetrics, StageTable};
 pub use translate::{expr_to_term, formula_to_term, Env, TranslateError};
 pub use wp::{wp, WpResult};

@@ -131,6 +131,7 @@ fn zero_budget_times_out_immediately() {
         &d,
         AnalyzerConfig {
             conflict_budget: Some(0),
+            ..AnalyzerConfig::default()
         },
     )
     .expect("encodes");

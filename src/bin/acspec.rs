@@ -13,6 +13,7 @@
 //!   --triage                    rank all warnings by confidence
 //!   --trace-out <path>         write a JSONL span trace of the run
 //!   --metrics-out <path>       write a JSON metrics snapshot
+//!   --no-query-cache           disable the monotone query cache
 //! ```
 //!
 //! `.c` inputs go through the HAVOC-style front end (null-dereference
@@ -40,6 +41,7 @@ struct Cli {
     triage: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    query_cache: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -55,6 +57,7 @@ fn parse_args() -> Result<Cli, String> {
         triage: false,
         trace_out: None,
         metrics_out: None,
+        query_cache: true,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -114,6 +117,10 @@ fn parse_args() -> Result<Cli, String> {
                 let v = args.get(i + 1).ok_or("--metrics-out needs a path")?;
                 cli.metrics_out = Some(v.clone());
                 i += 2;
+            }
+            "--no-query-cache" => {
+                cli.query_cache = false;
+                i += 1;
             }
             "--help" | "-h" => {
                 return Err(String::new());
@@ -175,6 +182,9 @@ fn run() -> Result<bool, String> {
     let mut opts = AcspecOptions::for_config(cli.config);
     if let Some(k) = cli.prune {
         opts = opts.with_k_pruning(k);
+    }
+    if !cli.query_cache {
+        opts.analyzer.query_cache = false;
     }
 
     if cli.interproc {
@@ -244,6 +254,7 @@ fn run() -> Result<bool, String> {
             options: vec![
                 opt("prune", cli.prune.map_or("off".into(), |k| k.to_string())),
                 opt("interproc", cli.interproc),
+                opt("query_cache", opts.analyzer.query_cache),
             ],
         };
         let out = telemetry.finish();
@@ -310,7 +321,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: acspec <file.c | file.acs> [--config Conc|A0|A1|A2] [--prune k] \
                  [--cons] [--interproc] [--all-configs] [--specs] [--triage] \
-                 [--format text|json] [--trace-out path] [--metrics-out path]"
+                 [--format text|json] [--trace-out path] [--metrics-out path] \
+                 [--no-query-cache]"
             );
             ExitCode::from(2)
         }
