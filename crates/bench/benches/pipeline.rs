@@ -143,18 +143,14 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         b.iter(|| {
             let results = ProgramAnalysis::new(&bm.program)
                 .threads(1)
-                .run(&mut NullObserver)
-                .expect("analyzes");
+                .run(&mut NullObserver);
             std::hint::black_box(results.len());
         })
     });
     c.bench_function("telemetry/on", |b| {
         b.iter(|| {
             let mut obs = TelemetryObserver::new();
-            let results = ProgramAnalysis::new(&bm.program)
-                .threads(1)
-                .run(&mut obs)
-                .expect("analyzes");
+            let results = ProgramAnalysis::new(&bm.program).threads(1).run(&mut obs);
             std::hint::black_box(results.len());
             let out = obs.finish();
             std::hint::black_box(out.trace.spans.len());

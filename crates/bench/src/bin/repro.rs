@@ -18,6 +18,9 @@
 //!   --trace-out <path>        write a JSONL span trace of the run
 //!   --metrics-out <path>      write a JSON metrics snapshot
 //!   --no-query-cache          disable the monotone query cache
+//!   --deadline <secs>         wall-clock deadline per procedure+config
+//!   --chaos-seed <u64>        deterministic fault-injection seed
+//!   --chaos-rate <p>          fault probability per solver query (0..1)
 //! ```
 //!
 //! `--scale N` divides every benchmark's procedure count by `N`
@@ -25,7 +28,7 @@
 //! deterministic up to wall-clock columns. Unknown flags or extra
 //! positional arguments are rejected with the usage text.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use acspec_bench::{classify, evaluate_with, format_table, BenchEval, EvalOptions, PRUNE_LEVELS};
 use acspec_benchgen::suite::{generate_entry, SuiteEntry, SuiteKind, SUITE};
@@ -37,11 +40,13 @@ use acspec_core::{
 use acspec_ir::{desugar_procedure, DesugarOptions};
 use acspec_telemetry::{opt, Manifest, Trace, Value};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+use acspec_vcgen::chaos::ChaosConfig;
 use acspec_vcgen::stage::Stage;
 
 const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|ablation-incremental|\
 ablation-normalize|ablation-interproc|all> [--scale N] [--top K] \
-[--trace-out path] [--metrics-out path] [--no-query-cache]";
+[--trace-out path] [--metrics-out path] [--no-query-cache] \
+[--deadline secs] [--chaos-seed u64] [--chaos-rate p]";
 
 const COMMANDS: &[&str] = &[
     "fig5",
@@ -63,6 +68,50 @@ struct Cli {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     query_cache: bool,
+    deadline: Option<f64>,
+    chaos_seed: Option<u64>,
+    chaos_rate: Option<f64>,
+}
+
+/// The analyzer-affecting knobs threaded through every figure's
+/// evaluation: the query-cache escape hatch plus the fault-tolerance
+/// controls (wall-clock deadline, deterministic fault injection).
+#[derive(Clone, Copy)]
+struct RunKnobs {
+    query_cache: bool,
+    deadline: Option<Duration>,
+    chaos: Option<ChaosConfig>,
+}
+
+impl Cli {
+    fn knobs(&self) -> RunKnobs {
+        RunKnobs {
+            query_cache: self.query_cache,
+            deadline: self.deadline.map(Duration::from_secs_f64),
+            // Install the chaos harness only when a chaos flag was
+            // explicitly given, so flagless runs stay byte-identical.
+            chaos: (self.chaos_seed.is_some() || self.chaos_rate.is_some()).then(|| {
+                ChaosConfig::new(self.chaos_seed.unwrap_or(0), self.chaos_rate.unwrap_or(0.0))
+            }),
+        }
+    }
+}
+
+/// Keeps the default panic-hook backtrace off stderr for the panics
+/// the chaos harness injects on purpose — they are caught by the
+/// worker loop and reported as incidents. Real panics still reach the
+/// previous hook.
+fn silence_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("chaos:"));
+        if !injected {
+            prev(info);
+        }
+    }));
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -82,6 +131,9 @@ fn parse_args() -> Cli {
         // Honors ACSPEC_NO_QUERY_CACHE (the CI cache-off matrix leg);
         // `--no-query-cache` then forces it off regardless.
         query_cache: AnalyzerConfig::default().query_cache,
+        deadline: None,
+        chaos_seed: None,
+        chaos_rate: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -122,6 +174,36 @@ fn parse_args() -> Cli {
                 cli.query_cache = false;
                 i += 1;
             }
+            "--deadline" => {
+                cli.deadline = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|secs| !secs.is_nan() && *secs >= 0.0)
+                        .unwrap_or_else(|| {
+                            usage_error("--deadline needs a non-negative number of seconds")
+                        }),
+                );
+                i += 2;
+            }
+            "--chaos-seed" => {
+                cli.chaos_seed = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage_error("--chaos-seed needs an unsigned integer")),
+                );
+                i += 2;
+            }
+            "--chaos-rate" => {
+                cli.chaos_rate = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|rate| (0.0..=1.0).contains(rate))
+                        .unwrap_or_else(|| {
+                            usage_error("--chaos-rate needs a probability in 0..=1")
+                        }),
+                );
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -159,31 +241,34 @@ fn main() {
         &mut null
     };
     let scale = cli.scale;
-    let qc = cli.query_cache;
+    let knobs = cli.knobs();
+    if knobs.chaos.is_some() {
+        silence_injected_panics();
+    }
     match cli.cmd.as_str() {
         "fig5" => fig5(scale),
-        "fig6" => fig6(scale, observer, qc),
-        "fig7" => fig7(scale, observer, qc),
-        "fig8" => fig8(scale, observer, qc),
-        "fig9" => fig9(scale, observer, qc),
+        "fig6" => fig6(scale, observer, knobs),
+        "fig7" => fig7(scale, observer, knobs),
+        "fig8" => fig8(scale, observer, knobs),
+        "fig9" => fig9(scale, observer, knobs),
         "profile" => {} // runs below, after the observer is finished
-        "ablation-incremental" => ablation_incremental(scale, qc),
+        "ablation-incremental" => ablation_incremental(scale, knobs.query_cache),
         "ablation-normalize" => ablation_normalize(scale),
         "ablation-interproc" => ablation_interproc(scale),
         "all" => {
             fig5(scale);
-            fig6(scale, observer, qc);
-            fig7(scale, observer, qc);
-            fig8(scale, observer, qc);
-            fig9(scale, observer, qc);
-            ablation_incremental(scale, qc);
+            fig6(scale, observer, knobs);
+            fig7(scale, observer, knobs);
+            fig8(scale, observer, knobs);
+            fig9(scale, observer, knobs);
+            ablation_incremental(scale, knobs.query_cache);
             ablation_normalize(scale);
             ablation_interproc(scale);
         }
         _ => unreachable!("parse_args validated the command"),
     }
     if cli.cmd == "profile" {
-        fig9_workload(scale, &mut telemetry, qc);
+        fig9_workload(scale, &mut telemetry, knobs);
     }
     if needs_trace {
         let out = telemetry.finish();
@@ -195,11 +280,23 @@ fn main() {
 }
 
 /// The evaluation options for this invocation: the defaults with the
-/// `--no-query-cache` escape hatch applied.
-fn eval_opts(query_cache: bool) -> EvalOptions {
+/// `--no-query-cache`, `--deadline`, and `--chaos-*` knobs applied.
+fn eval_opts(knobs: RunKnobs) -> EvalOptions {
     let mut opts = EvalOptions::default();
-    opts.analyzer.query_cache = query_cache;
+    opts.analyzer.query_cache = knobs.query_cache;
+    opts.analyzer.deadline = knobs.deadline;
+    opts.analyzer.chaos = knobs.chaos;
     opts
+}
+
+/// One line after a figure when procedures faulted (injected or real):
+/// silent truncation of a table would read as "no warnings" instead of
+/// "this procedure crashed and was isolated".
+fn report_incidents(evals: &[(Benchmark, BenchEval)]) {
+    let total: usize = evals.iter().map(|(_, ev)| ev.incidents.len()).sum();
+    if total > 0 {
+        println!("({total} procedure(s) faulted and were isolated; counted out of the table)\n");
+    }
 }
 
 fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
@@ -216,16 +313,28 @@ fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
             .iter()
             .map(|c| c.to_string())
             .collect(),
-        options: vec![
-            opt(
-                "conflict_budget",
-                EvalOptions::default()
-                    .analyzer
-                    .conflict_budget
-                    .map_or("none".into(), |b| b.to_string()),
-            ),
-            opt("query_cache", cli.query_cache),
-        ],
+        options: {
+            let mut options = vec![
+                opt(
+                    "conflict_budget",
+                    EvalOptions::default()
+                        .analyzer
+                        .conflict_budget
+                        .map_or("none".into(), |b| b.to_string()),
+                ),
+                opt("query_cache", cli.query_cache),
+            ];
+            if let Some(secs) = cli.deadline {
+                options.push(opt("deadline_secs", secs));
+            }
+            if let Some(seed) = cli.chaos_seed {
+                options.push(opt("chaos_seed", seed));
+            }
+            if let Some(rate) = cli.chaos_rate {
+                options.push(opt("chaos_rate", rate));
+            }
+            options
+        },
     };
     if let Some(path) = &cli.trace_out {
         out.write_trace(path, Some(&manifest))
@@ -239,8 +348,8 @@ fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
 
 /// Runs the Figure 9 evaluation workload (large benchmarks) silently,
 /// feeding the observer — the data source for `repro profile`.
-fn fig9_workload(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
-    let opts = eval_opts(query_cache);
+fn fig9_workload(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
+    let opts = eval_opts(knobs);
     for e in entries(&[SuiteKind::Large]) {
         let bm = generate_entry(e, scale);
         let _ = evaluate_with(&bm, &opts, observer);
@@ -390,9 +499,9 @@ fn eval_entries(
     kinds: &[SuiteKind],
     scale: usize,
     observer: &mut dyn SessionObserver,
-    query_cache: bool,
+    knobs: RunKnobs,
 ) -> Vec<(Benchmark, BenchEval)> {
-    let opts = eval_opts(query_cache);
+    let opts = eval_opts(knobs);
     entries(kinds)
         .into_iter()
         .map(|e| {
@@ -404,13 +513,13 @@ fn eval_entries(
 }
 
 /// Figure 6: warning reduction on the small benchmarks.
-fn fig6(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
+fn fig6(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
     println!("== Figure 6: abstract configurations × clause pruning (small benchmarks, scale 1/{scale}) ==\n");
     let evals = eval_entries(
         &[SuiteKind::Samate, SuiteKind::Small],
         scale,
         observer,
-        query_cache,
+        knobs,
     );
     let mut rows = Vec::new();
     let mut tot = vec![0usize; 3 * PRUNE_LEVELS.len() + 2];
@@ -446,12 +555,13 @@ fn fig6(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
         )
     );
     println!("(columns group as Conc/A1/A2, each with no pruning then k = 3, 2, 1)\n");
+    report_incidents(&evals);
 }
 
 /// Figure 7: classification against ground truth on the SAMATE corpora.
-fn fig7(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
+fn fig7(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
     println!("== Figure 7: classification on labeled SAMATE corpora (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Samate], scale, observer, query_cache);
+    let evals = eval_entries(&[SuiteKind::Samate], scale, observer, knobs);
     let mut rows = Vec::new();
     let mut totals = [(0usize, 0usize, 0usize); 4];
     for (bm, ev) in &evals {
@@ -499,12 +609,13 @@ fn fig7(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
             &rows
         )
     );
+    report_incidents(&evals);
 }
 
 /// Figure 8: warnings on the large benchmarks.
-fn fig8(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
+fn fig8(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
     println!("== Figure 8: abstract configurations on large benchmarks (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Large], scale, observer, query_cache);
+    let evals = eval_entries(&[SuiteKind::Large], scale, observer, knobs);
     let mut rows = Vec::new();
     let mut tot = [0usize; 7];
     for (bm, ev) in &evals {
@@ -534,13 +645,14 @@ fn fig8(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
             &rows
         )
     );
+    report_incidents(&evals);
 }
 
 /// Figure 9: per-procedure averages on the large benchmarks, plus the
 /// per-stage breakdown collected by the analysis sessions' observer.
-fn fig9(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
+fn fig9(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
     println!("== Figure 9: per-procedure averages on large benchmarks (scale 1/{scale}) ==\n");
-    let opts = eval_opts(query_cache);
+    let opts = eval_opts(knobs);
     let mut totals = StageTotals::default();
     let evals: Vec<(Benchmark, BenchEval)> = entries(&[SuiteKind::Large])
         .into_iter()
@@ -570,6 +682,7 @@ fn fig9(scale: usize, observer: &mut dyn SessionObserver, query_cache: bool) {
         )
     );
     println!("(P = avg predicates/proc, C = avg cover clauses/proc, T = avg seconds/proc)\n");
+    report_incidents(&evals);
 
     // The stage table the single-number `T` column used to hide: one row
     // per label (`shared` = the once-per-procedure encode + screen every

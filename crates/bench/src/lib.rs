@@ -14,8 +14,8 @@ use std::collections::BTreeSet;
 
 use acspec_benchgen::Benchmark;
 use acspec_core::{
-    AcspecOptions, ConfigName, NullObserver, ProcReport, ProgramAnalysis, SessionObserver,
-    SibStatus,
+    AcspecOptions, AnalysisIncident, ConfigName, NullObserver, ProcOutcome, ProcReport,
+    ProgramAnalysis, SessionObserver, SibStatus,
 };
 use acspec_predabs::normalize::PruneConfig;
 use acspec_vcgen::analyzer::AnalyzerConfig;
@@ -51,6 +51,10 @@ pub struct BenchEval {
     pub correct_procs: usize,
     /// Procedures that timed out in some configuration.
     pub timeouts: usize,
+    /// Procedures whose analysis faulted (panic or error) and was
+    /// isolated into an incident instead of aborting the run. Faulted
+    /// procedures contribute to no other statistic.
+    pub incidents: Vec<AnalysisIncident>,
 }
 
 /// Options for an evaluation run.
@@ -84,21 +88,15 @@ impl Default for EvalOptions {
 /// encode serves `Cons` and every configuration/prune variant).
 /// Results are collected in procedure order, so the output is
 /// deterministic regardless of thread count.
-///
-/// # Panics
-///
-/// Panics if a generated benchmark fails to analyze (a generator bug).
 pub fn evaluate(bm: &Benchmark, opts: &EvalOptions) -> BenchEval {
     evaluate_with(bm, opts, &mut NullObserver)
 }
 
 /// Like [`evaluate`], but streams stage completions to `observer` (in
 /// deterministic procedure order) — the data source for `repro fig9`'s
-/// per-stage columns.
-///
-/// # Panics
-///
-/// Panics if a generated benchmark fails to analyze (a generator bug).
+/// per-stage columns. Procedures whose analysis faults (a panic or
+/// error, isolated per procedure) are collected in
+/// [`BenchEval::incidents`] instead of aborting the evaluation.
 pub fn evaluate_with(
     bm: &Benchmark,
     opts: &EvalOptions,
@@ -120,13 +118,20 @@ pub fn evaluate_with(
         .configs(opts.configs)
         .prune_variants(&prune_variants)
         .threads(opts.threads)
-        .run(observer)
-        .unwrap_or_else(|e| panic!("analysis failed on `{}`: {e}", bm.name));
+        .run(observer);
 
     let mut procs = Vec::new();
     let mut correct = 0;
     let mut timeouts = 0;
-    for pa in results {
+    let mut incidents = Vec::new();
+    for outcome in results {
+        let pa = match outcome {
+            ProcOutcome::Analyzed(pa) => *pa,
+            ProcOutcome::Faulted(incident) => {
+                incidents.push(incident);
+                continue;
+            }
+        };
         if pa.cons.status == SibStatus::Correct {
             correct += 1;
             continue;
@@ -148,6 +153,7 @@ pub fn evaluate_with(
         procs,
         correct_procs: correct,
         timeouts,
+        incidents,
     }
 }
 

@@ -10,10 +10,10 @@ use acspec_telemetry::TraceRender;
 fn run(threads: usize) -> TelemetryOutput {
     let bm = generate("tel", 4242, 12, PatternMix::default());
     let mut obs = TelemetryObserver::new();
-    ProgramAnalysis::new(&bm.program)
+    let outcomes = ProgramAnalysis::new(&bm.program)
         .threads(threads)
-        .run(&mut obs)
-        .expect("analyzes");
+        .run(&mut obs);
+    assert!(outcomes.iter().all(|o| o.incident().is_none()));
     obs.finish()
 }
 

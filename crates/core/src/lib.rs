@@ -55,13 +55,15 @@ pub use config::{AcspecOptions, ConfigName, DeadMetric};
 pub use driver::{analyze_procedure, analyze_procedure_multi, cons_baseline, AcspecError};
 pub use interproc::{infer_preconditions, InferredContracts};
 pub use report::{
-    AnalysisOutcome, ProcReport, ProcStats, ReportLabel, SibStatus, Warning, Witness,
+    program_report_json, AnalysisIncident, AnalysisOutcome, Fallback, IncidentKind, ProcReport,
+    ProcStats, ReportLabel, SibStatus, Warning, Witness, REPORT_SCHEMA_VERSION,
 };
 pub use search::{
-    find_almost_correct_specs, find_almost_correct_specs_with, DeadCheck, SearchOutcome,
+    find_almost_correct_specs, find_almost_correct_specs_salvaging, find_almost_correct_specs_with,
+    DeadCheck, SearchOutcome,
 };
 pub use session::{
-    NullObserver, ProcAnalysis, ProcSession, ProgramAnalysis, QueryEvent, Screening,
+    NullObserver, ProcAnalysis, ProcOutcome, ProcSession, ProgramAnalysis, QueryEvent, Screening,
     SessionObserver, StageEvent, StageTotals, TeeObserver,
 };
 pub use telemetry::{TelemetryObserver, TelemetryOutput};

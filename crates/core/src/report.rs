@@ -11,6 +11,16 @@ use serde::{Serialize, Serializer};
 
 use crate::config::ConfigName;
 
+/// Schema version stamped into every report JSON document (per-report
+/// and program-level). Bump whenever a field is added, removed, or
+/// changes meaning, so downstream consumers can detect incompatible
+/// producers instead of silently misreading them.
+///
+/// History: `1` — the implicit pre-versioning schema (no
+/// `schema_version` field); `2` — adds `schema_version`, the
+/// `Degraded` outcome, and program-level `incidents`.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
 /// The SIB classification of Algorithm 1's `s`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SibStatus {
@@ -45,22 +55,102 @@ impl Serialize for SibStatus {
     }
 }
 
+/// What the degradation ladder salvaged when a stage ran out of budget
+/// or deadline mid-pipeline, in decreasing order of fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fallback {
+    /// The evaluation stage was interrupted: the warnings already
+    /// confirmed under the almost-correct specifications are kept
+    /// (a prefix of the full warning set).
+    PartialEvaluation,
+    /// Algorithm 2's best candidate weakening at the point of
+    /// interruption: dead-free clause subsets achieving the best
+    /// failure count seen so far.
+    BestCandidate,
+    /// The partial predicate cover enumerated before the clause cap or
+    /// budget hit — a weaker screen than `β_Q(wp)`, reported as the
+    /// specification with the demonic warnings.
+    CappedCover,
+    /// Only the shared demonic screen was available: warnings fall back
+    /// to the conservative `Fail(true)` set (no witnesses).
+    ConsScreen,
+}
+
+impl Fallback {
+    /// Stable lowercase name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Fallback::PartialEvaluation => "partial_evaluation",
+            Fallback::BestCandidate => "best_candidate",
+            Fallback::CappedCover => "capped_cover",
+            Fallback::ConsScreen => "cons_screen",
+        }
+    }
+}
+
+impl std::fmt::Display for Fallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Whether the analysis completed within budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnalysisOutcome {
     /// Completed.
     Ok,
-    /// Budget exhausted (counted in the paper's "TO" columns).
+    /// Budget exhausted with nothing to salvage (counted in the paper's
+    /// "TO" columns).
     TimedOut,
+    /// Budget or deadline exhausted mid-pipeline, but the degradation
+    /// ladder salvaged a best-effort result. Counted as a timeout in
+    /// the paper's "TO" columns (the run did not complete), but the
+    /// report carries the salvaged warnings instead of nothing.
+    Degraded {
+        /// The stage that was interrupted.
+        from_stage: Stage,
+        /// What the report's warnings/specs were salvaged from.
+        fallback: Fallback,
+    },
 }
 
 impl Serialize for AnalysisOutcome {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let name = match self {
-            AnalysisOutcome::Ok => "Ok",
-            AnalysisOutcome::TimedOut => "TimedOut",
-        };
-        serializer.serialize_unit_variant("AnalysisOutcome", 0, name)
+        match self {
+            AnalysisOutcome::Ok => serializer.serialize_unit_variant("AnalysisOutcome", 0, "Ok"),
+            AnalysisOutcome::TimedOut => {
+                serializer.serialize_unit_variant("AnalysisOutcome", 1, "TimedOut")
+            }
+            AnalysisOutcome::Degraded {
+                from_stage,
+                fallback,
+            } => {
+                // The vendored serde has no struct-variant support;
+                // render the serde-conventional externally-tagged form
+                // `{"Degraded": {...}}` as a one-entry map.
+                struct Inner {
+                    from_stage: Stage,
+                    fallback: Fallback,
+                }
+                impl Serialize for Inner {
+                    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                        let mut st = s.serialize_struct("Degraded", 2)?;
+                        st.serialize_field("from_stage", self.from_stage.name())?;
+                        st.serialize_field("fallback", self.fallback.name())?;
+                        st.end()
+                    }
+                }
+                let mut map = serializer.serialize_map(Some(1))?;
+                map.serialize_entry(
+                    "Degraded",
+                    &Inner {
+                        from_stage: *from_stage,
+                        fallback: *fallback,
+                    },
+                )?;
+                map.end()
+            }
+        }
     }
 }
 
@@ -291,14 +381,23 @@ pub struct ProcReport {
     /// Completion status.
     pub outcome: AnalysisOutcome,
     /// The stage whose budget exhaustion caused a timeout, when the
-    /// outcome is [`AnalysisOutcome::TimedOut`].
+    /// outcome is [`AnalysisOutcome::TimedOut`] or
+    /// [`AnalysisOutcome::Degraded`].
     pub timeout_stage: Option<Stage>,
 }
 
 impl ProcReport {
-    /// True if the analysis timed out.
+    /// True if the analysis did not run to completion — a bare timeout
+    /// *or* a degraded (salvaged) result. Both count in the paper's
+    /// "TO" columns: degradation changes what the report carries, not
+    /// whether the run finished.
     pub fn timed_out(&self) -> bool {
-        self.outcome == AnalysisOutcome::TimedOut
+        !matches!(self.outcome, AnalysisOutcome::Ok)
+    }
+
+    /// True if the degradation ladder salvaged this report.
+    pub fn degraded(&self) -> bool {
+        matches!(self.outcome, AnalysisOutcome::Degraded { .. })
     }
 
     /// Serializes the report as pretty-printed JSON (specifications and
@@ -306,6 +405,91 @@ impl ProcReport {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialization is infallible")
     }
+}
+
+/// What kind of per-procedure failure an [`AnalysisIncident`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// The procedure's session panicked (caught by the worker loop's
+    /// `catch_unwind`).
+    Panic,
+    /// The session returned an [`AcspecError`](crate::AcspecError)
+    /// (desugaring or encoding failed).
+    Error,
+}
+
+impl IncidentKind {
+    /// Stable lowercase name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            IncidentKind::Panic => "panic",
+            IncidentKind::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A per-procedure failure record: one procedure's session panicked or
+/// errored, the rest of the program analysis carried on. Embedded in
+/// the program report so a triage service can show *which* procedures
+/// produced no verdict and why, instead of aborting the whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisIncident {
+    /// The procedure whose session failed.
+    pub proc_name: String,
+    /// Panic or error.
+    pub kind: IncidentKind,
+    /// The pipeline stage active when the failure happened, when known.
+    pub stage: Option<Stage>,
+    /// The panic payload or error message.
+    pub message: String,
+}
+
+impl std::fmt::Display for AnalysisIncident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} in `{}`", self.kind, self.proc_name)?;
+        if let Some(stage) = self.stage {
+            write!(f, " during {stage}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl Serialize for AnalysisIncident {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("AnalysisIncident", 4)?;
+        st.serialize_field("proc_name", &self.proc_name)?;
+        st.serialize_field("kind", self.kind.name())?;
+        st.serialize_field("stage", &self.stage.map(Stage::name))?;
+        st.serialize_field("message", &self.message)?;
+        st.end()
+    }
+}
+
+/// Assembles the program-level report document: schema version, the
+/// per-procedure reports, and the incidents, as pretty-printed JSON.
+/// This is the `acspec --format json` payload.
+pub fn program_report_json(reports: &[&ProcReport], incidents: &[AnalysisIncident]) -> String {
+    struct Doc<'a> {
+        reports: &'a [&'a ProcReport],
+        incidents: &'a [AnalysisIncident],
+    }
+    impl Serialize for Doc<'_> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut st = serializer.serialize_struct("ProgramReport", 3)?;
+            st.serialize_field("schema_version", &REPORT_SCHEMA_VERSION)?;
+            st.serialize_field("reports", &self.reports)?;
+            st.serialize_field("incidents", &self.incidents)?;
+            st.end()
+        }
+    }
+    serde_json::to_string_pretty(&Doc { reports, incidents })
+        .expect("report serialization is infallible")
 }
 
 impl Serialize for Warning {
@@ -320,7 +504,8 @@ impl Serialize for Warning {
 
 impl Serialize for ProcReport {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("ProcReport", 9)?;
+        let mut st = serializer.serialize_struct("ProcReport", 10)?;
+        st.serialize_field("schema_version", &REPORT_SCHEMA_VERSION)?;
         st.serialize_field("proc_name", &self.proc_name)?;
         st.serialize_field("config", &self.config)?;
         st.serialize_field("status", &self.status)?;
@@ -367,6 +552,54 @@ mod tests {
         // Valid JSON round trip through serde_json's Value.
         let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert_eq!(value["warnings"][0]["witness"]["c"], 1);
+        // Forward-compat: the schema version is the first thing a
+        // consumer can check.
+        assert_eq!(value["schema_version"], u64::from(REPORT_SCHEMA_VERSION));
+    }
+
+    #[test]
+    fn degraded_outcome_serializes_stage_and_fallback() {
+        let report = ProcReport {
+            proc_name: "Foo".into(),
+            config: ReportLabel::Config(ConfigName::A1),
+            status: SibStatus::MayBug,
+            warnings: vec![],
+            specs: vec![],
+            min_fail: 0,
+            stats: ProcStats::default(),
+            outcome: AnalysisOutcome::Degraded {
+                from_stage: Stage::Search,
+                fallback: Fallback::BestCandidate,
+            },
+            timeout_stage: Some(Stage::Search),
+        };
+        assert!(report.timed_out(), "degraded counts as a timeout");
+        assert!(report.degraded());
+        let value: serde_json::Value = serde_json::from_str(&report.to_json()).expect("valid JSON");
+        assert_eq!(value["outcome"]["Degraded"]["from_stage"], "search");
+        assert_eq!(value["outcome"]["Degraded"]["fallback"], "best_candidate");
+        assert_eq!(value["timeout_stage"], "search");
+    }
+
+    #[test]
+    fn program_report_carries_schema_version_and_incidents() {
+        let incident = AnalysisIncident {
+            proc_name: "Bad".into(),
+            kind: IncidentKind::Panic,
+            stage: Some(Stage::Cover),
+            message: "chaos: injected panic before query 3".into(),
+        };
+        assert_eq!(
+            incident.to_string(),
+            "panic in `Bad` during cover: chaos: injected panic before query 3"
+        );
+        let json = program_report_json(&[], &[incident]);
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(value["schema_version"], u64::from(REPORT_SCHEMA_VERSION));
+        assert_eq!(value["reports"].as_array().map(Vec::len), Some(0));
+        assert_eq!(value["incidents"][0]["kind"], "panic");
+        assert_eq!(value["incidents"][0]["stage"], "cover");
+        assert_eq!(value["incidents"][0]["proc_name"], "Bad");
     }
 
     #[test]

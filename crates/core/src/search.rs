@@ -259,6 +259,38 @@ pub fn find_almost_correct_specs_with(
     max_nodes: usize,
     clause_bodies: Option<&[TermId]>,
 ) -> Result<SearchOutcome, Timeout> {
+    find_almost_correct_specs_salvaging(
+        az,
+        selectors,
+        dead_check,
+        max_nodes,
+        clause_bodies,
+        &mut None,
+    )
+}
+
+/// Like [`find_almost_correct_specs_with`], but on `Err` deposits the
+/// best candidate weakening found so far into `salvage`: the dead-free
+/// subsets achieving the lowest failure count seen before the budget,
+/// deadline, or node cap hit. These are genuine (if possibly
+/// non-minimal) candidate weakenings — every salvaged subset killed no
+/// code and failed exactly the salvaged `min_fail` assertions — so a
+/// degradation ladder can evaluate them instead of reporting nothing.
+/// `salvage` stays `None` when the search had found no dead-free subset
+/// yet.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the analyzer budget, deadline, or `max_nodes`
+/// is exhausted.
+pub fn find_almost_correct_specs_salvaging(
+    az: &mut ProcAnalyzer,
+    selectors: &[Selector],
+    dead_check: &DeadCheck,
+    max_nodes: usize,
+    clause_bodies: Option<&[TermId]>,
+    salvage: &mut Option<SearchOutcome>,
+) -> Result<SearchOutcome, Timeout> {
     let locs = az.locations();
     let asserts = az.assertions();
     let n_asserts = asserts.len();
@@ -297,6 +329,25 @@ pub fn find_almost_correct_specs_with(
     let mut output: Vec<BTreeSet<u32>> = Vec::new();
     let mut min_fail = n_asserts;
 
+    // On any abort below, snapshot the best-so-far output into the
+    // caller's salvage slot and propagate the timeout.
+    macro_rules! abort_salvaging {
+        ($t:expr, $output:expr, $min_fail:expr, $nodes:expr) => {{
+            let mut best: Vec<BTreeSet<u32>> = $output.clone();
+            best.sort();
+            best.dedup();
+            if !best.is_empty() {
+                *salvage = Some(SearchOutcome {
+                    root_dead: true,
+                    min_fail: $min_fail,
+                    specs: best,
+                    nodes_visited: $nodes,
+                });
+            }
+            return Err($t);
+        }};
+    }
+
     while let Some(c1) = frontier.pop() {
         for c in c1.iter().copied().collect::<Vec<_>>() {
             let mut c2 = c1.clone();
@@ -306,14 +357,22 @@ pub fn find_almost_correct_specs_with(
             }
             nodes_visited += 1;
             if nodes_visited > max_nodes {
-                return Err(Timeout);
+                eval.az.note_cap_fault();
+                abort_salvaging!(Timeout, output, min_fail, nodes_visited);
             }
             // Lines 17–19: MinFail can only decrease.
-            let fail = eval.fail_count(&c2, min_fail)?;
+            let fail = match eval.fail_count(&c2, min_fail) {
+                Ok(fail) => fail,
+                Err(t) => abort_salvaging!(t, output, min_fail, nodes_visited),
+            };
             if fail > min_fail {
                 continue;
             }
-            if eval.has_dead(&c2)? {
+            let dead = match eval.has_dead(&c2) {
+                Ok(dead) => dead,
+                Err(t) => abort_salvaging!(t, output, min_fail, nodes_visited),
+            };
+            if dead {
                 frontier.push(c2); // line 20–21: still too strong
             } else if fail == 0 {
                 // Line 22–23 (semantically unreachable for strict
@@ -345,13 +404,22 @@ pub fn find_almost_correct_specs_with(
                     continue;
                 }
                 // Drop output[i] when output[j] is strictly stronger.
+                // A timeout here salvages the unfiltered output: its
+                // members are dead-free and achieve `min_fail`, just
+                // possibly not all minimal.
                 let j_implies_i =
-                    subset_implies(eval.az, selectors, bodies, &output[j], &output[i])?;
+                    match subset_implies(eval.az, selectors, bodies, &output[j], &output[i]) {
+                        Ok(v) => v,
+                        Err(t) => abort_salvaging!(t, output, min_fail, nodes_visited),
+                    };
                 if !j_implies_i {
                     continue;
                 }
                 let i_implies_j =
-                    subset_implies(eval.az, selectors, bodies, &output[i], &output[j])?;
+                    match subset_implies(eval.az, selectors, bodies, &output[i], &output[j]) {
+                        Ok(v) => v,
+                        Err(t) => abort_salvaging!(t, output, min_fail, nodes_visited),
+                    };
                 if !i_implies_j {
                     keep[i] = false;
                     break;

@@ -43,6 +43,7 @@
 //! procedure order after its parallel fan-out, so observer output is
 //! deterministic regardless of thread count.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
@@ -51,20 +52,31 @@ use acspec_ir::expr::{Atom, Formula};
 use acspec_ir::program::{Procedure, Program};
 use acspec_ir::stmt::AssertId;
 use acspec_predabs::clause::{clauses_to_formula, QClause};
-use acspec_predabs::cover::{predicate_cover_capped, Cover};
+use acspec_predabs::cover::{predicate_cover_salvaging, Cover};
 use acspec_predabs::mine::mine_predicates;
 use acspec_predabs::normalize::{normalize, prune_clauses, PruneConfig};
 use acspec_smt::{SolverCounters, TermId};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, Selector};
 use acspec_vcgen::cache::CacheStats;
-use acspec_vcgen::stage::{Stage, StageError, StageMetrics, StageTable};
+use acspec_vcgen::chaos::ChaosStats;
+use acspec_vcgen::stage::{FaultReason, Stage, StageError, StageMetrics, StageTable};
 
 use crate::config::{AcspecOptions, ConfigName, DeadMetric};
 use crate::driver::AcspecError;
 use crate::report::{
-    AnalysisOutcome, ProcReport, ProcStats, ReportLabel, SibStatus, Warning, Witness,
+    AnalysisIncident, AnalysisOutcome, Fallback, IncidentKind, ProcReport, ProcStats, ReportLabel,
+    SibStatus, Warning, Witness,
 };
-use crate::search::{find_almost_correct_specs_with, DeadCheck, SearchOutcome};
+use crate::search::{find_almost_correct_specs_salvaging, DeadCheck, SearchOutcome};
+
+thread_local! {
+    /// The pipeline stage the current worker thread is executing, for
+    /// attributing panics and errors caught by the isolation layer.
+    /// Set by [`ProcSession::new`] (encode) and every
+    /// [`ProcSession::staged`] call; cleared when isolation wraps a new
+    /// procedure.
+    static CURRENT_STAGE: Cell<Option<Stage>> = const { Cell::new(None) };
+}
 
 /// The shared screen: the `Dead(true)` baseline (per the session's dead
 /// metric) and the demonic failure set `Fail(true)`.
@@ -99,6 +111,10 @@ pub struct StageEvent {
     /// hence out of report stats — because cache activity is telemetry,
     /// not part of the byte-stable report payload.
     pub cache: CacheStats,
+    /// Fault-injection counter deltas for this stage run (all zero when
+    /// no [`ChaosConfig`](acspec_vcgen::chaos::ChaosConfig) is
+    /// installed). Telemetry only, like `cache`.
+    pub chaos: ChaosStats,
 }
 
 /// One completed solver query, for [`SessionObserver`]s that opt in via
@@ -145,6 +161,14 @@ pub trait SessionObserver {
     fn wants_queries(&self) -> bool {
         false
     }
+    /// A procedure's analysis was aborted by a panic or error; the
+    /// isolation layer turned it into an incident instead of crashing
+    /// the run.
+    fn incident_recorded(&mut self, _incident: &AnalysisIncident) {}
+    /// A report fell down the degradation ladder: the pipeline faulted
+    /// at `from_stage` and the session salvaged `fallback` instead of
+    /// reporting nothing. Called once per degraded report.
+    fn degradation_recorded(&mut self, _proc_name: &str, _from: Stage, _fallback: Fallback) {}
 }
 
 /// Fans events out to two observers (e.g. [`StageTotals`] plus a
@@ -186,6 +210,16 @@ where
 
     fn wants_queries(&self) -> bool {
         self.first.wants_queries() || self.second.wants_queries()
+    }
+
+    fn incident_recorded(&mut self, incident: &AnalysisIncident) {
+        self.first.incident_recorded(incident);
+        self.second.incident_recorded(incident);
+    }
+
+    fn degradation_recorded(&mut self, proc_name: &str, from: Stage, fallback: Fallback) {
+        self.first.degradation_recorded(proc_name, from, fallback);
+        self.second.degradation_recorded(proc_name, from, fallback);
     }
 }
 
@@ -275,6 +309,11 @@ pub struct ProcSession {
     /// Next [`StageEvent::seq`] (0 was the encode event).
     stage_seq: u32,
     query_events: Vec<QueryEvent>,
+    /// Partial cover salvaged from the last failed `Cover` stage, for
+    /// the degradation ladder.
+    cover_salvage: Option<Cover>,
+    /// Best candidate salvaged from the last failed `Search` stage.
+    search_salvage: Option<SearchOutcome>,
 }
 
 impl ProcSession {
@@ -289,6 +328,14 @@ impl ProcSession {
         proc: &Procedure,
         analyzer: AnalyzerConfig,
     ) -> Result<ProcSession, AcspecError> {
+        CURRENT_STAGE.with(|c| c.set(Some(Stage::Encode)));
+        // Mix the procedure name into the chaos seed so each session
+        // draws an independent injection stream regardless of thread
+        // scheduling (determinism across `--threads`).
+        let mut analyzer = analyzer;
+        if let Some(chaos) = analyzer.chaos {
+            analyzer.chaos = Some(chaos.for_proc(&proc.name));
+        }
         let desugar_start = Instant::now();
         let desugared = desugar_procedure(program, proc, DesugarOptions::default())?;
         let desugar_seconds = desugar_start.elapsed().as_secs_f64();
@@ -305,6 +352,7 @@ impl ProcSession {
             seq: 0,
             metrics: encode,
             cache: CacheStats::default(),
+            chaos: ChaosStats::default(),
         }];
         Ok(ProcSession {
             proc_name: proc.name.clone(),
@@ -317,6 +365,8 @@ impl ProcSession {
             events,
             stage_seq: 1,
             query_events: Vec::new(),
+            cover_salvage: None,
+            search_salvage: None,
         })
     }
 
@@ -368,11 +418,13 @@ impl ProcSession {
         label: Option<ReportLabel>,
         f: impl FnOnce(&mut ProcSession) -> T,
     ) -> (T, StageMetrics) {
+        CURRENT_STAGE.with(|c| c.set(Some(stage)));
         self.az.set_stage(stage);
         let wall = Instant::now();
         let before = self.az.stage_stats().get(stage);
         let smt_before = self.az.solver_counters();
         let cache_before = self.az.cache_stats();
+        let chaos_before = self.az.chaos_stats();
         let out = f(self);
         let query_seconds = self.az.stage_stats().get(stage).seconds - before.seconds;
         let external = (wall.elapsed().as_secs_f64() - query_seconds).max(0.0);
@@ -412,6 +464,7 @@ impl ProcSession {
             seq,
             metrics,
             cache: self.az.cache_stats().since(&cache_before),
+            chaos: self.az.chaos_stats().since(&chaos_before),
         });
         (out, metrics)
     }
@@ -435,7 +488,10 @@ impl ProcSession {
         });
         self.shared
             .record(Stage::Screen, metrics.seconds, metrics.queries);
-        let check = result.map_err(|t| t.at(Stage::Screen))?;
+        let check = match result {
+            Ok(c) => c,
+            Err(_) => return Err(self.az.stage_error(Stage::Screen)),
+        };
         self.dead_baseline = Some((metric, check));
         Ok(())
     }
@@ -447,7 +503,10 @@ impl ProcSession {
         let (result, metrics) = self.staged(Stage::Screen, None, |s| s.az.fail_set(&[]));
         self.shared
             .record(Stage::Screen, metrics.seconds, metrics.queries);
-        self.demonic_fail = Some(result.map_err(|t| t.at(Stage::Screen))?);
+        self.demonic_fail = Some(match result {
+            Ok(fails) => fails,
+            Err(_) => return Err(self.az.stage_error(Stage::Screen)),
+        });
         Ok(())
     }
 
@@ -582,11 +641,15 @@ impl ProcSession {
     pub fn cover(&mut self, opts: &AcspecOptions, q: &[Atom]) -> Result<Cover, StageError> {
         let label = Some(ReportLabel::Config(opts.config));
         let cap = opts.max_cover_clauses;
+        self.cover_salvage = None;
         self.staged(Stage::Cover, label, |s| {
-            predicate_cover_capped(&mut s.az, q, cap)
+            let mut salvage = None;
+            let out = predicate_cover_salvaging(&mut s.az, q, cap, &mut salvage);
+            s.cover_salvage = salvage;
+            out
         })
         .0
-        .map_err(|t| t.at(Stage::Cover))
+        .map_err(|_| self.az.stage_error(Stage::Cover))
     }
 
     /// The `Search` stage: Algorithm 2's greedy weakening over the
@@ -611,20 +674,25 @@ impl ProcSession {
             .expect("just ensured");
         let label = Some(ReportLabel::Config(opts.config));
         let max_nodes = opts.max_search_nodes;
+        self.search_salvage = None;
         self.staged(Stage::Search, label, |s| {
             let handles = cover.install_handles(&mut s.az);
             let selectors: Vec<Selector> = handles.iter().map(|&(sel, _)| sel).collect();
             let bodies: Vec<TermId> = handles.iter().map(|&(_, b)| b).collect();
-            find_almost_correct_specs_with(
+            let mut salvage = None;
+            let out = find_almost_correct_specs_salvaging(
                 &mut s.az,
                 &selectors,
                 &dead_check,
                 max_nodes,
                 Some(&bodies),
-            )
+                &mut salvage,
+            );
+            s.search_salvage = salvage;
+            out
         })
         .0
-        .map_err(|t| t.at(Stage::Search))
+        .map_err(|_| self.az.stage_error(Stage::Search))
     }
 
     /// Normalizes each output specification of the search once
@@ -706,8 +774,8 @@ impl ProcSession {
                         }
                         warned.extend(fails);
                     }
-                    Err(t) => {
-                        timeout = Some(t.at(Stage::Evaluate));
+                    Err(_) => {
+                        timeout = Some(s.az.stage_error(Stage::Evaluate));
                         break;
                     }
                 }
@@ -756,7 +824,7 @@ impl ProcSession {
         // driver's query order.
         let screening = match self.screen(opts.dead_metric) {
             Ok(s) => s,
-            Err(e) => return self.abort_reports(label, seed, e, n),
+            Err(e) => return self.degrade_reports(label, seed, e, n),
         };
         let run_baseline = self.az.stage_stats();
         let smt_baseline = self.az.solver_counters();
@@ -772,19 +840,37 @@ impl ProcSession {
         let q = self.mine(opts);
         seed.n_predicates = q.len();
         if q.len() > opts.max_predicates {
-            let e = StageError { stage: Stage::Mine };
-            return self.abort_reports(label, seed, e, n);
+            self.az.note_cap_fault();
+            let e = StageError {
+                stage: Stage::Mine,
+                reason: FaultReason::Cap,
+            };
+            return self.degrade_reports(label, seed, e, n);
         }
 
         let cover = match self.cover(opts, &q) {
             Ok(c) => c,
-            Err(e) => return self.abort_reports(label, seed, e, n),
+            Err(e) => {
+                // Second rung: a non-empty partial cover is a weaker (but
+                // sound) screen than β_Q(wp) — evaluate it directly.
+                if let Some(partial) = self.cover_salvage.take() {
+                    if !partial.clauses.is_empty() {
+                        return self.degraded_cover_reports(label, seed, e, n, opts, &partial);
+                    }
+                }
+                return self.degrade_reports(label, seed, e, n);
+            }
         };
         seed.n_cover_clauses = cover.clauses.len();
 
-        let search = match self.search(opts, &cover) {
-            Ok(s) => s,
-            Err(e) => return self.abort_reports(label, seed, e, n),
+        // Top rung: a failed search still yields Algorithm 2's best
+        // candidate so far; the rest of the pipeline runs on it.
+        let (search, degraded_search) = match self.search(opts, &cover) {
+            Ok(s) => (s, None),
+            Err(e) => match self.search_salvage.take() {
+                Some(best) => (best, Some(e.stage)),
+                None => return self.degrade_reports(label, seed, e, n),
+            },
         };
         seed.search_nodes = search.nodes_visited;
         seed.status = if search.root_dead {
@@ -793,6 +879,13 @@ impl ProcSession {
             SibStatus::MayBug
         };
         seed.min_fail = search.min_fail;
+        if let Some(stage) = degraded_search {
+            seed.outcome = AnalysisOutcome::Degraded {
+                from_stage: stage,
+                fallback: Fallback::BestCandidate,
+            };
+            seed.timeout_stage = Some(stage);
+        }
 
         let normalized = self.normal_form(opts, &cover, &search);
         let mut out = Vec::with_capacity(n);
@@ -802,8 +895,17 @@ impl ProcSession {
             r.specs = evaluation.specs;
             r.warnings = evaluation.warnings;
             if let Some(e) = evaluation.timeout {
-                r.outcome = AnalysisOutcome::TimedOut;
-                r.timeout_stage = Some(e.stage);
+                if degraded_search.is_none() {
+                    // Bottom rung: the evaluation was interrupted but its
+                    // partial warning set is kept (as the paper's driver
+                    // did) — now labeled as such instead of a bare
+                    // timeout.
+                    r.outcome = AnalysisOutcome::Degraded {
+                        from_stage: e.stage,
+                        fallback: Fallback::PartialEvaluation,
+                    };
+                    r.timeout_stage = Some(e.stage);
+                }
             }
             self.stamp_stats(&mut r, &run_baseline, &smt_baseline);
             out.push(r);
@@ -811,19 +913,96 @@ impl ProcSession {
         out
     }
 
-    /// One report per variant for a run aborted by `error`.
-    fn abort_reports(
+    /// One report per variant for a run that faulted at `error`: falls
+    /// back to the shared `Cons` screen when the demonic failure set is
+    /// available (`Degraded`/`ConsScreen` with the demonic warnings), or
+    /// to a plain `TimedOut` when the fault hit before the screen
+    /// finished and there is nothing to salvage.
+    fn degrade_reports(
         &mut self,
         label: ReportLabel,
         mut seed: ReportSeed,
         error: StageError,
         n: usize,
     ) -> Vec<ProcReport> {
-        seed.outcome = AnalysisOutcome::TimedOut;
         seed.timeout_stage = Some(error.stage);
         let baseline = self.az.stage_stats();
         let smt_baseline = self.az.solver_counters();
-        self.finish_reports(label, seed, n, &baseline, &smt_baseline)
+        match self.demonic_fail.clone() {
+            Some(fails) if !fails.is_empty() => {
+                seed.outcome = AnalysisOutcome::Degraded {
+                    from_stage: error.stage,
+                    fallback: Fallback::ConsScreen,
+                };
+                let warnings: Vec<Warning> = fails
+                    .into_iter()
+                    .map(|id| Warning {
+                        assert: id,
+                        tag: self.tag_of(id),
+                        witness: None,
+                    })
+                    .collect();
+                (0..n)
+                    .map(|_| {
+                        let mut r = self.blank_report(label, &seed);
+                        r.warnings = warnings.clone();
+                        self.stamp_stats(&mut r, &baseline, &smt_baseline);
+                        r
+                    })
+                    .collect()
+            }
+            _ => {
+                seed.outcome = AnalysisOutcome::TimedOut;
+                self.finish_reports(label, seed, n, &baseline, &smt_baseline)
+            }
+        }
+    }
+
+    /// One report per variant evaluating a salvaged partial cover: its
+    /// clause conjunction is the specification, and the warnings are the
+    /// demonic screen's (the partial cover is weaker than `β_Q(wp)`, so
+    /// the demonic set over-approximates its failures soundly).
+    fn degraded_cover_reports(
+        &mut self,
+        label: ReportLabel,
+        mut seed: ReportSeed,
+        error: StageError,
+        n: usize,
+        opts: &AcspecOptions,
+        partial: &Cover,
+    ) -> Vec<ProcReport> {
+        seed.n_cover_clauses = partial.clauses.len();
+        seed.timeout_stage = Some(error.stage);
+        seed.outcome = AnalysisOutcome::Degraded {
+            from_stage: error.stage,
+            fallback: Fallback::CappedCover,
+        };
+        let baseline = self.az.stage_stats();
+        let smt_baseline = self.az.solver_counters();
+        let spec = clauses_to_formula(
+            &normalize(&partial.clauses, opts.normalize_max_clauses),
+            &partial.preds,
+        );
+        let warnings: Vec<Warning> = self
+            .demonic_fail
+            .clone()
+            .unwrap_or_default()
+            .into_iter()
+            .map(|id| Warning {
+                assert: id,
+                tag: self.tag_of(id),
+                witness: None,
+            })
+            .collect();
+        (0..n)
+            .map(|_| {
+                let mut r = self.blank_report(label, &seed);
+                r.specs = vec![spec.clone()];
+                r.warnings = warnings.clone();
+                self.stamp_stats(&mut r, &baseline, &smt_baseline);
+                r
+            })
+            .collect()
     }
 
     /// One identical report per variant, built fresh instead of cloning
@@ -1003,6 +1182,64 @@ impl ProcAnalysis {
     }
 }
 
+/// What the isolation layer produced for one procedure: either the
+/// completed analysis, or the incident (panic or error) that aborted it.
+/// Every defined procedure yields exactly one `ProcOutcome` — one bad
+/// procedure never takes down the run.
+#[derive(Debug)]
+pub enum ProcOutcome {
+    /// The session ran to completion (its reports may still be
+    /// `TimedOut` or `Degraded`).
+    Analyzed(Box<ProcAnalysis>),
+    /// The session panicked or errored; the isolation layer caught it.
+    Faulted(AnalysisIncident),
+}
+
+impl ProcOutcome {
+    /// The procedure's name, whichever way it went.
+    pub fn proc_name(&self) -> &str {
+        match self {
+            ProcOutcome::Analyzed(pa) => &pa.proc_name,
+            ProcOutcome::Faulted(i) => &i.proc_name,
+        }
+    }
+
+    /// The completed analysis, if any.
+    pub fn analysis(&self) -> Option<&ProcAnalysis> {
+        match self {
+            ProcOutcome::Analyzed(pa) => Some(pa),
+            ProcOutcome::Faulted(_) => None,
+        }
+    }
+
+    /// The incident, if the procedure faulted.
+    pub fn incident(&self) -> Option<&AnalysisIncident> {
+        match self {
+            ProcOutcome::Analyzed(_) => None,
+            ProcOutcome::Faulted(i) => Some(i),
+        }
+    }
+
+    /// Consumes the outcome, keeping only a completed analysis.
+    pub fn into_analysis(self) -> Option<ProcAnalysis> {
+        match self {
+            ProcOutcome::Analyzed(pa) => Some(*pa),
+            ProcOutcome::Faulted(_) => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload (almost always a `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 impl<'p> ProgramAnalysis<'p> {
     /// An analysis of `program` under the evaluation's default ladder
     /// (`Conc`, `A1`, `A2`), no pruning, default options, all cores.
@@ -1092,18 +1329,38 @@ impl<'p> ProgramAnalysis<'p> {
         })
     }
 
+    /// Analyzes one procedure behind a panic/error barrier: anything a
+    /// session throws — an [`AcspecError`] or a panic (the solver's, or
+    /// an injected chaos panic) — becomes an [`AnalysisIncident`]
+    /// attributed to the stage that was executing.
+    fn analyze_one_isolated(&self, proc: &Procedure, record_queries: bool) -> ProcOutcome {
+        CURRENT_STAGE.with(|c| c.set(None));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.analyze_one(proc, record_queries)
+        }));
+        match result {
+            Ok(Ok(pa)) => ProcOutcome::Analyzed(Box::new(pa)),
+            Ok(Err(e)) => ProcOutcome::Faulted(AnalysisIncident {
+                proc_name: proc.name.clone(),
+                kind: IncidentKind::Error,
+                stage: CURRENT_STAGE.with(std::cell::Cell::get),
+                message: e.to_string(),
+            }),
+            Err(payload) => ProcOutcome::Faulted(AnalysisIncident {
+                proc_name: proc.name.clone(),
+                kind: IncidentKind::Panic,
+                stage: CURRENT_STAGE.with(std::cell::Cell::get),
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
     /// Analyzes every defined procedure, fanning sessions out over the
     /// worker pool, then replays stage events to `observer` in procedure
-    /// order (so observer output is deterministic).
-    ///
-    /// # Errors
-    ///
-    /// Returns the first (in procedure order) [`AcspecError`]; budget
-    /// timeouts are folded into the reports instead.
-    pub fn run(
-        &self,
-        observer: &mut dyn SessionObserver,
-    ) -> Result<Vec<ProcAnalysis>, AcspecError> {
+    /// order (so observer output is deterministic). Infallible: panics
+    /// and errors are isolated per procedure and returned as
+    /// [`ProcOutcome::Faulted`] incidents.
+    pub fn run(&self, observer: &mut dyn SessionObserver) -> Vec<ProcOutcome> {
         let defined: Vec<&Procedure> = self
             .program
             .procedures
@@ -1120,15 +1377,14 @@ impl<'p> ProgramAnalysis<'p> {
         .min(defined.len().max(1));
         let record_queries = observer.wants_queries();
 
-        let results: Vec<Result<ProcAnalysis, AcspecError>> = if threads <= 1 {
+        let results: Vec<ProcOutcome> = if threads <= 1 {
             defined
                 .iter()
-                .map(|p| self.analyze_one(p, record_queries))
+                .map(|p| self.analyze_one_isolated(p, record_queries))
                 .collect()
         } else {
             let next = std::sync::atomic::AtomicUsize::new(0);
-            let slots: Vec<std::sync::Mutex<Option<Result<ProcAnalysis, AcspecError>>>> = (0
-                ..defined.len())
+            let slots: Vec<std::sync::Mutex<Option<ProcOutcome>>> = (0..defined.len())
                 .map(|_| std::sync::Mutex::new(None))
                 .collect();
             std::thread::scope(|scope| {
@@ -1138,7 +1394,7 @@ impl<'p> ProgramAnalysis<'p> {
                         if i >= defined.len() {
                             break;
                         }
-                        let result = self.analyze_one(defined[i], record_queries);
+                        let result = self.analyze_one_isolated(defined[i], record_queries);
                         *slots[i].lock().expect("no poisoning") = Some(result);
                     });
                 }
@@ -1154,26 +1410,43 @@ impl<'p> ProgramAnalysis<'p> {
         };
 
         let mut out = Vec::with_capacity(results.len());
-        for result in results {
-            let pa = result?;
-            // Queries are grouped by stage run in stage completion
-            // order, so a single cursor delivers each stage's queries
-            // just before its `stage_completed`.
-            let mut cursor = 0;
-            for event in &pa.events {
-                while cursor < pa.queries.len() && pa.queries[cursor].stage_seq == event.seq {
-                    observer.query_completed(&pa.queries[cursor]);
-                    cursor += 1;
+        for outcome in results {
+            match &outcome {
+                ProcOutcome::Analyzed(pa) => {
+                    // Queries are grouped by stage run in stage
+                    // completion order, so a single cursor delivers each
+                    // stage's queries just before its `stage_completed`.
+                    let mut cursor = 0;
+                    for event in &pa.events {
+                        while cursor < pa.queries.len() && pa.queries[cursor].stage_seq == event.seq
+                        {
+                            observer.query_completed(&pa.queries[cursor]);
+                            cursor += 1;
+                        }
+                        observer.stage_completed(event);
+                    }
+                    for query in &pa.queries[cursor..] {
+                        observer.query_completed(query);
+                    }
+                    for r in std::iter::once(&pa.cons).chain(pa.reports.iter().flatten()) {
+                        if let AnalysisOutcome::Degraded {
+                            from_stage,
+                            fallback,
+                        } = r.outcome
+                        {
+                            observer.degradation_recorded(&pa.proc_name, from_stage, fallback);
+                        }
+                    }
+                    observer.proc_completed(&pa.proc_name);
                 }
-                observer.stage_completed(event);
+                ProcOutcome::Faulted(incident) => {
+                    observer.incident_recorded(incident);
+                    observer.proc_completed(&incident.proc_name);
+                }
             }
-            for query in &pa.queries[cursor..] {
-                observer.query_completed(query);
-            }
-            observer.proc_completed(&pa.proc_name);
-            out.push(pa);
+            out.push(outcome);
         }
-        Ok(out)
+        out
     }
 }
 
@@ -1295,10 +1568,12 @@ mod tests {
         .expect("parses");
         let run = |threads: usize| {
             let mut totals = StageTotals::default();
-            let results = ProgramAnalysis::new(&prog)
+            let results: Vec<ProcAnalysis> = ProgramAnalysis::new(&prog)
                 .threads(threads)
                 .run(&mut totals)
-                .expect("analyzes");
+                .into_iter()
+                .map(|o| o.into_analysis().expect("no incidents"))
+                .collect();
             (results, totals)
         };
         let (serial, t1) = run(1);

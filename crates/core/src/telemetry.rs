@@ -24,8 +24,9 @@ use std::collections::BTreeMap;
 use std::io::Write;
 
 use acspec_telemetry::{Manifest, MetricsRegistry, SpanHandle, Trace, TraceBuf, TraceRender};
+use acspec_vcgen::stage::Stage;
 
-use crate::report::ReportLabel;
+use crate::report::{AnalysisIncident, Fallback, IncidentKind, ReportLabel};
 use crate::session::{QueryEvent, SessionObserver, StageEvent};
 
 /// Per-procedure recording state.
@@ -171,6 +172,29 @@ impl SessionObserver for TelemetryObserver {
             &format!("config.{}.seconds", label_name(event.label)),
             event.metrics.seconds,
         );
+        // Chaos counters only appear when fault injection is active, so
+        // chaos-free runs keep byte-identical metric snapshots.
+        if event.chaos.draws > 0 {
+            self.metrics.inc("chaos.draws", event.chaos.draws);
+            self.metrics.inc("chaos.unknowns", event.chaos.unknowns);
+            self.metrics.inc("chaos.blowups", event.chaos.blowups);
+            self.metrics.inc("chaos.latencies", event.chaos.latencies);
+            self.metrics.inc("chaos.panics", event.chaos.panics);
+        }
+    }
+
+    fn incident_recorded(&mut self, incident: &AnalysisIncident) {
+        self.metrics.inc("incident.total", 1);
+        match incident.kind {
+            IncidentKind::Panic => self.metrics.inc("incident.panics", 1),
+            IncidentKind::Error => self.metrics.inc("incident.errors", 1),
+        }
+    }
+
+    fn degradation_recorded(&mut self, _proc_name: &str, _from: Stage, fallback: Fallback) {
+        self.metrics.inc("incident.degraded", 1);
+        self.metrics
+            .inc(&format!("degraded.{}", fallback.name()), 1);
     }
 
     fn query_completed(&mut self, event: &QueryEvent) {
@@ -281,10 +305,8 @@ mod tests {
     fn run_telemetry(threads: usize) -> TelemetryOutput {
         let prog = parse_program(TWO_PROCS).expect("parses");
         let mut obs = TelemetryObserver::new();
-        ProgramAnalysis::new(&prog)
-            .threads(threads)
-            .run(&mut obs)
-            .expect("analyzes");
+        let outcomes = ProgramAnalysis::new(&prog).threads(threads).run(&mut obs);
+        assert!(outcomes.iter().all(|o| o.incident().is_none()));
         obs.finish()
     }
 

@@ -1,0 +1,211 @@
+//! The failure model's contract, end to end:
+//!
+//! * **Budget monotonicity** (metamorphic): a procedure whose reports
+//!   all complete under conflict budget `B` produces semantically
+//!   identical reports under any budget `B' >= B` — raising the budget
+//!   can only turn timeouts into answers, never change an answer.
+//! * **Chaos equivalence**: the chaos harness at rate 0 is a true
+//!   no-op — reports are byte-identical (stats zeroed) to a run with
+//!   no harness installed, for any seed.
+//! * **Isolation** (property test): under arbitrary seeds and fault
+//!   rates, `ProgramAnalysis::run` never lets a panic escape, yields
+//!   exactly one outcome per defined procedure, and every degraded
+//!   report's warnings are a subset of the fault-free demonic screen —
+//!   injected faults may lose precision, never invent warnings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use acspec_core::{
+    analyze_procedure, program_report_json, AcspecOptions, ConfigName, NullObserver, ProcReport,
+    ProcStats, ProgramAnalysis,
+};
+use acspec_vcgen::analyzer::AnalyzerConfig;
+use acspec_vcgen::chaos::ChaosConfig;
+
+/// The semantically meaningful fields of a report (timings excluded).
+fn semantic_view(r: &ProcReport) -> (String, String, Vec<(String, String)>, Vec<String>, usize) {
+    (
+        r.config.to_string(),
+        r.status.to_string(),
+        r.warnings
+            .iter()
+            .map(|w| (w.assert.to_string(), w.tag.clone()))
+            .collect(),
+        r.specs.iter().map(ToString::to_string).collect(),
+        r.min_fail,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn raising_the_budget_preserves_completed_reports(seed in 0u64..10_000) {
+        let bm = acspec_benchgen::drivers::generate(
+            "budget-mono", seed, 3, acspec_benchgen::drivers::PatternMix::default(),
+        );
+        let budgets = [20_000u64, 50_000, 200_000];
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            let run = |budget: u64| -> ProcReport {
+                let mut opts = AcspecOptions::for_config(ConfigName::Conc);
+                opts.analyzer.conflict_budget = Some(budget);
+                analyze_procedure(&bm.program, proc, &opts).expect("analyzes")
+            };
+            let mut completed: Option<(u64, ProcReport)> = None;
+            for &b in &budgets {
+                let report = run(b);
+                if report.timed_out() {
+                    // Not yet enough budget; a completed report under a
+                    // *larger* budget later is still fine.
+                    continue;
+                }
+                if let Some((b0, baseline)) = &completed {
+                    prop_assert_eq!(
+                        semantic_view(baseline),
+                        semantic_view(&report),
+                        "report changed between budgets {} and {}", b0, b
+                    );
+                } else {
+                    completed = Some((b, report));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_at_rate_zero_is_byte_identical_to_no_harness() {
+    let bm = acspec_benchgen::drivers::generate(
+        "chaos-eq",
+        7,
+        6,
+        acspec_benchgen::drivers::PatternMix::default(),
+    );
+    let render = |chaos: Option<ChaosConfig>| -> String {
+        let cfg = AnalyzerConfig {
+            chaos,
+            ..AnalyzerConfig::default()
+        };
+        let outcomes = ProgramAnalysis::new(&bm.program)
+            .analyzer(cfg)
+            .threads(2)
+            .run(&mut NullObserver);
+        let mut reports: Vec<ProcReport> = Vec::new();
+        let mut incidents = Vec::new();
+        for o in outcomes {
+            match o.incident() {
+                Some(i) => incidents.push(i.clone()),
+                None => {
+                    let pa = o.into_analysis().expect("analyzed");
+                    reports.push(pa.cons);
+                    reports.extend(pa.reports.into_iter().flatten());
+                }
+            }
+        }
+        for r in &mut reports {
+            r.stats = ProcStats::default(); // wall clock is the one nondeterministic field
+        }
+        let refs: Vec<&ProcReport> = reports.iter().collect();
+        program_report_json(&refs, &incidents)
+    };
+    let bare = render(None);
+    for seed in [0, 42, u64::MAX] {
+        assert_eq!(
+            bare,
+            render(Some(ChaosConfig::new(seed, 0.0))),
+            "rate-0 harness diverged for seed {seed}"
+        );
+    }
+}
+
+/// Suppresses the default panic-hook backtrace spam for the panics the
+/// chaos harness injects on purpose (they are caught by the worker
+/// loop); everything else still reaches the previous hook.
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("chaos:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn chaos_never_escapes_and_degradation_never_invents_warnings(
+        seed in 0u64..1_000_000,
+        rate_pct in 0u64..101,
+    ) {
+        silence_injected_panics();
+        let rate = rate_pct as f64 / 100.0;
+        let bm = acspec_benchgen::drivers::generate(
+            "chaos-prop", 11, 4, acspec_benchgen::drivers::PatternMix::default(),
+        );
+        let defined: BTreeSet<String> = bm
+            .program
+            .procedures
+            .iter()
+            .filter(|p| p.body.is_some())
+            .map(|p| p.name.clone())
+            .collect();
+
+        // Fault-free demonic screen: the warning superset every
+        // degraded fallback must stay inside.
+        let baseline = ProgramAnalysis::new(&bm.program)
+            .threads(1)
+            .run(&mut NullObserver);
+        let mut demonic: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for o in &baseline {
+            let pa = o.analysis().expect("fault-free run has no incidents");
+            demonic.insert(
+                pa.proc_name.clone(),
+                pa.cons.warnings.iter().map(|w| w.tag.clone()).collect(),
+            );
+        }
+
+        let cfg = AnalyzerConfig {
+            chaos: Some(ChaosConfig::new(seed, rate)),
+            ..AnalyzerConfig::default()
+        };
+        // If an injected panic escaped the worker's catch_unwind this
+        // call would propagate it and the test would fail.
+        let outcomes = ProgramAnalysis::new(&bm.program)
+            .analyzer(cfg)
+            .threads(2)
+            .run(&mut NullObserver);
+
+        let mut seen: Vec<String> = outcomes.iter().map(|o| o.proc_name().to_string()).collect();
+        seen.sort();
+        let expected: Vec<String> = defined.iter().cloned().collect();
+        prop_assert_eq!(seen, expected, "each defined procedure appears exactly once");
+
+        for o in &outcomes {
+            let Some(pa) = o.analysis() else { continue };
+            let superset = &demonic[&pa.proc_name];
+            for r in std::iter::once(&pa.cons).chain(pa.reports.iter().flatten()) {
+                if !r.degraded() {
+                    continue;
+                }
+                for w in &r.warnings {
+                    prop_assert!(
+                        superset.contains(&w.tag),
+                        "degraded {} report of `{}` invented warning {}",
+                        r.config, pa.proc_name, w.tag
+                    );
+                }
+            }
+        }
+    }
+}

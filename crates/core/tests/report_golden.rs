@@ -1,0 +1,71 @@
+//! Golden test for the program-report JSON document (the `acspec
+//! --format json` payload): pins the full shape — `schema_version`,
+//! per-report fields, embedded incidents — on a small fixed program.
+//! Wall-clock stats are zeroed before rendering; everything else is
+//! deterministic.
+//!
+//! Regenerate after an intentional schema change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p acspec-core --test report_golden
+//! ```
+
+use acspec_core::{
+    program_report_json, NullObserver, ProcReport, ProcStats, ProgramAnalysis,
+    REPORT_SCHEMA_VERSION,
+};
+
+const GOLDEN_PATH: &str = "tests/golden/program_report.json";
+
+const PROGRAM: &str = "
+    global Freed: map;
+    procedure f(p: int) {
+      assert Freed[p] == 0; Freed[p] := 1;
+      assert Freed[p] == 0; Freed[p] := 1;
+    }";
+
+#[test]
+fn program_report_json_matches_golden_file() {
+    let prog = acspec_ir::parse::parse_program(PROGRAM).expect("parses");
+    let outcomes = ProgramAnalysis::new(&prog)
+        .threads(1)
+        .run(&mut NullObserver);
+    let mut reports: Vec<ProcReport> = Vec::new();
+    let mut incidents = Vec::new();
+    for o in outcomes {
+        match o.incident() {
+            Some(i) => incidents.push(i.clone()),
+            None => {
+                let pa = o.into_analysis().expect("analyzed");
+                reports.push(pa.cons);
+                reports.extend(pa.reports.into_iter().flatten());
+            }
+        }
+    }
+    for r in &mut reports {
+        r.stats = ProcStats::default(); // wall clock is nondeterministic
+    }
+    let refs: Vec<&ProcReport> = reports.iter().collect();
+    let rendered = program_report_json(&refs, &incidents);
+
+    // The version constant must appear in the document itself, so a
+    // bump without a golden regeneration fails loudly here.
+    assert!(
+        rendered.contains(&format!("\"schema_version\": {REPORT_SCHEMA_VERSION}")),
+        "document does not carry schema_version {REPORT_SCHEMA_VERSION}"
+    );
+
+    let path = format!("{}/{GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e} (run with UPDATE_GOLDEN=1)"));
+    assert!(
+        rendered == golden,
+        "program-report JSON diverged from golden; if intentional, bump \
+         REPORT_SCHEMA_VERSION and regenerate with UPDATE_GOLDEN=1.\n\
+         --- expected ---\n{golden}\n--- actual ---\n{rendered}"
+    );
+}

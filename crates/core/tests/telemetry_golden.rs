@@ -36,11 +36,11 @@ fn cache_on() -> AnalyzerConfig {
 fn redacted_trace_matches_golden_file() {
     let prog = parse_program(PROGRAM).expect("parses");
     let mut obs = TelemetryObserver::new();
-    ProgramAnalysis::new(&prog)
+    let outcomes = ProgramAnalysis::new(&prog)
         .analyzer(cache_on())
         .threads(1)
-        .run(&mut obs)
-        .expect("analyzes");
+        .run(&mut obs);
+    assert!(outcomes.iter().all(|o| o.incident().is_none()));
     let out = obs.finish();
     let rendered = out.trace_jsonl_with(
         None,
@@ -68,11 +68,11 @@ fn redacted_trace_matches_golden_file() {
 fn metrics_snapshot_shape_is_stable() {
     let prog = parse_program(PROGRAM).expect("parses");
     let mut obs = TelemetryObserver::new();
-    ProgramAnalysis::new(&prog)
+    let outcomes = ProgramAnalysis::new(&prog)
         .analyzer(cache_on())
         .threads(1)
-        .run(&mut obs)
-        .expect("analyzes");
+        .run(&mut obs);
+    assert!(outcomes.iter().all(|o| o.incident().is_none()));
     let out = obs.finish();
     let json = out.metrics_json(None);
     let v: serde_json::Value = serde_json::from_str(&json).expect("snapshot parses");

@@ -58,6 +58,30 @@ pub fn predicate_cover_capped(
     q: &[Atom],
     max_clauses: usize,
 ) -> Result<Cover, Timeout> {
+    predicate_cover_salvaging(az, q, max_clauses, &mut None)
+}
+
+/// Like [`predicate_cover_capped`], but on `Err` deposits the clauses
+/// enumerated so far into `salvage` (sorted and deduped). The partial
+/// cover under-approximates the true cover — it is missing failing
+/// cubes, so conjoining its clauses yields a *weaker* screen than
+/// `β_Q(wp)` — which is exactly what a degradation ladder wants: a
+/// best-effort strengthening it can report instead of nothing.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the analyzer's budget, deadline, or
+/// `max_clauses` is exhausted.
+///
+/// # Panics
+///
+/// Panics if a predicate mentions names outside the input vocabulary.
+pub fn predicate_cover_salvaging(
+    az: &mut ProcAnalyzer,
+    q: &[Atom],
+    max_clauses: usize,
+    salvage: &mut Option<Cover>,
+) -> Result<Cover, Timeout> {
     // Indicator per predicate: b_i ⇔ ⟦q_i⟧ over the input environment.
     let env = az.input_env().clone();
     let indicators: Vec<TermId> = q
@@ -74,13 +98,31 @@ pub fn predicate_cover_capped(
     let session = az.ctx.fresh_bool_var("allsat");
     let not_session = az.ctx.mk_not(session);
 
-    let mut clauses = Vec::new();
+    let salvage_partial = |clauses: &[QClause], salvage: &mut Option<Cover>| {
+        let mut partial = clauses.to_vec();
+        partial.sort();
+        partial.dedup();
+        *salvage = Some(Cover {
+            preds: q.to_vec(),
+            clauses: partial,
+            indicators: indicators.clone(),
+        });
+    };
+
+    let mut clauses: Vec<QClause> = Vec::new();
     loop {
         if clauses.len() >= max_clauses {
+            az.note_cap_fault();
+            salvage_partial(&clauses, salvage);
             return Err(Timeout);
         }
-        if !az.any_failure(&[], &[session])? {
-            break;
+        match az.any_failure(&[], &[session]) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(t) => {
+                salvage_partial(&clauses, salvage);
+                return Err(t);
+            }
         }
         // Extract the cube over Q from the model and block it.
         let mut cube: Vec<QLit> = Vec::with_capacity(q.len());

@@ -37,6 +37,6 @@ pub mod mine;
 pub mod normalize;
 
 pub use clause::{clauses_to_formula, QClause, QLit};
-pub use cover::{predicate_cover, predicate_cover_capped, Cover};
+pub use cover::{predicate_cover, predicate_cover_capped, predicate_cover_salvaging, Cover};
 pub use mine::{mine_predicates, Abstraction};
 pub use normalize::{normalize, prune_clauses, PruneConfig};

@@ -30,7 +30,8 @@ use acspec_ir::Sort;
 use acspec_smt::{Ctx, SmtResult, Solver, SolverCounters, TermId};
 
 use crate::cache::{CacheStats, QueryCache};
-use crate::stage::{Budget, Stage, StageError, StageTable};
+use crate::chaos::{ChaosConfig, ChaosFault, ChaosSolver, ChaosStats};
+use crate::stage::{Budget, Deadline, FaultReason, Stage, StageError, StageTable};
 use crate::translate::{expr_to_term, formula_to_term, Env, TranslateError};
 
 /// A selector literal standing for an installed environment specification.
@@ -51,22 +52,33 @@ impl std::fmt::Display for Timeout {
 impl std::error::Error for Timeout {}
 
 impl Timeout {
-    /// Tags the timeout with the pipeline stage it interrupted.
+    /// Tags the timeout with the pipeline stage it interrupted,
+    /// assuming conflict exhaustion. Callers holding the analyzer
+    /// should prefer [`ProcAnalyzer::stage_error`], which carries the
+    /// actual [`FaultReason`].
     pub fn at(self, stage: Stage) -> StageError {
-        StageError { stage }
+        StageError {
+            stage,
+            reason: FaultReason::Conflicts,
+        }
     }
 }
 
 /// How one SMT `check()` ended (telemetry's view of
-/// [`SmtResult`](acspec_smt::SmtResult), plus budget pre-exhaustion).
+/// [`SmtResult`](acspec_smt::SmtResult), plus budget pre-exhaustion,
+/// deadline expiry, and injected faults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryOutcome {
     /// Satisfiable.
     Sat,
     /// Unsatisfiable.
     Unsat,
-    /// Budget exhausted (before or during the query).
-    Unknown,
+    /// No answer — the reason says which resource ran out (conflicts,
+    /// wall-clock deadline, a structural cap, or an injected fault).
+    Unknown {
+        /// Why the query gave up.
+        reason: FaultReason,
+    },
 }
 
 impl QueryOutcome {
@@ -75,7 +87,15 @@ impl QueryOutcome {
         match self {
             QueryOutcome::Sat => "sat",
             QueryOutcome::Unsat => "unsat",
-            QueryOutcome::Unknown => "unknown",
+            QueryOutcome::Unknown { .. } => "unknown",
+        }
+    }
+
+    /// The fault reason, for `Unknown` outcomes.
+    pub fn reason(self) -> Option<FaultReason> {
+        match self {
+            QueryOutcome::Unknown { reason } => Some(reason),
+            _ => None,
         }
     }
 }
@@ -112,6 +132,16 @@ pub struct AnalyzerConfig {
     /// are byte-identical either way — only query counts and wall time
     /// change.
     pub query_cache: bool,
+    /// Wall-clock deadline per budget grant (`None` = unlimited, the
+    /// default). The literal analogue of the paper's 10-second Z3
+    /// timeout; off by default because wall-clock limits make runs
+    /// nondeterministic. Checked before each query and surfaced as
+    /// [`QueryOutcome::Unknown`] with [`FaultReason::Deadline`].
+    pub deadline: Option<std::time::Duration>,
+    /// Deterministic fault injection ([`crate::chaos`]); `None` (the
+    /// default) runs without the harness. With `Some` and `rate = 0.0`
+    /// the analyzer behaves identically to `None`.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for AnalyzerConfig {
@@ -120,6 +150,8 @@ impl Default for AnalyzerConfig {
             conflict_budget: Some(2_000_000),
             query_cache: std::env::var("ACSPEC_NO_QUERY_CACHE")
                 .map_or(true, |v| v.is_empty() || v == "0"),
+            deadline: None,
+            chaos: None,
         }
     }
 }
@@ -144,6 +176,14 @@ pub struct ProcAnalyzer {
     /// translate environment specifications and predicates.
     input_env: Env,
     budget: Budget,
+    /// Wall-clock deadline alongside the conflict budget.
+    deadline: Deadline,
+    /// Deterministic fault-injection stream (`None` when disabled).
+    chaos: Option<ChaosSolver>,
+    /// Why the most recent `Err(Timeout)` happened. Conflicts until
+    /// some query says otherwise; callers turning a [`Timeout`] into a
+    /// [`StageError`] read it via [`ProcAnalyzer::stage_error`].
+    last_fault: FaultReason,
     /// The stage queries are currently attributed to.
     stage: Stage,
     /// Per-stage query/time accounting.
@@ -279,6 +319,9 @@ impl ProcAnalyzer {
             fail_any,
             input_env,
             budget: Budget::new(config.conflict_budget),
+            deadline: Deadline::new(config.deadline),
+            chaos: config.chaos.map(ChaosSolver::new),
+            last_fault: FaultReason::Conflicts,
             stage: Stage::Screen,
             stages,
             queries: 0,
@@ -352,9 +395,108 @@ impl ProcAnalyzer {
     /// Resets the conflict pool to its configured size. A session
     /// sharing one analyzer across configurations calls this between
     /// configurations, so each gets the same pool the old
-    /// one-analyzer-per-config drivers granted.
+    /// one-analyzer-per-config drivers granted. The wall-clock deadline
+    /// (when one is configured) restarts with the pool.
     pub fn refill_budget(&mut self) {
         self.budget.refill();
+        self.deadline.restart();
+    }
+
+    /// Why the most recent `Err(Timeout)` happened ([`FaultReason::Conflicts`]
+    /// if no query has given up yet).
+    pub fn last_fault(&self) -> FaultReason {
+        self.last_fault
+    }
+
+    /// Marks the pending fault as a structural-cap overrun. Callers
+    /// enforcing their own caps (cover clause limits, search node
+    /// limits) note this before returning [`Timeout`], so the resulting
+    /// [`StageError`] names the right resource.
+    pub fn note_cap_fault(&mut self) {
+        self.last_fault = FaultReason::Cap;
+    }
+
+    /// Tags a [`Timeout`] with the interrupted stage and the reason the
+    /// analyzer recorded for it.
+    pub fn stage_error(&self, stage: Stage) -> StageError {
+        StageError {
+            stage,
+            reason: self.last_fault,
+        }
+    }
+
+    /// Number of entries currently held by the dominance cache (0 when
+    /// disabled). Diagnostic: the Unknown-is-never-cached test keys off
+    /// this.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.as_ref().map_or(0, QueryCache::len)
+    }
+
+    /// The chaos harness's monotone injection counters (all zero when
+    /// the harness is disabled).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.chaos
+            .as_ref()
+            .map(ChaosSolver::stats)
+            .unwrap_or_default()
+    }
+
+    /// Pre-query fault gate shared by [`ProcAnalyzer::check`] and
+    /// [`ProcAnalyzer::witness_check`]: budget pre-exhaustion, deadline
+    /// expiry, then a draw from the chaos stream. Returns `Err` to
+    /// abort the query, `Ok(true)` to stall it first (injected
+    /// latency), `Ok(false)` to run it normally.
+    fn pre_query_gate(&mut self) -> Result<bool, Timeout> {
+        if self.budget.exhausted() {
+            self.last_fault = FaultReason::Conflicts;
+            return Err(Timeout);
+        }
+        if self.deadline.exceeded() {
+            return Err(self.give_up(FaultReason::Deadline));
+        }
+        if let Some(chaos) = &mut self.chaos {
+            match chaos.next_fault() {
+                None => {}
+                Some(ChaosFault::Unknown) => return Err(self.give_up(FaultReason::Chaos)),
+                Some(ChaosFault::Panic) => {
+                    panic!("chaos: injected panic before query {}", self.queries)
+                }
+                Some(ChaosFault::BudgetBlowup) => {
+                    // Simulate one pathological query burning (at least)
+                    // half the remaining pool.
+                    if let Some(left) = self.budget.left() {
+                        self.budget.charge((left / 2).max(1_000));
+                    }
+                    if self.budget.exhausted() {
+                        self.last_fault = FaultReason::Chaos;
+                        return Err(Timeout);
+                    }
+                }
+                Some(ChaosFault::Latency) => return Ok(true),
+            }
+        }
+        Ok(false)
+    }
+
+    /// Records a query-shaped `Unknown { reason }` (the ISSUE's
+    /// "surfaced from the solver instead of a hard stop"): counts as a
+    /// query, lands in the stage table and the query log, but never in
+    /// the dominance cache — callers see `Err(Timeout)` and the cache
+    /// insert only happens on `Ok`.
+    fn give_up(&mut self, reason: FaultReason) -> Timeout {
+        self.last_fault = reason;
+        self.queries += 1;
+        self.stages.record(self.stage, 0.0, 1);
+        if self.record_queries {
+            self.query_log.push(QueryRecord {
+                stage: self.stage,
+                seq: (self.queries - 1) as u32,
+                outcome: QueryOutcome::Unknown { reason },
+                seconds: 0.0,
+                counters: SolverCounters::default(),
+            });
+        }
+        Timeout
     }
 
     /// The tracked locations.
@@ -505,11 +647,12 @@ impl ProcAnalyzer {
         &mut self,
         assumptions: &[TermId],
     ) -> Result<Option<std::collections::BTreeMap<String, i64>>, Timeout> {
-        if self.budget.exhausted() {
-            return Err(Timeout);
-        }
+        let stall = self.pre_query_gate()?;
         self.queries += 1;
         let start = std::time::Instant::now();
+        if stall {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
         let mut solver = Solver::new();
         for &t in &self.base_asserts {
             solver.assert_term(&mut self.ctx, t);
@@ -526,7 +669,9 @@ impl ProcAnalyzer {
                 outcome: match result {
                     SmtResult::Sat => QueryOutcome::Sat,
                     SmtResult::Unsat => QueryOutcome::Unsat,
-                    SmtResult::Unknown => QueryOutcome::Unknown,
+                    SmtResult::Unknown => QueryOutcome::Unknown {
+                        reason: FaultReason::Conflicts,
+                    },
                 },
                 seconds,
                 counters: solver.counters(),
@@ -535,7 +680,10 @@ impl ProcAnalyzer {
         match result {
             SmtResult::Sat => {}
             SmtResult::Unsat => return Ok(None),
-            SmtResult::Unknown => return Err(Timeout),
+            SmtResult::Unknown => {
+                self.last_fault = FaultReason::Conflicts;
+                return Err(Timeout);
+            }
         }
         let mut out = std::collections::BTreeMap::new();
         for (name, &t) in &self.input_env.vars {
@@ -575,11 +723,12 @@ impl ProcAnalyzer {
     }
 
     fn check(&mut self, assumptions: &[TermId]) -> Result<bool, Timeout> {
-        if self.budget.exhausted() {
-            return Err(Timeout);
-        }
+        let stall = self.pre_query_gate()?;
         self.queries += 1;
         let start = std::time::Instant::now();
+        if stall {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
         let before = self.solver.counters();
         // Bound this query by the remaining per-procedure pool.
         self.solver.set_sat_budget(self.budget.left());
@@ -595,7 +744,9 @@ impl ProcAnalyzer {
                 outcome: match result {
                     SmtResult::Sat => QueryOutcome::Sat,
                     SmtResult::Unsat => QueryOutcome::Unsat,
-                    SmtResult::Unknown => QueryOutcome::Unknown,
+                    SmtResult::Unknown => QueryOutcome::Unknown {
+                        reason: FaultReason::Conflicts,
+                    },
                 },
                 seconds,
                 counters: self.solver.counters().since(&before),
@@ -604,7 +755,10 @@ impl ProcAnalyzer {
         match result {
             SmtResult::Sat => Ok(true),
             SmtResult::Unsat => Ok(false),
-            SmtResult::Unknown => Err(Timeout),
+            SmtResult::Unknown => {
+                self.last_fault = FaultReason::Conflicts;
+                Err(Timeout)
+            }
         }
     }
 
@@ -769,6 +923,7 @@ impl ProcAnalyzer {
             self.add_clause(&blocking);
             profiles.insert(vector);
             if profiles.len() > cap {
+                self.note_cap_fault();
                 return Err(Timeout);
             }
         }

@@ -1,0 +1,255 @@
+//! Deterministic fault injection for the analysis runtime.
+//!
+//! A production triage service must survive solver misbehavior: queries
+//! that come back `Unknown`, queries that burn the whole conflict pool,
+//! queries that stall, and outright panics in the engine. The chaos
+//! harness simulates all four *deterministically*: a [`ChaosConfig`]
+//! seeds a splitmix64 stream, [`ChaosConfig::for_proc`] derives an
+//! independent stream per procedure (so injection is reproducible
+//! regardless of how the `ProgramAnalysis` thread pool schedules
+//! procedures), and the analyzer draws from the stream once per
+//! `check()`.
+//!
+//! With `rate = 0.0` the engine draws nothing and the analyzer's
+//! behavior is bit-for-bit identical to a run without the harness —
+//! the chaos-equivalence test in `acspec-core` pins this down.
+
+use crate::stage::FaultReason;
+
+/// One splitmix64 step: advances the state and returns a well-mixed
+/// 64-bit output. Small, fast, and reproducible everywhere — exactly
+/// what a deterministic chaos stream needs (vendored-`rand` not
+/// required).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a procedure name, for mixing into the seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Configuration for the fault-injection harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Base seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given `check()` draws a fault.
+    /// `0.0` injects nothing (and the analyzer behaves identically to a
+    /// run without the harness).
+    pub rate: f64,
+}
+
+impl ChaosConfig {
+    /// A harness with the given seed and per-query fault rate.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        ChaosConfig {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Derives the per-procedure configuration: same rate, seed mixed
+    /// with the procedure name. Each procedure then owns an independent
+    /// deterministic stream, so the injected faults do not depend on
+    /// thread scheduling or on which other procedures ran first.
+    pub fn for_proc(&self, proc_name: &str) -> ChaosConfig {
+        let mut state = self.seed ^ fnv1a(proc_name);
+        ChaosConfig {
+            seed: splitmix64(&mut state),
+            rate: self.rate,
+        }
+    }
+}
+
+/// A fault drawn from the chaos stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// The query "returns" `Unknown` (reason [`FaultReason::Chaos`]).
+    Unknown,
+    /// A large slice of the remaining conflict budget is burned before
+    /// the query runs, simulating a pathological solver call.
+    BudgetBlowup,
+    /// A short stall is inserted before the query, simulating latency.
+    Latency,
+    /// The engine panics, exercising the `catch_unwind` isolation in
+    /// the `ProgramAnalysis` worker loop.
+    Panic,
+}
+
+impl ChaosFault {
+    const ALL: [ChaosFault; 4] = [
+        ChaosFault::Unknown,
+        ChaosFault::BudgetBlowup,
+        ChaosFault::Latency,
+        ChaosFault::Panic,
+    ];
+
+    /// Stable lowercase name (telemetry counter suffixes).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosFault::Unknown => "unknown",
+            ChaosFault::BudgetBlowup => "blowup",
+            ChaosFault::Latency => "latency",
+            ChaosFault::Panic => "panic",
+        }
+    }
+
+    /// The reason carried by query outcomes this fault aborts.
+    pub fn reason(self) -> FaultReason {
+        FaultReason::Chaos
+    }
+}
+
+/// Monotone counters for injected faults (telemetry's `chaos.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Queries that consulted the stream.
+    pub draws: u64,
+    /// Injected `Unknown` outcomes.
+    pub unknowns: u64,
+    /// Injected budget blowups.
+    pub blowups: u64,
+    /// Injected latency stalls.
+    pub latencies: u64,
+    /// Injected panics.
+    pub panics: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected (excludes fault-free draws).
+    pub fn injected(&self) -> u64 {
+        self.unknowns + self.blowups + self.latencies + self.panics
+    }
+
+    /// The counter deltas accumulated since `earlier`.
+    pub fn since(&self, earlier: &ChaosStats) -> ChaosStats {
+        ChaosStats {
+            draws: self.draws - earlier.draws,
+            unknowns: self.unknowns - earlier.unknowns,
+            blowups: self.blowups - earlier.blowups,
+            latencies: self.latencies - earlier.latencies,
+            panics: self.panics - earlier.panics,
+        }
+    }
+}
+
+/// The per-analyzer fault stream: wraps the solver's `check()` path,
+/// deciding before each query whether to inject a fault and which kind.
+#[derive(Debug)]
+pub struct ChaosSolver {
+    state: u64,
+    rate: f64,
+    stats: ChaosStats,
+}
+
+impl ChaosSolver {
+    /// Builds the stream for one analyzer from its (already
+    /// per-procedure-mixed) configuration.
+    pub fn new(config: ChaosConfig) -> Self {
+        ChaosSolver {
+            state: config.seed,
+            rate: config.rate.clamp(0.0, 1.0),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Draws the next decision: `None` (let the query run) or a fault.
+    /// Exactly one or two splitmix64 steps per call, so the stream is a
+    /// pure function of the seed and the number of prior draws.
+    pub fn next_fault(&mut self) -> Option<ChaosFault> {
+        self.stats.draws += 1;
+        if self.rate <= 0.0 {
+            return None;
+        }
+        // 53 mantissa bits give a uniform draw in [0, 1).
+        let u = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.rate {
+            return None;
+        }
+        let kind = ChaosFault::ALL[(splitmix64(&mut self.state) % 4) as usize];
+        match kind {
+            ChaosFault::Unknown => self.stats.unknowns += 1,
+            ChaosFault::BudgetBlowup => self.stats.blowups += 1,
+            ChaosFault::Latency => self.stats.latencies += 1,
+            ChaosFault::Panic => self.stats.panics += 1,
+        }
+        Some(kind)
+    }
+
+    /// The monotone injection counters.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = ChaosConfig::new(7, 0.5);
+        let mut a = ChaosSolver::new(cfg);
+        let mut b = ChaosSolver::new(cfg);
+        let sa: Vec<_> = (0..256).map(|_| a.next_fault()).collect();
+        let sb: Vec<_> = (0..256).map(|_| b.next_fault()).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn zero_rate_never_injects() {
+        let mut s = ChaosSolver::new(ChaosConfig::new(42, 0.0));
+        for _ in 0..1000 {
+            assert_eq!(s.next_fault(), None);
+        }
+        assert_eq!(s.stats().injected(), 0);
+        assert_eq!(s.stats().draws, 1000);
+    }
+
+    #[test]
+    fn full_rate_injects_every_kind() {
+        let mut s = ChaosSolver::new(ChaosConfig::new(42, 1.0));
+        for _ in 0..1000 {
+            assert!(s.next_fault().is_some());
+        }
+        let st = s.stats();
+        assert_eq!(st.injected(), 1000);
+        assert!(st.unknowns > 0 && st.blowups > 0 && st.latencies > 0 && st.panics > 0);
+    }
+
+    #[test]
+    fn per_proc_streams_are_independent_and_deterministic() {
+        let base = ChaosConfig::new(42, 0.3);
+        let f = base.for_proc("foo");
+        let g = base.for_proc("bar");
+        assert_ne!(f.seed, g.seed);
+        assert_eq!(f, base.for_proc("foo"));
+
+        let mut sf = ChaosSolver::new(f);
+        let mut sg = ChaosSolver::new(g);
+        let a: Vec<_> = (0..64).map(|_| sf.next_fault()).collect();
+        let b: Vec<_> = (0..64).map(|_| sg.next_fault()).collect();
+        assert_ne!(a, b, "distinct procedures should see distinct streams");
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let mut s = ChaosSolver::new(ChaosConfig::new(1, 0.1));
+        let injected = (0..10_000).filter(|_| s.next_fault().is_some()).count();
+        assert!(
+            (500..1500).contains(&injected),
+            "expected ~1000 of 10000, got {injected}"
+        );
+    }
+}

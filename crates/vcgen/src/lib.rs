@@ -14,7 +14,10 @@
 //!   for the paper's 10-second timeout;
 //! * [`cache`] — the monotone dominance cache answering queries by
 //!   §2.3 monotonicity (subset/superset lattice dominance) before
-//!   falling back to the solver.
+//!   falling back to the solver;
+//! * [`chaos`] — deterministic fault injection (seeded unknowns, budget
+//!   blowups, latency, panics) for exercising the fault-tolerant
+//!   runtime above this crate.
 //!
 //! # Example
 //!
@@ -39,12 +42,14 @@
 
 pub mod analyzer;
 pub mod cache;
+pub mod chaos;
 pub mod stage;
 pub mod translate;
 pub mod wp;
 
 pub use analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, QueryRecord, Selector, Timeout};
 pub use cache::{CacheStats, QueryCache};
-pub use stage::{Budget, Stage, StageError, StageMetrics, StageTable};
+pub use chaos::{ChaosConfig, ChaosFault, ChaosSolver, ChaosStats};
+pub use stage::{Budget, Deadline, FaultReason, Stage, StageError, StageMetrics, StageTable};
 pub use translate::{expr_to_term, formula_to_term, Env, TranslateError};
 pub use wp::{wp, WpResult};

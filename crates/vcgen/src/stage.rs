@@ -10,6 +10,7 @@
 //! happened in instead of a bare [`Timeout`](crate::Timeout).
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// A stage of the per-procedure analysis pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -62,20 +63,125 @@ impl fmt::Display for Stage {
     }
 }
 
+/// Why a query (or a whole stage) gave up without a definite answer.
+///
+/// One taxonomy serves both levels: the analyzer tags each aborted
+/// query (`QueryOutcome::Unknown { reason }`) and the session tags the
+/// resulting [`StageError`] with the same value, so a report's
+/// `timeout_stage` can say not just *where* the pipeline stopped but
+/// *what* resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultReason {
+    /// The deterministic conflict [`Budget`] ran dry.
+    Conflicts,
+    /// The wall-clock [`Deadline`] passed.
+    Deadline,
+    /// A structural cap (cover clauses, search nodes, path profiles)
+    /// was exceeded.
+    Cap,
+    /// A fault injected by the chaos harness ([`crate::chaos`]).
+    Chaos,
+}
+
+impl FaultReason {
+    /// Stable lowercase name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultReason::Conflicts => "conflicts",
+            FaultReason::Deadline => "deadline",
+            FaultReason::Cap => "cap",
+            FaultReason::Chaos => "chaos",
+        }
+    }
+
+    /// Human phrasing for diagnostics.
+    fn describe(self) -> &'static str {
+        match self {
+            FaultReason::Conflicts => "analysis budget exhausted",
+            FaultReason::Deadline => "analysis deadline exceeded",
+            FaultReason::Cap => "analysis cap exceeded",
+            FaultReason::Chaos => "injected fault",
+        }
+    }
+}
+
+impl fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Budget exhaustion, tagged with the stage it happened in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageError {
     /// The stage whose query exhausted the budget.
     pub stage: Stage,
+    /// What resource ran out (conflicts, wall clock, a cap, or an
+    /// injected fault).
+    pub reason: FaultReason,
 }
 
 impl fmt::Display for StageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "analysis budget exhausted during {}", self.stage)
+        write!(f, "{} during {}", self.reason.describe(), self.stage)
     }
 }
 
 impl std::error::Error for StageError {}
+
+/// A wall-clock deadline running alongside the conflict [`Budget`] —
+/// the literal analogue of the paper's 10-second Z3 timeout, for
+/// deployments where wall time (not determinism) is the constraint.
+///
+/// `None` = unlimited, which is the default: wall-clock limits make
+/// runs nondeterministic, so every reproduction path leaves the
+/// deadline off and relies on the conflict budget alone.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    limit: Option<Duration>,
+}
+
+impl Deadline {
+    /// A deadline of `limit` from now (`None` = unlimited).
+    pub fn new(limit: Option<Duration>) -> Self {
+        Deadline {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// An unlimited deadline (never exceeded).
+    pub fn unlimited() -> Self {
+        Deadline::new(None)
+    }
+
+    /// The configured limit (`None` = unlimited).
+    pub fn limit(&self) -> Option<Duration> {
+        self.limit
+    }
+
+    /// True once the wall clock has passed the limit.
+    pub fn exceeded(&self) -> bool {
+        match self.limit {
+            None => false,
+            Some(limit) => self.start.elapsed() >= limit,
+        }
+    }
+
+    /// Restarts the clock (granting a fresh limit), mirroring
+    /// [`Budget::refill`] when a session shares one analyzer across
+    /// configurations.
+    pub fn restart(&mut self) {
+        self.start = Instant::now();
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::unlimited()
+    }
+}
 
 /// The per-procedure conflict pool — the deterministic analogue of the
 /// paper's 10-second timeout. Refillable, so a session sharing one
@@ -228,10 +334,32 @@ mod tests {
     }
 
     #[test]
-    fn stage_error_names_the_stage() {
+    fn stage_error_names_the_stage_and_reason() {
         let e = StageError {
             stage: Stage::Cover,
+            reason: FaultReason::Conflicts,
         };
         assert_eq!(e.to_string(), "analysis budget exhausted during cover");
+        let e = StageError {
+            stage: Stage::Search,
+            reason: FaultReason::Deadline,
+        };
+        assert_eq!(e.to_string(), "analysis deadline exceeded during search");
+    }
+
+    #[test]
+    fn deadline_unlimited_never_fires_and_zero_fires_immediately() {
+        let unlimited = Deadline::unlimited();
+        assert!(!unlimited.exceeded());
+        assert_eq!(unlimited.limit(), None);
+
+        let mut zero = Deadline::new(Some(Duration::from_secs(0)));
+        assert!(zero.exceeded());
+        // Restart grants a fresh (still zero) window.
+        zero.restart();
+        assert!(zero.exceeded());
+
+        let generous = Deadline::new(Some(Duration::from_secs(3600)));
+        assert!(!generous.exceeded());
     }
 }

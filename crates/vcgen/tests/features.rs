@@ -4,6 +4,7 @@
 use acspec_ir::parse::{parse_formula, parse_program};
 use acspec_ir::{desugar_procedure, DesugarOptions, DesugaredProc};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+use acspec_vcgen::stage::FaultReason;
 
 fn desugared(src: &str) -> DesugaredProc {
     let prog = parse_program(src).expect("parses");
@@ -156,4 +157,76 @@ fn queries_counter_increments() {
     assert!(after_dead >= 2, "two tracked locations");
     let _ = az.fail_set(&[]).expect("ok");
     assert!(az.queries > after_dead);
+}
+
+#[test]
+fn expired_deadline_reports_unknown_with_reason() {
+    let d = desugared("procedure f(x: int) { assert x != 0; }");
+    let mut az = ProcAnalyzer::new(
+        &d,
+        AnalyzerConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..AnalyzerConfig::default()
+        },
+    )
+    .expect("encodes");
+    az.set_query_recording(true);
+    let a = az.assertions()[0];
+    assert!(az.can_fail(a, &[]).is_err(), "deadline already expired");
+    assert_eq!(az.last_fault(), FaultReason::Deadline);
+    let records = az.take_query_records();
+    assert!(!records.is_empty(), "the gated query is still recorded");
+    assert!(records
+        .iter()
+        .all(|r| r.outcome.reason() == Some(FaultReason::Deadline)));
+}
+
+/// The cache-soundness half of the failure model: an `Unknown` outcome
+/// carries no monotone information, so it must never be admitted into
+/// the dominance cache — a cached Unknown would corrupt every dominated
+/// query. Exhausting the deadline before any query leaves the cache
+/// provably empty.
+#[test]
+fn unknown_is_never_admitted_into_the_query_cache() {
+    let d = desugared(
+        "procedure f(x: int) {
+           if (x == 0) { skip; }
+           assert x != 1;
+         }",
+    );
+    let mut az = ProcAnalyzer::new(
+        &d,
+        AnalyzerConfig {
+            query_cache: true,
+            deadline: Some(std::time::Duration::ZERO),
+            ..AnalyzerConfig::default()
+        },
+    )
+    .expect("encodes");
+    let locs = az.locations();
+    let asserts = az.assertions();
+    for l in locs {
+        assert!(az.is_reachable(l, &[]).is_err());
+    }
+    for a in asserts {
+        assert!(az.can_fail(a, &[]).is_err());
+    }
+    assert_eq!(
+        az.cache_entries(),
+        0,
+        "Unknown outcomes must not populate the dominance cache"
+    );
+
+    // Control: the same queries under no deadline do populate it.
+    let mut az = ProcAnalyzer::new(
+        &d,
+        AnalyzerConfig {
+            query_cache: true,
+            ..AnalyzerConfig::default()
+        },
+    )
+    .expect("encodes");
+    let _ = az.dead_set(&[]).expect("ok");
+    let _ = az.fail_set(&[]).expect("ok");
+    assert!(az.cache_entries() > 0, "decided queries are cached");
 }

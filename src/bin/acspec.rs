@@ -14,6 +14,9 @@
 //!   --trace-out <path>         write a JSONL span trace of the run
 //!   --metrics-out <path>       write a JSON metrics snapshot
 //!   --no-query-cache           disable the monotone query cache
+//!   --deadline <secs>          wall-clock deadline per procedure+config
+//!   --chaos-seed <u64>         deterministic fault-injection seed
+//!   --chaos-rate <p>           fault probability per solver query (0..1)
 //! ```
 //!
 //! `.c` inputs go through the HAVOC-style front end (null-dereference
@@ -23,11 +26,13 @@
 use std::process::ExitCode;
 
 use acspec_core::{
-    infer_preconditions, triage_program, AcspecOptions, ConfigName, NullObserver, ProcReport,
-    ProgramAnalysis, SessionObserver, SibStatus, TelemetryObserver,
+    infer_preconditions, program_report_json, triage_program, AcspecOptions, AnalysisOutcome,
+    ConfigName, NullObserver, ProcOutcome, ProcReport, ProgramAnalysis, SessionObserver, SibStatus,
+    TelemetryObserver,
 };
 use acspec_ir::Program;
 use acspec_telemetry::{opt, Manifest};
+use acspec_vcgen::chaos::ChaosConfig;
 
 struct Cli {
     path: String,
@@ -42,6 +47,9 @@ struct Cli {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     query_cache: bool,
+    deadline: Option<f64>,
+    chaos_seed: Option<u64>,
+    chaos_rate: Option<f64>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -58,6 +66,9 @@ fn parse_args() -> Result<Cli, String> {
         trace_out: None,
         metrics_out: None,
         query_cache: true,
+        deadline: None,
+        chaos_seed: None,
+        chaos_rate: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -122,6 +133,31 @@ fn parse_args() -> Result<Cli, String> {
                 cli.query_cache = false;
                 i += 1;
             }
+            "--deadline" => {
+                let v = args.get(i + 1).ok_or("--deadline needs seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| "--deadline needs a number of seconds")?;
+                if secs.is_nan() || secs < 0.0 {
+                    return Err("--deadline must be non-negative".into());
+                }
+                cli.deadline = Some(secs);
+                i += 2;
+            }
+            "--chaos-seed" => {
+                let v = args.get(i + 1).ok_or("--chaos-seed needs a value")?;
+                cli.chaos_seed = Some(v.parse().map_err(|_| "--chaos-seed needs a u64")?);
+                i += 2;
+            }
+            "--chaos-rate" => {
+                let v = args.get(i + 1).ok_or("--chaos-rate needs a value")?;
+                let rate: f64 = v.parse().map_err(|_| "--chaos-rate needs a number")?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("--chaos-rate must be in 0..=1".into());
+                }
+                cli.chaos_rate = Some(rate);
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -138,22 +174,29 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// Loads and checks an input file. Every failure is a `file:line:
+/// message` (or `file: message` when no line applies) diagnostic, never
+/// a panic — the CLI turns them into exit code 2.
 fn load_program(path: &str) -> Result<Program, String> {
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
     let program = if path.ends_with(".c") {
-        acspec_cfront::compile_c(&source).map_err(|e| e.to_string())?
+        acspec_cfront::compile_c(&source).map_err(|e| match e {
+            acspec_cfront::CompileError::Parse(p) => format!("{path}:{}: {}", p.line, p.msg),
+            acspec_cfront::CompileError::Lower(l) => format!("{path}:{}: {}", l.line, l.msg),
+        })?
     } else {
-        acspec_ir::parse::parse_program(&source).map_err(|e| e.to_string())?
+        acspec_ir::parse::parse_program(&source)
+            .map_err(|e| format!("{path}:{}:{}: {}", e.line, e.col, e.msg))?
     };
-    acspec_ir::typecheck::check_program(&program).map_err(|e| e.to_string())?;
+    acspec_ir::typecheck::check_program(&program).map_err(|e| format!("{path}: {e}"))?;
     Ok(program)
 }
 
 fn print_report(r: &ProcReport, show_specs: bool) {
-    let verdict = if r.timed_out() {
-        "TIMEOUT".to_string()
-    } else {
-        r.status.to_string()
+    let verdict = match r.outcome {
+        AnalysisOutcome::Ok => r.status.to_string(),
+        AnalysisOutcome::TimedOut => "TIMEOUT".to_string(),
+        AnalysisOutcome::Degraded { fallback, .. } => format!("DEGRADED({fallback})"),
     };
     println!(
         "  [{}] {:<8} |Q|={:<3} warnings={}",
@@ -185,6 +228,16 @@ fn run() -> Result<bool, String> {
     }
     if !cli.query_cache {
         opts.analyzer.query_cache = false;
+    }
+    if let Some(secs) = cli.deadline {
+        opts.analyzer.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    if cli.chaos_seed.is_some() || cli.chaos_rate.is_some() {
+        opts.analyzer.chaos = Some(ChaosConfig::new(
+            cli.chaos_seed.unwrap_or(0),
+            cli.chaos_rate.unwrap_or(0.0),
+        ));
+        silence_injected_panics();
     }
 
     if cli.interproc {
@@ -241,21 +294,28 @@ fn run() -> Result<bool, String> {
     let results = ProgramAnalysis::new(&program)
         .options(opts)
         .configs(&configs)
-        .run(observer)
-        .map_err(|e| e.to_string())?;
+        .run(observer);
 
     if telemetry_on {
+        let mut options = vec![
+            opt("prune", cli.prune.map_or("off".into(), |k| k.to_string())),
+            opt("interproc", cli.interproc),
+            opt("query_cache", opts.analyzer.query_cache),
+        ];
+        if let Some(secs) = cli.deadline {
+            options.push(opt("deadline_secs", secs));
+        }
+        if let Some(chaos) = opts.analyzer.chaos {
+            options.push(opt("chaos_seed", chaos.seed));
+            options.push(opt("chaos_rate", chaos.rate));
+        }
         let manifest = Manifest {
             tool: "acspec".into(),
             command: cli.path.clone(),
             scale: None,
             threads: None,
             configs: configs.iter().map(|c| c.to_string()).collect(),
-            options: vec![
-                opt("prune", cli.prune.map_or("off".into(), |k| k.to_string())),
-                opt("interproc", cli.interproc),
-                opt("query_cache", opts.analyzer.query_cache),
-            ],
+            options,
         };
         let out = telemetry.finish();
         if let Some(path) = &cli.trace_out {
@@ -269,8 +329,22 @@ fn run() -> Result<bool, String> {
     }
 
     let mut any_warning = false;
-    let mut json_reports: Vec<String> = Vec::new();
-    for pa in &results {
+    let mut json_reports: Vec<&ProcReport> = Vec::new();
+    let mut incidents = Vec::new();
+    for outcome in &results {
+        let pa = match outcome {
+            ProcOutcome::Analyzed(pa) => pa,
+            ProcOutcome::Faulted(incident) => {
+                if cli.json {
+                    incidents.push(incident.clone());
+                } else {
+                    println!("procedure {}:", incident.proc_name);
+                    println!("  incident: {incident}");
+                    println!();
+                }
+                continue;
+            }
+        };
         if pa.cons.status == SibStatus::Correct {
             continue;
         }
@@ -280,14 +354,14 @@ fn run() -> Result<bool, String> {
         for r in pa.reports.iter().flatten() {
             any_warning |= !r.warnings.is_empty();
             if cli.json {
-                json_reports.push(r.to_json());
+                json_reports.push(r);
             } else {
                 print_report(r, cli.show_specs);
             }
         }
         if cli.cons {
             if cli.json {
-                json_reports.push(pa.cons.to_json());
+                json_reports.push(&pa.cons);
             } else {
                 println!("  [Cons] {} warnings", pa.cons.warnings.len());
                 for w in &pa.cons.warnings {
@@ -300,9 +374,26 @@ fn run() -> Result<bool, String> {
         }
     }
     if cli.json {
-        println!("[{}]", json_reports.join(",\n"));
+        println!("{}", program_report_json(&json_reports, &incidents));
     }
     Ok(any_warning)
+}
+
+/// Keeps the default panic-hook backtrace off stderr for the panics
+/// the chaos harness injects on purpose — they are caught by the
+/// worker loop and reported as incidents. Real panics still reach the
+/// previous hook.
+fn silence_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("chaos:"));
+        if !injected {
+            prev(info);
+        }
+    }));
 }
 
 fn main() -> ExitCode {
@@ -322,7 +413,7 @@ fn main() -> ExitCode {
                 "usage: acspec <file.c | file.acs> [--config Conc|A0|A1|A2] [--prune k] \
                  [--cons] [--interproc] [--all-configs] [--specs] [--triage] \
                  [--format text|json] [--trace-out path] [--metrics-out path] \
-                 [--no-query-cache]"
+                 [--no-query-cache] [--deadline secs] [--chaos-seed n] [--chaos-rate p]"
             );
             ExitCode::from(2)
         }
