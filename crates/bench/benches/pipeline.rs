@@ -10,9 +10,11 @@ use acspec_core::{
     analyze_procedure, cons_baseline, AcspecOptions, ConfigName, NullObserver, ProgramAnalysis,
     TelemetryObserver,
 };
+use acspec_ir::arena::TermArena;
 use acspec_ir::parse::parse_program;
-use acspec_ir::{desugar_procedure, DesugarOptions, Program};
+use acspec_ir::{desugar_procedure, DesugarOptions, Formula, Program, Stmt};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
+use acspec_vcgen::wp::{wp_interned, wp_reference};
 
 fn figure1_program() -> Program {
     parse_program(
@@ -158,11 +160,53 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     });
 }
 
+/// Depth-N diamond: `if (x == i) { assert y > i; }` repeated N times.
+/// Every level duplicates the continuation, so the boxed-tree wp is
+/// O(2^N) while the hash-consed arena stays O(N) — the regression this
+/// bench pins. The tree side only runs at shallow depth (it would not
+/// finish otherwise); the arena side runs an order of magnitude deeper.
+fn diamond_body(depth: usize) -> Stmt {
+    let mut body = String::new();
+    for i in 0..depth {
+        body.push_str(&format!("if (x == {i}) {{ assert y > {i}; }}\n"));
+    }
+    let src = format!("procedure diamond(x: int, y: int) {{\n{body}}}");
+    let prog = parse_program(&src).expect("parses");
+    let proc = prog.procedures[0].clone();
+    desugar_procedure(&prog, &proc, DesugarOptions::default())
+        .expect("desugars")
+        .body
+}
+
+fn bench_diamond_wp(c: &mut Criterion) {
+    for depth in [8usize, 12] {
+        let body = diamond_body(depth);
+        c.bench_function(&format!("wp/diamond-tree-depth{depth}"), |b| {
+            b.iter(|| {
+                let r = wp_reference(&body, &Formula::True);
+                std::hint::black_box(r.universals.len());
+            })
+        });
+    }
+    for depth in [8usize, 12, 64, 256] {
+        let body = diamond_body(depth);
+        c.bench_function(&format!("wp/diamond-arena-depth{depth}"), |b| {
+            b.iter(|| {
+                let mut arena = TermArena::new();
+                let post = arena.intern_formula(&Formula::True);
+                let r = wp_interned(&mut arena, &body, post);
+                std::hint::black_box((r.formula, arena.len()));
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_figure1,
     bench_samate,
     bench_incremental,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_diamond_wp
 );
 criterion_main!(benches);

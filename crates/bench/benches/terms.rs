@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks of the hash-consed term arena: interning
+//! round-trips, memoized vs. tree substitution, and the bitmask clause
+//! subsumption fast path. The end-to-end wp regression (exponential tree
+//! vs. linear arena on the diamond program) lives in `pipeline.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use acspec_ir::arena::TermArena;
+use acspec_ir::parse::parse_formula;
+use acspec_ir::{Expr, Formula};
+use acspec_predabs::clause::{QClause, QLit};
+
+/// A mid-size formula exercising every constructor class: relations,
+/// maps, arithmetic, boolean connectives.
+fn sample_formula() -> Formula {
+    parse_formula(
+        "(write(Freed, c, 1)[buf] == 0 && Freed[c] == 0 && cmd != 1) \
+         || (c + buf * 2 >= cmd - 1 && !(Freed[buf] == 1)) \
+         || (Freed[c] == 0 && Freed[buf] == 0 && c != buf)",
+    )
+    .expect("parses")
+}
+
+/// Interning and externalizing: the conversion overhead the arena adds
+/// at the pipeline boundaries (once per formula, not per use).
+fn bench_intern_extern(c: &mut Criterion) {
+    let f = sample_formula();
+    c.bench_function("terms/intern-cold", |b| {
+        b.iter(|| {
+            let mut arena = TermArena::new();
+            std::hint::black_box(arena.intern_formula(&f));
+        })
+    });
+    c.bench_function("terms/intern-warm", |b| {
+        let mut arena = TermArena::new();
+        arena.intern_formula(&f);
+        b.iter(|| std::hint::black_box(arena.intern_formula(&f)))
+    });
+    c.bench_function("terms/extern", |b| {
+        let mut arena = TermArena::new();
+        let t = arena.intern_formula(&f);
+        b.iter(|| std::hint::black_box(arena.extern_formula(t)))
+    });
+}
+
+/// The `Preds` mining hot loop: one formula, many substitutions. The
+/// boxed tree clones the whole formula per call; the arena answers
+/// repeats from the `(term, var, expr)` memo.
+fn bench_subst(c: &mut Criterion) {
+    let f = sample_formula();
+    let exprs: Vec<Expr> = (0..16).map(Expr::Int).collect();
+    c.bench_function("terms/subst-tree", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                std::hint::black_box(f.subst("c", e));
+            }
+        })
+    });
+    c.bench_function("terms/subst-arena-memoized", |b| {
+        let mut arena = TermArena::new();
+        let t = arena.intern_formula(&f);
+        let ids: Vec<_> = exprs.iter().map(|e| arena.intern_expr(e)).collect();
+        b.iter(|| {
+            for &e in &ids {
+                std::hint::black_box(arena.subst(t, "c", e));
+            }
+        })
+    });
+}
+
+fn random_clauses(n: usize, preds: usize, seed: u64) -> Vec<QClause> {
+    let mut s = seed;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..n)
+        .map(|_| {
+            let mut lits = Vec::new();
+            for p in 0..preds {
+                match rng() % 4 {
+                    0 => lits.push(QLit {
+                        pred: p,
+                        positive: true,
+                    }),
+                    1 => lits.push(QLit {
+                        pred: p,
+                        positive: false,
+                    }),
+                    _ => {}
+                }
+            }
+            if lits.is_empty() {
+                lits.push(QLit {
+                    pred: 0,
+                    positive: true,
+                });
+            }
+            QClause::new(lits)
+        })
+        .collect()
+}
+
+/// The `normalize` inner loop: all-pairs subsumption checks. The masked
+/// path is two word-ops per pair; the scan walks both literal lists.
+fn bench_subsumption(c: &mut Criterion) {
+    let clauses = random_clauses(64, 12, 0x9e3779b97f4a7c15);
+    c.bench_function("terms/subsumes-scan", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for a in &clauses {
+                for d in &clauses {
+                    n += usize::from(a.subsumes(d));
+                }
+            }
+            std::hint::black_box(n);
+        })
+    });
+    c.bench_function("terms/subsumes-masked", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for a in &clauses {
+                for d in &clauses {
+                    n += usize::from(a.subsumes_fast(d));
+                }
+            }
+            std::hint::black_box(n);
+        })
+    });
+    c.bench_function("terms/subsumes-masked-precomputed", |b| {
+        b.iter(|| {
+            let masks: Vec<(u64, u64)> = clauses
+                .iter()
+                .map(|c| c.masks().expect("≤ 64 preds"))
+                .collect();
+            let mut n = 0usize;
+            for a in &masks {
+                for d in &masks {
+                    n += usize::from(a.0 & d.0 == a.0 && a.1 & d.1 == a.1);
+                }
+            }
+            std::hint::black_box(n);
+        })
+    });
+}
+
+criterion_group!(benches, bench_intern_extern, bench_subst, bench_subsumption);
+criterion_main!(benches);

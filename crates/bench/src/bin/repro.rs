@@ -7,9 +7,11 @@
 //! repro fig7  [--scale N]     C/FP/FN classification      (Figure 7)
 //! repro fig8  [--scale N]     large-benchmark warnings    (Figure 8)
 //! repro fig9  [--scale N]     per-procedure averages      (Figure 9)
-//! repro profile [--scale N] [--top K]
+//! repro profile [--scale N] [--top K] [--top-terms]
 //!                             top-K slowest procedures and solver
-//!                             queries, with stage/config attribution
+//!                             queries, with stage/config attribution;
+//!                             --top-terms adds the most-shared WP
+//!                             subterms by arena refcount
 //! repro ablation-incremental  incremental vs. fresh-solver queries
 //! repro ablation-normalize    Normalize on/off
 //! repro ablation-interproc    inferred callee preconditions (§7)
@@ -37,14 +39,16 @@ use acspec_core::{
     analyze_procedure, AcspecOptions, ConfigName, NullObserver, SessionObserver, StageTotals,
     TeeObserver, TelemetryObserver, TelemetryOutput,
 };
-use acspec_ir::{desugar_procedure, DesugarOptions};
+use acspec_ir::arena::{Node, TermArena, TermId};
+use acspec_ir::{desugar_procedure, DesugarOptions, Formula};
 use acspec_telemetry::{opt, Manifest, Trace, Value};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
 use acspec_vcgen::chaos::ChaosConfig;
 use acspec_vcgen::stage::Stage;
+use acspec_vcgen::wp::wp_interned;
 
 const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|ablation-incremental|\
-ablation-normalize|ablation-interproc|all> [--scale N] [--top K] \
+ablation-normalize|ablation-interproc|all> [--scale N] [--top K] [--top-terms] \
 [--trace-out path] [--metrics-out path] [--no-query-cache] \
 [--deadline secs] [--chaos-seed u64] [--chaos-rate p]";
 
@@ -65,6 +69,7 @@ struct Cli {
     cmd: String,
     scale: usize,
     top: usize,
+    top_terms: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     query_cache: bool,
@@ -126,6 +131,7 @@ fn parse_args() -> Cli {
         cmd: String::new(),
         scale: 1,
         top: 10,
+        top_terms: false,
         trace_out: None,
         metrics_out: None,
         // Honors ACSPEC_NO_QUERY_CACHE (the CI cache-off matrix leg);
@@ -153,6 +159,10 @@ fn parse_args() -> Cli {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage_error("--top needs a positive integer"));
                 i += 2;
+            }
+            "--top-terms" => {
+                cli.top_terms = true;
+                i += 1;
             }
             "--trace-out" => {
                 cli.trace_out = Some(
@@ -274,6 +284,9 @@ fn main() {
         let out = telemetry.finish();
         if cli.cmd == "profile" {
             profile(&out, cli.top);
+            if cli.top_terms {
+                profile_top_terms(scale, cli.top);
+            }
         }
         write_sinks(&cli, &out);
     }
@@ -453,6 +466,101 @@ fn profile(out: &TelemetryOutput, top: usize) {
         out.trace.spans_of("procedure").count(),
         out.trace.events.len()
     );
+}
+
+/// `repro profile --top-terms`: interns the weakest preconditions of the
+/// Figure 9 workload into one shared arena and prints the most-referenced
+/// composite subterms — the sharing the hash-consed representation buys.
+fn profile_top_terms(scale: usize, top: usize) {
+    // Safety valve: a pathological workload could intern an unbounded
+    // number of distinct nodes; stop (and say so) rather than thrash.
+    const NODE_CAP: usize = 4_000_000;
+
+    let mut arena = TermArena::new();
+    let mut procs = 0usize;
+    let mut skipped = 0usize;
+    for e in entries(&[SuiteKind::Large]) {
+        let bm = generate_entry(e, scale);
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            if arena.len() > NODE_CAP {
+                skipped += 1;
+                continue;
+            }
+            let d = desugar_procedure(&bm.program, proc, DesugarOptions::default()).expect("ok");
+            let post = arena.intern_formula(&Formula::True);
+            let _ = wp_interned(&mut arena, &d.body, post);
+            procs += 1;
+        }
+    }
+
+    println!("== Term sharing: top {top} shared subterms by refcount ==\n");
+    let refs = arena.refcounts();
+    let mut ranked: Vec<(usize, u32)> = refs
+        .iter()
+        .enumerate()
+        .filter(|&(i, &n)| {
+            // Leaves (variables, constants) are shared trivially; rank
+            // only composite terms, where sharing saves real work.
+            n >= 2
+                && !matches!(
+                    arena.node(TermId(i as u32)),
+                    Node::True | Node::False | Node::Var(_) | Node::Nu(_) | Node::Int(_)
+                )
+        })
+        .map(|(i, &n)| (i, n))
+        .collect();
+    ranked.sort_by_key(|&(i, n)| (std::cmp::Reverse(n), i));
+
+    let mut rows = Vec::new();
+    for &(i, n) in ranked.iter().take(top) {
+        let t = TermId(i as u32);
+        let dag = arena.dag_size(t);
+        let tree = arena.tree_size(t);
+        let text = if tree <= 120 {
+            let s = if arena.is_formula(t) {
+                arena.extern_formula(t).to_string()
+            } else {
+                arena.extern_expr(t).to_string()
+            };
+            if s.len() > 48 {
+                let mut cut = 47;
+                while !s.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                format!("{}…", &s[..cut])
+            } else {
+                s
+            }
+        } else {
+            format!("«{dag} dag nodes»")
+        };
+        rows.push(vec![
+            format!("t{i}"),
+            n.to_string(),
+            dag.to_string(),
+            tree.to_string(),
+            text,
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["Term", "Refs", "Dag", "Tree", "Rendering"], &rows)
+    );
+    let stats = arena.stats();
+    println!(
+        "({procs} procedure WPs interned; {} nodes, {} intern hits ({:.1}% hit rate), ~{} KiB saved)",
+        stats.interned_nodes,
+        stats.intern_hits,
+        100.0 * stats.hit_rate(),
+        stats.bytes_saved() / 1024
+    );
+    if skipped > 0 {
+        println!("({skipped} procedures skipped after the {NODE_CAP}-node arena cap)");
+    }
+    println!();
 }
 
 fn entries(kinds: &[SuiteKind]) -> Vec<&'static SuiteEntry> {

@@ -47,13 +47,14 @@ use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
+use acspec_ir::arena::TermStats;
 use acspec_ir::desugar::{desugar_procedure, DesugarOptions, DesugaredProc};
 use acspec_ir::expr::{Atom, Formula};
 use acspec_ir::program::{Procedure, Program};
-use acspec_ir::stmt::AssertId;
+use acspec_ir::stmt::{AssertId, Stmt};
 use acspec_predabs::clause::{clauses_to_formula, QClause};
 use acspec_predabs::cover::{predicate_cover_salvaging, Cover};
-use acspec_predabs::mine::mine_predicates;
+use acspec_predabs::mine::mine_predicates_interned;
 use acspec_predabs::normalize::{normalize, prune_clauses, PruneConfig};
 use acspec_smt::{SolverCounters, TermId};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, Selector};
@@ -115,6 +116,10 @@ pub struct StageEvent {
     /// no [`ChaosConfig`](acspec_vcgen::chaos::ChaosConfig) is
     /// installed). Telemetry only, like `cache`.
     pub chaos: ChaosStats,
+    /// Term-arena counter deltas for this stage run (interned nodes,
+    /// intern hits, memo hits per transformer; all zero for stages that
+    /// never touch the arena). Telemetry only, like `cache`.
+    pub terms: TermStats,
 }
 
 /// One completed solver query, for [`SessionObserver`]s that opt in via
@@ -353,6 +358,7 @@ impl ProcSession {
             metrics: encode,
             cache: CacheStats::default(),
             chaos: ChaosStats::default(),
+            terms: az.term_stats(),
         }];
         Ok(ProcSession {
             proc_name: proc.name.clone(),
@@ -425,6 +431,7 @@ impl ProcSession {
         let smt_before = self.az.solver_counters();
         let cache_before = self.az.cache_stats();
         let chaos_before = self.az.chaos_stats();
+        let terms_before = self.az.term_stats();
         let out = f(self);
         let query_seconds = self.az.stage_stats().get(stage).seconds - before.seconds;
         let external = (wall.elapsed().as_secs_f64() - query_seconds).max(0.0);
@@ -465,6 +472,7 @@ impl ProcSession {
             metrics,
             cache: self.az.cache_stats().since(&cache_before),
             chaos: self.az.chaos_stats().since(&chaos_before),
+            terms: self.az.term_stats().since(&terms_before),
         });
         (out, metrics)
     }
@@ -626,7 +634,12 @@ impl ProcSession {
         let label = Some(ReportLabel::Config(opts.config));
         let abstraction = opts.config.abstraction();
         self.staged(Stage::Mine, label, |s| {
-            mine_predicates(&s.desugared, abstraction)
+            // Mine through the session's term arena: the four
+            // configurations share most of their (atom, assignment)
+            // pairs, so later configs replay the substitution/atom
+            // memos instead of recomputing.
+            let ProcSession { az, desugared, .. } = s;
+            mine_predicates_interned(az.arena_mut(), desugared, abstraction)
         })
         .0
     }
@@ -1383,6 +1396,11 @@ impl<'p> ProgramAnalysis<'p> {
                 .map(|p| self.analyze_one_isolated(p, record_queries))
                 .collect()
         } else {
+            // Longest procedures first, so the heaviest one (e.g. Drv7)
+            // never lands on a worker last and dominates tail latency.
+            // Results land in per-procedure-index slots regardless of
+            // service order, so output is byte-identical to sequential.
+            let order = schedule_longest_first(&defined);
             let next = std::sync::atomic::AtomicUsize::new(0);
             let slots: Vec<std::sync::Mutex<Option<ProcOutcome>>> = (0..defined.len())
                 .map(|_| std::sync::Mutex::new(None))
@@ -1390,10 +1408,11 @@ impl<'p> ProgramAnalysis<'p> {
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= defined.len() {
+                        let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if k >= order.len() {
                             break;
                         }
+                        let i = order[k];
                         let result = self.analyze_one_isolated(defined[i], record_queries);
                         *slots[i].lock().expect("no poisoning") = Some(result);
                     });
@@ -1448,6 +1467,19 @@ impl<'p> ProgramAnalysis<'p> {
         }
         out
     }
+}
+
+/// Dispatch order for the work queue: procedure indices sorted by
+/// descending statement count (index as the tie-break, so the order is
+/// total and deterministic). Workers pull from this order; results are
+/// still keyed by procedure index.
+fn schedule_longest_first(defined: &[&Procedure]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..defined.len()).collect();
+    order.sort_by_key(|&i| {
+        let cost = defined[i].body.as_ref().map_or(0, Stmt::simple_stmt_count);
+        (std::cmp::Reverse(cost), i)
+    });
+    order
 }
 
 #[cfg(test)]
@@ -1602,5 +1634,65 @@ mod tests {
         let ok = serial.iter().find(|p| p.proc_name == "ok").expect("ok");
         assert_eq!(ok.cons.status, SibStatus::Correct);
         assert!(ok.reports.is_empty());
+    }
+
+    #[test]
+    fn work_queue_dispatches_longest_procedures_first() {
+        let prog = parse_program(
+            "procedure tiny(x: int) { assert x != 0; }
+             procedure big(x: int) {
+               if (x == 0) { assert x != 1; } else { assert x != 2; }
+               assert x != 3; assert x != 4; assert x != 5;
+             }
+             procedure ext(x: int) returns (r: int);
+             procedure mid(x: int) { assert x != 0; assert x != 1; }",
+        )
+        .expect("parses");
+        let defined: Vec<&Procedure> = prog
+            .procedures
+            .iter()
+            .filter(|p| p.body.is_some())
+            .collect();
+        assert_eq!(defined.len(), 3, "bodyless `ext` is not scheduled");
+        // Indices within `defined`: 0 = tiny, 1 = big, 2 = mid.
+        assert_eq!(schedule_longest_first(&defined), vec![1, 2, 0]);
+        // Equal costs fall back to index order (total, deterministic).
+        let ties: Vec<&Procedure> = prog
+            .procedures
+            .iter()
+            .filter(|p| p.name == "tiny")
+            .chain(prog.procedures.iter().filter(|p| p.name == "tiny"))
+            .collect();
+        assert_eq!(schedule_longest_first(&ties), vec![0, 1]);
+    }
+
+    #[test]
+    fn mine_stage_reports_term_activity() {
+        let prog = parse_program(FIGURE1).expect("parses");
+        let proc = prog.procedures[0].clone();
+        let mut session =
+            ProcSession::new(&prog, &proc, AnalyzerConfig::default()).expect("encodes");
+        for config in ConfigName::all() {
+            let opts = AcspecOptions::for_config(config);
+            let q = session.mine(&opts);
+            assert!(!q.is_empty());
+        }
+        let events = session.take_events();
+        let mine_events: Vec<&StageEvent> =
+            events.iter().filter(|e| e.stage == Stage::Mine).collect();
+        assert_eq!(mine_events.len(), ConfigName::all().len());
+        assert!(
+            mine_events.iter().all(|e| e.terms.any()),
+            "every mine stage interns into the session arena"
+        );
+        assert!(
+            mine_events[1..].iter().any(|e| e.terms.memo_hits() > 0),
+            "later configurations reuse memoized transforms"
+        );
+        // Stages that never touch the arena report a zero delta.
+        assert!(events
+            .iter()
+            .filter(|e| e.stage == Stage::Encode)
+            .all(|e| !e.terms.any()));
     }
 }

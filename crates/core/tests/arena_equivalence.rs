@@ -1,0 +1,172 @@
+//! Property-based equivalence of the hash-consed arena paths against the
+//! boxed-tree reference implementations they replaced:
+//!
+//! * `wp` (arena-backed) equals `wp_reference` (tree recursion) on the
+//!   desugared bodies of randomly generated driver programs;
+//! * `mine_predicates_interned` over one shared arena equals
+//!   `mine_predicates_reference` for every abstraction, in order;
+//! * interning is stable under a pretty-print/parse round-trip:
+//!   `intern(parse(pretty(extern(t)))) == t` for parser-produced terms;
+//! * the end-to-end report JSON (statistics zeroed) is a pure function
+//!   of the input program — repeated runs are byte-identical.
+//!
+//! The byte-level pre-/post-arena report check rides the checked-in
+//! goldens (`report_golden.rs`): those files were produced by the tree
+//! pipeline and must keep matching.
+
+use proptest::prelude::*;
+
+use acspec_benchgen::drivers::{generate, PatternMix};
+use acspec_core::{analyze_procedure_multi, AcspecOptions, ConfigName};
+use acspec_ir::arena::TermArena;
+use acspec_ir::parse::parse_formula;
+use acspec_ir::{desugar_procedure, DesugarOptions, Formula};
+use acspec_predabs::mine::{mine_predicates_interned, mine_predicates_reference, Abstraction};
+use acspec_predabs::normalize::PruneConfig;
+use acspec_vcgen::wp::{wp, wp_reference};
+
+fn abstractions() -> [Abstraction; 4] {
+    [
+        Abstraction::concrete(),
+        Abstraction {
+            ignore_conditionals: false,
+            havoc_returns: true,
+        },
+        Abstraction {
+            ignore_conditionals: true,
+            havoc_returns: false,
+        },
+        Abstraction {
+            ignore_conditionals: true,
+            havoc_returns: true,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn arena_wp_and_mining_match_tree_reference(seed in 0u64..10_000) {
+        let bm = generate("arena-eq", seed, 3, PatternMix::default());
+        // One arena for the whole program, as in a real session: later
+        // procedures and abstractions must not be perturbed by memo
+        // state accumulated from earlier ones.
+        let mut arena = TermArena::new();
+        for proc in &bm.program.procedures {
+            if proc.body.is_none() {
+                continue;
+            }
+            let d = desugar_procedure(&bm.program, proc, DesugarOptions::default())
+                .expect("desugars");
+            let fast = wp(&d.body, &Formula::True);
+            let slow = wp_reference(&d.body, &Formula::True);
+            prop_assert_eq!(&fast.formula, &slow.formula, "wp diverges in {}", &proc.name);
+            prop_assert_eq!(&fast.universals, &slow.universals);
+            for abs in abstractions() {
+                let interned = mine_predicates_interned(&mut arena, &d, abs);
+                let reference = mine_predicates_reference(&d, abs);
+                prop_assert_eq!(
+                    interned,
+                    reference,
+                    "mining diverges in {} under {:?}",
+                    &proc.name,
+                    abs
+                );
+            }
+        }
+        // The shared arena actually shared: four abstractions over the
+        // same bodies must answer some substitutions from the memo.
+        prop_assert!(arena.stats().memo_hits() > 0, "no memo reuse across abstractions");
+    }
+}
+
+/// Random formula source text from the parseable grammar. Exercises
+/// every connective the parser accepts plus map reads/writes.
+fn formula_src(rng: &mut impl FnMut() -> u64, depth: usize) -> String {
+    fn expr(rng: &mut impl FnMut() -> u64, depth: usize) -> String {
+        if depth == 0 {
+            match rng() % 4 {
+                0 => "x".into(),
+                1 => "y".into(),
+                2 => "z".into(),
+                _ => format!("{}", rng() % 10),
+            }
+        } else {
+            let a = expr(rng, depth - 1);
+            let b = expr(rng, depth - 1);
+            match rng() % 6 {
+                0 => format!("({a} + {b})"),
+                1 => format!("({a} - {b})"),
+                2 => format!("({a} * {b})"),
+                3 => format!("m[{a}]"),
+                4 => format!("write(m, {a}, {b})[{a}]"),
+                _ => a,
+            }
+        }
+    }
+    if depth == 0 {
+        let a = expr(rng, 1);
+        let b = expr(rng, 1);
+        let op = ["==", "!=", "<", "<=", ">", ">="][(rng() % 6) as usize];
+        format!("{a} {op} {b}")
+    } else {
+        let a = formula_src(rng, depth - 1);
+        let b = formula_src(rng, depth - 1);
+        match rng() % 6 {
+            0 => format!("({a} && {b})"),
+            1 => format!("({a} || {b})"),
+            2 => format!("!({a})"),
+            3 => format!("({a} ==> {b})"),
+            4 => format!("({a} <==> {b})"),
+            _ => a,
+        }
+    }
+}
+
+#[test]
+fn interning_is_stable_under_pretty_parse_round_trip() {
+    let mut seed = 0x243f6a8885a308d3u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let mut arena = TermArena::new();
+    for round in 0..500 {
+        let src = formula_src(&mut rng, 1 + (round % 3));
+        let f = parse_formula(&src).unwrap_or_else(|e| panic!("generated {src}: {e}"));
+        let t = arena.intern_formula(&f);
+        let pretty = arena.extern_formula(t).to_string();
+        let reparsed = parse_formula(&pretty)
+            .unwrap_or_else(|e| panic!("pretty output must reparse: {pretty}: {e}"));
+        let t2 = arena.intern_formula(&reparsed);
+        assert_eq!(t, t2, "round-trip changed the term: {src} → {pretty}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn reports_are_a_pure_function_of_the_program(seed in 0u64..10_000) {
+        let bm = generate("arena-pure", seed, 2, PatternMix::default());
+        let prune = [PruneConfig::default()];
+        for proc in bm.program.procedures.iter().filter(|p| p.body.is_some()).take(2) {
+            for config in [ConfigName::Conc, ConfigName::A2] {
+                let opts = AcspecOptions::for_config(config);
+                let a = analyze_procedure_multi(&bm.program, proc, &opts, &prune)
+                    .expect("analyzes");
+                let b = analyze_procedure_multi(&bm.program, proc, &opts, &prune)
+                    .expect("analyzes");
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    let mut x = x.clone();
+                    let mut y = y.clone();
+                    x.stats = acspec_core::ProcStats::default();
+                    y.stats = acspec_core::ProcStats::default();
+                    prop_assert_eq!(x.to_json(), y.to_json(), "nondeterministic report");
+                }
+            }
+        }
+    }
+}

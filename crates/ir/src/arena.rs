@@ -1,0 +1,854 @@
+//! Hash-consed term arena: maximal-sharing storage for [`Expr`]/[`Formula`]
+//! trees.
+//!
+//! The boxed IR trees of [`crate::expr`] are ideal for construction and
+//! pattern matching but lose all sharing: `wp` clones the postcondition at
+//! every `if`, and predicate mining re-substitutes near-identical formulas
+//! for every configuration. A [`TermArena`] interns every distinct node
+//! exactly once behind a [`TermId`] handle, giving
+//!
+//! * **O(1) equality and hashing** — two subterms are equal iff their ids
+//!   are equal;
+//! * **maximal subterm sharing** — an `if`'s branches reference one
+//!   interned postcondition instead of two clones; and
+//! * **id-keyed memo tables** — substitution and atom collection are
+//!   computed once per distinct `(term, operation)` pair and replayed as
+//!   hash-map hits for the rest of the session.
+//!
+//! # Invariants
+//!
+//! 1. *Structural fidelity*: `intern` preserves the tree exactly — no
+//!    folding, sorting, or canonicalization happens on the way in — so
+//!    `extern_formula(intern_formula(f)) == f` for every formula (and the
+//!    same for expressions). Canonicalizing constructors live in the smart
+//!    constructors ([`TermArena::and`], [`TermArena::or`],
+//!    [`TermArena::not`]), which replicate [`Formula::and`]/[`Formula::or`]/
+//!    [`Formula::not`] byte-for-byte.
+//! 2. *Id stability*: interned nodes are never removed or renumbered, so a
+//!    `TermId` stays valid (and means the same term) for the arena's whole
+//!    lifetime. Memo tables keyed by ids are therefore never invalidated.
+//! 3. *Purity*: every memoized operation (substitution, atom collection)
+//!    is a pure syntactic function of its interned inputs — results do not
+//!    depend on solver state, so sharing memo tables across ALL-SAT rounds
+//!    and configurations is sound.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::expr::{Atom, Expr, Formula, NuConst, RelOp};
+
+/// Handle to an interned term (expression or formula) in a [`TermArena`].
+///
+/// Ids are arena-local: comparing ids from different arenas is meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+/// Handle to an interned name (variable or uninterpreted-function symbol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+/// Handle to an interned ν-constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NuSym(pub u32);
+
+/// One interned node: an [`Expr`] or [`Formula`] constructor with child
+/// subterms replaced by [`TermId`] handles and names by [`Sym`] handles.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The formula `true`.
+    True,
+    /// The formula `false`.
+    False,
+    /// An atomic relation between two expression terms.
+    Rel(RelOp, TermId, TermId),
+    /// Negation of a formula term.
+    Not(TermId),
+    /// N-ary conjunction of formula terms.
+    And(Vec<TermId>),
+    /// N-ary disjunction of formula terms.
+    Or(Vec<TermId>),
+    /// Implication between formula terms.
+    Implies(TermId, TermId),
+    /// Bi-implication between formula terms.
+    Iff(TermId, TermId),
+    /// A program variable.
+    Var(Sym),
+    /// A call-site symbolic constant.
+    Nu(NuSym),
+    /// An integer literal.
+    Int(i64),
+    /// Application of an uninterpreted function symbol.
+    App(Sym, Vec<TermId>),
+    /// Integer addition.
+    Add(TermId, TermId),
+    /// Integer subtraction.
+    Sub(TermId, TermId),
+    /// Integer multiplication.
+    Mul(TermId, TermId),
+    /// Integer negation.
+    Neg(TermId),
+    /// `read(m, i)`.
+    Read(TermId, TermId),
+    /// `write(m, i, v)`.
+    Write(TermId, TermId, TermId),
+    /// Expression-level `if f then e1 else e2` (condition is a formula
+    /// term).
+    IteE(TermId, TermId, TermId),
+    /// `old(e)`.
+    Old(TermId),
+}
+
+/// Arena instrumentation: interned-node counts, intern hit rate, and memo
+/// hits per transformer. Deltas between two snapshots (via
+/// [`TermStats::since`]) attribute arena work to a pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TermStats {
+    /// Distinct nodes interned so far.
+    pub interned_nodes: u64,
+    /// Intern calls answered by an existing node (sharing events).
+    pub intern_hits: u64,
+    /// Substitution memo hits.
+    pub subst_hits: u64,
+    /// Substitution memo misses (entries computed).
+    pub subst_misses: u64,
+    /// Atom-collection memo hits.
+    pub atoms_hits: u64,
+    /// Atom-collection memo misses (entries computed).
+    pub atoms_misses: u64,
+    /// Solver-translation memo hits (maintained by the analyzer's
+    /// frontend, which owns the translation memo but reports through the
+    /// arena's stats so telemetry sees one `terms.*` family).
+    pub translate_hits: u64,
+    /// Solver-translation memo misses.
+    pub translate_misses: u64,
+}
+
+impl TermStats {
+    /// Total memo hits across all transformers.
+    pub fn memo_hits(&self) -> u64 {
+        self.subst_hits + self.atoms_hits + self.translate_hits
+    }
+
+    /// Estimated heap bytes avoided by sharing: every intern hit stands
+    /// for one tree node that was *not* allocated.
+    pub fn bytes_saved(&self) -> u64 {
+        self.intern_hits * std::mem::size_of::<Node>() as u64
+    }
+
+    /// Fraction of intern calls answered by sharing (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.intern_hits + self.interned_nodes;
+        if total == 0 {
+            0.0
+        } else {
+            self.intern_hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since `before` (gauges and counters all grow
+    /// monotonically, so a plain saturating difference is exact).
+    #[must_use]
+    pub fn since(&self, before: &TermStats) -> TermStats {
+        TermStats {
+            interned_nodes: self.interned_nodes - before.interned_nodes,
+            intern_hits: self.intern_hits - before.intern_hits,
+            subst_hits: self.subst_hits - before.subst_hits,
+            subst_misses: self.subst_misses - before.subst_misses,
+            atoms_hits: self.atoms_hits - before.atoms_hits,
+            atoms_misses: self.atoms_misses - before.atoms_misses,
+            translate_hits: self.translate_hits - before.translate_hits,
+            translate_misses: self.translate_misses - before.translate_misses,
+        }
+    }
+
+    /// True when this snapshot (or delta) recorded any arena activity.
+    pub fn any(&self) -> bool {
+        *self != TermStats::default()
+    }
+}
+
+/// A hash-consing arena for IR expressions and formulas. See the module
+/// docs for the interning invariants.
+#[derive(Debug, Default)]
+pub struct TermArena {
+    nodes: Vec<Node>,
+    index: HashMap<Node, TermId>,
+    syms: Vec<String>,
+    sym_index: HashMap<String, Sym>,
+    nus: Vec<NuConst>,
+    nu_index: HashMap<NuConst, NuSym>,
+    /// `(term, var, replacement) → term[replacement/var]`.
+    subst_memo: HashMap<(TermId, Sym, TermId), TermId>,
+    /// `formula term → Atoms(formula)`.
+    atoms_memo: HashMap<TermId, BTreeSet<Atom>>,
+    stats: TermStats,
+}
+
+impl TermArena {
+    /// An empty arena.
+    pub fn new() -> TermArena {
+        TermArena::default()
+    }
+
+    /// Number of distinct interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Instrumentation snapshot.
+    pub fn stats(&self) -> TermStats {
+        self.stats
+    }
+
+    /// Adds externally-maintained translation-memo counters (see
+    /// [`TermStats::translate_hits`]).
+    pub fn note_translate(&mut self, hit: bool) {
+        if hit {
+            self.stats.translate_hits += 1;
+        } else {
+            self.stats.translate_misses += 1;
+        }
+    }
+
+    /// The interned node behind `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not an id of this arena.
+    pub fn node(&self, t: TermId) -> &Node {
+        &self.nodes[t.0 as usize]
+    }
+
+    /// The name behind a symbol handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a handle of this arena.
+    pub fn sym_name(&self, s: Sym) -> &str {
+        &self.syms[s.0 as usize]
+    }
+
+    /// The ν-constant behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a handle of this arena.
+    pub fn nu_const(&self, n: NuSym) -> &NuConst {
+        &self.nus[n.0 as usize]
+    }
+
+    /// Interns a name.
+    pub fn sym(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.sym_index.get(name) {
+            return s;
+        }
+        let s = Sym(u32::try_from(self.syms.len()).expect("< 2^32 symbols"));
+        self.syms.push(name.to_string());
+        self.sym_index.insert(name.to_string(), s);
+        s
+    }
+
+    fn nu_sym(&mut self, nu: &NuConst) -> NuSym {
+        if let Some(&s) = self.nu_index.get(nu) {
+            return s;
+        }
+        let s = NuSym(u32::try_from(self.nus.len()).expect("< 2^32 ν-constants"));
+        self.nus.push(nu.clone());
+        self.nu_index.insert(nu.clone(), s);
+        s
+    }
+
+    /// Interns one node (the hash-consing step): returns the existing id
+    /// when the identical node is already present.
+    pub fn mk(&mut self, node: Node) -> TermId {
+        if let Some(&t) = self.index.get(&node) {
+            self.stats.intern_hits += 1;
+            return t;
+        }
+        let t = TermId(u32::try_from(self.nodes.len()).expect("< 2^32 nodes"));
+        self.nodes.push(node.clone());
+        self.index.insert(node, t);
+        self.stats.interned_nodes += 1;
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Interning (structure-preserving) and externalization.
+    // ------------------------------------------------------------------
+
+    /// Interns an expression tree verbatim (no canonicalization).
+    pub fn intern_expr(&mut self, e: &Expr) -> TermId {
+        let node = match e {
+            Expr::Var(v) => Node::Var(self.sym(v)),
+            Expr::Nu(nu) => Node::Nu(self.nu_sym(nu)),
+            Expr::Int(n) => Node::Int(*n),
+            Expr::App(f, args) => {
+                let ids = args.iter().map(|a| self.intern_expr(a)).collect();
+                Node::App(self.sym(f), ids)
+            }
+            Expr::Add(a, b) => Node::Add(self.intern_expr(a), self.intern_expr(b)),
+            Expr::Sub(a, b) => Node::Sub(self.intern_expr(a), self.intern_expr(b)),
+            Expr::Mul(a, b) => Node::Mul(self.intern_expr(a), self.intern_expr(b)),
+            Expr::Neg(a) => Node::Neg(self.intern_expr(a)),
+            Expr::Read(m, i) => Node::Read(self.intern_expr(m), self.intern_expr(i)),
+            Expr::Write(m, i, v) => Node::Write(
+                self.intern_expr(m),
+                self.intern_expr(i),
+                self.intern_expr(v),
+            ),
+            Expr::Ite(c, t, el) => Node::IteE(
+                self.intern_formula(c),
+                self.intern_expr(t),
+                self.intern_expr(el),
+            ),
+            Expr::Old(a) => Node::Old(self.intern_expr(a)),
+        };
+        self.mk(node)
+    }
+
+    /// Interns a formula tree verbatim (no canonicalization).
+    pub fn intern_formula(&mut self, f: &Formula) -> TermId {
+        let node = match f {
+            Formula::True => Node::True,
+            Formula::False => Node::False,
+            Formula::Rel(op, a, b) => Node::Rel(*op, self.intern_expr(a), self.intern_expr(b)),
+            Formula::Not(g) => Node::Not(self.intern_formula(g)),
+            Formula::And(fs) => Node::And(fs.iter().map(|g| self.intern_formula(g)).collect()),
+            Formula::Or(fs) => Node::Or(fs.iter().map(|g| self.intern_formula(g)).collect()),
+            Formula::Implies(a, b) => Node::Implies(self.intern_formula(a), self.intern_formula(b)),
+            Formula::Iff(a, b) => Node::Iff(self.intern_formula(a), self.intern_formula(b)),
+        };
+        self.mk(node)
+    }
+
+    /// True when `t` is a formula node (as opposed to an expression).
+    pub fn is_formula(&self, t: TermId) -> bool {
+        matches!(
+            self.node(t),
+            Node::True
+                | Node::False
+                | Node::Rel(..)
+                | Node::Not(_)
+                | Node::And(_)
+                | Node::Or(_)
+                | Node::Implies(..)
+                | Node::Iff(..)
+        )
+    }
+
+    /// Reconstructs the boxed expression tree behind `t`.
+    ///
+    /// The result of a chain `extern_expr(intern_expr(e))` is exactly `e`.
+    /// Note that externalizing a heavily shared term materializes every
+    /// shared subterm per occurrence — the tree can be exponentially
+    /// larger than the DAG (use [`TermArena::tree_size`] to check first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is a formula node.
+    pub fn extern_expr(&self, t: TermId) -> Expr {
+        match self.node(t) {
+            Node::Var(s) => Expr::Var(self.sym_name(*s).to_string()),
+            Node::Nu(n) => Expr::Nu(self.nu_const(*n).clone()),
+            Node::Int(n) => Expr::Int(*n),
+            Node::App(f, args) => Expr::App(
+                self.sym_name(*f).to_string(),
+                args.iter().map(|&a| self.extern_expr(a)).collect(),
+            ),
+            Node::Add(a, b) => Expr::Add(
+                Box::new(self.extern_expr(*a)),
+                Box::new(self.extern_expr(*b)),
+            ),
+            Node::Sub(a, b) => Expr::Sub(
+                Box::new(self.extern_expr(*a)),
+                Box::new(self.extern_expr(*b)),
+            ),
+            Node::Mul(a, b) => Expr::Mul(
+                Box::new(self.extern_expr(*a)),
+                Box::new(self.extern_expr(*b)),
+            ),
+            Node::Neg(a) => Expr::Neg(Box::new(self.extern_expr(*a))),
+            Node::Read(m, i) => Expr::Read(
+                Box::new(self.extern_expr(*m)),
+                Box::new(self.extern_expr(*i)),
+            ),
+            Node::Write(m, i, v) => Expr::Write(
+                Box::new(self.extern_expr(*m)),
+                Box::new(self.extern_expr(*i)),
+                Box::new(self.extern_expr(*v)),
+            ),
+            Node::IteE(c, a, b) => Expr::Ite(
+                Box::new(self.extern_formula(*c)),
+                Box::new(self.extern_expr(*a)),
+                Box::new(self.extern_expr(*b)),
+            ),
+            Node::Old(a) => Expr::Old(Box::new(self.extern_expr(*a))),
+            other => panic!("extern_expr on formula node {other:?}"),
+        }
+    }
+
+    /// Reconstructs the boxed formula tree behind `t` (see
+    /// [`TermArena::extern_expr`] for the sharing caveat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is an expression node.
+    pub fn extern_formula(&self, t: TermId) -> Formula {
+        match self.node(t) {
+            Node::True => Formula::True,
+            Node::False => Formula::False,
+            Node::Rel(op, a, b) => Formula::Rel(*op, self.extern_expr(*a), self.extern_expr(*b)),
+            Node::Not(g) => Formula::Not(Box::new(self.extern_formula(*g))),
+            Node::And(fs) => Formula::And(fs.iter().map(|&g| self.extern_formula(g)).collect()),
+            Node::Or(fs) => Formula::Or(fs.iter().map(|&g| self.extern_formula(g)).collect()),
+            Node::Implies(a, b) => Formula::Implies(
+                Box::new(self.extern_formula(*a)),
+                Box::new(self.extern_formula(*b)),
+            ),
+            Node::Iff(a, b) => Formula::Iff(
+                Box::new(self.extern_formula(*a)),
+                Box::new(self.extern_formula(*b)),
+            ),
+            other => panic!("extern_formula on expression node {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Smart constructors — replicate the Formula constructors exactly.
+    // ------------------------------------------------------------------
+
+    /// The interned `true`.
+    pub fn tru(&mut self) -> TermId {
+        self.mk(Node::True)
+    }
+
+    /// The interned `false`.
+    pub fn fls(&mut self) -> TermId {
+        self.mk(Node::False)
+    }
+
+    /// An interned variable reference.
+    pub fn var(&mut self, name: &str) -> TermId {
+        let s = self.sym(name);
+        self.mk(Node::Var(s))
+    }
+
+    /// Conjunction with the same flattening as [`Formula::and`]: drops
+    /// `true`, short-circuits on `false`, splices nested conjunctions,
+    /// and collapses empty/singleton results.
+    pub fn and(&mut self, conjuncts: Vec<TermId>) -> TermId {
+        let mut out: Vec<TermId> = Vec::new();
+        for c in conjuncts {
+            match self.node(c) {
+                Node::True => {}
+                Node::False => return self.fls(),
+                Node::And(inner) => out.extend(inner.iter().copied()),
+                _ => out.push(c),
+            }
+        }
+        match out.len() {
+            0 => self.tru(),
+            1 => out[0],
+            _ => self.mk(Node::And(out)),
+        }
+    }
+
+    /// Disjunction with the same flattening as [`Formula::or`].
+    pub fn or(&mut self, disjuncts: Vec<TermId>) -> TermId {
+        let mut out: Vec<TermId> = Vec::new();
+        for d in disjuncts {
+            match self.node(d) {
+                Node::False => {}
+                Node::True => return self.tru(),
+                Node::Or(inner) => out.extend(inner.iter().copied()),
+                _ => out.push(d),
+            }
+        }
+        match out.len() {
+            0 => self.fls(),
+            1 => out[0],
+            _ => self.mk(Node::Or(out)),
+        }
+    }
+
+    /// Negation with the same simplifications as [`Formula::not`]:
+    /// constant flipping, double-negation elimination, and pushing into
+    /// relations via [`RelOp::negated`].
+    pub fn not(&mut self, t: TermId) -> TermId {
+        match *self.node(t) {
+            Node::True => self.fls(),
+            Node::False => self.tru(),
+            Node::Not(inner) => inner,
+            Node::Rel(op, a, b) => self.mk(Node::Rel(op.negated(), a, b)),
+            _ => self.mk(Node::Not(t)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memoized transformers.
+    // ------------------------------------------------------------------
+
+    /// Capture-free substitution `t[e/x]`, memoized per
+    /// `(t, x, e)` triple. Replicates [`Formula::subst`]/[`Expr::subst`]
+    /// exactly: nodes are rebuilt verbatim (no smart-constructor
+    /// folding), so externalizing the result matches the tree
+    /// substitution byte-for-byte.
+    pub fn subst(&mut self, t: TermId, x: &str, e: TermId) -> TermId {
+        let xsym = self.sym(x);
+        self.subst_rec(t, xsym, e)
+    }
+
+    fn subst_rec(&mut self, t: TermId, x: Sym, e: TermId) -> TermId {
+        if let Some(&r) = self.subst_memo.get(&(t, x, e)) {
+            self.stats.subst_hits += 1;
+            return r;
+        }
+        let node = self.node(t).clone();
+        let out = match node {
+            Node::Var(v) if v == x => e,
+            Node::Var(_) | Node::Nu(_) | Node::Int(_) | Node::True | Node::False => t,
+            Node::App(f, args) => {
+                let ids = args.iter().map(|&a| self.subst_rec(a, x, e)).collect();
+                self.mk(Node::App(f, ids))
+            }
+            Node::Add(a, b) => {
+                let (a, b) = (self.subst_rec(a, x, e), self.subst_rec(b, x, e));
+                self.mk(Node::Add(a, b))
+            }
+            Node::Sub(a, b) => {
+                let (a, b) = (self.subst_rec(a, x, e), self.subst_rec(b, x, e));
+                self.mk(Node::Sub(a, b))
+            }
+            Node::Mul(a, b) => {
+                let (a, b) = (self.subst_rec(a, x, e), self.subst_rec(b, x, e));
+                self.mk(Node::Mul(a, b))
+            }
+            Node::Neg(a) => {
+                let a = self.subst_rec(a, x, e);
+                self.mk(Node::Neg(a))
+            }
+            Node::Old(a) => {
+                let a = self.subst_rec(a, x, e);
+                self.mk(Node::Old(a))
+            }
+            Node::Read(m, i) => {
+                let (m, i) = (self.subst_rec(m, x, e), self.subst_rec(i, x, e));
+                self.mk(Node::Read(m, i))
+            }
+            Node::Write(m, i, v) => {
+                let m = self.subst_rec(m, x, e);
+                let i = self.subst_rec(i, x, e);
+                let v = self.subst_rec(v, x, e);
+                self.mk(Node::Write(m, i, v))
+            }
+            Node::IteE(c, a, b) => {
+                let c = self.subst_rec(c, x, e);
+                let a = self.subst_rec(a, x, e);
+                let b = self.subst_rec(b, x, e);
+                self.mk(Node::IteE(c, a, b))
+            }
+            Node::Rel(op, a, b) => {
+                let (a, b) = (self.subst_rec(a, x, e), self.subst_rec(b, x, e));
+                self.mk(Node::Rel(op, a, b))
+            }
+            Node::Not(g) => {
+                let g = self.subst_rec(g, x, e);
+                self.mk(Node::Not(g))
+            }
+            Node::And(fs) => {
+                let ids = fs.iter().map(|&g| self.subst_rec(g, x, e)).collect();
+                self.mk(Node::And(ids))
+            }
+            Node::Or(fs) => {
+                let ids = fs.iter().map(|&g| self.subst_rec(g, x, e)).collect();
+                self.mk(Node::Or(ids))
+            }
+            Node::Implies(a, b) => {
+                let (a, b) = (self.subst_rec(a, x, e), self.subst_rec(b, x, e));
+                self.mk(Node::Implies(a, b))
+            }
+            Node::Iff(a, b) => {
+                let (a, b) = (self.subst_rec(a, x, e), self.subst_rec(b, x, e));
+                self.mk(Node::Iff(a, b))
+            }
+        };
+        self.subst_memo.insert((t, x, e), out);
+        self.stats.subst_misses += 1;
+        out
+    }
+
+    /// `Atoms(t)` (§4.4.1) for a formula term, memoized per id. The
+    /// computation delegates to [`Formula::atoms`] — write elimination,
+    /// ite splitting, and canonicalization are shared with the tree
+    /// path, so results agree by construction; the memo turns the
+    /// repeated per-configuration collection into a hash lookup.
+    pub fn atoms(&mut self, t: TermId) -> BTreeSet<Atom> {
+        if let Some(s) = self.atoms_memo.get(&t) {
+            self.stats.atoms_hits += 1;
+            return s.clone();
+        }
+        let out = self.extern_formula(t).atoms();
+        self.atoms_memo.insert(t, out.clone());
+        self.stats.atoms_misses += 1;
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Shape inspection (telemetry and `repro profile --top-terms`).
+    // ------------------------------------------------------------------
+
+    /// Reference counts: for each interned node, how many parent slots
+    /// point at it. A count above one is a sharing win the boxed tree
+    /// would have paid for with a deep clone.
+    pub fn refcounts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            node.for_each_child(|c| counts[c.0 as usize] += 1);
+        }
+        counts
+    }
+
+    /// Number of distinct nodes reachable from `t` (the DAG size).
+    pub fn dag_size(&self, t: TermId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![t];
+        let mut n = 0;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.0 as usize], true) {
+                continue;
+            }
+            n += 1;
+            self.node(id).for_each_child(|c| stack.push(c));
+        }
+        n
+    }
+
+    /// The size of the fully-expanded tree behind `t` (what
+    /// externalization would materialize), saturating at `u64::MAX`.
+    /// Computed bottom-up over the DAG, so it is cheap even when the
+    /// answer is astronomically large.
+    pub fn tree_size(&self, t: TermId) -> u64 {
+        fn go(arena: &TermArena, t: TermId, memo: &mut HashMap<TermId, u64>) -> u64 {
+            if let Some(&n) = memo.get(&t) {
+                return n;
+            }
+            let mut n: u64 = 1;
+            arena.node(t).for_each_child(|c| {
+                n = n.saturating_add(go(arena, c, memo));
+            });
+            memo.insert(t, n);
+            n
+        }
+        go(self, t, &mut HashMap::new())
+    }
+}
+
+impl Node {
+    /// Visits each child id in constructor order.
+    pub fn for_each_child(&self, mut f: impl FnMut(TermId)) {
+        match self {
+            Node::True | Node::False | Node::Var(_) | Node::Nu(_) | Node::Int(_) => {}
+            Node::Not(a) | Node::Neg(a) | Node::Old(a) => f(*a),
+            Node::Rel(_, a, b)
+            | Node::Implies(a, b)
+            | Node::Iff(a, b)
+            | Node::Add(a, b)
+            | Node::Sub(a, b)
+            | Node::Mul(a, b)
+            | Node::Read(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Node::Write(a, b, c) | Node::IteE(a, b, c) => {
+                f(*a);
+                f(*b);
+                f(*c);
+            }
+            Node::And(fs) | Node::Or(fs) | Node::App(_, fs) => {
+                for &c in fs {
+                    f(c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_formula;
+
+    fn f(src: &str) -> Formula {
+        parse_formula(src).expect("parses")
+    }
+
+    #[test]
+    fn intern_is_structure_preserving_and_idempotent() {
+        let mut arena = TermArena::new();
+        for src in [
+            "x == 0",
+            "x + 1 < y && (m[i] == 0 || !(x <= 3))",
+            "write(m, i, v)[j] == 0 ==> x != y",
+            "true <==> (false || x >= 2 * y)",
+        ] {
+            let formula = f(src);
+            let t1 = arena.intern_formula(&formula);
+            assert_eq!(arena.extern_formula(t1), formula, "{src}");
+            let t2 = arena.intern_formula(&formula);
+            assert_eq!(t1, t2, "re-interning is the identity: {src}");
+            // Round trip through the pretty printer and parser.
+            let reparsed = f(&arena.extern_formula(t1).to_string());
+            assert_eq!(arena.intern_formula(&reparsed), t1, "{src}");
+        }
+    }
+
+    #[test]
+    fn interned_equality_is_id_equality() {
+        let mut arena = TermArena::new();
+        let a = arena.intern_formula(&f("x + 1 == y"));
+        let b = arena.intern_formula(&f("x + 1 == y"));
+        let c = arena.intern_formula(&f("x + 2 == y"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(arena.stats().intern_hits > 0, "second intern must share");
+    }
+
+    #[test]
+    fn smart_constructors_match_formula_constructors() {
+        let cases = [
+            vec![Formula::True, f("x == 0")],
+            vec![f("x == 0"), Formula::False, f("y == 1")],
+            vec![Formula::And(vec![f("x == 0"), f("y == 1")]), f("z == 2")],
+            vec![Formula::Or(vec![f("x == 0"), f("y == 1")]), f("z == 2")],
+            vec![],
+            vec![Formula::True],
+        ];
+        for parts in cases {
+            let mut arena = TermArena::new();
+            let ids: Vec<TermId> = parts.iter().map(|g| arena.intern_formula(g)).collect();
+            let and_id = arena.and(ids.clone());
+            assert_eq!(
+                arena.extern_formula(and_id),
+                Formula::and(parts.clone()),
+                "and of {parts:?}"
+            );
+            let or_id = arena.or(ids);
+            assert_eq!(
+                arena.extern_formula(or_id),
+                Formula::or(parts.clone()),
+                "or of {parts:?}"
+            );
+        }
+        for g in [
+            Formula::True,
+            Formula::False,
+            f("x == 0"),
+            f("x != 0"),
+            f("x < y"),
+            Formula::Not(Box::new(Formula::Implies(
+                Box::new(f("x == 0")),
+                Box::new(f("y == 1")),
+            ))),
+            Formula::Implies(Box::new(f("x == 0")), Box::new(f("y == 1"))),
+        ] {
+            let mut arena = TermArena::new();
+            let id = arena.intern_formula(&g);
+            let not_id = arena.not(id);
+            assert_eq!(
+                arena.extern_formula(not_id),
+                Formula::not(g.clone()),
+                "not of {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn subst_matches_tree_substitution() {
+        let mut arena = TermArena::new();
+        let cases = [
+            ("m[x] == x", "x", "3"),
+            ("x + y < 2 * x", "x", "y + 1"),
+            ("write(m, x, 1)[y] == 0 && x <= y", "y", "x"),
+            ("!(x == 0) ==> f(x, z) == x", "x", "m[z]"),
+            ("z == 0", "x", "1"),
+        ];
+        for (src, x, e_src) in cases {
+            let formula = f(src);
+            let e = crate::parse::parse_expr(e_src).expect("parses");
+            let t = arena.intern_formula(&formula);
+            let eid = arena.intern_expr(&e);
+            let sub = arena.subst(t, x, eid);
+            assert_eq!(
+                arena.extern_formula(sub),
+                formula.subst(x, &e),
+                "{src}[{e_src}/{x}]"
+            );
+            // Memoized: the same triple is a hit the second time.
+            let before = arena.stats().subst_hits;
+            let again = arena.subst(t, x, eid);
+            assert_eq!(again, sub);
+            assert!(arena.stats().subst_hits > before);
+        }
+    }
+
+    #[test]
+    fn subst_without_occurrence_is_identity() {
+        let mut arena = TermArena::new();
+        let t = arena.intern_formula(&f("y + z < m[w]"));
+        let e = arena.intern_expr(&Expr::Int(7));
+        assert_eq!(arena.subst(t, "x", e), t, "no occurrence → same id");
+    }
+
+    #[test]
+    fn atoms_match_tree_atoms_and_memoize() {
+        let mut arena = TermArena::new();
+        let formula = f("write(Freed, c, 1)[buf] == 0 && cmd == 1");
+        let t = arena.intern_formula(&formula);
+        assert_eq!(arena.atoms(t), formula.atoms());
+        let before = arena.stats().atoms_hits;
+        assert_eq!(arena.atoms(t), formula.atoms());
+        assert!(arena.stats().atoms_hits > before);
+    }
+
+    #[test]
+    fn shared_subterms_are_stored_once() {
+        let mut arena = TermArena::new();
+        let shared = arena.intern_formula(&f("x == 0 && y == 1 && z == 2"));
+        let nodes_before = arena.len();
+        let a = arena.not(shared);
+        // `or` keeps an `And` child intact (only nested `Or`s splice), so
+        // both disjuncts reference the one interned conjunction.
+        let wrapped = arena.or(vec![a, shared]);
+        // Only the Not and the Or wrapper are new.
+        assert_eq!(arena.len(), nodes_before + 2);
+        let refs = arena.refcounts();
+        assert!(refs[shared.0 as usize] >= 2, "shared node referenced twice");
+        assert_eq!(arena.dag_size(wrapped), arena.dag_size(shared) + 2);
+        assert_eq!(
+            arena.tree_size(wrapped),
+            2 * arena.tree_size(shared) + 2,
+            "the tree pays for the shared conjunction once per occurrence"
+        );
+    }
+
+    #[test]
+    fn stats_deltas_attribute_work() {
+        let mut arena = TermArena::new();
+        let before = arena.stats();
+        let t = arena.intern_formula(&f("x == 0"));
+        let _ = arena.intern_formula(&f("x == 0"));
+        let _ = arena.atoms(t);
+        let delta = arena.stats().since(&before);
+        assert!(delta.any());
+        assert!(delta.interned_nodes > 0);
+        assert!(delta.intern_hits > 0);
+        assert_eq!(delta.atoms_misses, 1);
+        assert!(delta.bytes_saved() > 0);
+        assert!(delta.hit_rate() > 0.0);
+        assert!(!TermStats::default().any());
+    }
+}

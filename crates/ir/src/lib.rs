@@ -34,6 +34,7 @@
 //! assert_eq!(program.procedures.len(), 1);
 //! ```
 
+pub mod arena;
 pub mod desugar;
 pub mod expr;
 pub mod interp;
@@ -44,6 +45,7 @@ pub mod program;
 pub mod stmt;
 pub mod typecheck;
 
+pub use arena::{TermArena, TermStats};
 pub use desugar::{desugar_procedure, DesugarOptions, DesugaredProc};
 pub use expr::{Atom, Expr, Formula, NuConst, RelOp};
 pub use locs::{enumerate_locations, LocId, LocKind, LocMeta};

@@ -10,7 +10,6 @@
 use acspec_ir::expr::Atom;
 use acspec_smt::TermId;
 use acspec_vcgen::analyzer::{ProcAnalyzer, Timeout};
-use acspec_vcgen::translate::formula_to_term;
 
 use crate::clause::{QClause, QLit};
 
@@ -83,14 +82,13 @@ pub fn predicate_cover_salvaging(
     salvage: &mut Option<Cover>,
 ) -> Result<Cover, Timeout> {
     // Indicator per predicate: b_i ⇔ ⟦q_i⟧ over the input environment.
-    let env = az.input_env().clone();
+    // Translation goes through the session arena, so a predicate shared
+    // across configurations is interned and encoded once.
     let indicators: Vec<TermId> = q
         .iter()
         .map(|atom| {
-            let f = atom.to_formula();
-            let t = formula_to_term(&mut az.ctx, &env, &f)
-                .expect("predicates range over the input vocabulary");
-            az.add_indicator(t)
+            az.add_indicator_formula(&atom.to_formula())
+                .expect("predicates range over the input vocabulary")
         })
         .collect();
 

@@ -43,7 +43,7 @@ pub fn normalize(clauses: &[QClause], max_clauses: usize) -> Vec<QClause> {
                         // are new and not subsumed (avoids runaway growth
                         // while reaching the same fix-point for
                         // subsumption-based simplification).
-                        if set.iter().any(|c| c.subsumes(&r)) {
+                        if set.iter().any(|c| c.subsumes_fast(&r)) {
                             continue;
                         }
                         set.insert(r);
@@ -63,6 +63,14 @@ pub fn normalize(clauses: &[QClause], max_clauses: usize) -> Vec<QClause> {
 
 fn remove_subsumed(set: BTreeSet<QClause>) -> BTreeSet<QClause> {
     let list: Vec<QClause> = set.into_iter().collect();
+    // Fingerprint every clause once; the O(n²) pairwise loop then does
+    // two word-ops per pair (clauses with 64+ predicates fall back to
+    // the literal scan).
+    let masks: Option<Vec<(u64, u64)>> = list.iter().map(QClause::masks).collect();
+    let subsumes = |i: usize, j: usize| match &masks {
+        Some(m) => m[i].0 & m[j].0 == m[i].0 && m[i].1 & m[j].1 == m[i].1,
+        None => list[i].subsumes(&list[j]),
+    };
     let mut keep = vec![true; list.len()];
     for i in 0..list.len() {
         if !keep[i] {
@@ -72,7 +80,7 @@ fn remove_subsumed(set: BTreeSet<QClause>) -> BTreeSet<QClause> {
             if i == j || !keep[j] {
                 continue;
             }
-            if list[i].subsumes(&list[j]) && (list[i].len() < list[j].len() || i < j) {
+            if subsumes(i, j) && (list[i].len() < list[j].len() || i < j) {
                 keep[j] = false;
             }
         }
