@@ -19,6 +19,8 @@
 //!
 //!   --trace-out <path>        write a JSONL span trace of the run
 //!   --metrics-out <path>      write a JSON metrics snapshot
+//!   --certs-out <path>        write the per-verdict certificate sidecar
+//!                             (re-validate with `acspec check <path>`)
 //!   --no-query-cache          disable the monotone query cache
 //!   --deadline <secs>         wall-clock deadline per procedure+config
 //!   --chaos-seed <u64>        deterministic fault-injection seed
@@ -36,8 +38,8 @@ use acspec_bench::{classify, evaluate_with, format_table, BenchEval, EvalOptions
 use acspec_benchgen::suite::{generate_entry, SuiteEntry, SuiteKind, SUITE};
 use acspec_benchgen::Benchmark;
 use acspec_core::{
-    analyze_procedure, AcspecOptions, ConfigName, NullObserver, SessionObserver, StageTotals,
-    TeeObserver, TelemetryObserver, TelemetryOutput,
+    analyze_procedure, certs_json, AcspecOptions, ConfigName, NullObserver, ProcCerts,
+    SessionObserver, StageTotals, TeeObserver, TelemetryObserver, TelemetryOutput,
 };
 use acspec_ir::arena::{Node, TermArena, TermId};
 use acspec_ir::{desugar_procedure, DesugarOptions, Formula};
@@ -49,7 +51,7 @@ use acspec_vcgen::wp::wp_interned;
 
 const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|ablation-incremental|\
 ablation-normalize|ablation-interproc|all> [--scale N] [--top K] [--top-terms] \
-[--trace-out path] [--metrics-out path] [--no-query-cache] \
+[--trace-out path] [--metrics-out path] [--certs-out path] [--no-query-cache] \
 [--deadline secs] [--chaos-seed u64] [--chaos-rate p]";
 
 const COMMANDS: &[&str] = &[
@@ -72,6 +74,7 @@ struct Cli {
     top_terms: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    certs_out: Option<String>,
     query_cache: bool,
     deadline: Option<f64>,
     chaos_seed: Option<u64>,
@@ -86,12 +89,14 @@ struct RunKnobs {
     query_cache: bool,
     deadline: Option<Duration>,
     chaos: Option<ChaosConfig>,
+    certify: bool,
 }
 
 impl Cli {
     fn knobs(&self) -> RunKnobs {
         RunKnobs {
             query_cache: self.query_cache,
+            certify: self.certs_out.is_some(),
             deadline: self.deadline.map(Duration::from_secs_f64),
             // Install the chaos harness only when a chaos flag was
             // explicitly given, so flagless runs stay byte-identical.
@@ -134,6 +139,7 @@ fn parse_args() -> Cli {
         top_terms: false,
         trace_out: None,
         metrics_out: None,
+        certs_out: None,
         // Honors ACSPEC_NO_QUERY_CACHE (the CI cache-off matrix leg);
         // `--no-query-cache` then forces it off regardless.
         query_cache: AnalyzerConfig::default().query_cache,
@@ -176,6 +182,14 @@ fn parse_args() -> Cli {
                 cli.metrics_out = Some(
                     args.get(i + 1)
                         .unwrap_or_else(|| usage_error("--metrics-out needs a path"))
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--certs-out" => {
+                cli.certs_out = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage_error("--certs-out needs a path"))
                         .clone(),
                 );
                 i += 2;
@@ -255,22 +269,25 @@ fn main() {
     if knobs.chaos.is_some() {
         silence_injected_panics();
     }
+    // Certificate sink: every figure evaluation appends its procedures'
+    // stores here; one schema-versioned sidecar is written at the end.
+    let mut certs: Vec<ProcCerts> = Vec::new();
     match cli.cmd.as_str() {
         "fig5" => fig5(scale),
-        "fig6" => fig6(scale, observer, knobs),
-        "fig7" => fig7(scale, observer, knobs),
-        "fig8" => fig8(scale, observer, knobs),
-        "fig9" => fig9(scale, observer, knobs),
+        "fig6" => fig6(scale, observer, knobs, &mut certs),
+        "fig7" => fig7(scale, observer, knobs, &mut certs),
+        "fig8" => fig8(scale, observer, knobs, &mut certs),
+        "fig9" => fig9(scale, observer, knobs, &mut certs),
         "profile" => {} // runs below, after the observer is finished
         "ablation-incremental" => ablation_incremental(scale, knobs.query_cache),
         "ablation-normalize" => ablation_normalize(scale),
         "ablation-interproc" => ablation_interproc(scale),
         "all" => {
             fig5(scale);
-            fig6(scale, observer, knobs);
-            fig7(scale, observer, knobs);
-            fig8(scale, observer, knobs);
-            fig9(scale, observer, knobs);
+            fig6(scale, observer, knobs, &mut certs);
+            fig7(scale, observer, knobs, &mut certs);
+            fig8(scale, observer, knobs, &mut certs);
+            fig9(scale, observer, knobs, &mut certs);
             ablation_incremental(scale, knobs.query_cache);
             ablation_normalize(scale);
             ablation_interproc(scale);
@@ -279,6 +296,15 @@ fn main() {
     }
     if cli.cmd == "profile" {
         fig9_workload(scale, &mut telemetry, knobs);
+    }
+    if let Some(path) = &cli.certs_out {
+        std::fs::write(path, certs_json(&certs))
+            .unwrap_or_else(|e| usage_error(&format!("cannot write {path}: {e}")));
+        let n_certs: usize = certs.iter().map(|p| p.store.certs.len()).sum();
+        println!(
+            "(wrote {n_certs} certificate(s) for {} procedure(s) to {path})",
+            certs.len()
+        );
     }
     if needs_trace {
         let out = telemetry.finish();
@@ -299,6 +325,7 @@ fn eval_opts(knobs: RunKnobs) -> EvalOptions {
     opts.analyzer.query_cache = knobs.query_cache;
     opts.analyzer.deadline = knobs.deadline;
     opts.analyzer.chaos = knobs.chaos;
+    opts.certify = knobs.certify;
     opts
 }
 
@@ -608,26 +635,34 @@ fn eval_entries(
     scale: usize,
     observer: &mut dyn SessionObserver,
     knobs: RunKnobs,
+    certs: &mut Vec<ProcCerts>,
 ) -> Vec<(Benchmark, BenchEval)> {
     let opts = eval_opts(knobs);
     entries(kinds)
         .into_iter()
         .map(|e| {
             let bm = generate_entry(e, scale);
-            let ev = evaluate_with(&bm, &opts, observer);
+            let mut ev = evaluate_with(&bm, &opts, observer);
+            certs.append(&mut ev.certs);
             (bm, ev)
         })
         .collect()
 }
 
 /// Figure 6: warning reduction on the small benchmarks.
-fn fig6(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
+fn fig6(
+    scale: usize,
+    observer: &mut dyn SessionObserver,
+    knobs: RunKnobs,
+    certs: &mut Vec<ProcCerts>,
+) {
     println!("== Figure 6: abstract configurations × clause pruning (small benchmarks, scale 1/{scale}) ==\n");
     let evals = eval_entries(
         &[SuiteKind::Samate, SuiteKind::Small],
         scale,
         observer,
         knobs,
+        certs,
     );
     let mut rows = Vec::new();
     let mut tot = vec![0usize; 3 * PRUNE_LEVELS.len() + 2];
@@ -667,9 +702,14 @@ fn fig6(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
 }
 
 /// Figure 7: classification against ground truth on the SAMATE corpora.
-fn fig7(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
+fn fig7(
+    scale: usize,
+    observer: &mut dyn SessionObserver,
+    knobs: RunKnobs,
+    certs: &mut Vec<ProcCerts>,
+) {
     println!("== Figure 7: classification on labeled SAMATE corpora (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Samate], scale, observer, knobs);
+    let evals = eval_entries(&[SuiteKind::Samate], scale, observer, knobs, certs);
     let mut rows = Vec::new();
     let mut totals = [(0usize, 0usize, 0usize); 4];
     for (bm, ev) in &evals {
@@ -721,9 +761,14 @@ fn fig7(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
 }
 
 /// Figure 8: warnings on the large benchmarks.
-fn fig8(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
+fn fig8(
+    scale: usize,
+    observer: &mut dyn SessionObserver,
+    knobs: RunKnobs,
+    certs: &mut Vec<ProcCerts>,
+) {
     println!("== Figure 8: abstract configurations on large benchmarks (scale 1/{scale}) ==\n");
-    let evals = eval_entries(&[SuiteKind::Large], scale, observer, knobs);
+    let evals = eval_entries(&[SuiteKind::Large], scale, observer, knobs, certs);
     let mut rows = Vec::new();
     let mut tot = [0usize; 7];
     for (bm, ev) in &evals {
@@ -758,7 +803,12 @@ fn fig8(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
 
 /// Figure 9: per-procedure averages on the large benchmarks, plus the
 /// per-stage breakdown collected by the analysis sessions' observer.
-fn fig9(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
+fn fig9(
+    scale: usize,
+    observer: &mut dyn SessionObserver,
+    knobs: RunKnobs,
+    certs: &mut Vec<ProcCerts>,
+) {
     println!("== Figure 9: per-procedure averages on large benchmarks (scale 1/{scale}) ==\n");
     let opts = eval_opts(knobs);
     let mut totals = StageTotals::default();
@@ -767,7 +817,8 @@ fn fig9(scale: usize, observer: &mut dyn SessionObserver, knobs: RunKnobs) {
         .map(|e| {
             let bm = generate_entry(e, scale);
             let mut tee = TeeObserver::new(&mut totals, &mut *observer);
-            let ev = evaluate_with(&bm, &opts, &mut tee);
+            let mut ev = evaluate_with(&bm, &opts, &mut tee);
+            certs.append(&mut ev.certs);
             (bm, ev)
         })
         .collect();

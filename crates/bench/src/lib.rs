@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 
 use acspec_benchgen::Benchmark;
 use acspec_core::{
-    AcspecOptions, AnalysisIncident, ConfigName, NullObserver, ProcOutcome, ProcReport,
+    AcspecOptions, AnalysisIncident, ConfigName, NullObserver, ProcCerts, ProcOutcome, ProcReport,
     ProgramAnalysis, SessionObserver, SibStatus,
 };
 use acspec_predabs::normalize::PruneConfig;
@@ -55,6 +55,11 @@ pub struct BenchEval {
     /// isolated into an incident instead of aborting the run. Faulted
     /// procedures contribute to no other statistic.
     pub incidents: Vec<AnalysisIncident>,
+    /// Per-procedure certificate stores (non-empty only when
+    /// [`EvalOptions::certify`] was set). Collected for *every* analyzed
+    /// procedure — including ones the conservative verifier proved
+    /// correct, whose `cannot_fail` verdicts are certified too.
+    pub certs: Vec<ProcCerts>,
 }
 
 /// Options for an evaluation run.
@@ -68,6 +73,11 @@ pub struct EvalOptions {
     /// deterministic regardless of this setting). `0` = available
     /// parallelism.
     pub threads: usize,
+    /// Emit per-verdict certificates (the `--certs-out` sidecar).
+    /// Certification replays claim-backing queries into fresh proof-
+    /// logging solvers outside the staged timings, so reports stay
+    /// byte-identical.
+    pub certify: bool,
 }
 
 impl Default for EvalOptions {
@@ -79,6 +89,7 @@ impl Default for EvalOptions {
             },
             configs: &[ConfigName::Conc, ConfigName::A1, ConfigName::A2],
             threads: 0,
+            certify: false,
         }
     }
 }
@@ -118,20 +129,25 @@ pub fn evaluate_with(
         .configs(opts.configs)
         .prune_variants(&prune_variants)
         .threads(opts.threads)
+        .certify(opts.certify)
         .run(observer);
 
     let mut procs = Vec::new();
     let mut correct = 0;
     let mut timeouts = 0;
     let mut incidents = Vec::new();
+    let mut certs = Vec::new();
     for outcome in results {
-        let pa = match outcome {
+        let mut pa = match outcome {
             ProcOutcome::Analyzed(pa) => *pa,
             ProcOutcome::Faulted(incident) => {
                 incidents.push(incident);
                 continue;
             }
         };
+        if let Some(pc) = pa.certs.take() {
+            certs.push(pc);
+        }
         if pa.cons.status == SibStatus::Correct {
             correct += 1;
             continue;
@@ -154,6 +170,7 @@ pub fn evaluate_with(
         correct_procs: correct,
         timeouts,
         incidents,
+        certs,
     }
 }
 

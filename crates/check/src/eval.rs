@@ -1,0 +1,246 @@
+//! Independent model evaluation for `Sat` certificates.
+//!
+//! This mirrors the engine's documented model semantics (total
+//! valuations: booleans default `false`, integers default `0`, wrapping
+//! arithmetic, finite map/function tables with defaults, extensional map
+//! equality over canonical tables) — reimplemented from the certificate
+//! format alone, sharing no code with the engine.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::doc::{Model, Node};
+
+/// Evaluates certificate terms under a model.
+pub struct Evaluator<'a> {
+    terms: &'a BTreeMap<u32, Node>,
+    model: &'a Model,
+    int_memo: HashMap<u32, i64>,
+    bool_memo: HashMap<u32, bool>,
+    map_memo: HashMap<u32, (i64, BTreeMap<i64, i64>)>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// An evaluator over the given term table and model.
+    pub fn new(terms: &'a BTreeMap<u32, Node>, model: &'a Model) -> Evaluator<'a> {
+        Evaluator {
+            terms,
+            model,
+            int_memo: HashMap::new(),
+            bool_memo: HashMap::new(),
+            map_memo: HashMap::new(),
+        }
+    }
+
+    /// Evaluates a boolean term; `Err` when the term is missing or
+    /// ill-sorted (a document defect, never a verdict).
+    pub fn eval_bool(&mut self, t: u32) -> Result<bool, String> {
+        if let Some(&b) = self.bool_memo.get(&t) {
+            return Ok(b);
+        }
+        let node = self
+            .terms
+            .get(&t)
+            .ok_or_else(|| format!("term {t} missing from table"))?
+            .clone();
+        let v = match node {
+            Node::True => true,
+            Node::False => false,
+            Node::BoolVar(n) => self.model.bools.get(&n).copied().unwrap_or(false),
+            Node::Not(a) => !self.eval_bool(a)?,
+            Node::And(ps) => {
+                let mut all = true;
+                for p in ps {
+                    if !self.eval_bool(p)? {
+                        all = false;
+                        break;
+                    }
+                }
+                all
+            }
+            Node::Or(ps) => {
+                let mut any = false;
+                for p in ps {
+                    if self.eval_bool(p)? {
+                        any = true;
+                        break;
+                    }
+                }
+                any
+            }
+            Node::Implies(a, b) => !self.eval_bool(a)? || self.eval_bool(b)?,
+            Node::Iff(a, b) => self.eval_bool(a)? == self.eval_bool(b)?,
+            Node::Eq(a, b) => {
+                if self.is_map(a) {
+                    self.canon_map(a)? == self.canon_map(b)?
+                } else {
+                    self.eval_int(a)? == self.eval_int(b)?
+                }
+            }
+            Node::Le(a, b) => self.eval_int(a)? <= self.eval_int(b)?,
+            Node::Lt(a, b) => self.eval_int(a)? < self.eval_int(b)?,
+            Node::Ite(c, a, b) => {
+                if self.eval_bool(c)? {
+                    self.eval_bool(a)?
+                } else {
+                    self.eval_bool(b)?
+                }
+            }
+            _ => return Err(format!("term {t} is not boolean")),
+        };
+        self.bool_memo.insert(t, v);
+        Ok(v)
+    }
+
+    fn is_map(&self, t: u32) -> bool {
+        match self.terms.get(&t) {
+            Some(Node::MapVar(_) | Node::Write(..)) => true,
+            Some(Node::Ite(_, a, _)) => self.is_map(*a),
+            _ => false,
+        }
+    }
+
+    /// Evaluates an integer term.
+    pub fn eval_int(&mut self, t: u32) -> Result<i64, String> {
+        if let Some(&v) = self.int_memo.get(&t) {
+            return Ok(v);
+        }
+        let node = self
+            .terms
+            .get(&t)
+            .ok_or_else(|| format!("term {t} missing from table"))?
+            .clone();
+        let v = match node {
+            Node::IntConst(c) => c,
+            Node::IntVar(n) => self.model.ints.get(&n).copied().unwrap_or(0),
+            Node::Add(ps) => {
+                let mut s = 0i64;
+                for p in ps {
+                    s = s.wrapping_add(self.eval_int(p)?);
+                }
+                s
+            }
+            Node::MulC(c, a) => c.wrapping_mul(self.eval_int(a)?),
+            Node::Ite(c, a, b) => {
+                if self.eval_bool(c)? {
+                    self.eval_int(a)?
+                } else {
+                    self.eval_int(b)?
+                }
+            }
+            Node::App(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_int(a)?);
+                }
+                match self.model.funcs.get(&f) {
+                    Some(fv) => fv.entries.get(&vals).copied().unwrap_or(fv.default),
+                    None => 0,
+                }
+            }
+            Node::Read(m, i) => {
+                let iv = self.eval_int(i)?;
+                let (default, entries) = self.canon_map(m)?;
+                entries.get(&iv).copied().unwrap_or(default)
+            }
+            _ => return Err(format!("term {t} is not an integer")),
+        };
+        self.int_memo.insert(t, v);
+        Ok(v)
+    }
+
+    /// Canonical extensional map value: `(default, entries)` with every
+    /// default-valued point removed, so equality of canonical values is
+    /// extensional map equality.
+    pub fn canon_map(&mut self, t: u32) -> Result<(i64, BTreeMap<i64, i64>), String> {
+        if let Some(v) = self.map_memo.get(&t) {
+            return Ok(v.clone());
+        }
+        let node = self
+            .terms
+            .get(&t)
+            .ok_or_else(|| format!("term {t} missing from table"))?
+            .clone();
+        let value = match node {
+            Node::MapVar(n) => match self.model.maps.get(&n) {
+                Some(mv) => {
+                    let entries = mv
+                        .entries
+                        .iter()
+                        .filter(|&(_, &v)| v != mv.default)
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    (mv.default, entries)
+                }
+                None => (0, BTreeMap::new()),
+            },
+            Node::Write(m, i, v) => {
+                let (default, mut entries) = self.canon_map(m)?;
+                let iv = self.eval_int(i)?;
+                let vv = self.eval_int(v)?;
+                if vv == default {
+                    entries.remove(&iv);
+                } else {
+                    entries.insert(iv, vv);
+                }
+                (default, entries)
+            }
+            Node::Ite(c, a, b) => {
+                if self.eval_bool(c)? {
+                    self.canon_map(a)?
+                } else {
+                    self.canon_map(b)?
+                }
+            }
+            _ => return Err(format!("term {t} is not a map")),
+        };
+        self.map_memo.insert(t, value.clone());
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::Table;
+
+    fn terms(pairs: Vec<(u32, Node)>) -> BTreeMap<u32, Node> {
+        pairs.into_iter().collect()
+    }
+
+    #[test]
+    fn defaults_and_wrapping() {
+        let t = terms(vec![
+            (1, Node::IntVar("x".into())),
+            (2, Node::IntConst(i64::MAX)),
+            (3, Node::Add(vec![1, 2])),
+            (4, Node::BoolVar("b".into())),
+        ]);
+        let mut model = Model::default();
+        model.ints.insert("x".into(), 1);
+        let mut ev = Evaluator::new(&t, &model);
+        assert_eq!(ev.eval_int(3), Ok(i64::MIN)); // wrapping add
+        assert_eq!(ev.eval_bool(4), Ok(false)); // bool default
+    }
+
+    #[test]
+    fn extensional_map_equality() {
+        // write(M, 3, d) == M  where d is M's default: extensionally equal.
+        let t = terms(vec![
+            (1, Node::MapVar("M".into())),
+            (2, Node::IntConst(3)),
+            (3, Node::IntConst(7)),
+            (4, Node::Write(1, 2, 3)),
+            (5, Node::Eq(4, 1)),
+        ]);
+        let mut model = Model::default();
+        model.maps.insert(
+            "M".into(),
+            Table {
+                default: 7,
+                entries: BTreeMap::new(),
+            },
+        );
+        let mut ev = Evaluator::new(&t, &model);
+        assert_eq!(ev.eval_bool(5), Ok(true));
+    }
+}

@@ -1,0 +1,278 @@
+//! Propositional proof replay for `Unsat` certificates.
+//!
+//! The certificate's proof log is a chronological sequence of tagged
+//! input clauses and learnt clauses. After every input clause has been
+//! structurally validated against its provenance tag (see `lib.rs`), the
+//! replayer re-derives unsatisfiability from first principles:
+//!
+//! * each learnt clause must be a **RUP** (reverse unit propagation)
+//!   consequence of the clauses before it — asserting its negation and
+//!   unit-propagating must yield a conflict;
+//! * the final core — the assumption literals the producer blamed — must
+//!   propagate to a conflict against the full clause database.
+//!
+//! The propagator is a two-watched-literal scheme with a trail so each
+//! RUP check runs against the persistent root state and is undone
+//! afterwards.
+
+/// An incremental unit propagator over signed integer literals
+/// (`+v` / `-v`, `v ≥ 1`).
+pub struct Propagator {
+    /// Per-variable assignment: 0 unset, 1 true, 2 false.
+    assign: Vec<u8>,
+    /// Assigned variables in order.
+    trail: Vec<usize>,
+    /// Per-literal clause watch lists (index = `2·var + (lit < 0)`).
+    watches: Vec<Vec<usize>>,
+    clauses: Vec<Vec<i64>>,
+    /// Set when the clause database alone is contradictory at root
+    /// level; every subsequent derivation is then trivially valid.
+    root_conflict: bool,
+}
+
+fn var(l: i64) -> usize {
+    l.unsigned_abs() as usize
+}
+
+fn lit_index(l: i64) -> usize {
+    var(l) * 2 + usize::from(l < 0)
+}
+
+impl Propagator {
+    /// An empty propagator.
+    pub fn new() -> Propagator {
+        Propagator {
+            assign: Vec::new(),
+            trail: Vec::new(),
+            watches: Vec::new(),
+            clauses: Vec::new(),
+            root_conflict: false,
+        }
+    }
+
+    /// True once the database is contradictory without assumptions.
+    pub fn root_conflict(&self) -> bool {
+        self.root_conflict
+    }
+
+    fn ensure_var(&mut self, v: usize) {
+        if v >= self.assign.len() {
+            self.assign.resize(v + 1, 0);
+            self.watches.resize((v + 1) * 2, Vec::new());
+        }
+    }
+
+    fn value(&self, l: i64) -> Option<bool> {
+        match self.assign[var(l)] {
+            0 => None,
+            1 => Some(l > 0),
+            _ => Some(l < 0),
+        }
+    }
+
+    fn enqueue(&mut self, l: i64) {
+        self.assign[var(l)] = if l > 0 { 1 } else { 2 };
+        self.trail.push(var(l));
+    }
+
+    /// Propagates every assignment from trail position `qhead` on;
+    /// returns `true` on conflict (the trail is left as-is either way —
+    /// the caller unwinds).
+    fn propagate(&mut self, mut qhead: usize) -> bool {
+        while qhead < self.trail.len() {
+            let v = self.trail[qhead];
+            qhead += 1;
+            let false_lit: i64 = if self.assign[v] == 1 {
+                -(v as i64)
+            } else {
+                v as i64
+            };
+            let widx = lit_index(false_lit);
+            let mut ws = std::mem::take(&mut self.watches[widx]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch among the tail literals.
+                let len = self.clauses[ci].len();
+                let mut moved = false;
+                for k in 2..len {
+                    let lk = self.clauses[ci][k];
+                    if self.value(lk) != Some(false) {
+                        self.clauses[ci].swap(1, k);
+                        let nw = lit_index(self.clauses[ci][1]);
+                        self.watches[nw].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting on `first`.
+                match self.value(first) {
+                    Some(false) => {
+                        self.watches[widx] = ws;
+                        return true;
+                    }
+                    None => {
+                        self.enqueue(first);
+                        i += 1;
+                    }
+                    Some(true) => unreachable!("handled above"),
+                }
+            }
+            self.watches[widx] = ws;
+        }
+        false
+    }
+
+    /// Adds a clause to the persistent database, propagating any
+    /// consequence at root level.
+    pub fn add_clause(&mut self, lits: &[i64]) {
+        for &l in lits {
+            self.ensure_var(var(l));
+        }
+        if self.root_conflict {
+            return;
+        }
+        if lits.iter().any(|&l| self.value(l) == Some(true)) {
+            // Root assignments never retract: the clause is satisfied
+            // forever and can never propagate anything new.
+            return;
+        }
+        let mut c: Vec<i64> = lits.to_vec();
+        // Move non-false literals to the watch positions.
+        let mut w = 0;
+        for k in 0..c.len() {
+            if self.value(c[k]).is_none() {
+                c.swap(w, k);
+                w += 1;
+                if w == 2 {
+                    break;
+                }
+            }
+        }
+        match w {
+            0 => self.root_conflict = true,
+            1 => {
+                let mark = self.trail.len();
+                let unit = c[0];
+                self.enqueue(unit);
+                if self.propagate(mark) {
+                    self.root_conflict = true;
+                }
+            }
+            _ => {
+                let ci = self.clauses.len();
+                self.watches[lit_index(c[0])].push(ci);
+                self.watches[lit_index(c[1])].push(ci);
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    /// True when asserting the negation of `clause` and unit-propagating
+    /// yields a conflict (the clause is a RUP consequence of the
+    /// database). The trail is restored afterwards.
+    pub fn has_rup(&mut self, clause: &[i64]) -> bool {
+        let negated: Vec<i64> = clause.iter().map(|&l| -l).collect();
+        self.units_conflict(&negated)
+    }
+
+    /// True when asserting `units` and unit-propagating yields a
+    /// conflict. The trail is restored afterwards.
+    pub fn units_conflict(&mut self, units: &[i64]) -> bool {
+        for &l in units {
+            self.ensure_var(var(l));
+        }
+        if self.root_conflict {
+            return true;
+        }
+        let mark = self.trail.len();
+        let mut conflict = false;
+        for &l in units {
+            match self.value(l) {
+                Some(true) => {}
+                Some(false) => {
+                    conflict = true;
+                    break;
+                }
+                None => self.enqueue(l),
+            }
+        }
+        if !conflict {
+            conflict = self.propagate(mark);
+        }
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("non-empty past mark");
+            self.assign[v] = 0;
+        }
+        conflict
+    }
+}
+
+impl Default for Propagator {
+    fn default() -> Propagator {
+        Propagator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rup_accepts_resolvents_and_rejects_non_consequences() {
+        let mut p = Propagator::new();
+        p.add_clause(&[1, 2]);
+        p.add_clause(&[-1, 2]);
+        // 2 follows by resolution → RUP.
+        assert!(p.has_rup(&[2]));
+        // 1 does not follow.
+        assert!(!p.has_rup(&[1]));
+        // Trail restored: still no root conflict.
+        assert!(!p.root_conflict());
+    }
+
+    #[test]
+    fn units_chain_to_conflict() {
+        let mut p = Propagator::new();
+        p.add_clause(&[-1, 2]);
+        p.add_clause(&[-2, 3]);
+        p.add_clause(&[-3]);
+        assert!(p.units_conflict(&[1]));
+        assert!(!p.units_conflict(&[-1]));
+    }
+
+    #[test]
+    fn root_conflict_from_contradictory_units() {
+        let mut p = Propagator::new();
+        p.add_clause(&[5]);
+        assert!(!p.root_conflict());
+        p.add_clause(&[-5]);
+        assert!(p.root_conflict());
+        // Everything is derivable from ⊥.
+        assert!(p.has_rup(&[9]));
+    }
+
+    #[test]
+    fn learnt_clauses_extend_the_database() {
+        let mut p = Propagator::new();
+        p.add_clause(&[1, 2]);
+        p.add_clause(&[1, -2]);
+        assert!(p.has_rup(&[1]));
+        p.add_clause(&[1]); // commit the learnt unit
+        p.add_clause(&[-1, 3]);
+        // Root propagation: 1, then 3.
+        assert!(p.units_conflict(&[-3]));
+    }
+}

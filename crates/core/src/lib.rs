@@ -42,6 +42,7 @@
 //! assert_eq!(report.warnings.len(), 2);
 //! ```
 
+pub mod certs;
 pub mod config;
 pub mod driver;
 pub mod interproc;
@@ -51,12 +52,16 @@ pub mod session;
 pub mod telemetry;
 pub mod triage;
 
+pub use certs::{
+    certs_json, ChainRecord, ChainStepRecord, Claim, ClaimKind, ProcCerts, StepEvidence,
+};
 pub use config::{AcspecOptions, ConfigName, DeadMetric};
 pub use driver::{analyze_procedure, analyze_procedure_multi, cons_baseline, AcspecError};
 pub use interproc::{infer_preconditions, InferredContracts};
 pub use report::{
-    program_report_json, AnalysisIncident, AnalysisOutcome, Fallback, IncidentKind, ProcReport,
-    ProcStats, ReportLabel, SibStatus, Warning, Witness, REPORT_SCHEMA_VERSION,
+    program_report_json, program_report_json_with, AnalysisIncident, AnalysisOutcome, Fallback,
+    IncidentKind, ProcReport, ProcStats, ReportLabel, SibStatus, Warning, Witness,
+    REPORT_SCHEMA_VERSION,
 };
 pub use search::{
     find_almost_correct_specs, find_almost_correct_specs_salvaging, find_almost_correct_specs_with,

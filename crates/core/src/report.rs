@@ -18,8 +18,10 @@ use crate::config::ConfigName;
 ///
 /// History: `1` — the implicit pre-versioning schema (no
 /// `schema_version` field); `2` — adds `schema_version`, the
-/// `Degraded` outcome, and program-level `incidents`.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// `Degraded` outcome, and program-level `incidents`; `3` — adds the
+/// program-level `certs_ref` sidecar reference (the `--certs-out`
+/// certificate document, re-validated by `acspec check`).
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// The SIB classification of Algorithm 1's `s`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -475,21 +477,41 @@ impl Serialize for AnalysisIncident {
 /// per-procedure reports, and the incidents, as pretty-printed JSON.
 /// This is the `acspec --format json` payload.
 pub fn program_report_json(reports: &[&ProcReport], incidents: &[AnalysisIncident]) -> String {
+    program_report_json_with(reports, incidents, None)
+}
+
+/// [`program_report_json`] with an optional `certs_ref`: the path of the
+/// certificate sidecar (`--certs-out`) this report's verdicts are backed
+/// by, stamped into the document so `acspec check` can locate it.
+pub fn program_report_json_with(
+    reports: &[&ProcReport],
+    incidents: &[AnalysisIncident],
+    certs_ref: Option<&str>,
+) -> String {
     struct Doc<'a> {
         reports: &'a [&'a ProcReport],
         incidents: &'a [AnalysisIncident],
+        certs_ref: Option<&'a str>,
     }
     impl Serialize for Doc<'_> {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            let mut st = serializer.serialize_struct("ProgramReport", 3)?;
+            let n = 3 + usize::from(self.certs_ref.is_some());
+            let mut st = serializer.serialize_struct("ProgramReport", n)?;
             st.serialize_field("schema_version", &REPORT_SCHEMA_VERSION)?;
+            if let Some(path) = self.certs_ref {
+                st.serialize_field("certs_ref", &path)?;
+            }
             st.serialize_field("reports", &self.reports)?;
             st.serialize_field("incidents", &self.incidents)?;
             st.end()
         }
     }
-    serde_json::to_string_pretty(&Doc { reports, incidents })
-        .expect("report serialization is infallible")
+    serde_json::to_string_pretty(&Doc {
+        reports,
+        incidents,
+        certs_ref,
+    })
+    .expect("report serialization is infallible")
 }
 
 impl Serialize for Warning {
@@ -553,8 +575,11 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert_eq!(value["warnings"][0]["witness"]["c"], 1);
         // Forward-compat: the schema version is the first thing a
-        // consumer can check.
-        assert_eq!(value["schema_version"], u64::from(REPORT_SCHEMA_VERSION));
+        // consumer can check. Pinned to the literal so a bump forces a
+        // deliberate update here (and in the independent checker, whose
+        // `SUPPORTED_SCHEMA_VERSION` tracks this constant).
+        assert_eq!(value["schema_version"], 3);
+        assert_eq!(u64::from(REPORT_SCHEMA_VERSION), 3);
     }
 
     #[test]
@@ -595,7 +620,7 @@ mod tests {
         );
         let json = program_report_json(&[], &[incident]);
         let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-        assert_eq!(value["schema_version"], u64::from(REPORT_SCHEMA_VERSION));
+        assert_eq!(value["schema_version"], 3);
         assert_eq!(value["reports"].as_array().map(Vec::len), Some(0));
         assert_eq!(value["incidents"][0]["kind"], "panic");
         assert_eq!(value["incidents"][0]["stage"], "cover");

@@ -28,6 +28,37 @@ pub enum DeadCheck {
     },
 }
 
+/// Why a clause subset was judged to create dead code — the evidence a
+/// weakening-chain certificate grounds each step in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadEvidence {
+    /// The subset's conjunction selects no input states at all (the
+    /// paper's `WP ≡ ∅` special case); certified by an Unsat proof of
+    /// the subset's selectors.
+    Inconsistent,
+    /// This tracked location became unreachable; certified by an Unsat
+    /// proof of `reach(loc)` under the subset's selectors.
+    DeadLoc(LocId),
+    /// A baseline-feasible path profile disappeared (path metric). Not
+    /// certifiable per location — the chain step is structural only.
+    Path,
+    /// Superset of a subset already known dead (§2.3 monotonicity via
+    /// the dominance lattice). Grounded by the referenced subset's own
+    /// direct evidence.
+    Dominated(Vec<u32>),
+}
+
+/// One step of Algorithm 2's greedy weakening: `subset` was still too
+/// strong (see the matching [`DeadEvidence`]) and `removed` was dropped
+/// from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainStep {
+    /// The dead subset this step weakened (sorted clause indices).
+    pub subset: Vec<u32>,
+    /// The clause index removed by this step.
+    pub removed: u32,
+}
+
 /// Result of the Algorithm 2 search (before `Normalize`/`PruneClauses`).
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -41,6 +72,13 @@ pub struct SearchOutcome {
     pub specs: Vec<BTreeSet<u32>>,
     /// Clause subsets evaluated (statistics).
     pub nodes_visited: usize,
+    /// Per-spec weakening chain, parallel to `specs`: the one-clause
+    /// removals leading from the full cover down to the spec. Empty for
+    /// the `root_dead = false` case (the cover itself is the spec).
+    pub chains: Vec<Vec<ChainStep>>,
+    /// Dead-verdict evidence for every subset appearing in a chain,
+    /// sorted by subset for determinism.
+    pub dead_evidence: Vec<(Vec<u32>, DeadEvidence)>,
 }
 
 /// Is sorted `a` a subset of sorted `b` (clause-index sets)?
@@ -87,6 +125,9 @@ struct SubsetEval<'a> {
     deadly: Vec<Vec<u32>>,
     /// `(subset, lower bound on |Fail(⋀subset)|)` from early exits.
     fail_floors: Vec<(Vec<u32>, usize)>,
+    /// Why each dead subset was judged dead (first verdict wins; the
+    /// memo guarantees one verdict per subset).
+    evidence: HashMap<Vec<u32>, DeadEvidence>,
 }
 
 impl SubsetEval<'_> {
@@ -109,14 +150,19 @@ impl SubsetEval<'_> {
                 self.dead_memo.insert(key, false);
                 return Ok(false);
             }
-            if self.deadly.iter().any(|s| ids_subset(s, &key)) {
+            if let Some(base) = self.deadly.iter().find(|s| ids_subset(s, &key)) {
+                self.evidence
+                    .insert(key.clone(), DeadEvidence::Dominated(base.clone()));
                 self.dead_memo.insert(key, true);
                 return Ok(true);
             }
         }
         let active = self.active(subset);
         let mut result = !self.az.is_consistent(&active, &[])?;
-        if !result {
+        if result {
+            self.evidence
+                .insert(key.clone(), DeadEvidence::Inconsistent);
+        } else {
             match self.dead_check {
                 DeadCheck::Branch { baseline_dead } => {
                     for &l in &self.locs {
@@ -125,6 +171,7 @@ impl SubsetEval<'_> {
                         }
                         if !self.az.is_reachable(l, &active)? {
                             result = true;
+                            self.evidence.insert(key.clone(), DeadEvidence::DeadLoc(l));
                             break;
                         }
                     }
@@ -135,6 +182,9 @@ impl SubsetEval<'_> {
                 } => {
                     let profiles = self.az.path_profiles(&active, *cap)?;
                     result = baseline_profiles.difference(&profiles).next().is_some();
+                    if result {
+                        self.evidence.insert(key.clone(), DeadEvidence::Path);
+                    }
                 }
             }
         }
@@ -307,6 +357,7 @@ pub fn find_almost_correct_specs_salvaging(
         dead_free: Vec::new(),
         deadly: Vec::new(),
         fail_floors: Vec::new(),
+        evidence: HashMap::new(),
     };
 
     let full: BTreeSet<u32> = (0..selectors.len() as u32).collect();
@@ -320,6 +371,8 @@ pub fn find_almost_correct_specs_salvaging(
             min_fail: 0,
             specs: vec![full],
             nodes_visited,
+            chains: vec![Vec::new()],
+            dead_evidence: Vec::new(),
         });
     }
 
@@ -328,6 +381,10 @@ pub fn find_almost_correct_specs_salvaging(
     let mut visited: BTreeSet<BTreeSet<u32>> = BTreeSet::new();
     let mut output: Vec<BTreeSet<u32>> = Vec::new();
     let mut min_fail = n_asserts;
+    // First-discovered parent of each visited subset: which frontier
+    // member it was weakened from and the clause removed. Walked
+    // backwards to reconstruct each spec's weakening chain.
+    let mut parents: HashMap<Vec<u32>, (Vec<u32>, u32)> = HashMap::new();
 
     // On any abort below, snapshot the best-so-far output into the
     // caller's salvage slot and propagate the timeout.
@@ -337,11 +394,18 @@ pub fn find_almost_correct_specs_salvaging(
             best.sort();
             best.dedup();
             if !best.is_empty() {
+                let chains: Vec<Vec<ChainStep>> = best
+                    .iter()
+                    .map(|s| build_chain(&parents, &eval.evidence, s))
+                    .collect();
+                let dead_evidence = collect_evidence(&chains, &eval.evidence);
                 *salvage = Some(SearchOutcome {
                     root_dead: true,
                     min_fail: $min_fail,
                     specs: best,
                     nodes_visited: $nodes,
+                    chains,
+                    dead_evidence,
                 });
             }
             return Err($t);
@@ -355,6 +419,10 @@ pub fn find_almost_correct_specs_salvaging(
             if !visited.insert(c2.clone()) {
                 continue; // line 13–15: already visited
             }
+            parents.insert(
+                c2.iter().copied().collect(),
+                (c1.iter().copied().collect(), c),
+            );
             nodes_visited += 1;
             if nodes_visited > max_nodes {
                 eval.az.note_cap_fault();
@@ -436,12 +504,69 @@ pub fn find_almost_correct_specs_salvaging(
     // reached Dead = ∅ within the lattice (only possible when the output
     // is empty, e.g. every subset keeps dead code until `true`, which
     // fails everything and is recorded like any other subset).
+    let chains: Vec<Vec<ChainStep>> = output
+        .iter()
+        .map(|s| build_chain(&parents, &eval.evidence, s))
+        .collect();
+    let dead_evidence = collect_evidence(&chains, &eval.evidence);
     Ok(SearchOutcome {
         root_dead: true,
         min_fail,
         specs: output,
         nodes_visited,
+        chains,
+        dead_evidence,
     })
+}
+
+/// Reconstructs the weakening chain for `spec` by walking the parent
+/// map up to the full cover, in root-to-spec order. A chain is only
+/// emitted when *every* intermediate subset has a dead verdict on
+/// record — a parent pushed by the `fail == 0` fidelity branch of the
+/// paper's listing is not dead, so its chain is ungrounded and an empty
+/// chain is returned instead (the certificate layer skips it).
+fn build_chain(
+    parents: &HashMap<Vec<u32>, (Vec<u32>, u32)>,
+    evidence: &HashMap<Vec<u32>, DeadEvidence>,
+    spec: &BTreeSet<u32>,
+) -> Vec<ChainStep> {
+    let mut steps = Vec::new();
+    let mut cur: Vec<u32> = spec.iter().copied().collect();
+    while let Some((parent, removed)) = parents.get(&cur) {
+        if !evidence.contains_key(parent) {
+            return Vec::new();
+        }
+        steps.push(ChainStep {
+            subset: parent.clone(),
+            removed: *removed,
+        });
+        cur = parent.clone();
+    }
+    steps.reverse();
+    steps
+}
+
+/// Gathers the dead verdict for every subset referenced by some chain,
+/// sorted by subset for deterministic output.
+fn collect_evidence(
+    chains: &[Vec<ChainStep>],
+    evidence: &HashMap<Vec<u32>, DeadEvidence>,
+) -> Vec<(Vec<u32>, DeadEvidence)> {
+    let mut subsets: BTreeSet<&Vec<u32>> = BTreeSet::new();
+    for chain in chains {
+        for step in chain {
+            subsets.insert(&step.subset);
+        }
+        for step in chain {
+            if let Some(DeadEvidence::Dominated(base)) = evidence.get(&step.subset) {
+                subsets.insert(base);
+            }
+        }
+    }
+    subsets
+        .into_iter()
+        .map(|s| (s.clone(), evidence[s].clone()))
+        .collect()
 }
 
 #[cfg(test)]

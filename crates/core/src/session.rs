@@ -44,7 +44,7 @@
 //! deterministic regardless of thread count.
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 
 use acspec_ir::arena::TermStats;
@@ -62,13 +62,14 @@ use acspec_vcgen::cache::CacheStats;
 use acspec_vcgen::chaos::ChaosStats;
 use acspec_vcgen::stage::{FaultReason, Stage, StageError, StageMetrics, StageTable};
 
+use crate::certs::{ChainRecord, ChainStepRecord, Claim, ClaimKind, ProcCerts, StepEvidence};
 use crate::config::{AcspecOptions, ConfigName, DeadMetric};
 use crate::driver::AcspecError;
 use crate::report::{
     AnalysisIncident, AnalysisOutcome, Fallback, IncidentKind, ProcReport, ProcStats, ReportLabel,
     SibStatus, Warning, Witness,
 };
-use crate::search::{find_almost_correct_specs_salvaging, DeadCheck, SearchOutcome};
+use crate::search::{find_almost_correct_specs_salvaging, DeadCheck, DeadEvidence, SearchOutcome};
 
 thread_local! {
     /// The pipeline stage the current worker thread is executing, for
@@ -319,6 +320,17 @@ pub struct ProcSession {
     cover_salvage: Option<Cover>,
     /// Best candidate salvaged from the last failed `Search` stage.
     search_salvage: Option<SearchOutcome>,
+    /// Whether verdicts are certified (off by default; certification
+    /// happens *outside* [`ProcSession::staged`] closures so replay wall
+    /// time never pollutes stage tables or report stats).
+    certify: bool,
+    /// Certified report-level claims, in recording order.
+    claims: Vec<Claim>,
+    /// Certified weakening chains.
+    chains: Vec<ChainRecord>,
+    /// `(label, spec)` pairs already certified, so prune variants that
+    /// collapse to the same specification share one claim set.
+    cert_seen: HashSet<(String, String)>,
 }
 
 impl ProcSession {
@@ -373,6 +385,39 @@ impl ProcSession {
             query_events: Vec::new(),
             cover_salvage: None,
             search_salvage: None,
+            certify: false,
+            claims: Vec::new(),
+            chains: Vec::new(),
+            cert_seen: HashSet::new(),
+        })
+    }
+
+    /// Enables verdict certification: every claim a report surfaces is
+    /// backed by a fresh-solver-replay certificate in the session's
+    /// [`CertStore`](acspec_vcgen::CertStore). Certification runs off
+    /// the query path (no budget, no chaos, no counters), so reports are
+    /// byte-identical with it on.
+    pub fn enable_certs(&mut self) {
+        self.certify = true;
+        self.az.enable_certs();
+    }
+
+    /// Whether [`ProcSession::enable_certs`] was called.
+    pub fn certs_enabled(&self) -> bool {
+        self.certify
+    }
+
+    /// Drains everything the session certified (store, claims, chains).
+    /// `None` unless [`ProcSession::enable_certs`] was called.
+    pub fn take_certs(&mut self) -> Option<ProcCerts> {
+        if !self.certify {
+            return None;
+        }
+        Some(ProcCerts {
+            proc_name: self.proc_name.clone(),
+            store: self.az.take_cert_store().unwrap_or_default(),
+            claims: std::mem::take(&mut self.claims),
+            chains: std::mem::take(&mut self.chains),
         })
     }
 
@@ -500,6 +545,20 @@ impl ProcSession {
             Ok(c) => c,
             Err(_) => return Err(self.az.stage_error(Stage::Screen)),
         };
+        if self.certify {
+            if let DeadCheck::Branch { baseline_dead } = &check {
+                let locs: Vec<_> = baseline_dead.iter().copied().collect();
+                for loc in locs {
+                    if let Some(cert) = self.az.certify_reachable(loc, &[]) {
+                        self.claims.push(Claim {
+                            label: "shared".into(),
+                            kind: ClaimKind::BaselineDead { loc },
+                            cert,
+                        });
+                    }
+                }
+            }
+        }
         self.dead_baseline = Some((metric, check));
         Ok(())
     }
@@ -605,6 +664,9 @@ impl ProcSession {
                 let fails = self.demonic_fail.as_ref().expect("just ensured").clone();
                 if fails.is_empty() {
                     seed.status = SibStatus::Correct;
+                }
+                if self.certify {
+                    self.certify_cons(&fails);
                 }
                 warnings = fails
                     .into_iter()
@@ -755,59 +817,69 @@ impl ProcSession {
         prune: PruneConfig,
     ) -> Evaluation {
         let label = Some(ReportLabel::Config(opts.config));
-        self.staged(Stage::Evaluate, label, |s| {
-            let call_sites_of_pred = |p: usize| -> Vec<u32> {
-                cover.preds[p]
-                    .nu_consts()
-                    .into_iter()
-                    .map(|nu| nu.site)
-                    .collect()
-            };
-            let mut warned: BTreeSet<AssertId> = BTreeSet::new();
-            let mut witnesses: BTreeMap<AssertId, Witness> = BTreeMap::new();
-            let mut specs: Vec<Formula> = Vec::new();
-            let mut timeout = None;
-            for clauses in normalized {
-                let pruned = prune_clauses(clauses, prune, &call_sites_of_pred);
-                let spec_formula = clauses_to_formula(&pruned, &cover.preds);
-                if !specs.contains(&spec_formula) {
-                    specs.push(spec_formula);
-                }
-                let sel = install_clause_set_selector(&mut s.az, cover, &pruned);
-                match s.az.fail_set(&[sel]) {
-                    Ok(fails) => {
-                        for id in &fails {
-                            if !witnesses.contains_key(id) {
-                                if let Ok(Some(w)) = s.az.failure_witness(*id, &[sel]) {
-                                    if !w.is_empty() {
-                                        witnesses.insert(*id, Witness::from(w));
+        // Pruned clause sets whose `Fail(Φ)` query completed, with their
+        // failure sets — certified after the staged closure returns so
+        // replay wall time stays out of the stage table.
+        let mut completed: Vec<(Vec<QClause>, Formula, BTreeSet<AssertId>)> = Vec::new();
+        let evaluation = self
+            .staged(Stage::Evaluate, label, |s| {
+                let call_sites_of_pred = |p: usize| -> Vec<u32> {
+                    cover.preds[p]
+                        .nu_consts()
+                        .into_iter()
+                        .map(|nu| nu.site)
+                        .collect()
+                };
+                let mut warned: BTreeSet<AssertId> = BTreeSet::new();
+                let mut witnesses: BTreeMap<AssertId, Witness> = BTreeMap::new();
+                let mut specs: Vec<Formula> = Vec::new();
+                let mut timeout = None;
+                for clauses in normalized {
+                    let pruned = prune_clauses(clauses, prune, &call_sites_of_pred);
+                    let spec_formula = clauses_to_formula(&pruned, &cover.preds);
+                    if !specs.contains(&spec_formula) {
+                        specs.push(spec_formula.clone());
+                    }
+                    let sel = install_clause_set_selector(&mut s.az, cover, &pruned);
+                    match s.az.fail_set(&[sel]) {
+                        Ok(fails) => {
+                            for id in &fails {
+                                if !witnesses.contains_key(id) {
+                                    if let Ok(Some(w)) = s.az.failure_witness(*id, &[sel]) {
+                                        if !w.is_empty() {
+                                            witnesses.insert(*id, Witness::from(w));
+                                        }
                                     }
                                 }
                             }
+                            completed.push((pruned, spec_formula, fails.clone()));
+                            warned.extend(fails);
                         }
-                        warned.extend(fails);
-                    }
-                    Err(_) => {
-                        timeout = Some(s.az.stage_error(Stage::Evaluate));
-                        break;
+                        Err(_) => {
+                            timeout = Some(s.az.stage_error(Stage::Evaluate));
+                            break;
+                        }
                     }
                 }
-            }
-            let warnings = warned
-                .into_iter()
-                .map(|id| Warning {
-                    assert: id,
-                    tag: s.tag_of(id),
-                    witness: witnesses.remove(&id),
-                })
-                .collect();
-            Evaluation {
-                specs,
-                warnings,
-                timeout,
-            }
-        })
-        .0
+                let warnings = warned
+                    .into_iter()
+                    .map(|id| Warning {
+                        assert: id,
+                        tag: s.tag_of(id),
+                        witness: witnesses.remove(&id),
+                    })
+                    .collect();
+                Evaluation {
+                    specs,
+                    warnings,
+                    timeout,
+                }
+            })
+            .0;
+        if self.certify {
+            self.certify_specs(ReportLabel::Config(opts.config), cover, &completed);
+        }
+        evaluation
     }
 
     /// Runs the full pipeline (`FindAbstractSIBs`, Algorithm 1) for one
@@ -875,6 +947,9 @@ impl ProcSession {
             }
         };
         seed.n_cover_clauses = cover.clauses.len();
+        if self.certify {
+            self.certify_cover(label, &cover, true);
+        }
 
         // Top rung: a failed search still yields Algorithm 2's best
         // candidate so far; the rest of the pipeline runs on it.
@@ -898,6 +973,11 @@ impl ProcSession {
                 fallback: Fallback::BestCandidate,
             };
             seed.timeout_stage = Some(stage);
+        }
+        if self.certify {
+            // Works for salvaged outcomes too: the abort path logs the
+            // same chains/evidence, so a degraded run stays auditable.
+            self.certify_search(label, &cover, &search);
         }
 
         let normalized = self.normal_form(opts, &cover, &search);
@@ -990,6 +1070,11 @@ impl ProcSession {
             from_stage: error.stage,
             fallback: Fallback::CappedCover,
         };
+        if self.certify {
+            // A salvaged cover is partial: its cubes are still certified
+            // feasible, but no exhaustion claim is made.
+            self.certify_cover(label, partial, false);
+        }
         let baseline = self.az.stage_stats();
         let smt_baseline = self.az.solver_counters();
         let spec = clauses_to_formula(
@@ -1035,6 +1120,204 @@ impl ProcSession {
                 r
             })
             .collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Certification (all off the query path: fresh-solver replays that
+    // charge no budget, draw no chaos, and bump no counters; and all
+    // called *outside* `staged` closures so replay wall time never
+    // reaches the stage tables).
+    // -----------------------------------------------------------------
+
+    /// Certifies the `Cons` screen: one claim per assertion — `can_fail`
+    /// (Sat, with a failure model) for demonic warnings, `cannot_fail`
+    /// (Unsat, with a proof) for the rest.
+    fn certify_cons(&mut self, fails: &BTreeSet<AssertId>) {
+        for a in self.az.assertions() {
+            let tag = self.tag_of(a);
+            let kind = if fails.contains(&a) {
+                ClaimKind::CanFail { assert: a, tag }
+            } else {
+                ClaimKind::CannotFail { assert: a, tag }
+            };
+            if let Some(cert) = self.az.certify_can_fail(a, &[]) {
+                self.claims.push(Claim {
+                    label: "Cons".into(),
+                    kind,
+                    cert,
+                });
+            }
+        }
+    }
+
+    /// Certifies a predicate cover: each clause's originating ALL-SAT
+    /// cube is feasible (Sat), and — for complete covers — the blocking
+    /// clauses exhaust the failure space (Unsat).
+    fn certify_cover(&mut self, label: ReportLabel, cover: &Cover, complete: bool) {
+        let label_s = label.to_string();
+        let mut blocking: Vec<Vec<TermId>> = Vec::with_capacity(cover.clauses.len());
+        for (i, clause) in cover.clauses.iter().enumerate() {
+            // The cover clause is the negation of the discovered cube: a
+            // positive clause literal means the cube assigned the
+            // predicate false.
+            let mut cube_terms: Vec<TermId> = Vec::with_capacity(clause.lits().len());
+            let mut lits: Vec<i64> = Vec::with_capacity(clause.lits().len());
+            let mut block: Vec<TermId> = Vec::with_capacity(clause.lits().len());
+            for l in clause.lits() {
+                let ind = cover.indicators[l.pred];
+                if l.positive {
+                    cube_terms.push(self.az.ctx.mk_not(ind));
+                    lits.push(-i64::from(ind.0));
+                    block.push(ind);
+                } else {
+                    cube_terms.push(ind);
+                    lits.push(i64::from(ind.0));
+                    block.push(self.az.ctx.mk_not(ind));
+                }
+            }
+            blocking.push(block);
+            if let Some(cert) = self.az.certify_any_failure(&[], &cube_terms, &[]) {
+                self.claims.push(Claim {
+                    label: label_s.clone(),
+                    kind: ClaimKind::CubeFeasible { cube: i, lits },
+                    cert,
+                });
+            }
+        }
+        if complete {
+            if let Some(cert) = self.az.certify_any_failure(&[], &[], &blocking) {
+                self.claims.push(Claim {
+                    label: label_s,
+                    kind: ClaimKind::CoverExhausted,
+                    cert,
+                });
+            }
+        }
+    }
+
+    /// Certifies the search's weakening chains: every dead verdict along
+    /// a chain gets evidence — an inconsistency or unreachability proof
+    /// for direct verdicts, a reference to the dominating subset's own
+    /// proof for lattice hits (never a fabricated one).
+    fn certify_search(&mut self, label: ReportLabel, cover: &Cover, search: &SearchOutcome) {
+        let label_s = label.to_string();
+        let handles = cover.install_handles(&mut self.az);
+        let selectors: Vec<Selector> = handles.iter().map(|&(sel, _)| sel).collect();
+        // Direct evidence first; dominated subsets reference it.
+        let mut direct: HashMap<Vec<u32>, StepEvidence> = HashMap::new();
+        for (subset, ev) in &search.dead_evidence {
+            let active: Vec<Selector> = subset.iter().map(|&i| selectors[i as usize]).collect();
+            match ev {
+                DeadEvidence::Inconsistent => {
+                    if let Some(cert) = self.az.certify_consistent(&active, &[]) {
+                        direct.insert(subset.clone(), StepEvidence::Inconsistent { cert });
+                    }
+                }
+                DeadEvidence::DeadLoc(loc) => {
+                    if let Some(cert) = self.az.certify_reachable(*loc, &active) {
+                        direct.insert(subset.clone(), StepEvidence::DeadLoc { loc: *loc, cert });
+                    }
+                }
+                DeadEvidence::Path => {
+                    direct.insert(subset.clone(), StepEvidence::Path);
+                }
+                DeadEvidence::Dominated(_) => {}
+            }
+        }
+        let mut full = direct.clone();
+        for (subset, ev) in &search.dead_evidence {
+            if let DeadEvidence::Dominated(base) = ev {
+                if let Some(base_ev) = direct.get(base) {
+                    full.insert(
+                        subset.clone(),
+                        StepEvidence::Dominated {
+                            base: base.clone(),
+                            evidence: Box::new(base_ev.clone()),
+                        },
+                    );
+                }
+            }
+        }
+        for (i, steps) in search.chains.iter().enumerate() {
+            let spec: Vec<u32> = search
+                .specs
+                .get(i)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            let mut recs = Vec::with_capacity(steps.len());
+            let mut grounded = true;
+            for st in steps {
+                match full.get(&st.subset) {
+                    Some(ev) => recs.push(ChainStepRecord {
+                        subset: st.subset.clone(),
+                        removed: st.removed,
+                        evidence: ev.clone(),
+                    }),
+                    None => {
+                        grounded = false;
+                        break;
+                    }
+                }
+            }
+            if grounded {
+                self.chains.push(ChainRecord {
+                    label: label_s.clone(),
+                    spec,
+                    steps: recs,
+                });
+            }
+        }
+    }
+
+    /// Certifies the evaluated specifications: per spec × screened
+    /// assertion, `spec_fails` (Sat: the warning's failure model) or
+    /// `spec_holds` (Unsat: the suppression is proved). Restricted to
+    /// the demonic failure set — assertions that cannot fail demonically
+    /// cannot fail under any specification (§2.3 monotonicity) and are
+    /// already covered by the `Cons` claims.
+    fn certify_specs(
+        &mut self,
+        label: ReportLabel,
+        cover: &Cover,
+        completed: &[(Vec<QClause>, Formula, BTreeSet<AssertId>)],
+    ) {
+        let label_s = label.to_string();
+        let demonic: Vec<AssertId> = self
+            .demonic_fail
+            .clone()
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+        for (pruned, formula, fails) in completed {
+            let spec_s = formula.to_string();
+            if !self.cert_seen.insert((label_s.clone(), spec_s.clone())) {
+                continue;
+            }
+            let sel = install_clause_set_selector(&mut self.az, cover, pruned);
+            for &a in &demonic {
+                let tag = self.tag_of(a);
+                let kind = if fails.contains(&a) {
+                    ClaimKind::SpecFails {
+                        spec: spec_s.clone(),
+                        assert: a,
+                        tag,
+                    }
+                } else {
+                    ClaimKind::SpecHolds {
+                        spec: spec_s.clone(),
+                        assert: a,
+                        tag,
+                    }
+                };
+                if let Some(cert) = self.az.certify_can_fail(a, &[sel]) {
+                    self.claims.push(Claim {
+                        label: label_s.clone(),
+                        kind,
+                        cert,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -1167,6 +1450,7 @@ pub struct ProgramAnalysis<'p> {
     prune_variants: Vec<PruneConfig>,
     threads: usize,
     skip_correct: bool,
+    certify: bool,
 }
 
 /// Everything one session produced for one procedure.
@@ -1186,6 +1470,9 @@ pub struct ProcAnalysis {
     /// via [`SessionObserver::wants_queries`]), grouped by enclosing
     /// stage run in stage completion order.
     pub queries: Vec<QueryEvent>,
+    /// The session's certificates (claims, chains, shared store). `None`
+    /// unless [`ProgramAnalysis::certify`] was enabled.
+    pub certs: Option<ProcCerts>,
 }
 
 impl ProcAnalysis {
@@ -1264,6 +1551,7 @@ impl<'p> ProgramAnalysis<'p> {
             prune_variants: Vec::new(),
             threads: 0,
             skip_correct: true,
+            certify: false,
         }
     }
 
@@ -1313,6 +1601,16 @@ impl<'p> ProgramAnalysis<'p> {
         self
     }
 
+    /// Whether every session certifies its verdicts (default `false`).
+    /// Certification replays queries against fresh solvers off the
+    /// budget/chaos/counter paths, so reports are byte-identical either
+    /// way; each [`ProcAnalysis::certs`] then carries the evidence.
+    #[must_use]
+    pub fn certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
+    }
+
     fn analyze_one(
         &self,
         proc: &Procedure,
@@ -1320,6 +1618,9 @@ impl<'p> ProgramAnalysis<'p> {
     ) -> Result<ProcAnalysis, AcspecError> {
         let mut session = ProcSession::new(self.program, proc, self.base.analyzer)?;
         session.set_query_recording(record_queries);
+        if self.certify {
+            session.enable_certs();
+        }
         let cons = session.cons();
         let reports = if self.skip_correct && cons.status == SibStatus::Correct {
             Vec::new()
@@ -1339,6 +1640,7 @@ impl<'p> ProgramAnalysis<'p> {
             reports,
             events: session.take_events(),
             queries: session.take_query_events(),
+            certs: session.take_certs(),
         })
     }
 

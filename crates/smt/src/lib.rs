@@ -41,8 +41,8 @@ pub mod solver;
 pub mod term;
 
 pub use rat::Rat;
-pub use sat::{Lit, SolveResult, Var};
-pub use solver::{SmtResult, SmtStats, Solver, SolverConfig, SolverCounters};
+pub use sat::{Lit, ProofEvent, SolveResult, Var};
+pub use solver::{ClauseTag, SmtResult, SmtStats, Solver, SolverConfig, SolverCounters};
 pub use term::{Ctx, Term, TermId, TermSort};
 
 #[cfg(test)]

@@ -99,6 +99,33 @@ pub enum SolveResult {
     Unknown,
 }
 
+/// One entry of the proof event log (see [`Sat::enable_proof`]).
+///
+/// The log interleaves *input* clauses (everything the caller added,
+/// recorded pre-simplification together with a caller-supplied
+/// provenance tag) and *learnt* clauses (each first-UIP resolvent, in
+/// derivation order). Every learnt clause is a reverse-unit-propagation
+/// (RUP) consequence of the events before it, so an independent checker
+/// can replay the log: validate each input clause against its
+/// provenance, confirm each learnt clause by propagation, and finally
+/// derive a conflict from the unsatisfiable core alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofEvent {
+    /// A caller-added clause, with the tag index the caller supplied
+    /// (see [`Sat::add_clause_tagged`]).
+    Input {
+        /// The clause literals exactly as given (pre-simplification).
+        lits: Vec<Lit>,
+        /// Caller-side provenance index.
+        tag: u32,
+    },
+    /// A learnt (first-UIP, minimized) clause.
+    Learnt {
+        /// The learnt clause literals.
+        lits: Vec<Lit>,
+    },
+}
+
 #[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,
@@ -223,6 +250,11 @@ pub struct Sat {
     max_learnts: usize,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
+    /// Proof event log (`None` = logging disabled, the default).
+    proof: Option<Vec<ProofEvent>>,
+    /// Assumption subset responsible for the last `Unsat` answer
+    /// (empty when the clauses alone are unsatisfiable).
+    final_core: Vec<Lit>,
     /// Total conflicts over the solver's lifetime (statistics).
     pub conflicts: u64,
     /// Total decisions over the solver's lifetime (statistics).
@@ -258,6 +290,8 @@ impl Sat {
             n_learnts: 0,
             max_learnts: 4000,
             seen: Vec::new(),
+            proof: None,
+            final_core: Vec::new(),
             conflicts: 0,
             decisions: 0,
             propagations: 0,
@@ -308,12 +342,55 @@ impl Sat {
         self.trail_lim.len() as u32
     }
 
+    /// Turns on proof logging: every subsequently added clause and every
+    /// learnt clause is appended to the event log. Must be called before
+    /// the first clause for the log to be replayable from scratch.
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_none() {
+            self.proof = Some(Vec::new());
+        }
+    }
+
+    /// The proof event log so far (empty when logging is disabled).
+    pub fn proof_events(&self) -> &[ProofEvent] {
+        self.proof.as_deref().unwrap_or(&[])
+    }
+
+    /// The assumption literals responsible for the most recent `Unsat`
+    /// answer (a subset of the `solve` assumptions; empty when the
+    /// clauses alone are unsatisfiable).
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.final_core
+    }
+
+    /// Adds a clause carrying a caller-side provenance tag for the proof
+    /// log. Identical to [`Sat::add_clause`] otherwise.
+    pub fn add_clause_tagged(&mut self, lits: &[Lit], tag: u32) -> bool {
+        if let Some(log) = &mut self.proof {
+            log.push(ProofEvent::Input {
+                lits: lits.to_vec(),
+                tag,
+            });
+        }
+        self.add_clause_untagged(lits)
+    }
+
     /// Adds a clause. Returns `false` if the solver became trivially
     /// unsatisfiable (empty clause or conflicting units at level 0).
     ///
     /// May be called between `solve` invocations (the trail is rewound to
     /// the root level first).
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if let Some(log) = &mut self.proof {
+            log.push(ProofEvent::Input {
+                lits: lits.to_vec(),
+                tag: u32::MAX,
+            });
+        }
+        self.add_clause_untagged(lits)
+    }
+
+    fn add_clause_untagged(&mut self, lits: &[Lit]) -> bool {
         if !self.ok {
             return false;
         }
@@ -582,6 +659,43 @@ impl Sat {
         (learnt, bt)
     }
 
+    /// Computes the subset of `assumptions` responsible for forcing
+    /// `p` false (MiniSat's `analyzeFinal`): walks the implication graph
+    /// from `p` back to assumption-level decisions. Root-level (level-0)
+    /// antecedents are dropped — they hold under no assumptions at all.
+    fn analyze_final(&self, p: Lit, assumptions: &[Lit]) -> Vec<Lit> {
+        if self.decision_level() == 0 {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.assigns.len()];
+        seen[p.var().0 as usize] = true;
+        let mut core = Vec::new();
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().0 as usize;
+            if !seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => {
+                    // A decision: during assumption placement every
+                    // decision is an assumption literal.
+                    if assumptions.contains(&l) {
+                        core.push(l);
+                    }
+                }
+                Some(cref) => {
+                    for &q in &self.clauses[cref].lits {
+                        if self.level[q.var().0 as usize] > 0 {
+                            seen[q.var().0 as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        core
+    }
+
     fn reduce_db(&mut self) {
         // Delete the lower-activity half of the learnt clauses, keeping
         // reason clauses.
@@ -631,6 +745,7 @@ impl Sat {
     /// Solves under the given assumption literals with an optional conflict
     /// budget. The solver may be reused afterwards (clauses persist).
     pub fn solve(&mut self, assumptions: &[Lit], budget: Option<u64>) -> SolveResult {
+        self.final_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -669,9 +784,16 @@ impl Sat {
                     // literal. Keep the clause, backtrack, and let
                     // propagation + re-decision detect unsatisfiability.
                 }
+                if let Some(log) = &mut self.proof {
+                    log.push(ProofEvent::Learnt {
+                        lits: learnt.clone(),
+                    });
+                }
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == LBool::False {
+                        // False at the root level: the clauses alone are
+                        // unsatisfiable, so the core is empty.
                         self.ok = false;
                         return SolveResult::Unsat;
                     }
@@ -707,6 +829,11 @@ impl Sat {
                             self.trail_lim.push(self.trail.len());
                         }
                         LBool::False => {
+                            let mut core = self.analyze_final(a, assumptions);
+                            if !core.contains(&a) {
+                                core.push(a);
+                            }
+                            self.final_core = core;
                             self.cancel_until(0);
                             return SolveResult::Unsat;
                         }

@@ -13,8 +13,55 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use crate::euf::{Euf, Node};
 use crate::lia::{Lia, LiaVar};
 use crate::rat::Rat;
-use crate::sat::{Lit, Sat, SolveResult, Var};
+use crate::sat::{Lit, ProofEvent, Sat, SolveResult, Var};
 use crate::term::{Ctx, Term, TermId, TermSort};
+
+/// Provenance of one clause in the proof log (see
+/// [`Solver::enable_proof`]). Every clause the solver ever hands to the
+/// SAT core falls into exactly one of these categories, so an
+/// independent checker can re-validate the whole clause database:
+/// `Assert`/`Purify` units are definitional conservative extensions,
+/// `Tseitin` clauses are forced by the term structure, `Theory` clauses
+/// are theory-valid (refute their negation with congruence closure plus
+/// Fourier–Motzkin), and `External` clauses are the caller's own
+/// (ALL-SAT blocking, validated against the cube log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClauseTag {
+    /// Unit clause asserting a root term ([`Solver::assert_term`]).
+    Assert {
+        /// The asserted boolean term.
+        term: TermId,
+    },
+    /// Unit clause from integer/map ite purification: `term` is one of
+    /// the two guarded equations (`cond → k = then`, `¬cond → k = else`)
+    /// defining the fresh variable `var` for the lifted `ite`.
+    Purify {
+        /// The asserted guarded-equation term.
+        term: TermId,
+        /// The original `Ite` term being lifted.
+        ite: TermId,
+        /// The fresh variable standing for the ite's value.
+        var: TermId,
+    },
+    /// A Tseitin definitional clause of `term`'s encoding literal.
+    Tseitin {
+        /// The boolean term being encoded.
+        term: TermId,
+    },
+    /// A theory lemma or theory-conflict blocking clause: each part is a
+    /// boolean term together with the polarity it occurs with in the
+    /// clause (`true` = positive literal).
+    Theory {
+        /// The clause, as (term, polarity) literals.
+        parts: Vec<(TermId, bool)>,
+    },
+    /// A caller-added clause over boolean terms
+    /// ([`Solver::add_clause_terms`]); used for ALL-SAT blocking.
+    External {
+        /// The clause part terms, as written.
+        parts: Vec<TermId>,
+    },
+}
 
 /// Result of an SMT check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +172,9 @@ pub struct Solver {
     branch_done: HashSet<(TermId, i128)>,
     /// Integer model values from the last successful theory check.
     last_model: HashMap<TermId, i64>,
+    /// Clause provenance tags, parallel to the SAT core's proof log
+    /// (`None` = proof mode off, the default).
+    proof_tags: Option<Vec<ClauseTag>>,
     /// Statistics.
     pub stats: SmtStats,
 }
@@ -159,7 +209,82 @@ impl Solver {
             collision_done: HashSet::new(),
             branch_done: HashSet::new(),
             last_model: HashMap::new(),
+            proof_tags: None,
             stats: SmtStats::default(),
+        }
+    }
+
+    /// Turns on proof logging: every clause handed to the SAT core is
+    /// tagged with its provenance, and the SAT core records the
+    /// interleaved input/learnt event log. Call before the first
+    /// assertion so the log is replayable from scratch.
+    pub fn enable_proof(&mut self) {
+        if self.proof_tags.is_none() {
+            self.proof_tags = Some(Vec::new());
+            self.sat.enable_proof();
+        }
+    }
+
+    /// The SAT core's proof event log (empty when proof mode is off).
+    pub fn proof_events(&self) -> &[ProofEvent] {
+        self.sat.proof_events()
+    }
+
+    /// Clause provenance tags, indexed by the `tag` field of
+    /// [`ProofEvent::Input`] events.
+    pub fn clause_tags(&self) -> &[ClauseTag] {
+        self.proof_tags.as_deref().unwrap_or(&[])
+    }
+
+    /// The assumption terms responsible for the most recent `Unsat`
+    /// (a subset of the assumptions passed to [`Solver::check`]; empty
+    /// when the assertions alone are unsatisfiable).
+    pub fn unsat_core_terms(&self, assumptions: &[TermId]) -> Vec<TermId> {
+        let core = self.sat.unsat_core();
+        assumptions
+            .iter()
+            .filter(|a| match self.lit_of.get(a) {
+                Some(l) => core.contains(l),
+                None => false,
+            })
+            .copied()
+            .collect()
+    }
+
+    /// The Tseitin literal already assigned to a boolean term, if any
+    /// (read-only; does not create encodings).
+    pub fn existing_lit(&self, t: TermId) -> Option<Lit> {
+        self.lit_of.get(&t).copied()
+    }
+
+    /// Iterates the term → Tseitin-literal table (for certificate
+    /// serialization).
+    pub fn lit_table(&self) -> impl Iterator<Item = (TermId, Lit)> + '_ {
+        self.lit_of.iter().map(|(&t, &l)| (t, l))
+    }
+
+    /// The purified (ite-lifted) version of an int/map term, if the
+    /// solver rewrote it.
+    pub fn purified_of(&self, t: TermId) -> Option<TermId> {
+        self.purified.get(&t).copied()
+    }
+
+    /// Iterates the integer model values of the last successful theory
+    /// check (keys are purified terms).
+    pub fn model_int_terms(&self) -> impl Iterator<Item = (TermId, i64)> + '_ {
+        self.last_model.iter().map(|(&t, &v)| (t, v))
+    }
+
+    /// Hands a clause to the SAT core, recording its provenance when
+    /// proof mode is on. The tag closure only runs in proof mode.
+    fn emit(&mut self, lits: &[Lit], tag: impl FnOnce() -> ClauseTag) -> bool {
+        match &mut self.proof_tags {
+            None => self.sat.add_clause(lits),
+            Some(tags) => {
+                let id = tags.len() as u32;
+                tags.push(tag());
+                self.sat.add_clause_tagged(lits, id)
+            }
         }
     }
 
@@ -174,13 +299,23 @@ impl Solver {
     /// persistent across checks).
     pub fn assert_term(&mut self, ctx: &mut Ctx, t: TermId) {
         let l = self.lit(ctx, t);
-        self.sat.add_clause(&[l]);
+        self.emit(&[l], || ClauseTag::Assert { term: t });
     }
 
     /// Adds a clause of boolean terms.
     pub fn add_clause_terms(&mut self, ctx: &mut Ctx, parts: &[TermId]) {
         let lits: Vec<Lit> = parts.iter().map(|&p| self.lit(ctx, p)).collect();
-        self.sat.add_clause(&lits);
+        self.emit(&lits, || ClauseTag::External {
+            parts: parts.to_vec(),
+        });
+    }
+
+    /// Adds a theory-lemma clause of boolean terms (positive polarity).
+    fn add_lemma_terms(&mut self, ctx: &mut Ctx, parts: &[TermId]) {
+        let lits: Vec<Lit> = parts.iter().map(|&p| self.lit(ctx, p)).collect();
+        self.emit(&lits, || ClauseTag::Theory {
+            parts: parts.iter().map(|&p| (p, true)).collect(),
+        });
     }
 
     /// The Tseitin literal of a boolean term, creating encoding clauses on
@@ -193,12 +328,12 @@ impl Solver {
         let l = match ctx.term(t).clone() {
             Term::True => {
                 let v = self.new_sat_var(None);
-                self.sat.add_clause(&[Lit::pos(v)]);
+                self.emit(&[Lit::pos(v)], || ClauseTag::Tseitin { term: t });
                 Lit::pos(v)
             }
             Term::False => {
                 let v = self.new_sat_var(None);
-                self.sat.add_clause(&[Lit::pos(v)]);
+                self.emit(&[Lit::pos(v)], || ClauseTag::Tseitin { term: t });
                 Lit::neg(v)
             }
             Term::Not(a) => self.lit(ctx, a).negated(),
@@ -206,22 +341,22 @@ impl Solver {
                 let lits: Vec<Lit> = ps.iter().map(|&p| self.lit(ctx, p)).collect();
                 let v = Lit::pos(self.new_sat_var(None));
                 for &p in &lits {
-                    self.sat.add_clause(&[v.negated(), p]);
+                    self.emit(&[v.negated(), p], || ClauseTag::Tseitin { term: t });
                 }
                 let mut big: Vec<Lit> = lits.iter().map(|p| p.negated()).collect();
                 big.push(v);
-                self.sat.add_clause(&big);
+                self.emit(&big, || ClauseTag::Tseitin { term: t });
                 v
             }
             Term::Or(ps) => {
                 let lits: Vec<Lit> = ps.iter().map(|&p| self.lit(ctx, p)).collect();
                 let v = Lit::pos(self.new_sat_var(None));
                 for &p in &lits {
-                    self.sat.add_clause(&[v, p.negated()]);
+                    self.emit(&[v, p.negated()], || ClauseTag::Tseitin { term: t });
                 }
                 let mut big: Vec<Lit> = lits.clone();
                 big.push(v.negated());
-                self.sat.add_clause(&big);
+                self.emit(&big, || ClauseTag::Tseitin { term: t });
                 v
             }
             Term::Implies(a, b) => {
@@ -233,10 +368,16 @@ impl Solver {
                 let la = self.lit(ctx, a);
                 let lb = self.lit(ctx, b);
                 let v = Lit::pos(self.new_sat_var(None));
-                self.sat.add_clause(&[v.negated(), la.negated(), lb]);
-                self.sat.add_clause(&[v.negated(), la, lb.negated()]);
-                self.sat.add_clause(&[v, la, lb]);
-                self.sat.add_clause(&[v, la.negated(), lb.negated()]);
+                self.emit(&[v.negated(), la.negated(), lb], || ClauseTag::Tseitin {
+                    term: t,
+                });
+                self.emit(&[v.negated(), la, lb.negated()], || ClauseTag::Tseitin {
+                    term: t,
+                });
+                self.emit(&[v, la, lb], || ClauseTag::Tseitin { term: t });
+                self.emit(&[v, la.negated(), lb.negated()], || ClauseTag::Tseitin {
+                    term: t,
+                });
                 v
             }
             Term::BoolVar(_) => Lit::pos(self.new_sat_var(None)),
@@ -317,8 +458,14 @@ impl Solver {
                 let nc = ctx.mk_not(c);
                 let c1 = ctx.mk_or(vec![nc, then_eq]);
                 let c2 = ctx.mk_or(vec![c, else_eq]);
-                self.assert_term(ctx, c1);
-                self.assert_term(ctx, c2);
+                for guarded in [c1, c2] {
+                    let l = self.lit(ctx, guarded);
+                    self.emit(&[l], || ClauseTag::Purify {
+                        term: guarded,
+                        ite: t,
+                        var: k,
+                    });
+                }
                 k
             }
             Term::True
@@ -476,11 +623,11 @@ impl Solver {
                 let val_eq = ctx.mk_eq(rt, wv);
                 let n_maps = ctx.mk_not(maps_eq);
                 let n_idx = ctx.mk_not(idx_eq);
-                self.add_clause_terms(ctx, &[n_maps, n_idx, val_eq]);
+                self.add_lemma_terms(ctx, &[n_maps, n_idx, val_eq]);
                 // maps-equal ∧ i ≠ j → read = read(inner, j)
                 let inner_read = ctx.mk_read(wm, ri);
                 let chain_eq = ctx.mk_eq(rt, inner_read);
-                self.add_clause_terms(ctx, &[n_maps, idx_eq, chain_eq]);
+                self.add_lemma_terms(ctx, &[n_maps, idx_eq, chain_eq]);
             }
         }
         if added_lemma {
@@ -504,7 +651,7 @@ impl Solver {
                 added_lemma = true;
                 let lt_ab = ctx.mk_lt(a, b);
                 let lt_ba = ctx.mk_lt(b, a);
-                self.add_clause_terms(ctx, &[atom, lt_ab, lt_ba]);
+                self.add_lemma_terms(ctx, &[atom, lt_ab, lt_ba]);
             }
         }
         if added_lemma {
@@ -683,7 +830,7 @@ impl Solver {
                 let hi = ctx.mk_int((fl + 1) as i64);
                 let le = ctx.mk_le(term, lo);
                 let ge = ctx.mk_le(hi, term);
-                self.add_clause_terms(ctx, &[le, ge]);
+                self.add_lemma_terms(ctx, &[le, ge]);
                 return TheoryOutcome::Progress;
             }
             // Already split here yet still fractional: give up.
@@ -728,7 +875,7 @@ impl Solver {
                     let eq = ctx.mk_eq(t1, t2);
                     let lt1 = ctx.mk_lt(t1, t2);
                     let lt2 = ctx.mk_lt(t2, t1);
-                    self.add_clause_terms(ctx, &[eq, lt1, lt2]);
+                    self.add_lemma_terms(ctx, &[eq, lt1, lt2]);
                 }
             }
         }
@@ -781,7 +928,15 @@ impl Solver {
                 }
             })
             .collect();
-        self.sat.add_clause(&clause);
+        self.emit(&clause, || ClauseTag::Theory {
+            parts: idxs
+                .iter()
+                .map(|&i| {
+                    let (atom, pol) = atoms[i as usize];
+                    (atom, !pol)
+                })
+                .collect(),
+        });
     }
 }
 

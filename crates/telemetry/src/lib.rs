@@ -32,7 +32,9 @@ pub mod metrics;
 pub mod trace;
 
 pub use json::Value;
-pub use metrics::{opt, Histogram, Manifest, MetricsRegistry, LATENCY_BUCKETS, SCHEMA_VERSION};
+pub use metrics::{
+    opt, BoundsMismatch, Histogram, Manifest, MetricsRegistry, LATENCY_BUCKETS, SCHEMA_VERSION,
+};
 pub use trace::{Span, SpanHandle, Trace, TraceBuf, TraceEvent, TraceRender};
 
 #[cfg(test)]

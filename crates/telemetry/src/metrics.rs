@@ -67,14 +67,23 @@ impl Histogram {
         &self.counts
     }
 
-    /// Folds another histogram with identical bounds into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+    /// Folds another histogram into this one. The bounds must match:
+    /// bucket counts from different bucketings are not comparable, so a
+    /// mismatch is reported to the caller instead of silently mixing
+    /// (or aborting a whole run on the snapshot path).
+    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), BoundsMismatch> {
+        if self.bounds != other.bounds {
+            return Err(BoundsMismatch {
+                expected: self.bounds.clone(),
+                got: other.bounds.clone(),
+            });
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.sum += other.sum;
         self.count += other.count;
+        Ok(())
     }
 
     fn write_json(&self, out: &mut String) {
@@ -99,6 +108,28 @@ impl Histogram {
         out.push('}');
     }
 }
+
+/// Two histograms with different bucket bounds cannot be folded
+/// together; carries both bound vectors for the diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsMismatch {
+    /// The receiving histogram's bounds.
+    pub expected: Vec<f64>,
+    /// The incoming histogram's bounds.
+    pub got: Vec<f64>,
+}
+
+impl std::fmt::Display for BoundsMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram bounds mismatch: expected {:?}, got {:?}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for BoundsMismatch {}
 
 /// What produced a metrics snapshot: tool, subcommand, and the knobs
 /// that shaped the run. Stored verbatim in the snapshot so a
@@ -216,7 +247,12 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
-    /// Folds another registry into this one.
+    /// Folds another registry into this one. A histogram whose bounds
+    /// disagree with the resident one is quarantined under
+    /// `<name>!bounds-mismatch` (and the `telemetry.merge.bounds_mismatch`
+    /// counter bumped) rather than mixed or dropped: the snapshot path
+    /// must never panic mid-run, and losing the data silently would make
+    /// the mismatch undiagnosable.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -226,7 +262,22 @@ impl MetricsRegistry {
         }
         for (k, h) in &other.histograms {
             match self.histograms.get_mut(k) {
-                Some(mine) => mine.merge(h),
+                Some(mine) => {
+                    if mine.try_merge(h).is_err() {
+                        self.inc("telemetry.merge.bounds_mismatch", 1);
+                        let quarantined = format!("{k}!bounds-mismatch");
+                        match self.histograms.get_mut(&quarantined) {
+                            // A second distinct bucketing fails again; it
+                            // stays counted above but is not folded.
+                            Some(q) => {
+                                let _ = q.try_merge(h);
+                            }
+                            None => {
+                                self.histograms.insert(quarantined, h.clone());
+                            }
+                        }
+                    }
+                }
                 None => {
                     self.histograms.insert(k.clone(), h.clone());
                 }
@@ -341,5 +392,37 @@ mod tests {
         assert_eq!(a.counter("q"), 3);
         assert!((a.gauge("s") - 1.5).abs() < 1e-12);
         assert_eq!(a.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[0.1, 1.0]);
+        a.observe(0.05);
+        let mut b = Histogram::new(&[0.5, 5.0]);
+        b.observe(0.3);
+        let err = a.try_merge(&b).expect_err("bounds differ");
+        assert_eq!(err.expected, vec![0.1, 1.0]);
+        assert_eq!(err.got, vec![0.5, 5.0]);
+        // The receiver is untouched by the failed merge.
+        assert_eq!(a.count(), 1);
+        assert!(err.to_string().contains("bounds mismatch"));
+    }
+
+    #[test]
+    fn registry_merge_quarantines_mismatched_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.observe_with("lat", &[0.1, 1.0], 0.05);
+        let mut b = MetricsRegistry::new();
+        b.observe_with("lat", &[0.5, 5.0], 0.3);
+        a.merge(&b);
+        // Original data intact, incoming data quarantined, incident counted.
+        assert_eq!(a.histogram("lat").unwrap().count(), 1);
+        assert_eq!(a.histogram("lat!bounds-mismatch").unwrap().count(), 1);
+        assert_eq!(a.counter("telemetry.merge.bounds_mismatch"), 1);
+        // A second mismatched merge with the same bucketing folds into
+        // the quarantine slot.
+        a.merge(&b);
+        assert_eq!(a.histogram("lat!bounds-mismatch").unwrap().count(), 2);
+        assert_eq!(a.counter("telemetry.merge.bounds_mismatch"), 2);
     }
 }

@@ -32,6 +32,7 @@ use acspec_smt::{Ctx, SmtResult, Solver, SolverCounters, TermId};
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::chaos::{ChaosConfig, ChaosFault, ChaosSolver, ChaosStats};
+use crate::evidence::CertStore;
 use crate::stage::{Budget, Deadline, FaultReason, Stage, StageError, StageTable};
 use crate::translate::{expr_to_term, formula_to_term, interned_to_term, Env, TranslateError};
 
@@ -228,6 +229,12 @@ pub struct ProcAnalyzer {
     /// Memoized IR-term → solver-term translation against the fixed
     /// `input_env` (sound: the environment never changes post-encode).
     xlate_memo: std::collections::HashMap<IrTermId, TermId>,
+    /// Per-claim certificate store (`None` until
+    /// [`ProcAnalyzer::enable_certs`]). Certification replays queries
+    /// into fresh solvers *outside* the budget, deadline, chaos stream,
+    /// and query counters, so enabling it never perturbs reported
+    /// results.
+    certs: Option<CertStore>,
 }
 
 struct EncodeState {
@@ -342,6 +349,7 @@ impl ProcAnalyzer {
             base_asserts,
             arena: TermArena::new(),
             xlate_memo: std::collections::HashMap::new(),
+            certs: None,
         })
     }
 
@@ -930,6 +938,105 @@ impl ProcAnalyzer {
             // implication probes) read models or use session literals.
             self.check(&assumptions)
         }
+    }
+
+    /// Enables per-claim certification. Certificates are built by
+    /// replaying queries into fresh proof-logging solvers against the
+    /// base assertion stream — the same mechanism
+    /// [`ProcAnalyzer::failure_witness`] uses — so they are a pure
+    /// function of the encoding and the claim, independent of the
+    /// dominance cache, the incremental solver's state, and any chaos
+    /// faults injected on the query path. Certification charges nothing
+    /// to the budget, deadline, chaos stream, or query counters:
+    /// enabling it leaves reported results byte-identical.
+    pub fn enable_certs(&mut self) {
+        if self.certs.is_none() {
+            self.certs = Some(CertStore::new());
+        }
+    }
+
+    /// Whether certification is enabled.
+    pub fn certs_enabled(&self) -> bool {
+        self.certs.is_some()
+    }
+
+    /// The certificate store built so far.
+    pub fn cert_store(&self) -> Option<&CertStore> {
+        self.certs.as_ref()
+    }
+
+    /// Takes ownership of the certificate store (disables further
+    /// certification until [`ProcAnalyzer::enable_certs`] again).
+    pub fn take_cert_store(&mut self) -> Option<CertStore> {
+        self.certs.take()
+    }
+
+    /// Certifies the query `base ∧ blocking ∧ assumptions` by fresh
+    /// replay and returns the certificate's index in the store, or
+    /// `None` when certification is disabled. Deduplicated by canonical
+    /// assumption key: a claim answered by the dominance cache
+    /// references the certificate of the originating query rather than
+    /// fabricating a new one.
+    pub fn certify_assumptions(
+        &mut self,
+        assumptions: &[TermId],
+        blocking: &[Vec<TermId>],
+    ) -> Option<usize> {
+        let mut store = self.certs.take()?;
+        let key = QueryCache::canonical(assumptions);
+        let idx = store.certify(&mut self.ctx, &self.base_asserts, &key, blocking);
+        self.certs = Some(store);
+        Some(idx)
+    }
+
+    /// Certificate for [`ProcAnalyzer::is_reachable`] on `loc` (Sat =
+    /// reachable witness, Unsat = dead-code proof).
+    pub fn certify_reachable(&mut self, loc: LocId, active: &[Selector]) -> Option<usize> {
+        let g = self
+            .loc_guards
+            .iter()
+            .find(|&&(id, _)| id == loc)
+            .map(|&(_, g)| g)
+            .expect("unknown location");
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.push(g);
+        self.certify_assumptions(&assumptions, &[])
+    }
+
+    /// Certificate for [`ProcAnalyzer::can_fail`] on `assert` (Sat =
+    /// failure model, Unsat = suppression proof).
+    pub fn certify_can_fail(&mut self, assert: AssertId, active: &[Selector]) -> Option<usize> {
+        let g = self
+            .assert_guards
+            .iter()
+            .find(|&&(id, _)| id == assert)
+            .map(|&(_, g)| g)
+            .expect("unknown assertion");
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.push(g);
+        self.certify_assumptions(&assumptions, &[])
+    }
+
+    /// Certificate for [`ProcAnalyzer::any_failure`], optionally under
+    /// blocking clauses (the ALL-SAT exhaustion proof passes the cover's
+    /// accumulated blocking clauses and expects Unsat).
+    pub fn certify_any_failure(
+        &mut self,
+        active: &[Selector],
+        extra: &[TermId],
+        blocking: &[Vec<TermId>],
+    ) -> Option<usize> {
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.push(self.fail_any);
+        assumptions.extend_from_slice(extra);
+        self.certify_assumptions(&assumptions, blocking)
+    }
+
+    /// Certificate for [`ProcAnalyzer::is_consistent`].
+    pub fn certify_consistent(&mut self, active: &[Selector], extra: &[TermId]) -> Option<usize> {
+        let mut assumptions: Vec<TermId> = active.iter().map(|s| s.0).collect();
+        assumptions.extend_from_slice(extra);
+        self.certify_assumptions(&assumptions, &[])
     }
 
     /// Remaining conflict budget (diagnostics).

@@ -43,6 +43,7 @@
 pub mod analyzer;
 pub mod cache;
 pub mod chaos;
+pub mod evidence;
 pub mod stage;
 pub mod translate;
 pub mod wp;
@@ -50,6 +51,10 @@ pub mod wp;
 pub use analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, QueryRecord, Selector, Timeout};
 pub use cache::{CacheStats, QueryCache};
 pub use chaos::{ChaosConfig, ChaosFault, ChaosSolver, ChaosStats};
+pub use evidence::{
+    CertEvent, CertOutcome, CertStore, CertTag, Evaluator, FuncValue, MapValue, ModelTables,
+    ProofData, QueryCert, TermNode,
+};
 pub use stage::{Budget, Deadline, FaultReason, Stage, StageError, StageMetrics, StageTable};
 pub use translate::{expr_to_term, formula_to_term, Env, TranslateError};
 pub use wp::{wp, WpResult};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! acspec <file.c | file.acs> [options]
+//! acspec check <report.json | certs.json>
 //!
 //!   --config <Conc|A0|A1|A2>   abstract configuration (default Conc)
 //!   --prune <k>                k-clause pruning (default: off)
@@ -13,6 +14,8 @@
 //!   --triage                    rank all warnings by confidence
 //!   --trace-out <path>         write a JSONL span trace of the run
 //!   --metrics-out <path>       write a JSON metrics snapshot
+//!   --certs-out <path>         write a certificate sidecar; the report
+//!                              gains a `certs_ref` pointing at it
 //!   --no-query-cache           disable the monotone query cache
 //!   --deadline <secs>          wall-clock deadline per procedure+config
 //!   --chaos-seed <u64>         deterministic fault-injection seed
@@ -22,13 +25,20 @@
 //! `.c` inputs go through the HAVOC-style front end (null-dereference
 //! assertions are inserted automatically); anything else is parsed as
 //! the Boogie-like surface language.
+//!
+//! `acspec check` takes a `--format json` report (following its
+//! `certs_ref` to the sidecar) or a sidecar itself and re-validates every
+//! certificate with the independent `acspec-check` crate: models are
+//! re-evaluated, refutations replayed, claims and weakening chains
+//! re-tied to their evidence. Exit code 0 means every certificate
+//! checked; 1 means at least one failure (each is printed).
 
 use std::process::ExitCode;
 
 use acspec_core::{
-    infer_preconditions, program_report_json, triage_program, AcspecOptions, AnalysisOutcome,
-    ConfigName, NullObserver, ProcOutcome, ProcReport, ProgramAnalysis, SessionObserver, SibStatus,
-    TelemetryObserver,
+    certs_json, infer_preconditions, program_report_json_with, triage_program, AcspecOptions,
+    AnalysisOutcome, ConfigName, NullObserver, ProcCerts, ProcOutcome, ProcReport, ProgramAnalysis,
+    SessionObserver, SibStatus, TelemetryObserver,
 };
 use acspec_ir::Program;
 use acspec_telemetry::{opt, Manifest};
@@ -46,6 +56,7 @@ struct Cli {
     triage: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    certs_out: Option<String>,
     query_cache: bool,
     deadline: Option<f64>,
     chaos_seed: Option<u64>,
@@ -65,6 +76,7 @@ fn parse_args() -> Result<Cli, String> {
         triage: false,
         trace_out: None,
         metrics_out: None,
+        certs_out: None,
         query_cache: true,
         deadline: None,
         chaos_seed: None,
@@ -127,6 +139,11 @@ fn parse_args() -> Result<Cli, String> {
             "--metrics-out" => {
                 let v = args.get(i + 1).ok_or("--metrics-out needs a path")?;
                 cli.metrics_out = Some(v.clone());
+                i += 2;
+            }
+            "--certs-out" => {
+                let v = args.get(i + 1).ok_or("--certs-out needs a path")?;
+                cli.certs_out = Some(v.clone());
                 i += 2;
             }
             "--no-query-cache" => {
@@ -218,7 +235,63 @@ fn print_report(r: &ProcReport, show_specs: bool) {
     }
 }
 
+/// `acspec check <path>`: re-validates a certificate sidecar, or a
+/// `--format json` report by following its `certs_ref` (resolved
+/// relative to the report's directory). Returns `Ok(true)` — exit
+/// code 1 — when any certificate fails.
+fn run_check(args: &[String]) -> Result<bool, String> {
+    let path = match args {
+        [p] if !p.starts_with('-') => p.as_str(),
+        _ => return Err("usage: acspec check <report.json | certs.json>".into()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let top = acspec_check::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let (certs_path, certs_text) = if top.get("procs").is_some() {
+        (path.to_string(), text)
+    } else if top.get("reports").is_some() {
+        let r = top.get("certs_ref").and_then(|v| v.str()).ok_or_else(|| {
+            format!("{path}: report has no `certs_ref`; re-run the analysis with --certs-out")
+        })?;
+        let resolved = std::path::Path::new(path)
+            .parent()
+            .map_or_else(|| std::path::PathBuf::from(r), |d| d.join(r));
+        let resolved = resolved.to_string_lossy().into_owned();
+        let t = std::fs::read_to_string(&resolved)
+            .map_err(|e| format!("{resolved}: cannot read certs_ref target: {e}"))?;
+        (resolved, t)
+    } else {
+        return Err(format!(
+            "{path}: neither a certificate document (`procs`) nor a report (`reports`)"
+        ));
+    };
+    let summary = acspec_check::check_document(&certs_text);
+    println!(
+        "{certs_path}: {} procedure(s), {} certificate(s) ({} sat, {} unsat), \
+         {} claim(s), {} chain(s)",
+        summary.procs,
+        summary.certs,
+        summary.sat_certs,
+        summary.unsat_certs,
+        summary.claims,
+        summary.chains
+    );
+    if summary.ok() {
+        println!("all certificates check");
+        Ok(false)
+    } else {
+        for e in &summary.errors {
+            eprintln!("FAIL: {e}");
+        }
+        eprintln!("{} failure(s)", summary.errors.len());
+        Ok(true)
+    }
+}
+
 fn run() -> Result<bool, String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("check") {
+        return run_check(&raw[1..]);
+    }
     let cli = parse_args()?;
     let mut program = load_program(&cli.path)?;
 
@@ -291,10 +364,26 @@ fn run() -> Result<bool, String> {
     } else {
         &mut null
     };
-    let results = ProgramAnalysis::new(&program)
+    let mut results = ProgramAnalysis::new(&program)
         .options(opts)
         .configs(&configs)
+        .certify(cli.certs_out.is_some())
         .run(observer);
+
+    // Drain the certificate stores before the report loop takes shared
+    // references into `results`.
+    let mut proc_certs: Vec<ProcCerts> = Vec::new();
+    for outcome in &mut results {
+        if let ProcOutcome::Analyzed(pa) = outcome {
+            if let Some(pc) = pa.certs.take() {
+                proc_certs.push(pc);
+            }
+        }
+    }
+    if let Some(path) = &cli.certs_out {
+        std::fs::write(path, certs_json(&proc_certs))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
 
     if telemetry_on {
         let mut options = vec![
@@ -374,7 +463,10 @@ fn run() -> Result<bool, String> {
         }
     }
     if cli.json {
-        println!("{}", program_report_json(&json_reports, &incidents));
+        println!(
+            "{}",
+            program_report_json_with(&json_reports, &incidents, cli.certs_out.as_deref())
+        );
     }
     Ok(any_warning)
 }
@@ -413,7 +505,9 @@ fn main() -> ExitCode {
                 "usage: acspec <file.c | file.acs> [--config Conc|A0|A1|A2] [--prune k] \
                  [--cons] [--interproc] [--all-configs] [--specs] [--triage] \
                  [--format text|json] [--trace-out path] [--metrics-out path] \
-                 [--no-query-cache] [--deadline secs] [--chaos-seed n] [--chaos-rate p]"
+                 [--certs-out path] [--no-query-cache] [--deadline secs] \
+                 [--chaos-seed n] [--chaos-rate p]\n\
+                 usage: acspec check <report.json | certs.json>"
             );
             ExitCode::from(2)
         }

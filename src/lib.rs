@@ -8,6 +8,7 @@
 
 pub use acspec_benchgen as benchgen;
 pub use acspec_cfront as cfront;
+pub use acspec_check as check;
 pub use acspec_core as core;
 pub use acspec_ir as ir;
 pub use acspec_predabs as predabs;
