@@ -7,21 +7,35 @@
 //! repro fig7  [--scale N]     C/FP/FN classification      (Figure 7)
 //! repro fig8  [--scale N]     large-benchmark warnings    (Figure 8)
 //! repro fig9  [--scale N]     per-procedure averages      (Figure 9)
-//! repro profile [--scale N] [--top K] [--top-terms]
+//! repro profile [--scale N] [--top K] [--top-terms] [--sort KEY]
 //!                             top-K slowest procedures and solver
 //!                             queries, with stage/config attribution;
-//!                             --top-terms adds the most-shared WP
-//!                             subterms by arena refcount
+//!                             --sort picks the ranking key (wall,
+//!                             queries, conflicts); --top-terms adds the
+//!                             most-shared WP subterms by arena refcount
+//! repro bench [--scale N] [--best-of N] [--out path]
+//!                             perf-regression snapshot: best-of-N
+//!                             fig8/fig9 runs with wall, maxrss, solver
+//!                             counters, and CDCL histograms (the
+//!                             committed BENCH_solver.json baseline)
+//! repro trace-diff <a> <b>    align two --trace-out JSONL traces by
+//!                             span path; report per-stage deltas and
+//!                             the first query-plan divergence
 //! repro ablation-incremental  incremental vs. fresh-solver queries
 //! repro ablation-normalize    Normalize on/off
 //! repro ablation-interproc    inferred callee preconditions (§7)
 //! repro all   [--scale N]     everything above
 //!
-//!   --trace-out <path>        write a JSONL span trace of the run
+//!   --trace-out <path>        write a span trace of the run
+//!   --trace-format <fmt>      trace format: jsonl (default) or
+//!                             perfetto (chrome://tracing / Perfetto UI)
 //!   --metrics-out <path>      write a JSON metrics snapshot
 //!   --certs-out <path>        write the per-verdict certificate sidecar
 //!                             (re-validate with `acspec check <path>`)
 //!   --no-query-cache          disable the monotone query cache
+//!   --threads <N>             worker threads for the evaluation
+//!                             (default: available parallelism; results
+//!                             are deterministic either way)
 //!   --deadline <secs>         wall-clock deadline per procedure+config
 //!   --chaos-seed <u64>        deterministic fault-injection seed
 //!   --chaos-rate <p>          fault probability per solver query (0..1)
@@ -43,16 +57,19 @@ use acspec_core::{
 };
 use acspec_ir::arena::{Node, TermArena, TermId};
 use acspec_ir::{desugar_procedure, DesugarOptions, Formula};
-use acspec_telemetry::{opt, Manifest, Trace, Value};
+use acspec_telemetry::json::write_f64;
+use acspec_telemetry::{max_rss_kb, opt, Manifest, MetricsRegistry, Trace, Value};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
 use acspec_vcgen::chaos::ChaosConfig;
 use acspec_vcgen::stage::Stage;
 use acspec_vcgen::wp::wp_interned;
 
-const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|ablation-incremental|\
-ablation-normalize|ablation-interproc|all> [--scale N] [--top K] [--top-terms] \
-[--trace-out path] [--metrics-out path] [--certs-out path] [--no-query-cache] \
-[--deadline secs] [--chaos-seed u64] [--chaos-rate p]";
+const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|bench|trace-diff|\
+ablation-incremental|ablation-normalize|ablation-interproc|all> [--scale N] [--top K] \
+[--top-terms] [--sort wall|queries|conflicts] [--best-of N] [--out path] \
+[--trace-out path] [--trace-format jsonl|perfetto] [--metrics-out path] \
+[--certs-out path] [--no-query-cache] [--threads N] [--deadline secs] \
+[--chaos-seed u64] [--chaos-rate p]";
 
 const COMMANDS: &[&str] = &[
     "fig5",
@@ -61,24 +78,48 @@ const COMMANDS: &[&str] = &[
     "fig8",
     "fig9",
     "profile",
+    "bench",
+    "trace-diff",
     "ablation-incremental",
     "ablation-normalize",
     "ablation-interproc",
     "all",
 ];
 
+/// `--trace-format`: how `--trace-out` is rendered.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Perfetto,
+}
+
+/// `--sort`: the ranking key for `repro profile`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileSort {
+    Wall,
+    Queries,
+    Conflicts,
+}
+
 struct Cli {
     cmd: String,
     scale: usize,
     top: usize,
     top_terms: bool,
+    sort: ProfileSort,
+    best_of: usize,
+    out: Option<String>,
     trace_out: Option<String>,
+    trace_format: TraceFormat,
     metrics_out: Option<String>,
     certs_out: Option<String>,
     query_cache: bool,
+    threads: Option<usize>,
     deadline: Option<f64>,
     chaos_seed: Option<u64>,
     chaos_rate: Option<f64>,
+    /// Positional file arguments (only `trace-diff` takes any).
+    files: Vec<String>,
 }
 
 /// The analyzer-affecting knobs threaded through every figure's
@@ -87,6 +128,7 @@ struct Cli {
 #[derive(Clone, Copy)]
 struct RunKnobs {
     query_cache: bool,
+    threads: Option<usize>,
     deadline: Option<Duration>,
     chaos: Option<ChaosConfig>,
     certify: bool,
@@ -96,6 +138,7 @@ impl Cli {
     fn knobs(&self) -> RunKnobs {
         RunKnobs {
             query_cache: self.query_cache,
+            threads: self.threads,
             certify: self.certs_out.is_some(),
             deadline: self.deadline.map(Duration::from_secs_f64),
             // Install the chaos harness only when a chaos flag was
@@ -137,15 +180,21 @@ fn parse_args() -> Cli {
         scale: 1,
         top: 10,
         top_terms: false,
+        sort: ProfileSort::Wall,
+        best_of: 3,
+        out: None,
         trace_out: None,
+        trace_format: TraceFormat::Jsonl,
         metrics_out: None,
         certs_out: None,
         // Honors ACSPEC_NO_QUERY_CACHE (the CI cache-off matrix leg);
         // `--no-query-cache` then forces it off regardless.
         query_cache: AnalyzerConfig::default().query_cache,
+        threads: None,
         deadline: None,
         chaos_seed: None,
         chaos_rate: None,
+        files: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -169,6 +218,39 @@ fn parse_args() -> Cli {
             "--top-terms" => {
                 cli.top_terms = true;
                 i += 1;
+            }
+            "--sort" => {
+                cli.sort = match args.get(i + 1).map(String::as_str) {
+                    Some("wall") => ProfileSort::Wall,
+                    Some("queries") => ProfileSort::Queries,
+                    Some("conflicts") => ProfileSort::Conflicts,
+                    _ => usage_error("--sort needs one of: wall, queries, conflicts"),
+                };
+                i += 2;
+            }
+            "--best-of" => {
+                cli.best_of = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage_error("--best-of needs a positive integer"));
+                i += 2;
+            }
+            "--out" => {
+                cli.out = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage_error("--out needs a path"))
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--trace-format" => {
+                cli.trace_format = match args.get(i + 1).map(String::as_str) {
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("perfetto") => TraceFormat::Perfetto,
+                    _ => usage_error("--trace-format needs one of: jsonl, perfetto"),
+                };
+                i += 2;
             }
             "--trace-out" => {
                 cli.trace_out = Some(
@@ -197,6 +279,15 @@ fn parse_args() -> Cli {
             "--no-query-cache" => {
                 cli.query_cache = false;
                 i += 1;
+            }
+            "--threads" => {
+                cli.threads = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage_error("--threads needs a positive integer")),
+                );
+                i += 2;
             }
             "--deadline" => {
                 cli.deadline = Some(
@@ -242,6 +333,10 @@ fn parse_args() -> Cli {
                 cli.cmd = word.to_string();
                 i += 1;
             }
+            file if cli.cmd == "trace-diff" && cli.files.len() < 2 => {
+                cli.files.push(file.to_string());
+                i += 1;
+            }
             extra => {
                 usage_error(&format!("unexpected argument `{extra}`"));
             }
@@ -250,14 +345,32 @@ fn parse_args() -> Cli {
     if cli.cmd.is_empty() {
         cli.cmd = "all".to_string();
     }
+    if cli.cmd == "trace-diff" && cli.files.len() != 2 {
+        usage_error("trace-diff needs exactly two trace files: repro trace-diff <a> <b>");
+    }
     cli
 }
 
 fn main() {
+    let t0 = Instant::now();
     let cli = parse_args();
+    if cli.cmd == "trace-diff" {
+        trace_diff(&cli);
+        return;
+    }
+    let knobs = cli.knobs();
+    if knobs.chaos.is_some() {
+        silence_injected_panics();
+    }
+    if cli.cmd == "bench" {
+        bench(&cli, knobs);
+        return;
+    }
     let telemetry_on = cli.trace_out.is_some() || cli.metrics_out.is_some();
     let needs_trace = telemetry_on || cli.cmd == "profile";
-    let mut telemetry = TelemetryObserver::new();
+    // CDCL search summaries ride along whenever a trace or metrics sink
+    // was requested; a bare `profile` keeps the solver uninstrumented.
+    let mut telemetry = TelemetryObserver::new().with_search_events(telemetry_on);
     let mut null = NullObserver;
     let observer: &mut dyn SessionObserver = if needs_trace {
         &mut telemetry
@@ -265,10 +378,6 @@ fn main() {
         &mut null
     };
     let scale = cli.scale;
-    let knobs = cli.knobs();
-    if knobs.chaos.is_some() {
-        silence_injected_panics();
-    }
     // Certificate sink: every figure evaluation appends its procedures'
     // stores here; one schema-versioned sidecar is written at the end.
     let mut certs: Vec<ProcCerts> = Vec::new();
@@ -307,9 +416,14 @@ fn main() {
         );
     }
     if needs_trace {
-        let out = telemetry.finish();
+        let mut out = telemetry.finish();
+        // Stamp the whole process's wall clock and peak RSS into the
+        // snapshot, so every metrics sink answers "how much did this
+        // run cost" without a wrapper script.
+        out.metrics
+            .record_process_gauges(t0.elapsed().as_secs_f64());
         if cli.cmd == "profile" {
-            profile(&out, cli.top);
+            profile(&out, cli.top, cli.sort);
             if cli.top_terms {
                 profile_top_terms(scale, cli.top);
             }
@@ -326,6 +440,9 @@ fn eval_opts(knobs: RunKnobs) -> EvalOptions {
     opts.analyzer.deadline = knobs.deadline;
     opts.analyzer.chaos = knobs.chaos;
     opts.certify = knobs.certify;
+    if let Some(threads) = knobs.threads {
+        opts.threads = threads;
+    }
     opts
 }
 
@@ -347,7 +464,7 @@ fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
         tool: "repro".into(),
         command: cli.cmd.clone(),
         scale: Some(cli.scale as u64),
-        threads: Some(EvalOptions::default().threads as u64),
+        threads: Some(cli.threads.unwrap_or(EvalOptions::default().threads) as u64),
         configs: EvalOptions::default()
             .configs
             .iter()
@@ -377,13 +494,155 @@ fn write_sinks(cli: &Cli, out: &TelemetryOutput) {
         },
     };
     if let Some(path) = &cli.trace_out {
-        out.write_trace(path, Some(&manifest))
-            .unwrap_or_else(|e| usage_error(&format!("cannot write {path}: {e}")));
+        match cli.trace_format {
+            TraceFormat::Jsonl => out.write_trace(path, Some(&manifest)),
+            TraceFormat::Perfetto => out.write_trace_perfetto(path, Some(&manifest)),
+        }
+        .unwrap_or_else(|e| usage_error(&format!("cannot write {path}: {e}")));
     }
     if let Some(path) = &cli.metrics_out {
         out.write_metrics(path, Some(&manifest))
             .unwrap_or_else(|e| usage_error(&format!("cannot write {path}: {e}")));
     }
+}
+
+/// One instrumented run of the large-benchmark workload: CDCL search
+/// summaries on, wall clock around the whole evaluation. Returns the
+/// wall seconds and the run's metrics registry.
+fn bench_run(scale: usize, knobs: RunKnobs) -> (f64, MetricsRegistry) {
+    let mut obs = TelemetryObserver::new().with_search_events(true);
+    let opts = eval_opts(knobs);
+    let t0 = Instant::now();
+    for e in entries(&[SuiteKind::Large]) {
+        let bm = generate_entry(e, scale);
+        let _ = evaluate_with(&bm, &opts, &mut obs);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, obs.finish().metrics)
+}
+
+/// One `"p50"/"p90"/"p100"` histogram summary for the snapshot.
+fn bench_hist_entry(m: &MetricsRegistry, name: &str) -> String {
+    let (count, p50, p90, p100) = m.histogram(name).map_or((0, 0.0, 0.0, 0.0), |h| {
+        (
+            h.count(),
+            h.quantile(0.5).unwrap_or(0.0),
+            h.quantile(0.9).unwrap_or(0.0),
+            h.quantile(1.0).unwrap_or(0.0),
+        )
+    });
+    let q = |v: f64| (v * 1e3).round() / 1e3;
+    let mut s = format!("{{\"count\": {count}, \"p50\": ");
+    write_f64(&mut s, q(p50));
+    s.push_str(", \"p90\": ");
+    write_f64(&mut s, q(p90));
+    s.push_str(", \"p100\": ");
+    write_f64(&mut s, q(p100));
+    s.push('}');
+    s
+}
+
+/// The counters the perf gate compares. A *query-count* change in any
+/// of these fails CI outright (quantity of search, not its speed).
+const BENCH_COUNTERS: &[&str] = &[
+    "solver.conflicts",
+    "solver.decisions",
+    "solver.learnt_clauses",
+    "solver.learnt_literals",
+    "solver.propagations",
+    "solver.queries",
+    "solver.restarts",
+];
+
+/// `repro bench`: the perf-regression snapshot. Runs the fig8 and fig9
+/// workloads best-of-N (minimum wall wins; counters are deterministic
+/// and identical across reps), then writes the `BENCH_solver.json`
+/// baseline: wall seconds, peak RSS, solver counters, and the LBD /
+/// conflicts-per-restart histogram summaries.
+fn bench(cli: &Cli, knobs: RunKnobs) {
+    let out_path = cli.out.as_deref().unwrap_or("BENCH_solver.json");
+    let scale = cli.scale;
+    println!(
+        "== Perf snapshot: fig8/fig9 best-of-{} at scale 1/{scale} ==\n",
+        cli.best_of
+    );
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"snapshot\": \"solver\",\n");
+    json.push_str(&format!("  \"best_of\": {},\n", cli.best_of));
+    json.push_str("  \"workloads\": {\n");
+    // fig8 and fig9 render different tables over the *same* evaluation
+    // of the large suite; both are kept as named workloads so the gate
+    // (and the baseline file) matches the figures people actually run.
+    for (wi, workload) in ["fig8", "fig9"].iter().enumerate() {
+        let mut best: Option<(f64, MetricsRegistry)> = None;
+        for _ in 0..cli.best_of {
+            let (wall, metrics) = bench_run(scale, knobs);
+            let better = match &best {
+                None => true,
+                Some((w, _)) => wall < *w,
+            };
+            if better {
+                best = Some((wall, metrics));
+            }
+        }
+        let (wall, metrics) = best.expect("best_of >= 1");
+        let maxrss = max_rss_kb();
+        println!(
+            "{workload} --scale {scale}: wall {wall:.3}s, maxrss {maxrss} kB, {} queries, \
+             {} conflicts, {} restarts",
+            metrics.counter("solver.queries"),
+            metrics.counter("solver.conflicts"),
+            metrics.counter("solver.restarts"),
+        );
+        json.push_str(&format!("    \"{workload} --scale {scale}\": {{\n"));
+        json.push_str("      \"wall_s\": ");
+        write_f64(&mut json, (wall * 1e6).round() / 1e6);
+        json.push_str(&format!(",\n      \"maxrss_kb\": {maxrss},\n"));
+        json.push_str("      \"counters\": {\n");
+        for (ci, name) in BENCH_COUNTERS.iter().enumerate() {
+            json.push_str(&format!("        \"{name}\": {}", metrics.counter(name)));
+            json.push_str(if ci + 1 < BENCH_COUNTERS.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("      },\n      \"histograms\": {\n");
+        json.push_str(&format!(
+            "        \"conflicts_per_restart\": {},\n",
+            bench_hist_entry(&metrics, "solver.conflicts_per_restart")
+        ));
+        json.push_str(&format!(
+            "        \"lbd\": {}\n",
+            bench_hist_entry(&metrics, "solver.lbd")
+        ));
+        json.push_str("      }\n    }");
+        json.push_str(if wi == 0 { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(out_path, &json)
+        .unwrap_or_else(|e| usage_error(&format!("cannot write {out_path}: {e}")));
+    println!("\n(wrote perf snapshot to {out_path})");
+}
+
+/// `repro trace-diff <a> <b>`: aligns two `--trace-out` JSONL traces by
+/// span path and reports per-stage deltas plus the first query-plan
+/// divergence (see [`acspec_bench::diff`]).
+fn trace_diff(cli: &Cli) {
+    let load = |path: &str| -> acspec_bench::diff::ParsedTrace {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read {path}: {e}")));
+        acspec_bench::diff::parse_trace(&text)
+            .unwrap_or_else(|e| usage_error(&format!("{path}: {e}")))
+    };
+    let a = load(&cli.files[0]);
+    let b = load(&cli.files[1]);
+    if let (Some(ca), Some(cb)) = (&a.command, &b.command) {
+        if ca != cb {
+            println!("(note: traces come from different commands: `{ca}` vs `{cb}`)\n");
+        }
+    }
+    let d = acspec_bench::diff::diff_traces(&a, &b);
+    print!("{}", d.format(&cli.files[0], &cli.files[1], cli.top));
 }
 
 /// Runs the Figure 9 evaluation workload (large benchmarks) silently,
@@ -403,17 +662,48 @@ fn u64_attr(attrs: &[(&'static str, Value)], key: &str) -> Option<u64> {
     })
 }
 
-/// `repro profile`: top-K slowest procedures and solver queries of the
-/// Figure 9 workload, attributed to their stage and configuration via
-/// the span tree.
-fn profile(out: &TelemetryOutput, top: usize) {
-    println!("== Profile: top {top} slowest procedures and queries ==\n");
+/// `repro profile`: top-K procedures and solver queries of the Figure 9
+/// workload, attributed to their stage and configuration via the span
+/// tree. `--sort` picks the ranking key: wall seconds (default), query
+/// count, or total solver conflicts.
+fn profile(out: &TelemetryOutput, top: usize, sort: ProfileSort) {
+    let sort_name = match sort {
+        ProfileSort::Wall => "wall",
+        ProfileSort::Queries => "queries",
+        ProfileSort::Conflicts => "conflicts",
+    };
+    println!("== Profile: top {top} procedures and queries by {sort_name} ==\n");
+
+    // Per-procedure query/conflict totals from the solver_query events.
+    let mut ev_totals: std::collections::HashMap<u64, (u64, u64)> =
+        std::collections::HashMap::new();
+    for e in &out.trace.events {
+        if let Some(p) = out
+            .trace
+            .ancestry(e.span)
+            .iter()
+            .find(|s| s.kind == "procedure")
+        {
+            let t = ev_totals.entry(p.id).or_default();
+            t.0 += 1;
+            t.1 += u64_attr(&e.attrs, "conflicts").unwrap_or(0);
+        }
+    }
 
     let mut procs: Vec<_> = out.trace.spans_of("procedure").collect();
-    procs.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+    procs.sort_by(|a, b| {
+        let (qa, ca) = ev_totals.get(&a.id).copied().unwrap_or((0, 0));
+        let (qb, cb) = ev_totals.get(&b.id).copied().unwrap_or((0, 0));
+        match sort {
+            ProfileSort::Wall => b.seconds.total_cmp(&a.seconds),
+            ProfileSort::Queries => qb.cmp(&qa).then(b.seconds.total_cmp(&a.seconds)),
+            ProfileSort::Conflicts => cb.cmp(&ca).then(b.seconds.total_cmp(&a.seconds)),
+        }
+    });
     let mut rows = Vec::new();
     for span in procs.iter().take(top) {
         let name = Trace::str_attr(span, "proc").unwrap_or("?");
+        let (proc_queries, proc_conflicts) = ev_totals.get(&span.id).copied().unwrap_or((0, 0));
         // The procedure's slowest stage, with its config attribution.
         let slowest = out
             .trace
@@ -435,17 +725,37 @@ fn profile(out: &TelemetryOutput, top: usize) {
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", span.seconds),
+            proc_queries.to_string(),
+            proc_conflicts.to_string(),
             format!("{stage} [{label}]"),
             format!("{stage_s:.3}"),
         ]);
     }
     println!(
         "{}",
-        format_table(&["Procedure", "T(s)", "Slowest stage", "T(s)"], &rows)
+        format_table(
+            &[
+                "Procedure",
+                "T(s)",
+                "Queries",
+                "Conflicts",
+                "Slowest stage",
+                "T(s)"
+            ],
+            &rows
+        )
     );
 
     let mut queries: Vec<_> = out.trace.events.iter().collect();
-    queries.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+    queries.sort_by(|a, b| match sort {
+        // Per query, "queries" is not a meaningful key — fall back to
+        // wall so the table stays useful.
+        ProfileSort::Wall | ProfileSort::Queries => b.seconds.total_cmp(&a.seconds),
+        ProfileSort::Conflicts => u64_attr(&b.attrs, "conflicts")
+            .unwrap_or(0)
+            .cmp(&u64_attr(&a.attrs, "conflicts").unwrap_or(0))
+            .then(b.seconds.total_cmp(&a.seconds)),
+    });
     let mut qrows = Vec::new();
     for e in queries.iter().take(top) {
         let chain = out.trace.ancestry(e.span);

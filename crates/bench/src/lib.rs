@@ -10,6 +10,8 @@
 //! warning counts and reported in the "TO" column — both exactly as the
 //! paper does (§5).
 
+pub mod diff;
+
 use std::collections::BTreeSet;
 
 use acspec_benchgen::Benchmark;

@@ -1,0 +1,74 @@
+//! The observability bargain: CDCL search instrumentation must never
+//! change the analysis. This test runs the Figure 8/9 evaluation
+//! (large suite, `--scale 8`) twice — search summaries off and on —
+//! and asserts the evaluation results are byte-identical and the
+//! solver query count stays pinned at the figure's 5043.
+
+use acspec_bench::{evaluate_with, EvalOptions, PRUNE_LEVELS};
+use acspec_benchgen::suite::{generate_entry, SuiteKind, SUITE};
+use acspec_core::TelemetryObserver;
+
+/// The query count of `repro fig9 --scale 8`, pinned also by the CI
+/// perf-smoke job. A change means the *query plan* moved — that must
+/// never come from instrumentation.
+const FIG9_SCALE8_QUERIES: u64 = 5043;
+
+/// Runs the large-suite evaluation and renders every timing-free fact
+/// of its reports to a string: warning counts per config × prune level,
+/// cons counts, timeouts, and per-procedure names in order.
+fn run(search: bool) -> (String, u64) {
+    let mut obs = TelemetryObserver::new().with_search_events(search);
+    let opts = EvalOptions {
+        threads: 1,
+        ..EvalOptions::default()
+    };
+    let mut report = String::new();
+    for e in SUITE.iter().filter(|e| e.kind == SuiteKind::Large) {
+        let bm = generate_entry(e, 8);
+        let ev = evaluate_with(&bm, &opts, &mut obs);
+        report.push_str(&format!(
+            "{}: correct={} timeouts={} cons={}\n",
+            ev.name,
+            ev.correct_procs,
+            ev.timeouts,
+            ev.cons_count()
+        ));
+        for ci in 0..3 {
+            for ki in 0..PRUNE_LEVELS.len() {
+                report.push_str(&format!(" w[{ci}][{ki}]={}", ev.warning_count(ci, ki)));
+            }
+        }
+        report.push('\n');
+        for p in &ev.procs {
+            report.push_str(&format!(
+                "  {} timed_out={} warnings={:?}\n",
+                p.name,
+                p.timed_out,
+                p.reports
+                    .iter()
+                    .map(|by_k| by_k[0].warnings.len())
+                    .collect::<Vec<_>>()
+            ));
+        }
+    }
+    let metrics = obs.finish().metrics;
+    (report, metrics.counter("solver.queries"))
+}
+
+#[test]
+fn search_instrumentation_never_changes_the_evaluation() {
+    let (off, q_off) = run(false);
+    let (on, q_on) = run(true);
+    assert_eq!(
+        q_off, FIG9_SCALE8_QUERIES,
+        "fig9 --scale 8 query count moved with instrumentation off"
+    );
+    assert_eq!(
+        q_on, FIG9_SCALE8_QUERIES,
+        "enabling search summaries changed the query plan"
+    );
+    assert_eq!(
+        off, on,
+        "search instrumentation changed the evaluation's reports"
+    );
+}

@@ -7,14 +7,18 @@ use acspec_benchgen::drivers::{generate, PatternMix};
 use acspec_core::{ProgramAnalysis, TelemetryObserver, TelemetryOutput};
 use acspec_telemetry::TraceRender;
 
-fn run(threads: usize) -> TelemetryOutput {
+fn run_with(threads: usize, search: bool) -> TelemetryOutput {
     let bm = generate("tel", 4242, 12, PatternMix::default());
-    let mut obs = TelemetryObserver::new();
+    let mut obs = TelemetryObserver::new().with_search_events(search);
     let outcomes = ProgramAnalysis::new(&bm.program)
         .threads(threads)
         .run(&mut obs);
     assert!(outcomes.iter().all(|o| o.incident().is_none()));
     obs.finish()
+}
+
+fn run(threads: usize) -> TelemetryOutput {
+    run_with(threads, false)
 }
 
 #[test]
@@ -51,6 +55,54 @@ fn merged_trace_is_identical_across_thread_counts() {
             "counter {key} differs across thread counts"
         );
     }
+}
+
+/// The CDCL search summaries ride the same deterministic replay: with
+/// search events on, both the JSONL and the Perfetto render are
+/// byte-identical across thread counts, and the CDCL counters agree.
+#[test]
+fn solver_event_traces_are_identical_across_thread_counts() {
+    let serial = run_with(1, true);
+    let parallel = run_with(4, true);
+    let zeroed = TraceRender {
+        zero_times: true,
+        redact: false,
+    };
+    let a = serial.trace_jsonl_with(None, zeroed);
+    let b = parallel.trace_jsonl_with(None, zeroed);
+    assert!(
+        a == b,
+        "search-instrumented span trees differ between 1 and 4 threads:\n{}",
+        first_diff(&a, &b)
+    );
+    assert_eq!(
+        serial.trace_perfetto_with(None, zeroed),
+        parallel.trace_perfetto_with(None, zeroed),
+        "perfetto renders differ across thread counts"
+    );
+    // The search-only metric families are deterministic too.
+    for key in [
+        "solver.restarts",
+        "solver.learnt_clauses",
+        "solver.learnt_literals",
+    ] {
+        assert_eq!(
+            serial.metrics.counter(key),
+            parallel.metrics.counter(key),
+            "counter {key} differs across thread counts"
+        );
+    }
+    assert_eq!(
+        serial.metrics.histogram("solver.lbd").map(|h| h.count()),
+        parallel.metrics.histogram("solver.lbd").map(|h| h.count()),
+    );
+    // Every query event now carries the summary attributes.
+    assert!(!serial.trace.events.is_empty());
+    assert!(serial
+        .trace
+        .events
+        .iter()
+        .all(|e| e.attrs.iter().any(|(k, _)| *k == "lbd_max")));
 }
 
 #[test]

@@ -56,7 +56,7 @@ use acspec_predabs::clause::{clauses_to_formula, QClause};
 use acspec_predabs::cover::{predicate_cover_salvaging, Cover};
 use acspec_predabs::mine::mine_predicates_interned;
 use acspec_predabs::normalize::{normalize, prune_clauses, PruneConfig};
-use acspec_smt::{SolverCounters, TermId};
+use acspec_smt::{SearchSummary, SolverCounters, TermId};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, Selector};
 use acspec_vcgen::cache::CacheStats;
 use acspec_vcgen::chaos::ChaosStats;
@@ -146,6 +146,11 @@ pub struct QueryEvent {
     pub seconds: f64,
     /// SAT/theory work-counter deltas for this query alone.
     pub counters: SolverCounters,
+    /// CDCL search summary for this query alone. `Some` only when an
+    /// observer opted in via [`SessionObserver::wants_search`] (and the
+    /// solver was actually consulted — fault-injected queries carry
+    /// `None`).
+    pub search: Option<SearchSummary>,
 }
 
 /// Receives stage completions (and procedure completions) from an
@@ -165,6 +170,15 @@ pub trait SessionObserver {
     /// per-`check()` cost, so sessions only enable it when asked
     /// (default `false`).
     fn wants_queries(&self) -> bool {
+        false
+    }
+    /// Whether this observer additionally wants CDCL search summaries
+    /// on its query events (restarts, LBD histograms, decision depth).
+    /// Implies the cost of [`SessionObserver::wants_queries`] plus
+    /// per-conflict LBD computation in the SAT core, so it is a
+    /// separate opt-in (default `false`). Only meaningful when
+    /// `wants_queries` is also `true`.
+    fn wants_search(&self) -> bool {
         false
     }
     /// A procedure's analysis was aborted by a panic or error; the
@@ -216,6 +230,10 @@ where
 
     fn wants_queries(&self) -> bool {
         self.first.wants_queries() || self.second.wants_queries()
+    }
+
+    fn wants_search(&self) -> bool {
+        self.first.wants_search() || self.second.wants_search()
     }
 
     fn incident_recorded(&mut self, incident: &AnalysisIncident) {
@@ -428,6 +446,14 @@ impl ProcSession {
         self.az.set_query_recording(on);
     }
 
+    /// Enables (or disables) CDCL search-summary recording on the
+    /// underlying analyzer. Off by default; [`ProgramAnalysis::run`]
+    /// turns it on when the observer
+    /// [`wants_search`](SessionObserver::wants_search).
+    pub fn set_search_recording(&mut self, on: bool) {
+        self.az.set_search_recording(on);
+    }
+
     /// The procedure's name.
     pub fn proc_name(&self) -> &str {
         &self.proc_name
@@ -506,6 +532,7 @@ impl ProcSession {
                     outcome: q.outcome,
                     seconds: q.seconds,
                     counters: q.counters,
+                    search: q.search,
                 });
             }
         }
@@ -1615,9 +1642,11 @@ impl<'p> ProgramAnalysis<'p> {
         &self,
         proc: &Procedure,
         record_queries: bool,
+        record_search: bool,
     ) -> Result<ProcAnalysis, AcspecError> {
         let mut session = ProcSession::new(self.program, proc, self.base.analyzer)?;
         session.set_query_recording(record_queries);
+        session.set_search_recording(record_search);
         if self.certify {
             session.enable_certs();
         }
@@ -1648,10 +1677,15 @@ impl<'p> ProgramAnalysis<'p> {
     /// session throws — an [`AcspecError`] or a panic (the solver's, or
     /// an injected chaos panic) — becomes an [`AnalysisIncident`]
     /// attributed to the stage that was executing.
-    fn analyze_one_isolated(&self, proc: &Procedure, record_queries: bool) -> ProcOutcome {
+    fn analyze_one_isolated(
+        &self,
+        proc: &Procedure,
+        record_queries: bool,
+        record_search: bool,
+    ) -> ProcOutcome {
         CURRENT_STAGE.with(|c| c.set(None));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.analyze_one(proc, record_queries)
+            self.analyze_one(proc, record_queries, record_search)
         }));
         match result {
             Ok(Ok(pa)) => ProcOutcome::Analyzed(Box::new(pa)),
@@ -1691,11 +1725,12 @@ impl<'p> ProgramAnalysis<'p> {
         }
         .min(defined.len().max(1));
         let record_queries = observer.wants_queries();
+        let record_search = observer.wants_search();
 
         let results: Vec<ProcOutcome> = if threads <= 1 {
             defined
                 .iter()
-                .map(|p| self.analyze_one_isolated(p, record_queries))
+                .map(|p| self.analyze_one_isolated(p, record_queries, record_search))
                 .collect()
         } else {
             // Longest procedures first, so the heaviest one (e.g. Drv7)
@@ -1715,7 +1750,8 @@ impl<'p> ProgramAnalysis<'p> {
                             break;
                         }
                         let i = order[k];
-                        let result = self.analyze_one_isolated(defined[i], record_queries);
+                        let result =
+                            self.analyze_one_isolated(defined[i], record_queries, record_search);
                         *slots[i].lock().expect("no poisoning") = Some(result);
                     });
                 }

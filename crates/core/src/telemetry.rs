@@ -23,7 +23,10 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 
-use acspec_telemetry::{Manifest, MetricsRegistry, SpanHandle, Trace, TraceBuf, TraceRender};
+use acspec_smt::{LBD_BUCKET_BOUNDS, RESTART_BUCKET_BOUNDS};
+use acspec_telemetry::{
+    Histogram, Manifest, MetricsRegistry, SpanHandle, Trace, TraceBuf, TraceRender,
+};
 use acspec_vcgen::stage::Stage;
 
 use crate::report::{AnalysisIncident, Fallback, IncidentKind, ReportLabel};
@@ -78,12 +81,28 @@ pub struct TelemetryObserver {
     bufs: Vec<TraceBuf>,
     current: Option<ProcTrace>,
     metrics: MetricsRegistry,
+    search_events: bool,
 }
 
 impl TelemetryObserver {
     /// An empty observer.
     pub fn new() -> TelemetryObserver {
         TelemetryObserver::default()
+    }
+
+    /// Opts into CDCL search summaries: sessions running under this
+    /// observer enable the solver's [`SearchObserver`] hook (per-conflict
+    /// LBD computation), and each `solver_query` trace event gains
+    /// `restarts`/`max_dl`/`learnt_clauses`/`lbd_max` attributes plus
+    /// `solver.lbd` / `solver.conflicts_per_restart` histograms in the
+    /// metrics snapshot. Off by default — existing traces and snapshots
+    /// are byte-identical to pre-instrumentation output.
+    ///
+    /// [`SearchObserver`]: acspec_smt::SearchObserver
+    #[must_use]
+    pub fn with_search_events(mut self, on: bool) -> TelemetryObserver {
+        self.search_events = on;
+        self
     }
 
     fn proc_trace(&mut self, proc_name: &str) -> &mut ProcTrace {
@@ -133,19 +152,21 @@ impl SessionObserver for TelemetryObserver {
             event.metrics.seconds,
         );
         for q in pt.pending.drain(..) {
-            pt.buf.push_event(
-                span,
-                "solver_query",
-                vec![
-                    ("seq", u64::from(q.seq).into()),
-                    ("outcome", q.outcome.name().into()),
-                    ("conflicts", q.counters.conflicts.into()),
-                    ("decisions", q.counters.decisions.into()),
-                    ("propagations", q.counters.propagations.into()),
-                    ("theory_conflicts", q.counters.theory_conflicts.into()),
-                ],
-                q.seconds,
-            );
+            let mut attrs = vec![
+                ("seq", u64::from(q.seq).into()),
+                ("outcome", q.outcome.name().into()),
+                ("conflicts", q.counters.conflicts.into()),
+                ("decisions", q.counters.decisions.into()),
+                ("propagations", q.counters.propagations.into()),
+                ("theory_conflicts", q.counters.theory_conflicts.into()),
+            ];
+            if let Some(s) = q.search {
+                attrs.push(("restarts", s.restarts.into()));
+                attrs.push(("max_dl", u64::from(s.max_decision_level).into()));
+                attrs.push(("learnt_clauses", s.learnt_clauses.into()));
+                attrs.push(("lbd_max", u64::from(s.max_lbd).into()));
+            }
+            pt.buf.push_event(span, "solver_query", attrs, q.seconds);
         }
         pt.buf.add_seconds(config, event.metrics.seconds);
         let root = pt.root;
@@ -222,6 +243,27 @@ impl SessionObserver for TelemetryObserver {
         self.metrics
             .inc("solver.theory_conflicts", event.counters.theory_conflicts);
         self.metrics.observe("solver.query_seconds", event.seconds);
+        if let Some(s) = event.search {
+            self.metrics.inc("solver.restarts", s.restarts);
+            self.metrics.inc("solver.learnt_clauses", s.learnt_clauses);
+            self.metrics
+                .inc("solver.learnt_literals", s.learnt_literals);
+            self.metrics
+                .gauge_max("solver.max_decision_level", f64::from(s.max_decision_level));
+            let lbd_bounds: Vec<f64> = LBD_BUCKET_BOUNDS.iter().map(|&b| b as f64).collect();
+            self.metrics.merge_histogram(
+                "solver.lbd",
+                &Histogram::from_parts(&lbd_bounds, &s.lbd_hist, s.lbd_sum as f64),
+            );
+            // Each restart interval contributes its conflict count, so
+            // the histogram's sum is the total conflicts in the window.
+            let restart_bounds: Vec<f64> =
+                RESTART_BUCKET_BOUNDS.iter().map(|&b| b as f64).collect();
+            self.metrics.merge_histogram(
+                "solver.conflicts_per_restart",
+                &Histogram::from_parts(&restart_bounds, &s.restart_hist, s.conflicts as f64),
+            );
+        }
         self.proc_trace(&event.proc_name)
             .pending
             .push(event.clone());
@@ -253,6 +295,10 @@ impl SessionObserver for TelemetryObserver {
     fn wants_queries(&self) -> bool {
         true
     }
+
+    fn wants_search(&self) -> bool {
+        self.search_events
+    }
 }
 
 /// The assembled outputs of a [`TelemetryObserver`].
@@ -281,6 +327,16 @@ impl TelemetryOutput {
         self.metrics.snapshot_json(manifest)
     }
 
+    /// The Chrome/Perfetto `trace_events` JSON document.
+    pub fn trace_perfetto(&self, manifest: Option<&Manifest>) -> String {
+        self.trace.to_perfetto(manifest)
+    }
+
+    /// [`TelemetryOutput::trace_perfetto`] with render options.
+    pub fn trace_perfetto_with(&self, manifest: Option<&Manifest>, opts: TraceRender) -> String {
+        self.trace.to_perfetto_with(manifest, opts)
+    }
+
     /// Writes the JSONL trace to `path`.
     ///
     /// # Errors
@@ -289,6 +345,20 @@ impl TelemetryOutput {
     pub fn write_trace(&self, path: &str, manifest: Option<&Manifest>) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.trace_jsonl(manifest).as_bytes())
+    }
+
+    /// Writes the Perfetto trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_trace_perfetto(
+        &self,
+        path: &str,
+        manifest: Option<&Manifest>,
+    ) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.trace_perfetto(manifest).as_bytes())
     }
 
     /// Writes the metrics snapshot to `path`.
@@ -377,6 +447,44 @@ mod tests {
             + out.metrics.counter("solver.unsat")
             + out.metrics.counter("solver.unknown");
         assert_eq!(by_outcome, events as u64);
+    }
+
+    #[test]
+    fn search_mode_adds_cdcl_metrics_and_attrs() {
+        let prog = parse_program(TWO_PROCS).expect("parses");
+        let mut obs = TelemetryObserver::new().with_search_events(true);
+        let outcomes = ProgramAnalysis::new(&prog).threads(1).run(&mut obs);
+        assert!(outcomes.iter().all(|o| o.incident().is_none()));
+        let out = obs.finish();
+        // Trivial queries may produce zero conflicts, but the histograms
+        // and the decision-level gauge must exist whenever search
+        // summaries were recorded.
+        let lbd = out.metrics.histogram("solver.lbd").expect("lbd histogram");
+        let cpr = out
+            .metrics
+            .histogram("solver.conflicts_per_restart")
+            .expect("restart histogram");
+        assert_eq!(lbd.count(), out.metrics.counter("solver.learnt_clauses"));
+        assert!(cpr.count() >= 1, "every consulted query ends an interval");
+        assert!(out.metrics.gauge("solver.max_decision_level") >= 0.0);
+        // Every recorded solver_query event carries the CDCL attrs.
+        assert!(!out.trace.events.is_empty());
+        for e in &out.trace.events {
+            assert!(
+                e.attrs.iter().any(|(k, _)| *k == "restarts"),
+                "missing restarts attr: {e:?}"
+            );
+            assert!(e.attrs.iter().any(|(k, _)| *k == "lbd_max"));
+        }
+        // Without the opt-in, none of this appears (byte-compat path).
+        let plain = run_telemetry(1);
+        assert!(plain.metrics.histogram("solver.lbd").is_none());
+        assert_eq!(plain.metrics.counter("solver.restarts"), 0);
+        assert!(plain
+            .trace
+            .events
+            .iter()
+            .all(|e| e.attrs.iter().all(|(k, _)| *k != "restarts")));
     }
 
     #[test]

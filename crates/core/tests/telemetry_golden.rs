@@ -21,6 +21,7 @@ const PROGRAM: &str = "
     procedure ok(x: int) { assume x > 0; assert x > 0; }";
 
 const GOLDEN_PATH: &str = "tests/golden/telemetry_trace.jsonl";
+const PERFETTO_GOLDEN_PATH: &str = "tests/golden/telemetry_trace.perfetto.json";
 
 /// The query cache changes how many solver queries run (fewer query
 /// events), so the golden pins the cache-on shape explicitly instead of
@@ -60,6 +61,51 @@ fn redacted_trace_matches_golden_file() {
     assert!(
         rendered == golden,
         "telemetry trace shape changed; if intentional, regenerate with \
+         UPDATE_GOLDEN=1.\n--- expected ---\n{golden}\n--- actual ---\n{rendered}"
+    );
+}
+
+/// Same idea for the Perfetto export, with search summaries on: the
+/// golden pins the slice/instant/counter structure and the CDCL
+/// attribute keys, with times and numbers redacted.
+#[test]
+fn redacted_perfetto_trace_matches_golden_file() {
+    let prog = parse_program(PROGRAM).expect("parses");
+    let mut obs = TelemetryObserver::new().with_search_events(true);
+    let outcomes = ProgramAnalysis::new(&prog)
+        .analyzer(cache_on())
+        .threads(1)
+        .run(&mut obs);
+    assert!(outcomes.iter().all(|o| o.incident().is_none()));
+    let out = obs.finish();
+    let rendered = out.trace_perfetto_with(
+        None,
+        TraceRender {
+            zero_times: true,
+            redact: true,
+        },
+    );
+    // Sanity before pinning: the document is valid JSON with all three
+    // Perfetto phase kinds present.
+    let v: serde_json::Value = serde_json::from_str(&rendered).expect("valid JSON");
+    let phases: std::collections::BTreeSet<&str> = v["traceEvents"]
+        .as_array()
+        .expect("array")
+        .iter()
+        .filter_map(|e| e["ph"].as_str())
+        .collect();
+    assert!(phases.contains("X") && phases.contains("i"), "{phases:?}");
+
+    let path = format!("{}/{PERFETTO_GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e} (run with UPDATE_GOLDEN=1)"));
+    assert!(
+        rendered == golden,
+        "perfetto trace shape changed; if intentional, regenerate with \
          UPDATE_GOLDEN=1.\n--- expected ---\n{golden}\n--- actual ---\n{rendered}"
     );
 }

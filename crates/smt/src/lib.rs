@@ -41,7 +41,10 @@ pub mod solver;
 pub mod term;
 
 pub use rat::Rat;
-pub use sat::{Lit, ProofEvent, SolveResult, Var};
+pub use sat::{
+    Lit, ProofEvent, SearchObserver, SearchSummary, SolveResult, Var, LBD_BUCKET_BOUNDS,
+    RESTART_BUCKET_BOUNDS,
+};
 pub use solver::{ClauseTag, SmtResult, SmtStats, Solver, SolverConfig, SolverCounters};
 pub use term::{Ctx, Term, TermId, TermSort};
 

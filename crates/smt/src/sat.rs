@@ -126,6 +126,144 @@ pub enum ProofEvent {
     },
 }
 
+/// Upper bucket bounds for learnt-clause LBD histograms (one extra
+/// overflow slot follows the last bound). LBD — "literal block
+/// distance", the number of distinct decision levels in a learnt
+/// clause — is the standard glue metric: low-LBD clauses are the ones
+/// worth keeping, so the shape of this histogram says whether search is
+/// learning useful clauses or churning.
+pub const LBD_BUCKET_BOUNDS: [u64; 8] = [1, 2, 3, 4, 6, 8, 12, 16];
+
+/// Upper bucket bounds for conflicts-per-restart-interval histograms
+/// (one extra overflow slot follows the last bound). Intervals follow
+/// the Luby-128 schedule, so mass in the high buckets means long
+/// unproductive dives between restarts.
+pub const RESTART_BUCKET_BOUNDS: [u64; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// Per-query summary of CDCL search effort (see [`Sat::enable_search`]).
+///
+/// Plain counters plus two fixed-size histograms, so the summary is
+/// `Copy` and can ride along query records without allocation. All
+/// fields cover the window since the summary was last taken — under the
+/// lazy-SMT loop that window spans every `solve` call of one theory
+/// query, which is the attribution the telemetry layer wants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchSummary {
+    /// Conflicts analyzed (excludes the terminal root-level conflict of
+    /// an `Unsat` answer, which is never analyzed).
+    pub conflicts: u64,
+    /// Branching decisions taken.
+    pub decisions: u64,
+    /// Luby restarts performed.
+    pub restarts: u64,
+    /// Deepest decision level reached (at a decision or a conflict).
+    pub max_decision_level: u32,
+    /// Learnt clauses recorded (= analyzed conflicts).
+    pub learnt_clauses: u64,
+    /// Total literals across learnt clauses (mean length = this /
+    /// `learnt_clauses`).
+    pub learnt_literals: u64,
+    /// Sum of learnt-clause LBDs (mean LBD = this / `learnt_clauses`).
+    pub lbd_sum: u64,
+    /// Largest learnt-clause LBD seen.
+    pub max_lbd: u32,
+    /// Learnt-clause database size when the summary was taken.
+    pub learnt_db_size: u64,
+    /// Learnt-clause LBD histogram, bucketed by [`LBD_BUCKET_BOUNDS`]
+    /// (`counts[i]` = LBDs ≤ `bounds[i]`, last slot = overflow).
+    pub lbd_hist: [u64; LBD_BUCKET_BOUNDS.len() + 1],
+    /// Conflicts-per-restart-interval histogram, bucketed by
+    /// [`RESTART_BUCKET_BOUNDS`] (trailing partial interval included
+    /// when the summary is taken).
+    pub restart_hist: [u64; RESTART_BUCKET_BOUNDS.len() + 1],
+}
+
+impl SearchSummary {
+    fn bucket(bounds: &[u64], v: u64) -> usize {
+        bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len())
+    }
+
+    /// Folds `other` into `self` (histograms add slot-wise, maxima
+    /// take the max, `learnt_db_size` keeps the later snapshot).
+    pub fn merge(&mut self, other: &SearchSummary) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.restarts += other.restarts;
+        self.max_decision_level = self.max_decision_level.max(other.max_decision_level);
+        self.learnt_clauses += other.learnt_clauses;
+        self.learnt_literals += other.learnt_literals;
+        self.lbd_sum += other.lbd_sum;
+        self.max_lbd = self.max_lbd.max(other.max_lbd);
+        self.learnt_db_size = other.learnt_db_size;
+        for (a, b) in self.lbd_hist.iter_mut().zip(other.lbd_hist.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.restart_hist.iter_mut().zip(other.restart_hist.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Opt-in CDCL search instrumentation (see [`Sat::enable_search`]).
+///
+/// When installed, the solve loop reports restart, conflict (with
+/// learnt-clause length and LBD), and decision events here; the
+/// observer folds them into a running [`SearchSummary`]. Per-event data
+/// is aggregated, never stored, so memory stays constant on
+/// benchmark-scale runs. When not installed the solve loop pays one
+/// `Option` discriminant check per conflict/decision/restart and skips
+/// the LBD computation entirely.
+#[derive(Debug, Clone, Default)]
+pub struct SearchObserver {
+    summary: SearchSummary,
+    /// Conflicts since the last restart (the open interval).
+    conflicts_this_interval: u64,
+}
+
+impl SearchObserver {
+    fn on_conflict(&mut self, learnt_len: usize, lbd: u32, decision_level: u32) {
+        self.conflicts_this_interval += 1;
+        let s = &mut self.summary;
+        s.conflicts += 1;
+        s.max_decision_level = s.max_decision_level.max(decision_level);
+        s.learnt_clauses += 1;
+        s.learnt_literals += learnt_len as u64;
+        s.lbd_sum += u64::from(lbd);
+        s.max_lbd = s.max_lbd.max(lbd);
+        s.lbd_hist[SearchSummary::bucket(&LBD_BUCKET_BOUNDS, u64::from(lbd))] += 1;
+    }
+
+    fn on_restart(&mut self) {
+        let n = std::mem::take(&mut self.conflicts_this_interval);
+        let s = &mut self.summary;
+        s.restarts += 1;
+        s.restart_hist[SearchSummary::bucket(&RESTART_BUCKET_BOUNDS, n)] += 1;
+    }
+
+    fn on_decision(&mut self, level: u32) {
+        let s = &mut self.summary;
+        s.decisions += 1;
+        s.max_decision_level = s.max_decision_level.max(level);
+    }
+
+    /// The summary accumulated since the last take.
+    pub fn summary(&self) -> &SearchSummary {
+        &self.summary
+    }
+
+    fn take(&mut self, learnt_db_size: u64) -> SearchSummary {
+        if self.conflicts_this_interval > 0 {
+            // Close the trailing interval (no restart happened) so every
+            // conflict is accounted in the restart histogram.
+            let n = std::mem::take(&mut self.conflicts_this_interval);
+            self.summary.restart_hist[SearchSummary::bucket(&RESTART_BUCKET_BOUNDS, n)] += 1;
+        }
+        let mut s = std::mem::take(&mut self.summary);
+        s.learnt_db_size = learnt_db_size;
+        s
+    }
+}
+
 #[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,
@@ -252,6 +390,8 @@ pub struct Sat {
     seen: Vec<bool>,
     /// Proof event log (`None` = logging disabled, the default).
     proof: Option<Vec<ProofEvent>>,
+    /// Search instrumentation (`None` = disabled, the default).
+    search: Option<SearchObserver>,
     /// Assumption subset responsible for the last `Unsat` answer
     /// (empty when the clauses alone are unsatisfiable).
     final_core: Vec<Lit>,
@@ -291,6 +431,7 @@ impl Sat {
             max_learnts: 4000,
             seen: Vec::new(),
             proof: None,
+            search: None,
             final_core: Vec::new(),
             conflicts: 0,
             decisions: 0,
@@ -354,6 +495,44 @@ impl Sat {
     /// The proof event log so far (empty when logging is disabled).
     pub fn proof_events(&self) -> &[ProofEvent] {
         self.proof.as_deref().unwrap_or(&[])
+    }
+
+    /// Turns on CDCL search instrumentation: restart, conflict
+    /// (learnt-clause length/LBD), and decision events are folded into a
+    /// running [`SearchSummary`]. Off by default; when off, the solve
+    /// loop pays only an `Option` discriminant check at each
+    /// conflict/decision/restart and never computes LBDs, so the search
+    /// itself (and hence the query plan) is unchanged either way.
+    pub fn enable_search(&mut self) {
+        if self.search.is_none() {
+            self.search = Some(SearchObserver::default());
+        }
+    }
+
+    /// The live search observer (`None` = instrumentation disabled).
+    pub fn search_observer(&self) -> Option<&SearchObserver> {
+        self.search.as_ref()
+    }
+
+    /// Takes (and resets) the search summary accumulated since the
+    /// previous take, stamping the current learnt-database size.
+    /// `None` when instrumentation is disabled.
+    pub fn take_search_summary(&mut self) -> Option<SearchSummary> {
+        let db = self.n_learnts as u64;
+        self.search.as_mut().map(|o| o.take(db))
+    }
+
+    /// Literal block distance: the number of distinct decision levels
+    /// among the clause's literals (computed only when search
+    /// instrumentation is on).
+    fn lbd_of(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
     }
 
     /// The assumption literals responsible for the most recent `Unsat`
@@ -789,6 +968,14 @@ impl Sat {
                         lits: learnt.clone(),
                     });
                 }
+                if self.search.is_some() {
+                    // LBD needs `level`, so record before backtracking.
+                    let lbd = self.lbd_of(&learnt);
+                    let dl = self.decision_level();
+                    if let Some(obs) = &mut self.search {
+                        obs.on_conflict(learnt.len(), lbd, dl);
+                    }
+                }
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == LBool::False {
@@ -817,6 +1004,9 @@ impl Sat {
                 {
                     restart_num += 1;
                     conflicts_until_restart = Sat::luby(restart_num) * 128;
+                    if let Some(obs) = &mut self.search {
+                        obs.on_restart();
+                    }
                     self.cancel_until(assumptions.len() as u32);
                     continue;
                 }
@@ -860,6 +1050,10 @@ impl Sat {
                     Some(v) => {
                         self.decisions += 1;
                         self.trail_lim.push(self.trail.len());
+                        let dl = self.decision_level();
+                        if let Some(obs) = &mut self.search {
+                            obs.on_decision(dl);
+                        }
                         let l = Lit::new(v, self.phase[v.0 as usize]);
                         self.unchecked_enqueue(l, None);
                     }
@@ -875,6 +1069,49 @@ mod tests {
 
     fn lits(sat: &mut Sat, n: usize) -> Vec<Var> {
         (0..n).map(|_| sat.new_var()).collect()
+    }
+
+    /// The search observer accumulates conflicts/decisions consistent
+    /// with the public statistics counters, and taking the summary
+    /// resets the window.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index pairs (p1, p2, h) read best as ranges
+    fn search_observer_tracks_conflicts_and_resets() {
+        // A small pigeonhole instance (4 pigeons, 3 holes) forces real
+        // conflict-driven search.
+        let mut s = Sat::new();
+        let pigeons = 4;
+        let holes = 3;
+        let v: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        s.enable_search();
+        for row in &v {
+            let clause: Vec<Lit> = row.iter().map(|&var| Lit::pos(var)).collect();
+            assert!(s.add_clause(&clause));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    assert!(s.add_clause(&[Lit::neg(v[p1][h]), Lit::neg(v[p2][h])]));
+                }
+            }
+        }
+        assert_eq!(s.solve(&[], None), SolveResult::Unsat);
+        let sum = s.take_search_summary().expect("instrumentation on");
+        assert!(sum.conflicts > 0, "pigeonhole without conflicts");
+        assert_eq!(sum.learnt_clauses, sum.conflicts);
+        assert!(sum.decisions > 0 && sum.decisions <= s.decisions);
+        assert!(sum.max_decision_level > 0);
+        assert!(sum.lbd_hist.iter().sum::<u64>() == sum.learnt_clauses);
+        assert!(
+            sum.restart_hist.iter().sum::<u64>() >= 1,
+            "trailing interval folded in"
+        );
+        // The window reset: a second take reports nothing new.
+        let again = s.take_search_summary().expect("still on");
+        assert_eq!(again.conflicts, 0);
+        assert_eq!(again.lbd_hist.iter().sum::<u64>(), 0);
     }
 
     #[test]

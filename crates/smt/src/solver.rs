@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use crate::euf::{Euf, Node};
 use crate::lia::{Lia, LiaVar};
 use crate::rat::Rat;
-use crate::sat::{Lit, ProofEvent, Sat, SolveResult, Var};
+use crate::sat::{Lit, ProofEvent, Sat, SearchSummary, SolveResult, Var};
 use crate::term::{Ctx, Term, TermId, TermSort};
 
 /// Provenance of one clause in the proof log (see
@@ -228,6 +228,28 @@ impl Solver {
     /// The SAT core's proof event log (empty when proof mode is off).
     pub fn proof_events(&self) -> &[ProofEvent] {
         self.sat.proof_events()
+    }
+
+    /// Turns on CDCL search instrumentation in the SAT core (see
+    /// [`Sat::enable_search`]): restart/conflict/decision events are
+    /// folded into a per-query [`SearchSummary`] retrievable with
+    /// [`Solver::take_search_summary`]. Off by default and free when
+    /// off; never changes the search itself.
+    pub fn enable_search(&mut self) {
+        self.sat.enable_search();
+    }
+
+    /// True when CDCL search instrumentation is enabled.
+    pub fn search_enabled(&self) -> bool {
+        self.sat.search_observer().is_some()
+    }
+
+    /// Takes (and resets) the search summary accumulated since the
+    /// previous take — under the lazy-SMT loop this aggregates every
+    /// `Sat::solve` round of the theory query. `None` when
+    /// instrumentation is disabled.
+    pub fn take_search_summary(&mut self) -> Option<SearchSummary> {
+        self.sat.take_search_summary()
     }
 
     /// Clause provenance tags, indexed by the `tag` field of

@@ -29,11 +29,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod perfetto;
 pub mod trace;
 
-pub use json::Value;
+pub use json::{Json, JsonError, Value};
 pub use metrics::{
-    opt, BoundsMismatch, Histogram, Manifest, MetricsRegistry, LATENCY_BUCKETS, SCHEMA_VERSION,
+    max_rss_kb, opt, BoundsMismatch, Histogram, Manifest, MetricsRegistry, LATENCY_BUCKETS,
+    SCHEMA_VERSION,
 };
 pub use trace::{Span, SpanHandle, Trace, TraceBuf, TraceEvent, TraceRender};
 

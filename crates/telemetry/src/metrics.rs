@@ -40,6 +40,21 @@ impl Histogram {
         }
     }
 
+    /// Builds a histogram from precomputed bucket counts. `counts`
+    /// must have one slot per bound plus a trailing overflow slot; the
+    /// total count is their sum. Used to fold fixed-array summaries
+    /// (e.g. the CDCL LBD histograms) into the registry without
+    /// replaying individual observations.
+    pub fn from_parts(bounds: &[f64], counts: &[u64], sum: f64) -> Histogram {
+        debug_assert_eq!(counts.len(), bounds.len() + 1, "one count per bucket");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: counts.to_vec(),
+            sum,
+            count: counts.iter().sum(),
+        }
+    }
+
     /// Records one observation.
     pub fn observe(&mut self, value: f64) {
         let slot = self
@@ -65,6 +80,36 @@ impl Histogram {
     /// Per-bucket counts (last slot = overflow).
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) estimated by linear
+    /// interpolation within the containing bucket, assuming
+    /// non-negative observations (the first bucket interpolates from
+    /// zero). The overflow bucket has no upper edge, so quantiles
+    /// landing there clamp to the largest bound. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let top = self.bounds.last().copied().unwrap_or(0.0);
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c as f64;
+            if rank <= next {
+                let Some(&hi) = self.bounds.get(i) else {
+                    return Some(top); // overflow bucket: clamp
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = ((rank - cum) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + frac * (hi - lo));
+            }
+            cum = next;
+        }
+        Some(top)
     }
 
     /// Folds another histogram into this one. The bounds must match:
@@ -216,6 +261,30 @@ impl MetricsRegistry {
         *self.gauges.entry(name.to_string()).or_insert(0.0) += delta;
     }
 
+    /// Sets a float gauge to an absolute value (last write wins). Used
+    /// for point-in-time readings such as the process gauges, where
+    /// summing across workers would be meaningless.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raises a float gauge to `value` if larger (created at `value`).
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(value);
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Stamps the process-level gauges `process.wall_s` (caller-measured
+    /// wall time) and `process.maxrss_kb` (peak RSS via [`max_rss_kb`])
+    /// so `--metrics-out` snapshots and the `repro bench` capture agree
+    /// on one source of truth.
+    pub fn record_process_gauges(&mut self, wall_s: f64) {
+        self.gauge_set("process.wall_s", wall_s);
+        self.gauge_set("process.maxrss_kb", max_rss_kb() as f64);
+    }
+
     /// Records an observation in a histogram with the default
     /// [`LATENCY_BUCKETS`].
     pub fn observe(&mut self, name: &str, value: f64) {
@@ -261,26 +330,33 @@ impl MetricsRegistry {
             *self.gauges.entry(k.clone()).or_insert(0.0) += v;
         }
         for (k, h) in &other.histograms {
-            match self.histograms.get_mut(k) {
-                Some(mine) => {
-                    if mine.try_merge(h).is_err() {
-                        self.inc("telemetry.merge.bounds_mismatch", 1);
-                        let quarantined = format!("{k}!bounds-mismatch");
-                        match self.histograms.get_mut(&quarantined) {
-                            // A second distinct bucketing fails again; it
-                            // stays counted above but is not folded.
-                            Some(q) => {
-                                let _ = q.try_merge(h);
-                            }
-                            None => {
-                                self.histograms.insert(quarantined, h.clone());
-                            }
+            self.merge_histogram(k, h);
+        }
+    }
+
+    /// Folds one histogram into the registry under `name`, with the
+    /// same bounds-mismatch quarantine discipline as
+    /// [`MetricsRegistry::merge`].
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(mine) => {
+                if mine.try_merge(h).is_err() {
+                    self.inc("telemetry.merge.bounds_mismatch", 1);
+                    let quarantined = format!("{name}!bounds-mismatch");
+                    match self.histograms.get_mut(&quarantined) {
+                        // A second distinct bucketing fails again; it
+                        // stays counted above but is not folded.
+                        Some(q) => {
+                            let _ = q.try_merge(h);
+                        }
+                        None => {
+                            self.histograms.insert(quarantined, h.clone());
                         }
                     }
                 }
-                None => {
-                    self.histograms.insert(k.clone(), h.clone());
-                }
+            }
+            None => {
+                self.histograms.insert(name.to_string(), h.clone());
             }
         }
     }
@@ -334,6 +410,25 @@ pub fn opt(key: &str, value: impl std::fmt::Display) -> (String, String) {
     (key.to_string(), value.to_string())
 }
 
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), or 0 where the procfs field is unavailable.
+pub fn max_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
 /// Unused-import guard: re-export the attribute value type for callers
 /// building manifests and attrs together.
 pub type AttrValue = Value;
@@ -352,6 +447,119 @@ mod tests {
         assert_eq!(h.counts(), &[1, 1, 1, 1]);
         assert_eq!(h.count(), 4);
         assert!((h.sum() - 5.0555).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        for v in [0.5, 0.5, 1.5, 1.5] {
+            h.observe(v);
+        }
+        // q = 0 sits at the lower edge of the first populated bucket.
+        assert!((h.quantile(0.0).unwrap() - 0.0).abs() < 1e-12);
+        // Half the mass fills bucket [0, 1]: q = 0.5 lands exactly on
+        // the shared bucket edge.
+        assert!((h.quantile(0.5).unwrap() - 1.0).abs() < 1e-12);
+        // q = 0.75 is halfway through bucket (1, 2].
+        assert!((h.quantile(0.75).unwrap() - 1.5).abs() < 1e-12);
+        // q = 1 reaches the upper edge of the last populated bucket.
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-12);
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_clamps_in_the_overflow_bucket() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(100.0); // overflow: no upper edge
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-12);
+        // Rank 0.5 of the single observation in bucket [0, 1]
+        // interpolates to the bucket midpoint.
+        assert!((h.quantile(0.25).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_set_and_max_semantics() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("g", 2.0);
+        r.gauge_set("g", 1.0);
+        assert!((r.gauge("g") - 1.0).abs() < 1e-12, "last write wins");
+        r.gauge_max("m", 3.0);
+        r.gauge_max("m", 2.0);
+        assert!((r.gauge("m") - 3.0).abs() < 1e-12, "max retained");
+    }
+
+    #[test]
+    fn process_gauges_are_stamped() {
+        let mut r = MetricsRegistry::new();
+        r.record_process_gauges(1.25);
+        assert!((r.gauge("process.wall_s") - 1.25).abs() < 1e-12);
+        // VmHWM is Linux-specific; on Linux any live process has a
+        // nonzero high-water mark, elsewhere the gauge reads 0.
+        let rss = r.gauge("process.maxrss_kb");
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0.0, "VmHWM should be readable: {rss}");
+        }
+        let snap = r.snapshot_json(None);
+        assert!(snap.contains("\"process.wall_s\":1.25"), "{snap}");
+        assert!(snap.contains("\"process.maxrss_kb\":"), "{snap}");
+    }
+
+    #[test]
+    fn from_parts_round_trips_counts() {
+        let h = Histogram::from_parts(&[1.0, 2.0], &[3, 1, 2], 9.0);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.counts(), &[3, 1, 2]);
+        assert!((h.sum() - 9.0).abs() < 1e-12);
+        let mut sink = Histogram::new(&[1.0, 2.0]);
+        sink.try_merge(&h).expect("same bounds");
+        assert_eq!(sink.count(), 6);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Oracle check: against a sorted vector of the raw
+        /// observations, the interpolated histogram quantile must land
+        /// within the bucket that contains the true (nearest-rank)
+        /// quantile.
+        #[test]
+        fn quantile_tracks_sorted_vec_oracle(
+            raw in proptest::collection::vec(0u64..2000, 1..200),
+            q_pct in 0u64..101,
+        ) {
+            let bounds = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+            let values: Vec<f64> = raw.iter().map(|&v| v as f64 / 100.0).collect();
+            let q = q_pct as f64 / 100.0;
+            let mut h = Histogram::new(&bounds);
+            let mut sorted = values.clone();
+            for &v in &values {
+                h.observe(v);
+            }
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = sorted.len();
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            let oracle = sorted[idx];
+            let est = h.quantile(q).unwrap();
+            match bounds.iter().position(|&b| oracle <= b) {
+                Some(i) => {
+                    let lo = if i == 0 { 0.0 } else { bounds[i - 1] };
+                    prop_assert!(
+                        est >= lo - 1e-9 && est <= bounds[i] + 1e-9,
+                        "estimate {} outside oracle bucket [{}, {}] (oracle {}, q {})",
+                        est, lo, bounds[i], oracle, q
+                    );
+                }
+                None => prop_assert!(
+                    (est - bounds[bounds.len() - 1]).abs() < 1e-9,
+                    "overflow quantile must clamp to the top bound, got {}",
+                    est
+                ),
+            }
+        }
     }
 
     #[test]

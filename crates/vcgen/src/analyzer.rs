@@ -28,7 +28,7 @@ use acspec_ir::expr::Formula;
 use acspec_ir::locs::{enumerate_locations, LocId};
 use acspec_ir::stmt::{AssertId, BranchCond, Stmt};
 use acspec_ir::Sort;
-use acspec_smt::{Ctx, SmtResult, Solver, SolverCounters, TermId};
+use acspec_smt::{Ctx, SearchSummary, SmtResult, Solver, SolverCounters, TermId};
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::chaos::{ChaosConfig, ChaosFault, ChaosSolver, ChaosStats};
@@ -118,6 +118,10 @@ pub struct QueryRecord {
     pub seconds: f64,
     /// Work-counter deltas for this query alone.
     pub counters: SolverCounters,
+    /// CDCL search summary for this query alone (`Some` only when
+    /// search recording is on, see
+    /// [`ProcAnalyzer::set_search_recording`]).
+    pub search: Option<SearchSummary>,
 }
 
 /// Configuration for a [`ProcAnalyzer`].
@@ -195,6 +199,10 @@ pub struct ProcAnalyzer {
     /// When set, every `check()` appends a [`QueryRecord`]. Off by
     /// default so un-instrumented runs pay nothing but this flag test.
     record_queries: bool,
+    /// When set (implies `record_queries` effects at the solver level),
+    /// the SAT core's search instrumentation is enabled and every
+    /// recorded query carries its [`SearchSummary`]. Off by default.
+    record_search: bool,
     /// Recorded queries awaiting [`ProcAnalyzer::take_query_records`].
     query_log: Vec<QueryRecord>,
     /// The monotone dominance cache (`None` when disabled).
@@ -342,6 +350,7 @@ impl ProcAnalyzer {
             stages,
             queries: 0,
             record_queries: false,
+            record_search: false,
             query_log: Vec::new(),
             cache: config.query_cache.then(QueryCache::new),
             selector_memo: std::collections::HashMap::new(),
@@ -377,6 +386,23 @@ impl ProcAnalyzer {
     /// Whether per-query recording is on.
     pub fn query_recording(&self) -> bool {
         self.record_queries
+    }
+
+    /// Enables (or disables) CDCL search recording: the SAT core's
+    /// [`acspec_smt::SearchObserver`] is installed and every recorded
+    /// query carries a per-query [`SearchSummary`]. Independent of
+    /// (but only observable through) query recording; off by default so
+    /// the solver search loop stays instrumentation-free.
+    pub fn set_search_recording(&mut self, on: bool) {
+        self.record_search = on;
+        if on {
+            self.solver.enable_search();
+        }
+    }
+
+    /// Whether CDCL search recording is on.
+    pub fn search_recording(&self) -> bool {
+        self.record_search
     }
 
     /// Drains the recorded queries (issue order).
@@ -513,6 +539,8 @@ impl ProcAnalyzer {
                 outcome: QueryOutcome::Unknown { reason },
                 seconds: 0.0,
                 counters: SolverCounters::default(),
+                // The solver was never consulted: no search to report.
+                search: None,
             });
         }
         Timeout
@@ -719,6 +747,11 @@ impl ProcAnalyzer {
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
         let mut solver = Solver::new();
+        if self.record_search {
+            // Fresh solver per witness query: install the observer so
+            // witness queries report search summaries like any other.
+            solver.enable_search();
+        }
         for &t in &self.base_asserts {
             solver.assert_term(&mut self.ctx, t);
         }
@@ -727,6 +760,7 @@ impl ProcAnalyzer {
         self.budget.charge(solver.conflicts());
         let seconds = start.elapsed().as_secs_f64();
         self.stages.record(self.stage, seconds, 1);
+        let search = solver.take_search_summary();
         if self.record_queries {
             self.query_log.push(QueryRecord {
                 stage: self.stage,
@@ -740,6 +774,7 @@ impl ProcAnalyzer {
                 },
                 seconds,
                 counters: solver.counters(),
+                search,
             });
         }
         match result {
@@ -802,6 +837,9 @@ impl ProcAnalyzer {
         self.budget.charge(spent);
         let seconds = start.elapsed().as_secs_f64();
         self.stages.record(self.stage, seconds, 1);
+        // Taken per query even when the log is off, so the observer's
+        // accumulation window always spans exactly one query.
+        let search = self.solver.take_search_summary();
         if self.record_queries {
             self.query_log.push(QueryRecord {
                 stage: self.stage,
@@ -815,6 +853,7 @@ impl ProcAnalyzer {
                 },
                 seconds,
                 counters: self.solver.counters().since(&before),
+                search,
             });
         }
         match result {
