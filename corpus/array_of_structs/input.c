@@ -1,0 +1,18 @@
+/* Arrays of structs: a[i].f lowers through the per-field maps. `sum`
+   checks the allocation; `first_tag` dereferences it unchecked. */
+struct item { int val; int tag; };
+struct item *alloc_items(int n);
+int sum(int n) {
+  struct item *arr = alloc_items(n);
+  int i;
+  int total = 0;
+  if (arr == NULL) { return 0; }
+  for (i = 0; i < n; i++) {
+    total = total + arr[i].val;
+  }
+  return total;
+}
+int first_tag(int n) {
+  struct item *arr = alloc_items(n);
+  return arr[0].tag;
+}

@@ -1,0 +1,15 @@
+/* `bad_read` dereferences exactly when the pointer is NULL: a doomed
+   program point (every input reaching it fails). `read_value` is the
+   correct twin. */
+int read_value(int *p) {
+  if (p == NULL) {
+    return 0;
+  }
+  return *p;
+}
+int bad_read(int *p) {
+  if (p == NULL) {
+    return *p;
+  }
+  return 1;
+}

@@ -1,0 +1,15 @@
+/* A dispatch routine whose cmd == 2 arm frees twice: a concrete SIB. */
+void dispatch(int *p, int cmd) {
+  switch (cmd) {
+    case 1:
+      free(p);
+      break;
+    case 2:
+      free(p);
+      free(p);
+      break;
+    default:
+      if (p != NULL) { *p = 0; }
+      break;
+  }
+}

@@ -1,0 +1,9 @@
+/* Indirect calls lowered via havoc: `apply` jumps through cb without a
+   null check, `checked_apply` guards it. */
+int apply(int (*cb)(int), int x) {
+  return cb(x);
+}
+int checked_apply(int (*cb)(int), int x) {
+  if (cb != NULL) { return cb(x); }
+  return 0;
+}

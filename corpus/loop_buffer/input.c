@@ -1,0 +1,7 @@
+/* A bounded fill loop writing through an unchecked buffer pointer. */
+void fill(int n, char *buf) {
+  int i;
+  for (i = 0; i < n; i++) {
+    buf[i] = 0;
+  }
+}

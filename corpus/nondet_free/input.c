@@ -1,0 +1,6 @@
+/* A nondeterministic first free followed by an unconditional second:
+   the paper's §6 discriminator, as a concrete SIB. */
+void maybe_free(int *p) {
+  if (nondet()) { free(p); }
+  free(p);
+}

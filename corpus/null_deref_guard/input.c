@@ -1,0 +1,16 @@
+/* Figure 2 (SAMATE CWE-476) in C: the allocation is only checked on one
+   branch; Conc is fooled by the cross-call correlation, A1 reveals it. */
+struct twoints { int a; int b; };
+int static_returns_t(void);
+struct twoints *calloc(int n, int size);
+void bar(void) {
+  struct twoints *data = NULL;
+  data = calloc(100, sizeof(struct twoints));
+  if (static_returns_t()) {
+    data->a = 1;
+  } else {
+    if (data != NULL) {
+      data->a = 1;
+    }
+  }
+}

@@ -1,0 +1,7 @@
+/* Varargs stubs: extra arguments are evaluated for side effects and
+   dropped; the *count dereferences are the demonic warnings. */
+int logf(char *fmt, ...);
+void report(char *fmt, int *count) {
+  logf(fmt, *count, 1);
+  *count = *count + 1;
+}

@@ -21,6 +21,17 @@
 //! repro trace-diff <a> <b>    align two --trace-out JSONL traces by
 //!                             span path; report per-stage deltas and
 //!                             the first query-plan divergence
+//! repro corpus <action> [--scenario NAME] [--corpus-dir DIR]
+//!             [--report path]
+//!                             scenario corpus harness; actions:
+//!                               list   registered scenarios + budgets
+//!                               run    full differential matrix vs the
+//!                                      blessed oracles (UPDATE_GOLDEN=1
+//!                                      re-blesses instead)
+//!                               bless  rewrite expected.json (and a
+//!                                      first budget.json if missing)
+//!                               diff   base-leg fingerprints vs the
+//!                                      blessed oracle, no budget gate
 //! repro ablation-incremental  incremental vs. fresh-solver queries
 //! repro ablation-normalize    Normalize on/off
 //! repro ablation-interproc    inferred callee preconditions (§7)
@@ -43,8 +54,9 @@
 //!
 //! `--scale N` divides every benchmark's procedure count by `N`
 //! (default 1 = full size). All generation is seeded; output is
-//! deterministic up to wall-clock columns. Unknown flags or extra
-//! positional arguments are rejected with the usage text.
+//! deterministic up to wall-clock columns. Unknown flags, flags a
+//! command does not accept, and extra positional arguments are
+//! rejected with the usage text (exit code 2).
 
 use std::time::{Duration, Instant};
 
@@ -64,12 +76,13 @@ use acspec_vcgen::chaos::ChaosConfig;
 use acspec_vcgen::stage::Stage;
 use acspec_vcgen::wp::wp_interned;
 
-const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|bench|trace-diff|\
+const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|bench|trace-diff|corpus|\
 ablation-incremental|ablation-normalize|ablation-interproc|all> [--scale N] [--top K] \
 [--top-terms] [--sort wall|queries|conflicts] [--best-of N] [--out path] \
 [--trace-out path] [--trace-format jsonl|perfetto] [--metrics-out path] \
 [--certs-out path] [--no-query-cache] [--threads N] [--deadline secs] \
-[--chaos-seed u64] [--chaos-rate p]";
+[--chaos-seed u64] [--chaos-rate p]\n\
+       repro corpus <list|run|bless|diff> [--scenario NAME] [--corpus-dir DIR] [--report path]";
 
 const COMMANDS: &[&str] = &[
     "fig5",
@@ -80,11 +93,63 @@ const COMMANDS: &[&str] = &[
     "profile",
     "bench",
     "trace-diff",
+    "corpus",
     "ablation-incremental",
     "ablation-normalize",
     "ablation-interproc",
     "all",
 ];
+
+const CORPUS_ACTIONS: &[&str] = &["list", "run", "bless", "diff"];
+
+/// The analyzer-knob flags accepted by every figure evaluation.
+const KNOB_FLAGS: &[&str] = &[
+    "--no-query-cache",
+    "--threads",
+    "--deadline",
+    "--chaos-seed",
+    "--chaos-rate",
+];
+
+/// The telemetry/certificate sink flags accepted by every figure
+/// evaluation.
+const SINK_FLAGS: &[&str] = &[
+    "--trace-out",
+    "--trace-format",
+    "--metrics-out",
+    "--certs-out",
+];
+
+/// Which flags each command accepts. A flag outside its command's row
+/// is a usage error — `repro corpus --scale 4` or `repro fig5
+/// --best-of 2` must fail loudly instead of silently ignoring the
+/// knob.
+fn allowed_flags(cmd: &str) -> Vec<&'static str> {
+    let mut allowed: Vec<&'static str> = Vec::new();
+    match cmd {
+        "fig5" => allowed.push("--scale"),
+        "fig6" | "fig7" | "fig8" | "fig9" | "all" => {
+            allowed.push("--scale");
+            allowed.extend(SINK_FLAGS);
+            allowed.extend(KNOB_FLAGS);
+        }
+        "profile" => {
+            allowed.extend(["--scale", "--top", "--top-terms", "--sort"]);
+            allowed.extend(SINK_FLAGS);
+            allowed.extend(KNOB_FLAGS);
+        }
+        "bench" => {
+            allowed.extend(["--scale", "--best-of", "--out"]);
+            allowed.extend(KNOB_FLAGS);
+        }
+        "trace-diff" => allowed.push("--top"),
+        "corpus" => allowed.extend(["--scenario", "--corpus-dir", "--report"]),
+        "ablation-incremental" => allowed.extend(["--scale", "--no-query-cache"]),
+        "ablation-normalize" | "ablation-interproc" => allowed.push("--scale"),
+        _ => unreachable!("parse_args validated the command"),
+    }
+    allowed
+}
 
 /// `--trace-format`: how `--trace-out` is rendered.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -120,6 +185,14 @@ struct Cli {
     chaos_rate: Option<f64>,
     /// Positional file arguments (only `trace-diff` takes any).
     files: Vec<String>,
+    /// `corpus` action: list, run, bless, or diff.
+    corpus_action: Option<String>,
+    /// `--scenario`: restrict `corpus` to one scenario by name.
+    scenario: Option<String>,
+    /// `--corpus-dir`: override the corpus root directory.
+    corpus_dir: Option<String>,
+    /// `--report`: write a JSON per-scenario report (`corpus run`).
+    report: Option<String>,
 }
 
 /// The analyzer-affecting knobs threaded through every figure's
@@ -195,9 +268,36 @@ fn parse_args() -> Cli {
         chaos_seed: None,
         chaos_rate: None,
         files: Vec::new(),
+        corpus_action: None,
+        scenario: None,
+        corpus_dir: None,
+        report: None,
     };
+    // Every flag consumed, in order; validated against the command's
+    // whitelist once the command is known (flags may precede it).
+    let mut seen_flags: Vec<&'static str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
+        if let Some(flag) = args.get(i).filter(|a| a.starts_with('-')) {
+            if let Some(known) = KNOB_FLAGS
+                .iter()
+                .chain(SINK_FLAGS)
+                .chain(&[
+                    "--scale",
+                    "--top",
+                    "--top-terms",
+                    "--sort",
+                    "--best-of",
+                    "--out",
+                    "--scenario",
+                    "--corpus-dir",
+                    "--report",
+                ])
+                .find(|k| **k == flag.as_str())
+            {
+                seen_flags.push(known);
+            }
+        }
         match args[i].as_str() {
             "--scale" => {
                 cli.scale = args
@@ -319,6 +419,30 @@ fn parse_args() -> Cli {
                 );
                 i += 2;
             }
+            "--scenario" => {
+                cli.scenario = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage_error("--scenario needs a scenario name"))
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--corpus-dir" => {
+                cli.corpus_dir = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage_error("--corpus-dir needs a directory"))
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--report" => {
+                cli.report = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage_error("--report needs a path"))
+                        .clone(),
+                );
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -331,6 +455,15 @@ fn parse_args() -> Cli {
                     usage_error(&format!("unknown command `{word}`"));
                 }
                 cli.cmd = word.to_string();
+                i += 1;
+            }
+            action if cli.cmd == "corpus" && cli.corpus_action.is_none() => {
+                if !CORPUS_ACTIONS.contains(&action) {
+                    usage_error(&format!(
+                        "unknown corpus action `{action}` (expected one of: list, run, bless, diff)"
+                    ));
+                }
+                cli.corpus_action = Some(action.to_string());
                 i += 1;
             }
             file if cli.cmd == "trace-diff" && cli.files.len() < 2 => {
@@ -348,6 +481,15 @@ fn parse_args() -> Cli {
     if cli.cmd == "trace-diff" && cli.files.len() != 2 {
         usage_error("trace-diff needs exactly two trace files: repro trace-diff <a> <b>");
     }
+    if cli.cmd == "corpus" && cli.corpus_action.is_none() {
+        usage_error("corpus needs an action: repro corpus <list|run|bless|diff>");
+    }
+    let allowed = allowed_flags(&cli.cmd);
+    for flag in seen_flags {
+        if !allowed.contains(&flag) {
+            usage_error(&format!("`{flag}` is not valid for `repro {}`", cli.cmd));
+        }
+    }
     cli
 }
 
@@ -356,6 +498,10 @@ fn main() {
     let cli = parse_args();
     if cli.cmd == "trace-diff" {
         trace_diff(&cli);
+        return;
+    }
+    if cli.cmd == "corpus" {
+        corpus_cmd(&cli);
         return;
     }
     let knobs = cli.knobs();
@@ -643,6 +789,208 @@ fn trace_diff(cli: &Cli) {
     }
     let d = acspec_bench::diff::diff_traces(&a, &b);
     print!("{}", d.format(&cli.files[0], &cli.files[1], cli.top));
+}
+
+/// Escapes a string for a JSON literal in the `--report` document.
+fn json_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `repro corpus run --report <path>`: the per-scenario JSON report CI
+/// uploads as an artifact when the gate fails.
+fn corpus_report(verdicts: &[acspec_corpus::ScenarioVerdict]) -> String {
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"scenarios\": [");
+    for (i, v) in verdicts.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        let failures = v
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", json_esc(f)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ok\": {}, \"warnings\": {}, \"queries\": {}, \
+             \"wall_ms\": {}, \"failures\": [{}]}}",
+            json_esc(&v.name),
+            v.ok(),
+            v.produced.warnings.len(),
+            v.queries,
+            v.wall_ms,
+            failures
+        ));
+    }
+    if !verdicts.is_empty() {
+        s.push_str("\n  ");
+    }
+    let queries: u64 = verdicts.iter().map(|v| v.queries).sum();
+    let wall: u64 = verdicts.iter().map(|v| v.wall_ms).sum();
+    s.push_str(&format!(
+        "],\n  \"total_queries\": {queries},\n  \"total_wall_ms\": {wall}\n}}\n"
+    ));
+    s
+}
+
+/// `repro corpus <list|run|bless|diff>`: the scenario-corpus harness
+/// (see `crates/corpus` and DESIGN.md §4.8).
+fn corpus_cmd(cli: &Cli) {
+    let dir = cli
+        .corpus_dir
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(acspec_corpus::default_corpus_dir);
+    let mut scenarios =
+        acspec_corpus::load_corpus(&dir).unwrap_or_else(|e| usage_error(&e.to_string()));
+    if let Some(name) = &cli.scenario {
+        scenarios.retain(|s| &s.name == name);
+        if scenarios.is_empty() {
+            usage_error(&format!("unknown scenario `{name}` in {}", dir.display()));
+        }
+    }
+    if scenarios.is_empty() {
+        usage_error(&format!("no scenarios found in {}", dir.display()));
+    }
+    let action = cli
+        .corpus_action
+        .as_deref()
+        .expect("validated by parse_args");
+    // The UPDATE_GOLDEN workflow: `corpus run` re-blesses instead of
+    // comparing, mirroring the golden-file suites.
+    let blessing = action == "bless"
+        || (action == "run" && std::env::var("UPDATE_GOLDEN").ok().as_deref() == Some("1"));
+    match action {
+        "list" => {
+            println!("{} scenario(s) in {}:", scenarios.len(), dir.display());
+            for sc in &scenarios {
+                let warnings = sc
+                    .load_expected()
+                    .map(|o| o.warnings.len().to_string())
+                    .unwrap_or_else(|_| "unblessed".to_string());
+                let budget = sc
+                    .load_budget()
+                    .map(|b| format!("{} queries, {} ms", b.max_solver_queries, b.max_wall_ms))
+                    .unwrap_or_else(|_| "none".to_string());
+                println!(
+                    "  {:<22} {:<3} {:>9} warning(s)  budget: {}",
+                    sc.name,
+                    sc.kind.name(),
+                    warnings,
+                    budget
+                );
+            }
+        }
+        _ if blessing => {
+            let mut failed = false;
+            for sc in &scenarios {
+                match acspec_corpus::bless_scenario(sc) {
+                    Ok(out) => println!(
+                        "blessed {}: {} warning(s), {} queries{}",
+                        sc.name,
+                        out.warnings,
+                        out.queries,
+                        if out.wrote_budget {
+                            " (+ new budget.json)"
+                        } else {
+                            ""
+                        }
+                    ),
+                    Err(e) => {
+                        eprintln!("FAIL {}: {e}", sc.name);
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
+        "run" => {
+            let mut verdicts = Vec::new();
+            for sc in &scenarios {
+                let v = acspec_corpus::verify_scenario(sc);
+                if v.ok() {
+                    println!(
+                        "PASS {} ({} warning(s), {} queries, {} ms)",
+                        v.name,
+                        v.produced.warnings.len(),
+                        v.queries,
+                        v.wall_ms
+                    );
+                } else {
+                    println!("FAIL {}", v.name);
+                    for f in &v.failures {
+                        println!("  {}", f.replace('\n', "\n  "));
+                    }
+                }
+                verdicts.push(v);
+            }
+            let failed = verdicts.iter().filter(|v| !v.ok()).count();
+            let queries: u64 = verdicts.iter().map(|v| v.queries).sum();
+            let wall: u64 = verdicts.iter().map(|v| v.wall_ms).sum();
+            println!(
+                "corpus total: {}/{} passed, {queries} solver queries, {wall} ms wall",
+                verdicts.len() - failed,
+                verdicts.len()
+            );
+            if let Some(path) = &cli.report {
+                std::fs::write(path, corpus_report(&verdicts))
+                    .unwrap_or_else(|e| usage_error(&format!("cannot write {path}: {e}")));
+                println!("(wrote per-scenario report to {path})");
+            }
+            if failed > 0 {
+                std::process::exit(1);
+            }
+        }
+        "diff" => {
+            let mut diverged = false;
+            for sc in &scenarios {
+                let program = match sc.program() {
+                    Ok(p) => p,
+                    Err(e) => {
+                        println!("{}: cannot load program: {e}", sc.name);
+                        diverged = true;
+                        continue;
+                    }
+                };
+                let run = acspec_corpus::run_leg(&program, &acspec_corpus::BASE_LEG);
+                let expected = match sc.load_expected() {
+                    Ok(o) => o,
+                    Err(e) => {
+                        println!("{}: {e}", sc.name);
+                        diverged = true;
+                        continue;
+                    }
+                };
+                let diffs = expected.diff(&run.oracle);
+                if diffs.is_empty() {
+                    println!(
+                        "{}: in sync ({} warning(s))",
+                        sc.name,
+                        run.oracle.warnings.len()
+                    );
+                } else {
+                    println!("{}: {} discrepancy(ies)", sc.name, diffs.len());
+                    for d in &diffs {
+                        println!("  {d}");
+                    }
+                    diverged = true;
+                }
+            }
+            if diverged {
+                std::process::exit(1);
+            }
+        }
+        _ => unreachable!("parse_args validated the corpus action"),
+    }
 }
 
 /// Runs the Figure 9 evaluation workload (large benchmarks) silently,

@@ -17,12 +17,16 @@ pub enum CType {
     Ptr(Box<CType>),
     /// A struct by value (only usable behind a pointer).
     Struct(String),
+    /// Pointer to a function returning the boxed type. Parameter types
+    /// are not tracked: an indirect call is lowered via havoc, so only
+    /// the return type matters.
+    FuncPtr(Box<CType>),
 }
 
 impl CType {
-    /// True for pointer types.
+    /// True for pointer types (data or function pointers).
     pub fn is_pointer(&self) -> bool {
-        matches!(self, CType::Ptr(_))
+        matches!(self, CType::Ptr(_) | CType::FuncPtr(_))
     }
 }
 
@@ -153,6 +157,9 @@ pub struct CFunc {
     pub ret: CType,
     /// Parameters.
     pub params: Vec<(String, CType)>,
+    /// True for `...` prototypes (`int printf(char *fmt, ...);`).
+    /// Extra call arguments are evaluated for side effects and dropped.
+    pub varargs: bool,
     /// Body; `None` for prototypes (external functions).
     pub body: Option<Vec<CStmt>>,
 }

@@ -28,8 +28,8 @@ enum Tok {
 }
 
 const PUNCTS: &[&str] = &[
-    "==", "!=", "<=", ">=", "&&", "||", "->", "++", "--", "+=", "-=", "(", ")", "{", "}", "[", "]",
-    ";", ",", ":", "=", "<", ">", "!", "*", "+", "-", "&", ".",
+    "...", "==", "!=", "<=", ">=", "&&", "||", "->", "++", "--", "+=", "-=", "(", ")", "{", "}",
+    "[", "]", ";", ",", ":", "=", "<", ">", "!", "*", "+", "-", "&", ".",
 ];
 
 fn lex(src: &str) -> Result<Vec<(Tok, u32)>, CParseError> {
@@ -197,6 +197,44 @@ impl P {
         t
     }
 
+    /// True when the next tokens are `( *` — a function-pointer
+    /// declarator `ret (*name)(types)`.
+    fn at_fptr_declarator(&self) -> bool {
+        self.peek() == &Tok::Punct("(")
+            && self
+                .toks
+                .get(self.pos + 1)
+                .is_some_and(|(t, _)| t == &Tok::Punct("*"))
+    }
+
+    /// Parses `(*name)(param-types)` after the return type. Parameter
+    /// types are validated but not recorded (indirect calls are lowered
+    /// via havoc, so only the return type matters).
+    fn parse_fptr_declarator(&mut self, ret: CType) -> Result<(String, CType), CParseError> {
+        self.eat("(")?;
+        self.eat("*")?;
+        let name = self.ident()?;
+        self.eat(")")?;
+        self.eat("(")?;
+        if !self.try_eat(")") {
+            loop {
+                let base = self
+                    .try_base_type()
+                    .ok_or_else(|| self.err("expected parameter type in function pointer"))?;
+                let _ = self.wrap_pointers(base);
+                // A parameter name is optional in a declarator.
+                if let Tok::Ident(_) = self.peek() {
+                    let _ = self.ident();
+                }
+                if !self.try_eat(",") {
+                    break;
+                }
+            }
+            self.eat(")")?;
+        }
+        Ok((name, CType::FuncPtr(Box::new(ret))))
+    }
+
     fn parse_program(&mut self) -> Result<CProgram, CParseError> {
         let mut prog = CProgram::default();
         while self.peek() != &Tok::Eof {
@@ -239,6 +277,7 @@ impl P {
         let name = self.ident()?;
         self.eat("(")?;
         let mut params = Vec::new();
+        let mut varargs = false;
         if !self.try_eat(")") {
             let second_is_close = self
                 .toks
@@ -249,11 +288,19 @@ impl P {
                 self.eat(")")?;
             } else {
                 loop {
+                    if self.try_eat("...") {
+                        varargs = true;
+                        break;
+                    }
                     let base = self
                         .try_base_type()
                         .ok_or_else(|| self.err("expected parameter type"))?;
                     let t = self.wrap_pointers(base);
-                    let pname = self.ident()?;
+                    let (pname, t) = if self.at_fptr_declarator() {
+                        self.parse_fptr_declarator(t)?
+                    } else {
+                        (self.ident()?, t)
+                    };
                     params.push((pname, t));
                     if !self.try_eat(",") {
                         break;
@@ -267,6 +314,7 @@ impl P {
                 name,
                 ret,
                 params,
+                varargs,
                 body: None,
             });
         }
@@ -275,6 +323,7 @@ impl P {
             name,
             ret,
             params,
+            varargs,
             body: Some(body),
         })
     }
@@ -426,6 +475,15 @@ impl P {
         let save = self.pos;
         if let Some(base) = self.try_base_type() {
             let t = self.wrap_pointers(base);
+            if self.at_fptr_declarator() {
+                let (name, t) = self.parse_fptr_declarator(t)?;
+                let init = if self.try_eat("=") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                return Ok(CStmt::Decl(name, t, init));
+            }
             if let Tok::Ident(_) = self.peek() {
                 let name = self.ident()?;
                 let init = if self.try_eat("=") {
@@ -588,17 +646,24 @@ impl P {
                 let f = self.ident()?;
                 e = CExpr::Arrow(Box::new(e), f, line);
             } else if self.try_eat(".") {
-                // `(*p).f` ≡ `p->f`; by-value struct access is otherwise
-                // outside the subset.
+                // `(*p).f` ≡ `p->f`, and `a[i].f` on an array of structs
+                // is field access at the element address `a + i`;
+                // by-value struct access is otherwise outside the subset.
                 let line = self.line();
                 let f = self.ident()?;
                 match e {
                     CExpr::Deref(inner, _) => {
                         e = CExpr::Arrow(inner, f, line);
                     }
+                    CExpr::Index(base, idx, _) => {
+                        e = CExpr::Arrow(Box::new(CExpr::Bin(CBinOp::Add, base, idx)), f, line);
+                    }
                     other => {
                         return Err(CParseError {
-                            msg: format!("`.` is only supported as `(*p).field`, got {other:?}"),
+                            msg: format!(
+                                "`.` is only supported as `(*p).field` or `a[i].field`, \
+                                 got {other:?}"
+                            ),
                             line,
                         })
                     }

@@ -343,6 +343,108 @@ mod tests {
     }
 
     #[test]
+    fn array_of_structs_indexes_field_maps() {
+        let prog = compile(
+            "struct item { int val; int next; };
+             void g(struct item *arr, int i) {
+               arr[i].val = 7;
+             }",
+        );
+        let printed = prog
+            .procedure("g")
+            .and_then(|p| p.body.as_ref())
+            .expect("body")
+            .to_string();
+        // The element address is arr + i; the field map is written there.
+        assert!(
+            printed.contains("fld_item_val := write(fld_item_val, arr + i, 7)"),
+            "got:\n{printed}"
+        );
+        assert!(printed.contains("assert arr + i != 0"), "got:\n{printed}");
+        assert_eq!(prog.assert_count(), 1);
+    }
+
+    #[test]
+    fn array_of_structs_reads_too() {
+        let prog = compile(
+            "struct item { int val; int next; };
+             int g(struct item *arr, int i) {
+               return arr[i].val + arr[i + 1].next;
+             }",
+        );
+        assert_eq!(prog.assert_count(), 2, "one deref assert per access");
+    }
+
+    #[test]
+    fn function_pointer_call_lowers_via_havoc() {
+        let prog = compile(
+            "int g(int (*cb)(int), int x) {
+               return cb(x);
+             }",
+        );
+        let printed = prog
+            .procedure("g")
+            .and_then(|p| p.body.as_ref())
+            .expect("body")
+            .to_string();
+        assert!(printed.contains("assert cb != 0"), "got:\n{printed}");
+        assert!(printed.contains("havoc"), "got:\n{printed}");
+        assert_eq!(prog.assert_count(), 1);
+    }
+
+    #[test]
+    fn function_pointer_local_takes_function_address() {
+        let prog = compile(
+            "int handler(int x) { return x; }
+             int g(int x) {
+               int (*fp)(int) = handler;
+               return fp(x);
+             }",
+        );
+        let printed = prog
+            .procedure("g")
+            .and_then(|p| p.body.as_ref())
+            .expect("body")
+            .to_string();
+        // `handler` is funcs[0], so its address constant is 1; the
+        // indirect call asserts fp != 0 and havocs the result.
+        assert!(printed.contains("fp := 1"), "got:\n{printed}");
+        assert!(printed.contains("assert fp != 0"), "got:\n{printed}");
+    }
+
+    #[test]
+    fn varargs_stub_truncates_extra_arguments() {
+        let prog = compile(
+            "int printf(char *fmt, ...);
+             void g(char *fmt, int *p) {
+               printf(fmt, *p, 3);
+             }",
+        );
+        // The variadic tail is evaluated — `*p` still asserts p != 0 —
+        // but the IR call passes only the fixed argument.
+        assert_eq!(prog.assert_count(), 1);
+        let printed = prog
+            .procedure("g")
+            .and_then(|p| p.body.as_ref())
+            .expect("body")
+            .to_string();
+        assert!(printed.contains("assert p != 0"), "got:\n{printed}");
+        assert!(
+            printed.contains("printf(fmt)"),
+            "variadic tail dropped from the call:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn varargs_requires_the_fixed_arguments() {
+        let e = compile_c(
+            "int printf(char *fmt, ...);
+             void g(void) { printf(); }",
+        );
+        assert!(e.is_err(), "fixed parameters are mandatory");
+    }
+
+    #[test]
     fn unknown_function_is_an_error() {
         let e = compile_c("void f(void) { mystery(); }").unwrap_err();
         assert!(matches!(e, CompileError::Lower(_)));

@@ -187,10 +187,19 @@ impl Lowerer<'_> {
     fn type_of(&self, e: &CExpr) -> Result<CType, LowerError> {
         match e {
             CExpr::Num(_) | CExpr::Null => Ok(CType::Int),
-            CExpr::Var(n, l) => self.types.get(n).cloned().ok_or_else(|| LowerError {
-                msg: format!("unknown variable `{n}`"),
-                line: *l,
-            }),
+            CExpr::Var(n, l) => {
+                if let Some(t) = self.types.get(n) {
+                    return Ok(t.clone());
+                }
+                // A bare function name is a function-pointer value.
+                if let Some(f) = self.cprog.func(n) {
+                    return Ok(CType::FuncPtr(Box::new(f.ret.clone())));
+                }
+                Err(LowerError {
+                    msg: format!("unknown variable `{n}`"),
+                    line: *l,
+                })
+            }
             CExpr::Deref(p, l) => match self.type_of(p)? {
                 CType::Ptr(inner) => Ok(*inner),
                 other => err(format!("dereference of non-pointer `{other:?}`"), *l),
@@ -219,6 +228,17 @@ impl Lowerer<'_> {
                 CType::Ptr(inner) => Ok(*inner),
                 other => err(format!("index of non-pointer `{other:?}`"), *l),
             },
+            CExpr::Bin(CBinOp::Add | CBinOp::Sub, a, _) => {
+                // Pointer arithmetic keeps the pointer's type: `a + i`
+                // on `struct S *a` addresses element `i`, so `a[i].f`
+                // resolves its field map through it.
+                let ta = self.type_of(a)?;
+                if ta.is_pointer() {
+                    Ok(ta)
+                } else {
+                    Ok(CType::Int)
+                }
+            }
             CExpr::Not(_) | CExpr::Neg(_) | CExpr::Bin(..) => Ok(CType::Int),
             CExpr::Call(name, _, l) => {
                 if name == "nondet" || name == "malloc" || name == "calloc" {
@@ -226,6 +246,11 @@ impl Lowerer<'_> {
                     // comes from the surrounding cast/declaration, which
                     // we don't need.
                     return Ok(CType::Ptr(Box::new(CType::Int)));
+                }
+                // A call through a function-pointer variable yields the
+                // pointed-to return type.
+                if let Some(CType::FuncPtr(ret)) = self.types.get(name) {
+                    return Ok((**ret).clone());
                 }
                 self.cprog
                     .func(name)
@@ -256,10 +281,17 @@ impl Lowerer<'_> {
             CExpr::Num(n) => Ok((vec![], Expr::Int(*n))),
             CExpr::Null => Ok((vec![], Expr::Int(0))),
             CExpr::Var(n, l) => {
-                if !self.types.contains_key(n) {
-                    return err(format!("unknown variable `{n}`"), *l);
+                if self.types.contains_key(n) {
+                    return Ok((vec![], Expr::var(n.clone())));
                 }
-                Ok((vec![], Expr::var(n.clone())))
+                // A bare function name used as a value (assigning to a
+                // function pointer): model the address as a distinct
+                // nonzero constant per function, so `fp != 0` holds and
+                // distinct functions compare unequal.
+                if let Some(idx) = self.cprog.funcs.iter().position(|f| &f.name == n) {
+                    return Ok((vec![], Expr::Int(idx as i64 + 1)));
+                }
+                err(format!("unknown variable `{n}`"), *l)
             }
             CExpr::Deref(p, line) => {
                 let (mut pre, pv) = self.lower_expr(p)?;
@@ -341,18 +373,48 @@ impl Lowerer<'_> {
             let t = self.fresh_temp(CType::Int);
             return Ok((pre, Stmt::Havoc(t.clone()), Some(t)));
         }
+        // An indirect call through a function-pointer variable: the
+        // callee is statically unknown, so the call is lowered via havoc
+        // — assert the pointer is nonzero (tagged `fptr@line`), evaluate
+        // the arguments for their side effects, and havoc the result.
+        if let Some(CType::FuncPtr(ret)) = self.types.get(name).cloned() {
+            pre.push(Stmt::assert(
+                Formula::ne(Expr::var(name.to_string()), Expr::Int(0)),
+                format!("fptr@{line}"),
+            ));
+            let t = self.fresh_temp(if *ret == CType::Void {
+                CType::Int
+            } else {
+                (*ret).clone()
+            });
+            return Ok((pre, Stmt::Havoc(t.clone()), Some(t)));
+        }
         let callee = self.cprog.func(name).ok_or_else(|| LowerError {
             msg: format!("call to unknown function `{name}`"),
             line,
         })?;
-        if callee.params.len() != args.len() {
+        if callee.varargs {
+            // Varargs stub: fixed arguments are passed through; the
+            // variadic tail is evaluated (its dereference assertions
+            // fire) and dropped.
+            if args.len() < callee.params.len() {
+                return err(format!("too few arguments calling `{name}`"), line);
+            }
+            lowered_args.truncate(callee.params.len());
+        } else if callee.params.len() != args.len() {
             return err(format!("arity mismatch calling `{name}`"), line);
         }
-        let lhs = if want_value && callee.ret != CType::Void {
+        let lhs = if callee.ret == CType::Void {
+            if want_value {
+                return err(format!("void value of `{name}` used"), line);
+            }
+            vec![]
+        } else {
+            // Non-void callees always bind their return (the IR call
+            // form requires it); in statement position the temp is
+            // simply discarded.
             let t = self.fresh_temp(callee.ret.clone());
             vec![t]
-        } else {
-            vec![]
         };
         let tmp = lhs.first().cloned();
         let call = Stmt::Call {

@@ -1,0 +1,81 @@
+//! Golden tests pinning the lowered IR of the new cfront declarator
+//! shapes: arrays of structs (`a[i].f`), function pointers lowered via
+//! a guard assertion plus havoc, and varargs externs with call-site
+//! truncation.
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p acspec-cfront --test lowering_golden
+//! ```
+
+fn lowered(name: &str, src: &str) {
+    let program = acspec_cfront::compile_c(src).expect("compiles");
+    acspec_ir::typecheck::check_program(&program).expect("well sorted");
+    let rendered = program.to_string();
+
+    let path = format!(
+        "{}/tests/golden/{name}.acs.golden",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e} (run with UPDATE_GOLDEN=1)"));
+    assert!(
+        rendered == golden,
+        "{name}: lowered IR diverged from golden; if intentional, \
+         regenerate with UPDATE_GOLDEN=1.\n\
+         --- expected ---\n{golden}\n--- actual ---\n{rendered}"
+    );
+}
+
+#[test]
+fn array_of_structs_lowering_is_pinned() {
+    lowered(
+        "array_of_structs",
+        "struct item {\n\
+         \x20 int val;\n\
+         \x20 int tag;\n\
+         };\n\
+         int sum(struct item *arr, int n) {\n\
+         \x20 int i;\n\
+         \x20 int acc;\n\
+         \x20 acc = 0;\n\
+         \x20 for (i = 0; i != n; i = i + 1) {\n\
+         \x20   if (arr != NULL) {\n\
+         \x20     acc = acc + arr[i].val;\n\
+         \x20   }\n\
+         \x20 }\n\
+         \x20 return acc;\n\
+         }\n",
+    );
+}
+
+#[test]
+fn function_pointer_lowering_is_pinned() {
+    lowered(
+        "function_pointer",
+        "int apply(int (*cb)(int), int x) {\n\
+         \x20 return cb(x);\n\
+         }\n\
+         int checked(int (*cb)(int), int x) {\n\
+         \x20 if (cb != NULL) {\n\
+         \x20   x = cb(x);\n\
+         \x20 }\n\
+         \x20 return x;\n\
+         }\n",
+    );
+}
+
+#[test]
+fn varargs_lowering_is_pinned() {
+    lowered(
+        "varargs",
+        "int logf(char *fmt, ...);\n\
+         int report(int *count) {\n\
+         \x20 logf(count, 1, 2, 3);\n\
+         \x20 return *count;\n\
+         }\n",
+    );
+}

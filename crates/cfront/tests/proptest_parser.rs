@@ -20,13 +20,70 @@ proptest! {
                 "return", "switch", "case", "default", "break", "free",
                 "x", "y", "f", "s", "42", "0", "(", ")", "{", "}", "[",
                 "]", ";", ",", "*", "+", "-", "=", "==", "!=", "&&",
-                "||", "->", "NULL", ":",
+                "||", "->", "NULL", ":", ".", "...", "(*", "*)",
             ]),
             0..60,
         ),
     ) {
         let src = toks.join(" ");
         let _ = acspec_cfront::parse_c(&src);
+    }
+
+    /// Well-formed programs over the new declarator shapes — arrays of
+    /// structs indexed with `a[i].f`, function-pointer parameters and
+    /// locals, varargs externs — always parse, lower, and typecheck.
+    #[test]
+    fn structured_declarator_programs_always_compile(
+        fields in prop::collection::vec(
+            prop::sample::select(vec!["val", "tag", "next", "len"]),
+            1..4,
+        ),
+        idx in 0usize..3,
+        use_fptr_local in any::<bool>(),
+        varargs in any::<bool>(),
+    ) {
+        // Struct with 1–3 distinct fields, one accessed as arr[idx].f.
+        let mut fields = fields;
+        fields.sort();
+        fields.dedup();
+        let decls = fields
+            .iter()
+            .map(|f| format!("  int {f};"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let field = &fields[idx % fields.len()];
+        let ellipsis = if varargs { ", ..." } else { "" };
+        let fptr_local = if use_fptr_local {
+            "int (*local_cb)(int);\n  local_cb = cb;\n  x = local_cb(x);"
+        } else {
+            "x = cb(x);"
+        };
+        let src = format!(
+            "struct item {{\n{decls}\n}};\n\
+             int ext(int a{ellipsis});\n\
+             int use(struct item *arr, int n, int (*cb)(int), int x) {{\n\
+             \x20 if (arr != NULL) {{\n\
+             \x20   x = arr[{idx}].{field} + ext(n{extra});\n\
+             \x20 }}\n\
+             \x20 {fptr_local}\n\
+             \x20 return x;\n\
+             }}\n",
+            extra = if varargs { ", 1, 2" } else { "" },
+        );
+        let program = acspec_cfront::compile_c(&src)
+            .unwrap_or_else(|e| panic!("compiles: {e}\n{src}"));
+        acspec_ir::typecheck::check_program(&program)
+            .unwrap_or_else(|e| panic!("well sorted: {e:?}\n{src}"));
+        for proc in &program.procedures {
+            if proc.body.is_some() {
+                acspec_ir::desugar_procedure(
+                    &program,
+                    proc,
+                    acspec_ir::DesugarOptions::default(),
+                )
+                .expect("desugars");
+            }
+        }
     }
 
     /// Same for the surface-language parser.

@@ -2,6 +2,7 @@
 //! full ACSpec pipeline.
 
 use acspec_core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName, SibStatus};
+use acspec_corpus::fixtures::{FIGURE1, FIGURE2};
 use acspec_ir::parse::parse_program;
 use acspec_vcgen::analyzer::AnalyzerConfig;
 
@@ -18,31 +19,9 @@ fn cons(src: &str) -> acspec_core::ProcReport {
     cons_baseline(&prog, &proc, AnalyzerConfig::default()).expect("analyzes")
 }
 
-/// Figure 1, written with calls to the `free` model (the paper inlines
-/// the same contract).
-const FIGURE1: &str = "
-    global Freed: map;
-    procedure free(p: int)
-      requires Freed[p] == 0;
-      modifies Freed;
-      ensures Freed == write(old(Freed), p, 1);
-    ;
-    procedure Foo(c: int, buf: int, cmd: int) {
-      if (*) {
-        call free(c);
-        call free(buf);
-      } else {
-        if (cmd == 1) {
-          if (*) {
-            call free(c);
-            call free(buf);
-            /* ERROR: missing return falls through */
-          }
-        }
-        call free(c);
-        call free(buf);
-      }
-    }";
+// Figure 1 and Figure 2 are shared with the scenario corpus
+// (`acspec_corpus::fixtures`): these tests and the corpus harness
+// analyze the same bytes.
 
 #[test]
 fn figure1_conc_reports_exactly_the_double_free() {
@@ -107,32 +86,6 @@ fn figure1_warning_has_a_consistent_witness() {
         "display form: {witness}"
     );
 }
-
-/// Figure 2 (SAMATE): `calloc` may return 0; the flaw is the unchecked
-/// use in the first branch. With an assertion `data != 0` before each
-/// access, Conc conjures a correlation between `static_returns_t` and
-/// `calloc` and reports nothing; A1 (ignore conditionals) reveals the
-/// bug as an abstract SIB.
-const FIGURE2: &str = "
-    procedure calloc() returns (p: int);
-    procedure static_returns_t() returns (t: int);
-    procedure Bar() {
-      var data: int;
-      var t: int;
-      call data := calloc();
-      call t := static_returns_t();
-      if (t == 1) {
-        assert data != 0;  /* A1: FLAW — allocation not checked */
-        data := data;
-      } else {
-        if (data != 0) {
-          assert data != 0;  /* A2: checked access */
-          data := data;
-        } else {
-          skip;              /* L3 */
-        }
-      }
-    }";
 
 #[test]
 fn figure2_conc_suppresses_a1_via_correlation() {

@@ -83,51 +83,14 @@ proptest! {
     }
 }
 
-const FIGURE1: &str = "
-    global Freed: map;
-    procedure Foo(c: int, buf: int, cmd: int) {
-      if (*) {
-        assert Freed[c] == 0;   Freed[c] := 1;
-        assert Freed[buf] == 0; Freed[buf] := 1;
-      } else {
-        if (cmd == 1) {
-          if (*) {
-            assert Freed[c] == 0;   Freed[c] := 1;
-            assert Freed[buf] == 0; Freed[buf] := 1;
-          }
-        }
-        assert Freed[c] == 0;   Freed[c] := 1;
-        assert Freed[buf] == 0; Freed[buf] := 1;
-      }
-    }";
-
-const FIGURE2: &str = "
-    procedure calloc() returns (p: int);
-    procedure static_returns_t() returns (t: int);
-    procedure Foo() {
-      var data: int; var t: int;
-      call data := calloc();
-      call t := static_returns_t();
-      if (t == 1) {
-        assert data != 0;
-      } else {
-        if (data != 0) {
-          assert data != 0;
-        }
-      }
-    }";
-
-const DOUBLE_FREE: &str = "
-    global Freed: map;
-    procedure f(p: int) {
-      assert Freed[p] == 0; Freed[p] := 1;
-      assert Freed[p] == 0; Freed[p] := 1;
-    }";
+// The paper's worked examples, shared with the scenario corpus
+// (`acspec_corpus::fixtures`).
+use acspec_corpus::fixtures::{DOUBLE_FREE, FIGURE1_INLINED, FIGURE2};
 
 #[test]
 fn shared_session_matches_fresh_shims_on_paper_examples() {
     let variants = prune_levels();
-    for src in [FIGURE1, FIGURE2, DOUBLE_FREE] {
+    for src in [FIGURE1_INLINED, FIGURE2, DOUBLE_FREE] {
         let prog = acspec_ir::parse::parse_program(src).expect("parses");
         let proc = prog
             .procedures

@@ -1,0 +1,24 @@
+//! The paper's worked examples as shared fixtures.
+//!
+//! These constants embed the corpus scenario inputs under `corpus/`, so
+//! the unit suites (`paper_examples`, `session_consistency`, the vcgen
+//! oracle, the quickstart example) and the scenario harness analyze the
+//! *same bytes* — a fixture edit cannot silently fork the two.
+
+/// Figure 1 (double free via a missing `return`), written with calls to
+/// the `free` contract — the paper's presentation. Six call sites
+/// A1–A6; the real bug is A5 (`pre:free@4`).
+pub const FIGURE1: &str = include_str!("../../../corpus/fig1_double_free/input.acs");
+
+/// Figure 1 with the `free` contract inlined as assert/assign pairs —
+/// the shape HAVOC-style lowering produces. Same six assertions.
+pub const FIGURE1_INLINED: &str = include_str!("../../../corpus/fig1_inlined/input.acs");
+
+/// Figure 2 (SAMATE CWE-476): `calloc` may return 0, checked on one
+/// branch only. Conc is fooled by the cross-call correlation; A1
+/// reveals the flaw as an abstract SIB.
+pub const FIGURE2: &str = include_str!("../../../corpus/fig2_samate/input.acs");
+
+/// The minimal unconditional double free: `WP = ∅`, the paper's special
+/// SIB case (§3.1).
+pub const DOUBLE_FREE: &str = include_str!("../../../corpus/double_free_min/input.acs");

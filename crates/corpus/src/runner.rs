@@ -1,0 +1,230 @@
+//! Executes a scenario program through the session layer and the
+//! differential run matrix.
+//!
+//! One *leg* is one full `ProgramAnalysis` run under a named knob
+//! setting. The **base** leg (cache on, one thread, no chaos harness,
+//! certificates on) produces the fingerprints compared against the
+//! blessed oracle and the query/wall numbers charged against the
+//! budget. The differential legs re-run the scenario with the query
+//! cache off, with four worker threads, and with the chaos harness
+//! installed at rate 0 — all three must produce a byte-identical
+//! canonical oracle, and the base leg's certificates must validate
+//! under the independent checker. Every fixture thereby exercises the
+//! cache, parallelism, fault-injection, and certification invariants at
+//! once.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use acspec_check::check_document;
+use acspec_core::{
+    certs_json, AcspecOptions, ConfigName, ProcCerts, ProcOutcome, ProgramAnalysis, StageTotals,
+};
+use acspec_ir::Program;
+use acspec_vcgen::chaos::ChaosConfig;
+
+use crate::fingerprint::{Oracle, WarningFingerprint};
+
+/// The ladder every leg evaluates, most precise first (the paper's
+/// evaluation ladder; `A0` is omitted as in Figures 6–9).
+pub const CONFIGS: &[ConfigName] = &[ConfigName::Conc, ConfigName::A1, ConfigName::A2];
+
+/// One knob setting of the differential matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLeg {
+    /// Display name (`base`, `cache-off`, …).
+    pub label: &'static str,
+    /// Monotone query cache on/off.
+    pub query_cache: bool,
+    /// Worker threads.
+    pub threads: usize,
+    /// Install the chaos harness at rate 0 (must be byte-identical to
+    /// no harness at all).
+    pub chaos: bool,
+    /// Emit per-verdict certificates.
+    pub certify: bool,
+}
+
+/// The oracle-defining leg: budgets and certificates are charged here.
+pub const BASE_LEG: RunLeg = RunLeg {
+    label: "base",
+    query_cache: true,
+    threads: 1,
+    chaos: false,
+    certify: true,
+};
+
+/// The legs whose canonical oracle must match the base leg's bytes.
+pub const DIFF_LEGS: &[RunLeg] = &[
+    RunLeg {
+        label: "cache-off",
+        query_cache: false,
+        threads: 1,
+        chaos: false,
+        certify: false,
+    },
+    RunLeg {
+        label: "threads-4",
+        query_cache: true,
+        threads: 4,
+        chaos: false,
+        certify: false,
+    },
+    RunLeg {
+        label: "chaos-0",
+        query_cache: true,
+        threads: 1,
+        chaos: true,
+        certify: false,
+    },
+];
+
+/// What one leg produced.
+#[derive(Debug)]
+pub struct LegRun {
+    /// The run's warning fingerprints, normalized.
+    pub oracle: Oracle,
+    /// Total solver queries across shared and per-config stages.
+    pub queries: u64,
+    /// Wall-clock milliseconds of the whole leg.
+    pub wall_ms: u64,
+    /// Certificates (base leg only).
+    pub certs: Vec<ProcCerts>,
+    /// Procedures that faulted (panic or error), rendered.
+    pub incidents: Vec<String>,
+}
+
+/// Runs one leg of the matrix over `program`.
+///
+/// The analyzer knobs are set explicitly from the leg — in particular
+/// the query cache, so an `ACSPEC_NO_QUERY_CACHE` environment (the CI
+/// cache-off test matrix) cannot silently change what a leg measures.
+pub fn run_leg(program: &Program, leg: &RunLeg) -> LegRun {
+    let mut opts = AcspecOptions::default();
+    opts.analyzer.conflict_budget = Some(400_000);
+    opts.analyzer.query_cache = leg.query_cache;
+    opts.analyzer.chaos = leg.chaos.then(|| ChaosConfig::new(42, 0.0));
+    let mut totals = StageTotals::default();
+    let t0 = Instant::now();
+    let outcomes = ProgramAnalysis::new(program)
+        .options(opts)
+        .configs(CONFIGS)
+        .threads(leg.threads)
+        .certify(leg.certify)
+        .run(&mut totals);
+    let wall_ms = t0.elapsed().as_millis() as u64;
+
+    let mut oracle = Oracle::default();
+    let mut certs = Vec::new();
+    let mut incidents = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            ProcOutcome::Analyzed(pa) => {
+                // The triage ladder (§5): walking Conc → A1 → A2, the
+                // first configuration reporting an assertion claims it
+                // at its own MinFail; whatever only the conservative
+                // baseline reports is demonic-only (`Cons`, MinFail 0).
+                let mut claimed: BTreeSet<_> = BTreeSet::new();
+                for (ci, config) in CONFIGS.iter().enumerate() {
+                    let Some(r) = pa.reports.get(ci).and_then(|v| v.first()) else {
+                        continue;
+                    };
+                    if r.timed_out() {
+                        continue;
+                    }
+                    for w in &r.warnings {
+                        if claimed.insert(w.assert) {
+                            oracle.warnings.push(WarningFingerprint::new(
+                                &pa.proc_name,
+                                &w.tag,
+                                &config.to_string(),
+                                r.min_fail,
+                            ));
+                        }
+                    }
+                }
+                for w in &pa.cons.warnings {
+                    if claimed.insert(w.assert) {
+                        oracle.warnings.push(WarningFingerprint::new(
+                            &pa.proc_name,
+                            &w.tag,
+                            "Cons",
+                            pa.cons.min_fail,
+                        ));
+                    }
+                }
+                if let Some(c) = pa.certs {
+                    certs.push(c);
+                }
+            }
+            ProcOutcome::Faulted(i) => {
+                incidents.push(format!(
+                    "procedure `{}` faulted: {}",
+                    i.proc_name, i.message
+                ));
+            }
+        }
+    }
+    oracle.normalize();
+    let queries: u64 = totals.iter().map(|(_, t)| t.total_queries()).sum();
+    LegRun {
+        oracle,
+        queries,
+        wall_ms,
+        certs,
+        incidents,
+    }
+}
+
+/// The full matrix result for one scenario program.
+#[derive(Debug)]
+pub struct MatrixReport {
+    /// The base leg's fingerprints (what `bless` writes).
+    pub produced: Oracle,
+    /// The base leg's solver-query total (what the budget gates).
+    pub queries: u64,
+    /// The base leg's wall milliseconds.
+    pub wall_ms: u64,
+    /// Every matrix failure: incidents, differential divergences, and
+    /// certificate-check errors. Empty = the matrix passed.
+    pub failures: Vec<String>,
+}
+
+/// Runs the base leg plus every differential leg and the certificate
+/// check. Oracle and budget comparison against the blessed files is the
+/// caller's job ([`crate::verify_scenario`]); this reports only the
+/// run-internal invariants.
+pub fn run_matrix(program: &Program) -> MatrixReport {
+    let base = run_leg(program, &BASE_LEG);
+    let mut failures = base.incidents.clone();
+    let base_json = base.oracle.to_canonical_json();
+    for leg in DIFF_LEGS {
+        let run = run_leg(program, leg);
+        failures.extend(run.incidents);
+        if run.oracle.to_canonical_json() != base_json {
+            let mut msg = format!(
+                "differential leg `{}` diverged from the base oracle",
+                leg.label
+            );
+            for d in base.oracle.diff(&run.oracle) {
+                msg.push_str("\n    ");
+                msg.push_str(&d);
+            }
+            failures.push(msg);
+        }
+    }
+    let summary = check_document(&certs_json(&base.certs));
+    if !summary.ok() {
+        failures.push(format!(
+            "certificate check failed ({} error(s)): {}",
+            summary.errors.len(),
+            summary.errors.first().map_or("", String::as_str)
+        ));
+    }
+    MatrixReport {
+        produced: base.oracle,
+        queries: base.queries,
+        wall_ms: base.wall_ms,
+        failures,
+    }
+}

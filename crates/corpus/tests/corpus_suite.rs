@@ -1,0 +1,82 @@
+//! The in-repo corpus gate: every registered scenario must pass the
+//! full differential matrix against its blessed oracle and budget.
+//!
+//! This is the same check CI's `corpus` job runs through `repro corpus
+//! run`; having it in `cargo test` means a fingerprint regression fails
+//! the tier-1 suite too, with the per-scenario diagnostic in the
+//! assertion message.
+
+use acspec_corpus::{default_corpus_dir, load_corpus, verify_scenario, InputKind};
+
+#[test]
+fn corpus_registers_at_least_ten_scenarios() {
+    let scenarios = load_corpus(&default_corpus_dir()).expect("corpus loads");
+    assert!(
+        scenarios.len() >= 10,
+        "corpus shrank to {} scenario(s)",
+        scenarios.len()
+    );
+    // Both front ends must stay covered.
+    assert!(scenarios.iter().any(|s| s.kind == InputKind::C));
+    assert!(scenarios.iter().any(|s| s.kind == InputKind::Surface));
+}
+
+#[test]
+fn every_scenario_passes_the_differential_matrix() {
+    let scenarios = load_corpus(&default_corpus_dir()).expect("corpus loads");
+    let mut failures = Vec::new();
+    for sc in &scenarios {
+        let v = verify_scenario(sc);
+        for f in v.failures {
+            failures.push(format!("{}: {f}", sc.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The paper's flagship fingerprints, pinned by hand on top of the
+/// blessed files: the corpus must keep telling the paper's story even
+/// if someone re-blesses everything.
+#[test]
+fn flagship_fingerprints_match_the_paper() {
+    let scenarios = load_corpus(&default_corpus_dir()).expect("corpus loads");
+    let by_name = |name: &str| {
+        scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("scenario `{name}` missing"))
+            .load_expected()
+            .expect("blessed oracle")
+    };
+
+    // Figure 1: six conservative warnings collapse to one Conc SIB at
+    // the real double free (call site A5), MinFail 1.
+    let fig1 = by_name("fig1_double_free");
+    assert_eq!(fig1.warnings.len(), 6);
+    let real: Vec<_> = fig1.warnings.iter().filter(|w| w.level == "Conc").collect();
+    assert_eq!(real.len(), 1, "exactly one high-confidence warning");
+    assert_eq!(real[0].tag, "pre:free@4");
+    assert_eq!(real[0].kind, "pre:free");
+    assert_eq!(real[0].min_fail, 1);
+    assert!(fig1
+        .warnings
+        .iter()
+        .filter(|w| w.tag != "pre:free@4")
+        .all(|w| w.level == "Cons" && w.min_fail == 0));
+
+    // Figure 2: Conc is fooled by the cross-call correlation; the flaw
+    // surfaces as an abstract SIB under A1.
+    let fig2 = by_name("fig2_samate");
+    assert_eq!(fig2.warnings.len(), 1);
+    assert_eq!(fig2.warnings[0].level, "A1");
+
+    // The cfront growth scenarios keep their signature claim kinds.
+    let fptr = by_name("function_pointer");
+    assert!(fptr.warnings.iter().any(|w| w.kind == "fptr"));
+    let aos = by_name("array_of_structs");
+    assert!(aos.warnings.iter().all(|w| w.kind == "deref"));
+}

@@ -1,0 +1,148 @@
+//! Mutation suite for the oracle gate: a perturbed `expected.json`
+//! (dropped warning, flipped confidence, wrong abstraction level) must
+//! fail verification with a diagnostic naming the exact discrepancy —
+//! never pass silently or fail with a generic message.
+
+use acspec_corpus::{default_corpus_dir, verify_scenario, Budget, Oracle, Scenario};
+
+/// Copies a corpus scenario into a fresh temp directory so its oracle
+/// can be perturbed without touching the repo, and returns the staged
+/// scenario.
+fn staged(name: &str, tag: &str) -> Scenario {
+    let src = default_corpus_dir().join(name);
+    let dst = std::env::temp_dir().join(format!("acspec-mutation-{name}-{tag}"));
+    let _ = std::fs::remove_dir_all(&dst);
+    std::fs::create_dir_all(&dst).expect("temp dir");
+    for file in ["input.c", "input.acs", "expected.json", "budget.json"] {
+        let from = src.join(file);
+        if from.is_file() {
+            std::fs::copy(&from, dst.join(file)).expect("copy fixture");
+        }
+    }
+    Scenario::load(&dst).expect("staged scenario loads")
+}
+
+fn rewrite_oracle(sc: &Scenario, mutate: impl FnOnce(&mut Oracle)) {
+    let mut oracle = sc.load_expected().expect("blessed oracle");
+    mutate(&mut oracle);
+    std::fs::write(sc.expected_path(), oracle.to_canonical_json()).expect("write oracle");
+}
+
+fn failures_of(sc: &Scenario) -> Vec<String> {
+    let v = verify_scenario(sc);
+    assert!(!v.ok(), "mutated scenario must fail");
+    v.failures
+}
+
+#[test]
+fn unmutated_staged_scenario_passes() {
+    let sc = staged("fig1_double_free", "clean");
+    let v = verify_scenario(&sc);
+    assert!(v.ok(), "staging alone must not fail: {:?}", v.failures);
+}
+
+#[test]
+fn dropped_warning_is_reported_as_unexpected() {
+    let sc = staged("fig1_double_free", "dropped");
+    rewrite_oracle(&sc, |o| {
+        o.warnings.retain(|w| w.tag != "pre:free@4");
+    });
+    let failures = failures_of(&sc);
+    assert!(
+        failures.iter().any(|f| f.starts_with("unexpected warning:")
+            && f.contains("proc=Foo")
+            && f.contains("tag=pre:free@4")),
+        "missing the unexpected-warning diagnostic: {failures:?}"
+    );
+}
+
+#[test]
+fn flipped_confidence_is_reported_as_mismatch() {
+    let sc = staged("fig1_double_free", "minfail");
+    rewrite_oracle(&sc, |o| {
+        for w in &mut o.warnings {
+            if w.tag == "pre:free@4" {
+                w.min_fail = 3;
+            }
+        }
+    });
+    let failures = failures_of(&sc);
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.starts_with("fingerprint mismatch")
+                && f.contains("tag=pre:free@4")
+                && f.contains("expected level=Conc min_fail=3")
+                && f.contains("got level=Conc min_fail=1")),
+        "missing the confidence diagnostic: {failures:?}"
+    );
+}
+
+#[test]
+fn wrong_abstraction_level_is_reported_as_mismatch() {
+    let sc = staged("fig2_samate", "level");
+    rewrite_oracle(&sc, |o| {
+        for w in &mut o.warnings {
+            w.level = "A2".to_string();
+        }
+    });
+    let failures = failures_of(&sc);
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.starts_with("fingerprint mismatch")
+                && f.contains("expected level=A2")
+                && f.contains("got level=A1")),
+        "missing the level diagnostic: {failures:?}"
+    );
+}
+
+#[test]
+fn extra_expected_warning_is_reported_as_missing() {
+    let sc = staged("fig2_samate", "extra");
+    rewrite_oracle(&sc, |o| {
+        o.warnings.push(acspec_corpus::WarningFingerprint::new(
+            "Bar", "deref@99", "Conc", 1,
+        ));
+        o.normalize();
+    });
+    let failures = failures_of(&sc);
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.starts_with("missing expected warning:") && f.contains("tag=deref@99")),
+        "missing the missing-warning diagnostic: {failures:?}"
+    );
+}
+
+#[test]
+fn blown_query_budget_is_reported_with_both_numbers() {
+    let sc = staged("fig2_samate", "budget");
+    std::fs::write(
+        sc.budget_path(),
+        Budget {
+            max_solver_queries: 1,
+            max_wall_ms: 600_000,
+        }
+        .to_json(),
+    )
+    .expect("write budget");
+    let failures = failures_of(&sc);
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.contains("budget blown") && f.contains("> 1 allowed")),
+        "missing the budget diagnostic: {failures:?}"
+    );
+}
+
+#[test]
+fn corrupted_oracle_fails_loudly_not_as_empty() {
+    let sc = staged("fig2_samate", "corrupt");
+    std::fs::write(sc.expected_path(), "{\"schema\": 1, \"warnings\": 7}").expect("write");
+    let failures = failures_of(&sc);
+    assert!(
+        failures.iter().any(|f| f.contains("warnings")),
+        "corrupt oracle must name the bad field: {failures:?}"
+    );
+}

@@ -21,25 +21,8 @@ fn analyzer(d: &DesugaredProc) -> ProcAnalyzer {
 
 /// Figure 1 of the paper, with the missing `return` modeled by branch
 /// structure (our core language has no returns; HAVOC-style lowering
-/// produces the same shape).
-const FIGURE1: &str = "
-    global Freed: map;
-    procedure Foo(c: int, buf: int, cmd: int) {
-      if (*) {
-        assert Freed[c] == 0;   Freed[c] := 1;    /* A1 */
-        assert Freed[buf] == 0; Freed[buf] := 1;  /* A2 */
-      } else {
-        if (cmd == 1) {
-          if (*) {
-            assert Freed[c] == 0;   Freed[c] := 1;    /* A3 */
-            assert Freed[buf] == 0; Freed[buf] := 1;  /* A4 */
-            /* ERROR: missing return falls through */
-          }
-        }
-        assert Freed[c] == 0;   Freed[c] := 1;    /* A5 */
-        assert Freed[buf] == 0; Freed[buf] := 1;  /* A6 */
-      }
-    }";
+/// produces the same shape). Shared with the scenario corpus.
+use acspec_corpus::fixtures::FIGURE1_INLINED as FIGURE1;
 
 #[test]
 fn figure1_demonic_environment_fails_everything() {

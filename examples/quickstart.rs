@@ -11,35 +11,10 @@
 #![allow(clippy::disallowed_names)] // `Foo` is the paper's procedure name
 
 use acspec_core::{analyze_procedure, cons_baseline, AcspecOptions, ConfigName};
+// Shared with the scenario corpus (`corpus/fig1_double_free`).
+use acspec_corpus::fixtures::FIGURE1;
 use acspec_ir::parse::parse_program;
 use acspec_vcgen::analyzer::AnalyzerConfig;
-
-const FIGURE1: &str = "
-    global Freed: map;
-
-    procedure free(p: int)
-      requires Freed[p] == 0;
-      modifies Freed;
-      ensures Freed == write(old(Freed), p, 1);
-    ;
-
-    procedure Foo(c: int, buf: int, cmd: int) {
-      if (*) {
-        call free(c);       /* A1 */
-        call free(buf);     /* A2 */
-      } else {
-        if (cmd == 1) {
-          if (*) {
-            call free(c);   /* A3 */
-            call free(buf); /* A4 */
-            /* ERROR: missing return — control falls through and
-               frees c and buf a second time. */
-          }
-        }
-        call free(c);       /* A5 */
-        call free(buf);     /* A6 */
-      }
-    }";
 
 fn main() {
     let program = parse_program(FIGURE1).expect("Figure 1 parses");
