@@ -22,16 +22,28 @@
 //!                             span path; report per-stage deltas and
 //!                             the first query-plan divergence
 //! repro corpus <action> [--scenario NAME] [--corpus-dir DIR]
-//!             [--report path]
+//!             [--report path] [--store-dir DIR]
+//!             [--store-chaos-seed u64] [--store-chaos-rate p]
 //!                             scenario corpus harness; actions:
 //!                               list   registered scenarios + budgets
 //!                               run    full differential matrix vs the
 //!                                      blessed oracles (UPDATE_GOLDEN=1
-//!                                      re-blesses instead)
+//!                                      re-blesses instead); --store-dir
+//!                                      attaches the persistent result
+//!                                      store to the base leg (a second
+//!                                      run replays it warm with zero
+//!                                      solver queries)
 //!                               bless  rewrite expected.json (and a
 //!                                      first budget.json if missing)
 //!                               diff   base-leg fingerprints vs the
 //!                                      blessed oracle, no budget gate
+//! repro store <action> --store-dir DIR
+//!                             persistent result store maintenance:
+//!                               stat    entry/byte/quarantine counts
+//!                               gc      sweep quarantine + orphaned tmp
+//!                               verify  decode every entry and re-check
+//!                                       its stored certificates with
+//!                                       the independent checker
 //! repro ablation-incremental  incremental vs. fresh-solver queries
 //! repro ablation-normalize    Normalize on/off
 //! repro ablation-interproc    inferred callee preconditions (§7)
@@ -63,12 +75,15 @@ use std::time::{Duration, Instant};
 use acspec_bench::{classify, evaluate_with, format_table, BenchEval, EvalOptions, PRUNE_LEVELS};
 use acspec_benchgen::suite::{generate_entry, SuiteEntry, SuiteKind, SUITE};
 use acspec_benchgen::Benchmark;
+use acspec_check::check_document;
 use acspec_core::{
-    analyze_procedure, certs_json, AcspecOptions, ConfigName, NullObserver, ProcCerts,
-    SessionObserver, StageTotals, TeeObserver, TelemetryObserver, TelemetryOutput,
+    analyze_procedure, certs_json, certs_json_from_fragments, decode_analysis, AcspecOptions,
+    ConfigName, NullObserver, ProcCerts, SessionObserver, StageTotals, StoreSession, TeeObserver,
+    TelemetryObserver, TelemetryOutput,
 };
 use acspec_ir::arena::{Node, TermArena, TermId};
 use acspec_ir::{desugar_procedure, DesugarOptions, Formula};
+use acspec_store::{LoadResult, ResultStore};
 use acspec_telemetry::json::write_f64;
 use acspec_telemetry::{max_rss_kb, opt, Manifest, MetricsRegistry, Trace, Value};
 use acspec_vcgen::analyzer::{AnalyzerConfig, ProcAnalyzer};
@@ -76,13 +91,15 @@ use acspec_vcgen::chaos::ChaosConfig;
 use acspec_vcgen::stage::Stage;
 use acspec_vcgen::wp::wp_interned;
 
-const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|bench|trace-diff|corpus|\
+const USAGE: &str = "usage: repro <fig5|fig6|fig7|fig8|fig9|profile|bench|trace-diff|corpus|store|\
 ablation-incremental|ablation-normalize|ablation-interproc|all> [--scale N] [--top K] \
 [--top-terms] [--sort wall|queries|conflicts] [--best-of N] [--out path] \
 [--trace-out path] [--trace-format jsonl|perfetto] [--metrics-out path] \
 [--certs-out path] [--no-query-cache] [--threads N] [--deadline secs] \
 [--chaos-seed u64] [--chaos-rate p]\n\
-       repro corpus <list|run|bless|diff> [--scenario NAME] [--corpus-dir DIR] [--report path]";
+       repro corpus <list|run|bless|diff> [--scenario NAME] [--corpus-dir DIR] [--report path] \
+[--store-dir DIR] [--store-chaos-seed u64] [--store-chaos-rate p]\n\
+       repro store <stat|gc|verify> --store-dir DIR";
 
 const COMMANDS: &[&str] = &[
     "fig5",
@@ -94,6 +111,7 @@ const COMMANDS: &[&str] = &[
     "bench",
     "trace-diff",
     "corpus",
+    "store",
     "ablation-incremental",
     "ablation-normalize",
     "ablation-interproc",
@@ -101,6 +119,8 @@ const COMMANDS: &[&str] = &[
 ];
 
 const CORPUS_ACTIONS: &[&str] = &["list", "run", "bless", "diff"];
+
+const STORE_ACTIONS: &[&str] = &["stat", "gc", "verify"];
 
 /// The analyzer-knob flags accepted by every figure evaluation.
 const KNOB_FLAGS: &[&str] = &[
@@ -143,7 +163,15 @@ fn allowed_flags(cmd: &str) -> Vec<&'static str> {
             allowed.extend(KNOB_FLAGS);
         }
         "trace-diff" => allowed.push("--top"),
-        "corpus" => allowed.extend(["--scenario", "--corpus-dir", "--report"]),
+        "corpus" => allowed.extend([
+            "--scenario",
+            "--corpus-dir",
+            "--report",
+            "--store-dir",
+            "--store-chaos-seed",
+            "--store-chaos-rate",
+        ]),
+        "store" => allowed.push("--store-dir"),
         "ablation-incremental" => allowed.extend(["--scale", "--no-query-cache"]),
         "ablation-normalize" | "ablation-interproc" => allowed.push("--scale"),
         _ => unreachable!("parse_args validated the command"),
@@ -193,6 +221,14 @@ struct Cli {
     corpus_dir: Option<String>,
     /// `--report`: write a JSON per-scenario report (`corpus run`).
     report: Option<String>,
+    /// `store` action: stat, gc, or verify.
+    store_action: Option<String>,
+    /// `--store-dir`: the persistent result store directory.
+    store_dir: Option<String>,
+    /// `--store-chaos-seed`: deterministic store I/O fault seed.
+    store_chaos_seed: Option<u64>,
+    /// `--store-chaos-rate`: store I/O fault probability (0..=1).
+    store_chaos_rate: Option<f64>,
 }
 
 /// The analyzer-affecting knobs threaded through every figure's
@@ -272,6 +308,10 @@ fn parse_args() -> Cli {
         scenario: None,
         corpus_dir: None,
         report: None,
+        store_action: None,
+        store_dir: None,
+        store_chaos_seed: None,
+        store_chaos_rate: None,
     };
     // Every flag consumed, in order; validated against the command's
     // whitelist once the command is known (flags may precede it).
@@ -292,6 +332,9 @@ fn parse_args() -> Cli {
                     "--scenario",
                     "--corpus-dir",
                     "--report",
+                    "--store-dir",
+                    "--store-chaos-seed",
+                    "--store-chaos-rate",
                 ])
                 .find(|k| **k == flag.as_str())
             {
@@ -443,6 +486,35 @@ fn parse_args() -> Cli {
                 );
                 i += 2;
             }
+            "--store-dir" => {
+                cli.store_dir = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage_error("--store-dir needs a directory"))
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--store-chaos-seed" => {
+                cli.store_chaos_seed = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| {
+                            usage_error("--store-chaos-seed needs an unsigned integer")
+                        }),
+                );
+                i += 2;
+            }
+            "--store-chaos-rate" => {
+                cli.store_chaos_rate = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|rate| (0.0..=1.0).contains(rate))
+                        .unwrap_or_else(|| {
+                            usage_error("--store-chaos-rate needs a probability in 0..=1")
+                        }),
+                );
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -466,6 +538,15 @@ fn parse_args() -> Cli {
                 cli.corpus_action = Some(action.to_string());
                 i += 1;
             }
+            action if cli.cmd == "store" && cli.store_action.is_none() => {
+                if !STORE_ACTIONS.contains(&action) {
+                    usage_error(&format!(
+                        "unknown store action `{action}` (expected one of: stat, gc, verify)"
+                    ));
+                }
+                cli.store_action = Some(action.to_string());
+                i += 1;
+            }
             file if cli.cmd == "trace-diff" && cli.files.len() < 2 => {
                 cli.files.push(file.to_string());
                 i += 1;
@@ -483,6 +564,14 @@ fn parse_args() -> Cli {
     }
     if cli.cmd == "corpus" && cli.corpus_action.is_none() {
         usage_error("corpus needs an action: repro corpus <list|run|bless|diff>");
+    }
+    if cli.cmd == "store" {
+        if cli.store_action.is_none() {
+            usage_error("store needs an action: repro store <stat|gc|verify>");
+        }
+        if cli.store_dir.is_none() {
+            usage_error("store needs --store-dir <DIR>");
+        }
     }
     let allowed = allowed_flags(&cli.cmd);
     for flag in seen_flags {
@@ -502,6 +591,10 @@ fn main() {
     }
     if cli.cmd == "corpus" {
         corpus_cmd(&cli);
+        return;
+    }
+    if cli.cmd == "store" {
+        store_cmd(&cli);
         return;
     }
     let knobs = cli.knobs();
@@ -818,15 +911,22 @@ fn corpus_report(verdicts: &[acspec_corpus::ScenarioVerdict]) -> String {
             .map(|f| format!("\"{}\"", json_esc(f)))
             .collect::<Vec<_>>()
             .join(", ");
+        let store_incidents = v
+            .store_incidents
+            .iter()
+            .map(|f| format!("\"{}\"", json_esc(f)))
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"ok\": {}, \"warnings\": {}, \"queries\": {}, \
-             \"wall_ms\": {}, \"failures\": [{}]}}",
+             \"wall_ms\": {}, \"failures\": [{}], \"store_incidents\": [{}]}}",
             json_esc(&v.name),
             v.ok(),
             v.produced.warnings.len(),
             v.queries,
             v.wall_ms,
-            failures
+            failures,
+            store_incidents
         ));
     }
     if !verdicts.is_empty() {
@@ -914,9 +1014,24 @@ fn corpus_cmd(cli: &Cli) {
             }
         }
         "run" => {
+            // One shared store across scenarios: keys are
+            // content-addressed per procedure, so sharing is safe and a
+            // second `corpus run --store-dir D` replays every base leg
+            // warm (zero solver queries).
+            let store = cli.store_dir.as_ref().map(|dir| {
+                let chaos = (cli.store_chaos_seed.is_some() || cli.store_chaos_rate.is_some())
+                    .then(|| {
+                        ChaosConfig::new(
+                            cli.store_chaos_seed.unwrap_or(0),
+                            cli.store_chaos_rate.unwrap_or(0.0),
+                        )
+                    });
+                StoreSession::open_with_chaos(dir, chaos)
+                    .unwrap_or_else(|e| usage_error(&format!("cannot open store {dir}: {e}")))
+            });
             let mut verdicts = Vec::new();
             for sc in &scenarios {
-                let v = acspec_corpus::verify_scenario(sc);
+                let v = acspec_corpus::verify_scenario_with_store(sc, store.as_ref());
                 if v.ok() {
                     println!(
                         "PASS {} ({} warning(s), {} queries, {} ms)",
@@ -931,6 +1046,9 @@ fn corpus_cmd(cli: &Cli) {
                         println!("  {}", f.replace('\n', "\n  "));
                     }
                 }
+                for i in &v.store_incidents {
+                    println!("  (recovered) {i}");
+                }
                 verdicts.push(v);
             }
             let failed = verdicts.iter().filter(|v| !v.ok()).count();
@@ -941,6 +1059,17 @@ fn corpus_cmd(cli: &Cli) {
                 verdicts.len() - failed,
                 verdicts.len()
             );
+            if let Some(store) = &store {
+                let s = store.stats();
+                println!(
+                    "store: {} hit(s), {} miss(es), {} corrupt, {} save(s), {} quarantined",
+                    s.hits,
+                    s.misses,
+                    s.corrupt,
+                    s.saves,
+                    store.quarantine_count()
+                );
+            }
             if let Some(path) = &cli.report {
                 std::fs::write(path, corpus_report(&verdicts))
                     .unwrap_or_else(|e| usage_error(&format!("cannot write {path}: {e}")));
@@ -990,6 +1119,93 @@ fn corpus_cmd(cli: &Cli) {
             }
         }
         _ => unreachable!("parse_args validated the corpus action"),
+    }
+}
+
+/// `repro store <stat|gc|verify> --store-dir DIR`: maintenance over a
+/// persistent result store (see `crates/store` and DESIGN.md §4.9).
+fn store_cmd(cli: &Cli) {
+    let dir = cli.store_dir.as_deref().expect("validated by parse_args");
+    let mut store = ResultStore::open(dir)
+        .unwrap_or_else(|e| usage_error(&format!("cannot open store {dir}: {e}")));
+    let action = cli
+        .store_action
+        .as_deref()
+        .expect("validated by parse_args");
+    match action {
+        "stat" => {
+            let entries = store
+                .walk()
+                .unwrap_or_else(|e| usage_error(&format!("cannot walk {dir}: {e}")));
+            let bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+            println!(
+                "store {dir}: {} entry(ies), {bytes} bytes, {} quarantined",
+                entries.len(),
+                store.quarantine_count()
+            );
+        }
+        "gc" => {
+            let (quarantined, tmps) = store
+                .gc()
+                .unwrap_or_else(|e| usage_error(&format!("cannot gc {dir}: {e}")));
+            println!(
+                "store {dir}: removed {quarantined} quarantined entry(ies) and {tmps} orphaned \
+                 temp file(s)"
+            );
+        }
+        // Every stored entry must decode, and every stored certificate
+        // must still convince the independent checker — the store is
+        // only trustworthy if what it replays would re-validate.
+        "verify" => {
+            let entries = store
+                .walk()
+                .unwrap_or_else(|e| usage_error(&format!("cannot walk {dir}: {e}")));
+            let mut failures: Vec<String> = Vec::new();
+            let mut fragments: Vec<String> = Vec::new();
+            let mut decoded = 0usize;
+            for entry in &entries {
+                match store.load(&entry.key) {
+                    LoadResult::Hit(bytes) => match decode_analysis(&bytes) {
+                        Some(pa) => {
+                            decoded += 1;
+                            if let Some(f) = pa.certs_fragment {
+                                fragments.push(f);
+                            }
+                        }
+                        None => failures.push(format!(
+                            "{}: checksummed payload does not decode (version skew?)",
+                            entry.key
+                        )),
+                    },
+                    LoadResult::Miss => {
+                        failures.push(format!("{}: vanished during verification", entry.key));
+                    }
+                    LoadResult::Corrupt { kind, .. } => {
+                        failures.push(format!("{}: corrupt ({kind}); quarantined", entry.key));
+                    }
+                }
+            }
+            let summary = check_document(&certs_json_from_fragments(&fragments));
+            if !summary.ok() {
+                for e in &summary.errors {
+                    failures.push(format!("certificate check: {e}"));
+                }
+            }
+            println!(
+                "store {dir}: {} entry(ies), {decoded} decoded, {} with certificates, {} \
+                 failure(s)",
+                entries.len(),
+                fragments.len(),
+                failures.len()
+            );
+            for f in &failures {
+                println!("  FAIL {f}");
+            }
+            if !failures.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        _ => unreachable!("parse_args validated the store action"),
     }
 }
 

@@ -201,7 +201,7 @@ impl ProcCerts {
 // JSON emission
 // ---------------------------------------------------------------------
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -428,6 +428,27 @@ fn chain_json(chain: &ChainRecord) -> String {
     )
 }
 
+/// Renders one procedure's sidecar fragment (an element of the
+/// document's `procs` array). Public because the persistent result
+/// store saves exactly this string per procedure: a warm run reassembles
+/// the sidecar from stored fragments with
+/// [`certs_json_from_fragments`], making warm sidecars byte-identical
+/// to cold ones *by construction* rather than by re-serialization.
+pub fn proc_certs_json(pc: &ProcCerts) -> String {
+    proc_json(pc)
+}
+
+/// Assembles a sidecar document from pre-rendered per-procedure
+/// fragments (see [`proc_certs_json`]). Uses the same format string as
+/// [`certs_json`], so mixing cold fragments and store-loaded fragments
+/// yields the same bytes as an all-cold run.
+pub fn certs_json_from_fragments(fragments: &[String]) -> String {
+    format!(
+        "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\"procs\":[{}]}}\n",
+        fragments.join(",")
+    )
+}
+
 fn proc_json(pc: &ProcCerts) -> String {
     let terms = pc
         .store
@@ -488,5 +509,21 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn fragment_assembly_matches_direct_emission() {
+        let procs = vec![
+            ProcCerts {
+                proc_name: "f".into(),
+                ..ProcCerts::default()
+            },
+            ProcCerts {
+                proc_name: "g".into(),
+                ..ProcCerts::default()
+            },
+        ];
+        let fragments: Vec<String> = procs.iter().map(proc_certs_json).collect();
+        assert_eq!(certs_json_from_fragments(&fragments), certs_json(&procs));
     }
 }

@@ -1,0 +1,156 @@
+//! Content-addressed procedure fingerprints: the cache key of the
+//! persistent result store (DESIGN.md §4.9).
+//!
+//! A procedure's analysis result depends on exactly two things: its own
+//! *desugared* body (which already inlines the contracts of directly
+//! called procedures — §2.1 replaces each call with
+//! `assert pre; havoc; assume post`) and the contracts of every
+//! procedure reachable from it through the call graph (an edit to a
+//! transitive callee's contract changes what the direct callee's
+//! inferred/declared contract *means*, and the interprocedural
+//! inference pass propagates it). The fingerprint is a SHA-256 over a
+//! canonical rendering of both.
+//!
+//! Deliberate stability properties (pinned by
+//! `tests/fingerprint_stability.rs`):
+//!
+//! * renaming or editing an *unrelated* procedure changes nothing;
+//! * reordering procedure definitions changes nothing (assert ids are
+//!   textual within the procedure; callee contracts are sorted by
+//!   name);
+//! * editing a body the procedure never calls changes nothing;
+//! * editing the contract of *any* transitive callee changes the
+//!   fingerprint (direct callees also via the desugared body).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use acspec_ir::desugar::{desugar_procedure, DesugarOptions};
+use acspec_ir::program::{Contract, Procedure, Program};
+use acspec_store::sha256_hex;
+
+use crate::driver::AcspecError;
+use crate::interproc::callees_of;
+
+/// Every procedure reachable from `proc` through call edges (excluding
+/// `proc` itself unless it is on a cycle through itself), in name order.
+fn transitive_callees<'p>(program: &'p Program, proc: &Procedure) -> Vec<&'p Procedure> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut frontier: BTreeSet<String> = BTreeSet::new();
+    if let Some(body) = &proc.body {
+        callees_of(body, &mut frontier);
+    }
+    while let Some(name) = frontier.pop_first() {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        if let Some(callee) = program.procedures.iter().find(|p| p.name == name) {
+            if let Some(body) = &callee.body {
+                callees_of(body, &mut frontier);
+            }
+        }
+    }
+    // BTreeSet iteration gives name order; resolve to declarations
+    // (unknown callees simply contribute their name with no contract —
+    // desugaring the caller will fail long before the store matters).
+    seen.iter()
+        .filter_map(|n| program.procedures.iter().find(|p| &p.name == n))
+        .collect()
+}
+
+fn push_contract(out: &mut String, c: &Contract) {
+    let _ = write!(
+        out,
+        "requires {};ensures {};modifies {}",
+        c.requires,
+        c.ensures,
+        c.modifies.join(",")
+    );
+}
+
+/// Computes the canonical fingerprint text for `proc` (exposed for the
+/// stability tests; [`procedure_fingerprint`] hashes it).
+///
+/// # Errors
+///
+/// Returns the desugaring error for malformed procedures (unknown
+/// callee, arity mismatch, external body) — such procedures are never
+/// cached; the analysis session reports the real error.
+pub fn fingerprint_text(program: &Program, proc: &Procedure) -> Result<String, AcspecError> {
+    let d = desugar_procedure(program, proc, DesugarOptions::default())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "acspec-fingerprint v1");
+    let _ = writeln!(out, "proc {}", d.name);
+    let _ = writeln!(out, "body {}", d.body);
+    let _ = write!(out, "asserts ");
+    for a in &d.asserts {
+        let _ = write!(out, "{}:{};", a.id, a.tag);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "vars ");
+    for (name, sort) in &d.vars {
+        let _ = write!(out, "{name}:{sort},");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "inputs {}", d.inputs.join(","));
+    let _ = write!(out, "nus ");
+    for (nu, sort) in &d.nus {
+        let _ = write!(out, "{nu}:{sort},");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "call_sites {}", d.call_sites);
+    let _ = write!(out, "contract ");
+    push_contract(&mut out, &proc.contract);
+    let _ = writeln!(out);
+    for callee in transitive_callees(program, proc) {
+        let _ = write!(out, "callee {} ", callee.name);
+        push_contract(&mut out, &callee.contract);
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+/// The content-addressed fingerprint of `proc`: 64 hex characters of
+/// SHA-256 over [`fingerprint_text`].
+///
+/// # Errors
+///
+/// Propagates [`fingerprint_text`]'s desugaring error.
+pub fn procedure_fingerprint(program: &Program, proc: &Procedure) -> Result<String, AcspecError> {
+    Ok(sha256_hex(fingerprint_text(program, proc)?.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acspec_ir::parse::parse_program;
+
+    #[test]
+    fn transitive_contract_edits_change_the_print() {
+        let base = "
+            procedure leaf(x: int) requires x > 0; { assert x > 0; }
+            procedure mid(y: int) { call leaf(y); }
+            procedure top(z: int) { call mid(z); }";
+        let edited = "
+            procedure leaf(x: int) requires x > 1; { assert x > 0; }
+            procedure mid(y: int) { call leaf(y); }
+            procedure top(z: int) { call mid(z); }";
+        let a = parse_program(base).expect("parses");
+        let b = parse_program(edited).expect("parses");
+        let top_a = a.procedures.iter().find(|p| p.name == "top").unwrap();
+        let top_b = b.procedures.iter().find(|p| p.name == "top").unwrap();
+        // `leaf` is two hops from `top`: its contract must still matter.
+        assert_ne!(
+            procedure_fingerprint(&a, top_a).unwrap(),
+            procedure_fingerprint(&b, top_b).unwrap()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_a_hex_digest() {
+        let p = parse_program("procedure f(x: int) { assert x != 0; }").expect("parses");
+        let fp = procedure_fingerprint(&p, &p.procedures[0]).unwrap();
+        assert_eq!(fp.len(), 64);
+        assert!(fp.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+}

@@ -37,7 +37,7 @@ pub struct InferredContracts {
     pub inferred: BTreeMap<String, Formula>,
 }
 
-fn callees_of(body: &Stmt, out: &mut BTreeSet<String>) {
+pub(crate) fn callees_of(body: &Stmt, out: &mut BTreeSet<String>) {
     match body {
         Stmt::Call { callee, .. } => {
             out.insert(callee.clone());

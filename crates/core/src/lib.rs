@@ -45,7 +45,9 @@
 pub mod certs;
 pub mod config;
 pub mod driver;
+pub mod fingerprint;
 pub mod interproc;
+pub mod persist;
 pub mod report;
 pub mod search;
 pub mod session;
@@ -53,11 +55,14 @@ pub mod telemetry;
 pub mod triage;
 
 pub use certs::{
-    certs_json, ChainRecord, ChainStepRecord, Claim, ClaimKind, ProcCerts, StepEvidence,
+    certs_json, certs_json_from_fragments, proc_certs_json, ChainRecord, ChainStepRecord, Claim,
+    ClaimKind, ProcCerts, StepEvidence,
 };
 pub use config::{AcspecOptions, ConfigName, DeadMetric};
 pub use driver::{analyze_procedure, analyze_procedure_multi, cons_baseline, AcspecError};
+pub use fingerprint::{fingerprint_text, procedure_fingerprint};
 pub use interproc::{infer_preconditions, InferredContracts};
+pub use persist::{decode_analysis, options_digest, StoreOutcome, StoreSession};
 pub use report::{
     program_report_json, program_report_json_with, AnalysisIncident, AnalysisOutcome, Fallback,
     IncidentKind, ProcReport, ProcStats, ReportLabel, SibStatus, Warning, Witness,

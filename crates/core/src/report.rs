@@ -418,6 +418,11 @@ pub enum IncidentKind {
     /// The session returned an [`AcspecError`](crate::AcspecError)
     /// (desugaring or encoding failed).
     Error,
+    /// A persistent-store entry for this procedure failed validation
+    /// (torn write, bit flip, or schema skew); it was quarantined and
+    /// the procedure transparently recomputed. The verdict is unharmed
+    /// — this incident exists so operators notice decaying storage.
+    StoreCorruption,
 }
 
 impl IncidentKind {
@@ -426,6 +431,7 @@ impl IncidentKind {
         match self {
             IncidentKind::Panic => "panic",
             IncidentKind::Error => "error",
+            IncidentKind::StoreCorruption => "store_corruption",
         }
     }
 }

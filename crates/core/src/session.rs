@@ -62,9 +62,13 @@ use acspec_vcgen::cache::CacheStats;
 use acspec_vcgen::chaos::ChaosStats;
 use acspec_vcgen::stage::{FaultReason, Stage, StageError, StageMetrics, StageTable};
 
-use crate::certs::{ChainRecord, ChainStepRecord, Claim, ClaimKind, ProcCerts, StepEvidence};
+use crate::certs::{
+    proc_certs_json, ChainRecord, ChainStepRecord, Claim, ClaimKind, ProcCerts, StepEvidence,
+};
 use crate::config::{AcspecOptions, ConfigName, DeadMetric};
 use crate::driver::AcspecError;
+use crate::fingerprint::procedure_fingerprint;
+use crate::persist::{entry_key, options_digest, StoreOutcome, StoreSession};
 use crate::report::{
     AnalysisIncident, AnalysisOutcome, Fallback, IncidentKind, ProcReport, ProcStats, ReportLabel,
     SibStatus, Warning, Witness,
@@ -78,6 +82,23 @@ thread_local! {
     /// [`ProcSession::staged`] call; cleared when isolation wraps a new
     /// procedure.
     static CURRENT_STAGE: Cell<Option<Stage>> = const { Cell::new(None) };
+
+    /// The procedure the current worker thread is dispatching. Unlike
+    /// `CURRENT_STAGE` (set lazily by the first stage), this is set at
+    /// dispatch time — *before* any session machinery runs — so
+    /// incidents built early (a panic before encode, a store-corruption
+    /// record during the warm-load probe) are always attributable to a
+    /// procedure instead of surfacing with an empty name.
+    static CURRENT_PROC: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The dispatch-time procedure name, falling back to `fallback` when
+/// called outside a dispatch (e.g. from a directly driven session).
+fn current_proc_or(fallback: &str) -> String {
+    CURRENT_PROC
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| fallback.to_string())
 }
 
 /// The shared screen: the `Dead(true)` baseline (per the session's dead
@@ -1478,6 +1499,7 @@ pub struct ProgramAnalysis<'p> {
     threads: usize,
     skip_correct: bool,
     certify: bool,
+    store: Option<&'p StoreSession>,
 }
 
 /// Everything one session produced for one procedure.
@@ -1498,8 +1520,29 @@ pub struct ProcAnalysis {
     /// stage run in stage completion order.
     pub queries: Vec<QueryEvent>,
     /// The session's certificates (claims, chains, shared store). `None`
-    /// unless [`ProgramAnalysis::certify`] was enabled.
+    /// unless [`ProgramAnalysis::certify`] was enabled — and always
+    /// `None` for warm store hits, whose certificate document comes from
+    /// [`ProcAnalysis::certs_fragment`] instead.
     pub certs: Option<ProcCerts>,
+    /// True when this analysis was reconstructed from the persistent
+    /// result store (zero solver queries ran; `events`/`queries` are
+    /// empty).
+    pub from_store: bool,
+    /// Non-fatal incidents attached to this (completed) analysis —
+    /// currently store-corruption records: the entry was quarantined and
+    /// the procedure recomputed, so the verdict is intact but the
+    /// operator should know the storage decayed.
+    pub incidents: Vec<AnalysisIncident>,
+    /// The pre-rendered certificate fragment
+    /// ([`crate::certs::proc_certs_json`]) backing this analysis, when
+    /// certification ran (cold) or was stored (warm). Reassembling
+    /// fragments with [`crate::certs::certs_json_from_fragments`] yields
+    /// a byte-identical sidecar either way.
+    pub certs_fragment: Option<String>,
+    /// The dominance-cache antichains at session end (cold, when the
+    /// query cache was on) or as stored (warm) — seed material for
+    /// [`ProcAnalyzer::seed_cache`] when re-analyzing related bodies.
+    pub antichains: Option<acspec_vcgen::cache::CacheSnapshot>,
 }
 
 impl ProcAnalysis {
@@ -1579,6 +1622,7 @@ impl<'p> ProgramAnalysis<'p> {
             threads: 0,
             skip_correct: true,
             certify: false,
+            store: None,
         }
     }
 
@@ -1638,12 +1682,61 @@ impl<'p> ProgramAnalysis<'p> {
         self
     }
 
+    /// Attaches a persistent result store: procedures whose fingerprint
+    /// and options match a stored entry are re-emitted byte-identically
+    /// with zero solver queries; misses are computed and saved. Ignored
+    /// when a wall-clock deadline is configured (deadline runs are
+    /// nondeterministic, so their results are not cacheable).
+    #[must_use]
+    pub fn store(mut self, store: Option<&'p StoreSession>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The store key for `proc` under this analysis's exact request, or
+    /// `None` when the store is off, a deadline makes results
+    /// uncacheable, or the procedure does not desugar (the cold path
+    /// will report the real error).
+    fn store_key(&self, proc: &Procedure) -> Option<String> {
+        self.store?;
+        if self.base.analyzer.deadline.is_some() {
+            return None;
+        }
+        let fp = procedure_fingerprint(self.program, proc).ok()?;
+        Some(entry_key(
+            &fp,
+            &options_digest(
+                &self.base,
+                &self.configs,
+                &self.prune_variants,
+                self.skip_correct,
+                self.certify,
+            ),
+        ))
+    }
+
     fn analyze_one(
         &self,
         proc: &Procedure,
         record_queries: bool,
         record_search: bool,
     ) -> Result<ProcAnalysis, AcspecError> {
+        let mut incidents = Vec::new();
+        let store_key = self.store_key(proc);
+        if let (Some(store), Some(key)) = (self.store, store_key.as_deref()) {
+            match store.fetch(key, &proc.name) {
+                StoreOutcome::Hit(pa) => return Ok(*pa),
+                StoreOutcome::Miss => {}
+                StoreOutcome::Corrupt(kind) => incidents.push(AnalysisIncident {
+                    proc_name: current_proc_or(&proc.name),
+                    kind: IncidentKind::StoreCorruption,
+                    stage: None,
+                    message: format!(
+                        "store entry {key} failed validation ({kind}); quarantined and recomputed"
+                    ),
+                }),
+            }
+        }
         let mut session = ProcSession::new(self.program, proc, self.base.analyzer)?;
         session.set_query_recording(record_queries);
         session.set_search_recording(record_search);
@@ -1663,14 +1756,25 @@ impl<'p> ProgramAnalysis<'p> {
                 })
                 .collect()
         };
-        Ok(ProcAnalysis {
+        let antichains = session.analyzer_mut().cache_snapshot();
+        let certs = session.take_certs();
+        let certs_fragment = certs.as_ref().map(proc_certs_json);
+        let pa = ProcAnalysis {
             proc_name: proc.name.clone(),
             cons,
             reports,
             events: session.take_events(),
             queries: session.take_query_events(),
-            certs: session.take_certs(),
-        })
+            certs,
+            from_store: false,
+            incidents,
+            certs_fragment,
+            antichains,
+        };
+        if let (Some(store), Some(key)) = (self.store, store_key.as_deref()) {
+            store.put(key, &pa);
+        }
+        Ok(pa)
     }
 
     /// Analyzes one procedure behind a panic/error barrier: anything a
@@ -1684,19 +1788,20 @@ impl<'p> ProgramAnalysis<'p> {
         record_search: bool,
     ) -> ProcOutcome {
         CURRENT_STAGE.with(|c| c.set(None));
+        CURRENT_PROC.with(|c| *c.borrow_mut() = Some(proc.name.clone()));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.analyze_one(proc, record_queries, record_search)
         }));
         match result {
             Ok(Ok(pa)) => ProcOutcome::Analyzed(Box::new(pa)),
             Ok(Err(e)) => ProcOutcome::Faulted(AnalysisIncident {
-                proc_name: proc.name.clone(),
+                proc_name: current_proc_or(&proc.name),
                 kind: IncidentKind::Error,
                 stage: CURRENT_STAGE.with(std::cell::Cell::get),
                 message: e.to_string(),
             }),
             Err(payload) => ProcOutcome::Faulted(AnalysisIncident {
-                proc_name: proc.name.clone(),
+                proc_name: current_proc_or(&proc.name),
                 kind: IncidentKind::Panic,
                 stage: CURRENT_STAGE.with(std::cell::Cell::get),
                 message: panic_message(payload.as_ref()),
@@ -1793,6 +1898,9 @@ impl<'p> ProgramAnalysis<'p> {
                         {
                             observer.degradation_recorded(&pa.proc_name, from_stage, fallback);
                         }
+                    }
+                    for incident in &pa.incidents {
+                        observer.incident_recorded(incident);
                     }
                     observer.proc_completed(&pa.proc_name);
                 }

@@ -117,6 +117,28 @@ impl TelemetryObserver {
         &self.metrics
     }
 
+    /// Folds a persistent-store stats snapshot into the registry:
+    /// `store.{hits,misses,corrupt,retries,saves,save_errors,quarantined}`
+    /// counters plus `store.load_seconds` / `store.save_seconds` latency
+    /// histograms. Call once after the run (the snapshot is cumulative).
+    /// Runs without a store never touch these families, so their metric
+    /// snapshots stay byte-identical.
+    pub fn record_store(&mut self, stats: &acspec_store::StoreStats) {
+        self.metrics.inc("store.hits", stats.hits);
+        self.metrics.inc("store.misses", stats.misses);
+        self.metrics.inc("store.corrupt", stats.corrupt);
+        self.metrics.inc("store.retries", stats.retries);
+        self.metrics.inc("store.saves", stats.saves);
+        self.metrics.inc("store.save_errors", stats.save_errors);
+        self.metrics.inc("store.quarantined", stats.quarantined);
+        for &s in &stats.load_seconds {
+            self.metrics.observe("store.load_seconds", s);
+        }
+        for &s in &stats.save_seconds {
+            self.metrics.observe("store.save_seconds", s);
+        }
+    }
+
     /// Assembles the trace (stable procedure order) and hands over the
     /// metrics registry.
     pub fn finish(mut self) -> TelemetryOutput {
@@ -221,6 +243,7 @@ impl SessionObserver for TelemetryObserver {
         match incident.kind {
             IncidentKind::Panic => self.metrics.inc("incident.panics", 1),
             IncidentKind::Error => self.metrics.inc("incident.errors", 1),
+            IncidentKind::StoreCorruption => self.metrics.inc("incident.store_corruption", 1),
         }
     }
 

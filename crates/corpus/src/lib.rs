@@ -25,7 +25,10 @@ pub mod runner;
 use std::path::{Path, PathBuf};
 
 pub use fingerprint::{Oracle, WarningFingerprint};
-pub use runner::{run_leg, run_matrix, LegRun, MatrixReport, RunLeg, BASE_LEG, DIFF_LEGS};
+pub use runner::{
+    run_leg, run_leg_with_store, run_matrix, run_matrix_with_store, LegRun, MatrixReport, RunLeg,
+    BASE_LEG, DIFF_LEGS,
+};
 
 use acspec_check::json;
 use acspec_ir::Program;
@@ -234,6 +237,9 @@ pub struct ScenarioVerdict {
     pub wall_ms: u64,
     /// Every failure diagnostic; empty = the scenario passed.
     pub failures: Vec<String>,
+    /// Store-corruption incidents — recovered (quarantine + recompute),
+    /// so surfaced without failing the scenario.
+    pub store_incidents: Vec<String>,
 }
 
 impl ScenarioVerdict {
@@ -247,6 +253,17 @@ impl ScenarioVerdict {
 /// Runs the scenario through the differential matrix and checks the
 /// result against its blessed oracle and budget.
 pub fn verify_scenario(sc: &Scenario) -> ScenarioVerdict {
+    verify_scenario_with_store(sc, None)
+}
+
+/// [`verify_scenario`] with a persistent result store attached to the
+/// base leg (see [`runner::run_matrix_with_store`]): on a warm store
+/// the base leg replays stored reports with zero solver queries, and
+/// the (always cold) differential legs pin warm/cold equivalence.
+pub fn verify_scenario_with_store(
+    sc: &Scenario,
+    store: Option<&acspec_core::StoreSession>,
+) -> ScenarioVerdict {
     let program = match sc.program() {
         Ok(p) => p,
         Err(e) => {
@@ -256,10 +273,11 @@ pub fn verify_scenario(sc: &Scenario) -> ScenarioVerdict {
                 queries: 0,
                 wall_ms: 0,
                 failures: vec![format!("cannot load program: {e}")],
+                store_incidents: Vec::new(),
             }
         }
     };
-    let matrix = runner::run_matrix(&program);
+    let matrix = runner::run_matrix_with_store(&program, store);
     let mut failures = matrix.failures;
     match sc.load_expected() {
         Ok(expected) => failures.extend(expected.diff(&matrix.produced)),
@@ -288,6 +306,7 @@ pub fn verify_scenario(sc: &Scenario) -> ScenarioVerdict {
         queries: matrix.queries,
         wall_ms: matrix.wall_ms,
         failures,
+        store_incidents: matrix.store_incidents,
     }
 }
 

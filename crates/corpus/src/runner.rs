@@ -18,7 +18,8 @@ use std::time::Instant;
 
 use acspec_check::check_document;
 use acspec_core::{
-    certs_json, AcspecOptions, ConfigName, ProcCerts, ProcOutcome, ProgramAnalysis, StageTotals,
+    certs_json_from_fragments, AcspecOptions, ConfigName, ProcOutcome, ProgramAnalysis,
+    StageTotals, StoreSession,
 };
 use acspec_ir::Program;
 use acspec_vcgen::chaos::ChaosConfig;
@@ -88,10 +89,18 @@ pub struct LegRun {
     pub queries: u64,
     /// Wall-clock milliseconds of the whole leg.
     pub wall_ms: u64,
-    /// Certificates (base leg only).
-    pub certs: Vec<ProcCerts>,
+    /// Pre-rendered per-procedure certificate fragments (base leg
+    /// only). Fragments rather than live `ProcCerts` so a warm store
+    /// hit — which never rebuilds the certificate store — still yields
+    /// a byte-identical document via
+    /// [`acspec_core::certs_json_from_fragments`].
+    pub cert_fragments: Vec<String>,
     /// Procedures that faulted (panic or error), rendered.
     pub incidents: Vec<String>,
+    /// Store-corruption incidents (quarantined + recomputed), rendered.
+    /// Informational: corruption is recovered, so these do not fail the
+    /// matrix.
+    pub store_incidents: Vec<String>,
 }
 
 /// Runs one leg of the matrix over `program`.
@@ -100,6 +109,14 @@ pub struct LegRun {
 /// the query cache, so an `ACSPEC_NO_QUERY_CACHE` environment (the CI
 /// cache-off test matrix) cannot silently change what a leg measures.
 pub fn run_leg(program: &Program, leg: &RunLeg) -> LegRun {
+    run_leg_with_store(program, leg, None)
+}
+
+/// [`run_leg`] with a persistent result store attached: unchanged
+/// procedures short-circuit to their stored reports (zero solver
+/// queries), and corrupted entries surface as recoverable
+/// [`LegRun::store_incidents`].
+pub fn run_leg_with_store(program: &Program, leg: &RunLeg, store: Option<&StoreSession>) -> LegRun {
     let mut opts = AcspecOptions::default();
     opts.analyzer.conflict_budget = Some(400_000);
     opts.analyzer.query_cache = leg.query_cache;
@@ -111,12 +128,14 @@ pub fn run_leg(program: &Program, leg: &RunLeg) -> LegRun {
         .configs(CONFIGS)
         .threads(leg.threads)
         .certify(leg.certify)
+        .store(store)
         .run(&mut totals);
     let wall_ms = t0.elapsed().as_millis() as u64;
 
     let mut oracle = Oracle::default();
-    let mut certs = Vec::new();
+    let mut cert_fragments = Vec::new();
     let mut incidents = Vec::new();
+    let mut store_incidents = Vec::new();
     for outcome in outcomes {
         match outcome {
             ProcOutcome::Analyzed(pa) => {
@@ -153,8 +172,11 @@ pub fn run_leg(program: &Program, leg: &RunLeg) -> LegRun {
                         ));
                     }
                 }
-                if let Some(c) = pa.certs {
-                    certs.push(c);
+                for incident in &pa.incidents {
+                    store_incidents.push(format!("procedure `{}`: {incident}", pa.proc_name));
+                }
+                if let Some(f) = pa.certs_fragment {
+                    cert_fragments.push(f);
                 }
             }
             ProcOutcome::Faulted(i) => {
@@ -171,8 +193,9 @@ pub fn run_leg(program: &Program, leg: &RunLeg) -> LegRun {
         oracle,
         queries,
         wall_ms,
-        certs,
+        cert_fragments,
         incidents,
+        store_incidents,
     }
 }
 
@@ -188,6 +211,9 @@ pub struct MatrixReport {
     /// Every matrix failure: incidents, differential divergences, and
     /// certificate-check errors. Empty = the matrix passed.
     pub failures: Vec<String>,
+    /// Store-corruption incidents across all legs — recovered, so
+    /// informational rather than failing.
+    pub store_incidents: Vec<String>,
 }
 
 /// Runs the base leg plus every differential leg and the certificate
@@ -195,12 +221,23 @@ pub struct MatrixReport {
 /// caller's job ([`crate::verify_scenario`]); this reports only the
 /// run-internal invariants.
 pub fn run_matrix(program: &Program) -> MatrixReport {
-    let base = run_leg(program, &BASE_LEG);
+    run_matrix_with_store(program, None)
+}
+
+/// [`run_matrix`] with a persistent result store attached to the *base*
+/// leg only. The differential legs always run cold, so a warm base leg
+/// (reports replayed from the store) is checked byte-for-byte against
+/// three fresh computations — the warm/cold equivalence gate rides the
+/// existing differential machinery for free.
+pub fn run_matrix_with_store(program: &Program, store: Option<&StoreSession>) -> MatrixReport {
+    let base = run_leg_with_store(program, &BASE_LEG, store);
     let mut failures = base.incidents.clone();
+    let mut store_incidents = base.store_incidents.clone();
     let base_json = base.oracle.to_canonical_json();
     for leg in DIFF_LEGS {
         let run = run_leg(program, leg);
         failures.extend(run.incidents);
+        store_incidents.extend(run.store_incidents);
         if run.oracle.to_canonical_json() != base_json {
             let mut msg = format!(
                 "differential leg `{}` diverged from the base oracle",
@@ -213,7 +250,7 @@ pub fn run_matrix(program: &Program) -> MatrixReport {
             failures.push(msg);
         }
     }
-    let summary = check_document(&certs_json(&base.certs));
+    let summary = check_document(&certs_json_from_fragments(&base.cert_fragments));
     if !summary.ok() {
         failures.push(format!(
             "certificate check failed ({} error(s)): {}",
@@ -226,5 +263,6 @@ pub fn run_matrix(program: &Program) -> MatrixReport {
         queries: base.queries,
         wall_ms: base.wall_ms,
         failures,
+        store_incidents,
     }
 }

@@ -1,0 +1,172 @@
+//! The on-disk entry format: a fixed self-validating header followed by
+//! an opaque payload.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"ACST"
+//! 4       4     schema version, u32 LE
+//! 8       8     payload length, u64 LE
+//! 16      32    SHA-256 of the payload
+//! 48      len   payload bytes
+//! ```
+//!
+//! The header is deliberately length-prefixed *and* checksummed: a torn
+//! write (any prefix of the file) is caught by the length check, a
+//! bit flip anywhere — header or payload — by the magic/version/length
+//! fields or the digest. [`decode_entry`] classifies exactly which
+//! invariant broke so quarantined files carry a diagnosis.
+
+use crate::sha256::sha256;
+
+/// File magic: "ACSpec STore".
+pub const MAGIC: [u8; 4] = *b"ACST";
+
+/// On-disk schema version. Bump on any payload-format change: old
+/// entries are then quarantined as [`CorruptionKind::VersionSkew`] and
+/// transparently recomputed, never misparsed.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// Size of the fixed header.
+pub const HEADER_LEN: usize = 48;
+
+/// How a stored entry failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Shorter than the header, or shorter than the header-declared
+    /// payload length (torn write / mid-entry kill).
+    Truncated,
+    /// The magic bytes are wrong — not a store entry at all, or the
+    /// header itself was hit.
+    BadMagic,
+    /// A schema version this build does not speak.
+    VersionSkew,
+    /// Longer than the header-declared payload length (a partial
+    /// overwrite or appended garbage).
+    LengthMismatch,
+    /// Length is right but the payload digest does not match (bit rot).
+    ChecksumMismatch,
+}
+
+impl CorruptionKind {
+    /// Stable lowercase name (incident messages, telemetry).
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionKind::Truncated => "truncated",
+            CorruptionKind::BadMagic => "bad_magic",
+            CorruptionKind::VersionSkew => "version_skew",
+            CorruptionKind::LengthMismatch => "length_mismatch",
+            CorruptionKind::ChecksumMismatch => "checksum_mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Frames `payload` into a complete entry file image.
+pub fn encode_entry(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&STORE_SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&sha256(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates an entry file image and returns the payload slice.
+///
+/// # Errors
+///
+/// Returns the first [`CorruptionKind`] whose invariant fails, checked
+/// in layout order: size, magic, version, declared length, checksum.
+pub fn decode_entry(bytes: &[u8]) -> Result<&[u8], CorruptionKind> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CorruptionKind::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CorruptionKind::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != STORE_SCHEMA_VERSION {
+        return Err(CorruptionKind::VersionSkew);
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let actual = (bytes.len() - HEADER_LEN) as u64;
+    if actual < len {
+        return Err(CorruptionKind::Truncated);
+    }
+    if actual > len {
+        return Err(CorruptionKind::LengthMismatch);
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let digest: [u8; 32] = bytes[16..48].try_into().expect("32 bytes");
+    if sha256(payload) != digest {
+        return Err(CorruptionKind::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"{\"proc\":\"f\"}";
+        let entry = encode_entry(payload);
+        assert_eq!(entry.len(), HEADER_LEN + payload.len());
+        assert_eq!(decode_entry(&entry), Ok(&payload[..]));
+        assert_eq!(decode_entry(&encode_entry(b"")), Ok(&b""[..]));
+    }
+
+    #[test]
+    fn every_truncation_point_is_caught() {
+        let entry = encode_entry(b"hello, persistent world");
+        for cut in 0..entry.len() {
+            let got = decode_entry(&entry[..cut]);
+            assert!(got.is_err(), "prefix of {cut} bytes accepted");
+            if cut < HEADER_LEN {
+                assert_eq!(got, Err(CorruptionKind::Truncated));
+            }
+        }
+    }
+
+    #[test]
+    fn field_level_classification() {
+        let entry = encode_entry(b"payload bytes");
+        let mut bad_magic = entry.clone();
+        bad_magic[1] ^= 0x01;
+        assert_eq!(decode_entry(&bad_magic), Err(CorruptionKind::BadMagic));
+
+        let mut skew = entry.clone();
+        skew[4] ^= 0x02;
+        assert_eq!(decode_entry(&skew), Err(CorruptionKind::VersionSkew));
+
+        let mut short_decl = entry.clone();
+        short_decl[8] = short_decl[8].wrapping_add(1); // declares more than present
+        assert_eq!(decode_entry(&short_decl), Err(CorruptionKind::Truncated));
+
+        let mut appended = entry.clone();
+        appended.push(0);
+        assert_eq!(decode_entry(&appended), Err(CorruptionKind::LengthMismatch));
+
+        let mut bad_sum = entry.clone();
+        bad_sum[20] ^= 0x80; // inside the digest field
+        assert_eq!(
+            decode_entry(&bad_sum),
+            Err(CorruptionKind::ChecksumMismatch)
+        );
+
+        let mut bad_payload = entry;
+        let last = bad_payload.len() - 1;
+        bad_payload[last] ^= 0x40;
+        assert_eq!(
+            decode_entry(&bad_payload),
+            Err(CorruptionKind::ChecksumMismatch)
+        );
+    }
+}

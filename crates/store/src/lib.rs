@@ -1,0 +1,30 @@
+//! Crash-safe persistent result store (DESIGN.md §4.9).
+//!
+//! `acspec-store` is the byte-oriented half of cross-run
+//! incrementality: a content-addressed key/value store whose entries
+//! survive crashes, kills, and media corruption *detectably*. It knows
+//! nothing about reports or certificates — `acspec-core::persist` owns
+//! the payload codec — and guarantees exactly three things:
+//!
+//! 1. **Atomic visibility**: an entry is either fully present or
+//!    absent (write-temp + fsync + rename; see [`store`] module docs).
+//! 2. **Validated reads**: every load re-checks magic, schema version,
+//!    declared length, and a SHA-256 payload checksum; any failure is
+//!    classified ([`CorruptionKind`]), the file is quarantined, and
+//!    the caller recomputes — a damaged store degrades to a cold run.
+//! 3. **Deterministic fault injection**: the same splitmix64 chaos
+//!    discipline as the solver harness, extended to I/O
+//!    (`acspec_vcgen::chaos::ChaosStore`), with rate 0 byte-identical
+//!    to no harness at all.
+
+#![warn(missing_docs)]
+
+pub mod entry;
+pub mod sha256;
+pub mod store;
+
+pub use entry::{
+    decode_entry, encode_entry, CorruptionKind, HEADER_LEN, MAGIC, STORE_SCHEMA_VERSION,
+};
+pub use sha256::{sha256, sha256_hex, Sha256};
+pub use store::{LoadResult, ResultStore, StoreStats, StoredEntry};

@@ -1,0 +1,452 @@
+//! The on-disk store: atomic writes, validated reads, quarantine.
+//!
+//! Layout under the store directory:
+//!
+//! ```text
+//! <dir>/<key>.acse          one entry per content-addressed key
+//! <dir>/.<key>.tmp          in-flight write (crash leftover = garbage)
+//! <dir>/quarantine/<key>.acse   entries that failed validation
+//! ```
+//!
+//! **Atomicity argument.** `save` writes the full entry image to a
+//! temporary file, `fsync`s it, renames it over the final name, and
+//! `fsync`s the directory. POSIX rename is atomic within a filesystem,
+//! so a reader observes either the old entry, the new entry, or no
+//! entry — never a mix. A crash between the data fsync and the
+//! directory fsync can lose the rename but cannot produce a torn final
+//! file; a crash mid-write leaves only a `.tmp` that loads ignore and
+//! `gc` sweeps. Even if the filesystem breaks these guarantees (or the
+//! media flips bits later), the header's length + checksum catch it at
+//! load time and the entry is quarantined — the store degrades to a
+//! cold run, never a wrong answer.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use acspec_vcgen::chaos::{ChaosConfig, ChaosStore, ChaosStoreStats, StoreFault};
+
+use crate::entry::{decode_entry, encode_entry, CorruptionKind};
+
+/// Transient-read retry ceiling (first try + this many retries).
+const MAX_READ_RETRIES: u64 = 3;
+
+/// Monotone counters and latency samples for one store handle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreStats {
+    /// Loads that returned a validated payload.
+    pub hits: u64,
+    /// Loads with no entry on disk (including reads that exhausted the
+    /// transient-error retry budget).
+    pub misses: u64,
+    /// Loads that found an entry but failed validation.
+    pub corrupt: u64,
+    /// Extra read attempts taken after a transient error.
+    pub retries: u64,
+    /// Entries durably written.
+    pub saves: u64,
+    /// Saves that failed (I/O error or injected ENOSPC).
+    pub save_errors: u64,
+    /// Corrupt entries moved to `quarantine/`.
+    pub quarantined: u64,
+    /// Per-load wall seconds (telemetry histogram feed).
+    pub load_seconds: Vec<f64>,
+    /// Per-save wall seconds (telemetry histogram feed).
+    pub save_seconds: Vec<f64>,
+}
+
+/// The outcome of [`ResultStore::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadResult {
+    /// Entry present and valid: the payload bytes.
+    Hit(Vec<u8>),
+    /// No entry (or reads kept failing transiently).
+    Miss,
+    /// Entry present but damaged; it has been moved aside.
+    Corrupt {
+        /// Which validation invariant broke.
+        kind: CorruptionKind,
+        /// Where the damaged file went (`None` if even the move failed
+        /// and the file was deleted or left in place).
+        quarantined_to: Option<PathBuf>,
+    },
+}
+
+/// One entry seen by [`ResultStore::walk`].
+#[derive(Debug, Clone)]
+pub struct StoredEntry {
+    /// The content-addressed key (file stem).
+    pub key: String,
+    /// Full path of the entry file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// A persistent, crash-safe result store rooted at one directory.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    chaos: Option<ChaosStore>,
+    stats: StoreStats,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir,
+            chaos: None,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Installs the deterministic I/O fault harness. Rate 0 injects
+    /// nothing and the store behaves byte-identically to no harness.
+    pub fn with_chaos(mut self, config: ChaosConfig) -> ResultStore {
+        self.chaos = Some(ChaosStore::new(config));
+        self
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counters and latency samples accumulated by this handle.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Injected-fault counters (zeroes when no harness is installed).
+    pub fn chaos_stats(&self) -> ChaosStoreStats {
+        self.chaos
+            .as_ref()
+            .map(ChaosStore::stats)
+            .unwrap_or_default()
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.acse"))
+    }
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Loads and validates the entry for `key`.
+    pub fn load(&mut self, key: &str) -> LoadResult {
+        let t0 = Instant::now();
+        let result = self.load_inner(key);
+        self.stats.load_seconds.push(t0.elapsed().as_secs_f64());
+        match &result {
+            LoadResult::Hit(_) => self.stats.hits += 1,
+            LoadResult::Miss => self.stats.misses += 1,
+            LoadResult::Corrupt { .. } => self.stats.corrupt += 1,
+        }
+        result
+    }
+
+    fn load_inner(&mut self, key: &str) -> LoadResult {
+        let path = self.entry_path(key);
+        let mut attempt: u64 = 0;
+        let bytes = loop {
+            let injected = self
+                .chaos
+                .as_mut()
+                .is_some_and(|c| c.load_fault(key, attempt));
+            let read = if injected {
+                Err(io::Error::other("chaos: injected transient read error"))
+            } else {
+                fs::read(&path)
+            };
+            match read {
+                Ok(bytes) => break bytes,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadResult::Miss,
+                Err(_) if attempt < MAX_READ_RETRIES => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    // Tiny linear backoff; transient errors (NFS blips,
+                    // EINTR-ish conditions) usually clear immediately.
+                    std::thread::sleep(std::time::Duration::from_micros(50 * attempt));
+                }
+                Err(_) => return LoadResult::Miss,
+            }
+        };
+        match decode_entry(&bytes) {
+            Ok(payload) => LoadResult::Hit(payload.to_vec()),
+            Err(kind) => {
+                let quarantined_to = self.quarantine(key, &path);
+                LoadResult::Corrupt {
+                    kind,
+                    quarantined_to,
+                }
+            }
+        }
+    }
+
+    /// Moves a damaged entry into `quarantine/` (falling back to
+    /// deletion) so the next load is a clean miss, not a repeat
+    /// corruption report.
+    fn quarantine(&mut self, key: &str, path: &Path) -> Option<PathBuf> {
+        let qdir = self.quarantine_dir();
+        if fs::create_dir_all(&qdir).is_ok() {
+            // Keep every damaged generation — overwriting would hide
+            // repeated corruption of one slot from `store stat` and gc.
+            let mut dest = qdir.join(format!("{key}.acse"));
+            let mut n = 1u32;
+            while dest.exists() {
+                dest = qdir.join(format!("{key}.acse.{n}"));
+                n += 1;
+            }
+            if fs::rename(path, &dest).is_ok() {
+                self.stats.quarantined += 1;
+                return Some(dest);
+            }
+        }
+        let _ = fs::remove_file(path);
+        None
+    }
+
+    /// Durably writes `payload` as the entry for `key` via write-temp +
+    /// fsync + atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (or the injected ENOSPC); the
+    /// caller treats a failed save as a cache miss next run, never as
+    /// corruption.
+    pub fn save(&mut self, key: &str, payload: &[u8]) -> io::Result<()> {
+        let t0 = Instant::now();
+        let result = self.save_inner(key, payload);
+        self.stats.save_seconds.push(t0.elapsed().as_secs_f64());
+        match &result {
+            Ok(()) => self.stats.saves += 1,
+            Err(_) => self.stats.save_errors += 1,
+        }
+        result
+    }
+
+    fn save_inner(&mut self, key: &str, payload: &[u8]) -> io::Result<()> {
+        let mut image = encode_entry(payload);
+        if let Some(chaos) = &mut self.chaos {
+            if let Some(fault) = chaos.save_fault(key) {
+                match fault {
+                    StoreFault::Enospc => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::StorageFull,
+                            "chaos: injected ENOSPC",
+                        ));
+                    }
+                    // Damage the image before it lands: the *next* load
+                    // must detect, quarantine, and recompute.
+                    StoreFault::TornWrite | StoreFault::BitFlip => {
+                        chaos.corrupt(key, fault, &mut image);
+                    }
+                    StoreFault::ReadError => {}
+                }
+            }
+        }
+        let tmp = self.dir.join(format!(".{key}.tmp"));
+        let final_path = self.entry_path(key);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, &image)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        // Make the rename itself durable. Failure here is non-fatal:
+        // the data is safe, only the directory entry could be lost on a
+        // crash — which the next run sees as a plain miss.
+        #[cfg(unix)]
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Lists every live entry (skips temp files and `quarantine/`),
+    /// sorted by key for deterministic output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn walk(&self) -> io::Result<Vec<StoredEntry>> {
+        let mut out = Vec::new();
+        for dirent in fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            let path = dirent.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = dirent.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(key) = name.strip_suffix(".acse") else {
+                continue;
+            };
+            out.push(StoredEntry {
+                key: key.to_string(),
+                path: path.clone(),
+                bytes: dirent.metadata()?.len(),
+            });
+        }
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(out)
+    }
+
+    /// Number of files currently in `quarantine/`.
+    pub fn quarantine_count(&self) -> usize {
+        fs::read_dir(self.quarantine_dir())
+            .map(|rd| rd.filter_map(Result::ok).count())
+            .unwrap_or(0)
+    }
+
+    /// Sweeps quarantined entries and orphaned temp files. Returns
+    /// `(quarantined_removed, tmp_removed)`.
+    pub fn gc(&mut self) -> io::Result<(usize, usize)> {
+        let mut quarantined = 0;
+        if let Ok(rd) = fs::read_dir(self.quarantine_dir()) {
+            for dirent in rd.filter_map(Result::ok) {
+                if fs::remove_file(dirent.path()).is_ok() {
+                    quarantined += 1;
+                }
+            }
+        }
+        let mut tmps = 0;
+        for dirent in fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            let name = dirent.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with('.')
+                && name.ends_with(".tmp")
+                && fs::remove_file(dirent.path()).is_ok()
+            {
+                tmps += 1;
+            }
+        }
+        Ok((quarantined, tmps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("acspec-store-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_stats() {
+        let dir = tmpdir("roundtrip");
+        let mut store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.load("k1"), LoadResult::Miss);
+        store.save("k1", b"payload-one").unwrap();
+        assert_eq!(store.load("k1"), LoadResult::Hit(b"payload-one".to_vec()));
+        store.save("k1", b"payload-two").unwrap();
+        assert_eq!(store.load("k1"), LoadResult::Hit(b"payload-two".to_vec()));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.saves), (2, 1, 2));
+        assert_eq!(s.load_seconds.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_then_missing() {
+        let dir = tmpdir("quarantine");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.save("k", b"data").unwrap();
+        let path = dir.join("k.acse");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        match store.load("k") {
+            LoadResult::Corrupt {
+                kind: CorruptionKind::ChecksumMismatch,
+                quarantined_to: Some(q),
+            } => assert!(q.exists()),
+            other => panic!("expected quarantined corruption, got {other:?}"),
+        }
+        assert_eq!(store.quarantine_count(), 1);
+        // The damaged file was moved aside: next load is a clean miss.
+        assert_eq!(store.load("k"), LoadResult::Miss);
+        let (q, t) = store.gc().unwrap();
+        assert_eq!((q, t), (1, 0));
+        assert_eq!(store.quarantine_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn walk_skips_tmp_and_quarantine_and_gc_sweeps_tmp() {
+        let dir = tmpdir("walk");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.save("b", b"2").unwrap();
+        store.save("a", b"1").unwrap();
+        fs::write(dir.join(".orphan.tmp"), b"crashed mid-write").unwrap();
+        fs::create_dir_all(dir.join("quarantine")).unwrap();
+        fs::write(dir.join("quarantine").join("x.acse"), b"bad").unwrap();
+        let keys: Vec<_> = store.walk().unwrap().into_iter().map(|e| e.key).collect();
+        assert_eq!(keys, ["a", "b"]);
+        let (q, t) = store.gc().unwrap();
+        assert_eq!((q, t), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_enospc_fails_save_but_never_corrupts() {
+        let dir = tmpdir("enospc");
+        // Rate 1: every save draws a write-class fault.
+        let mut store = ResultStore::open(&dir)
+            .unwrap()
+            .with_chaos(ChaosConfig::new(5, 1.0));
+        let mut wrote_ok = 0;
+        for i in 0..32 {
+            let key = format!("k{i}");
+            if store.save(&key, b"payload").is_ok() {
+                wrote_ok += 1;
+            }
+        }
+        assert!(store.chaos_stats().injected() > 0);
+        // Every entry that landed either validates or gets quarantined;
+        // a load never panics and never returns damaged bytes as a Hit.
+        for i in 0..32 {
+            match store.load(&format!("k{i}")) {
+                LoadResult::Hit(p) => assert_eq!(p, b"payload"),
+                LoadResult::Miss | LoadResult::Corrupt { .. } => {}
+            }
+        }
+        assert!(wrote_ok <= 32);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_rate_zero_is_identical_to_no_harness() {
+        let dir_a = tmpdir("zero-a");
+        let dir_b = tmpdir("zero-b");
+        let mut plain = ResultStore::open(&dir_a).unwrap();
+        let mut zero = ResultStore::open(&dir_b)
+            .unwrap()
+            .with_chaos(ChaosConfig::new(42, 0.0));
+        for s in [&mut plain, &mut zero] {
+            s.save("k", b"identical payload").unwrap();
+        }
+        let a = fs::read(dir_a.join("k.acse")).unwrap();
+        let b = fs::read(dir_b.join("k.acse")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(plain.load("k"), zero.load("k"));
+        assert_eq!(zero.chaos_stats().injected(), 0);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+}

@@ -1,0 +1,157 @@
+//! Crash-recovery contract of the on-disk store, end to end through
+//! [`ResultStore`]:
+//!
+//! * **Torn writes**: a golden entry truncated at *every* byte offset
+//!   is detected on load, classified, quarantined, and recomputable —
+//!   never a panic, never a `Hit` with damaged bytes.
+//! * **Bit rot**: one bit flipped in each header field region (magic,
+//!   version, length, checksum) and in the payload is caught with the
+//!   matching [`CorruptionKind`] diagnosis.
+//! * **Recovery**: after any corruption, the slot accepts a fresh save
+//!   and serves it back intact — a damaged store degrades to a cold
+//!   run, nothing worse.
+
+use std::fs;
+use std::path::PathBuf;
+
+use acspec_store::{CorruptionKind, LoadResult, ResultStore, HEADER_LEN};
+
+const KEY: &str = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+const PAYLOAD: &[u8] = br#"{"persist":1,"proc_name":"golden","reports":[[1,2,3]]}"#;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "acspec-crash-recovery-{name}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Writes one golden entry and returns (store, path-to-entry-file,
+/// pristine file image).
+fn golden(dir: &PathBuf) -> (ResultStore, PathBuf, Vec<u8>) {
+    let mut store = ResultStore::open(dir).expect("opens");
+    store.save(KEY, PAYLOAD).expect("saves");
+    let path = dir.join(format!("{KEY}.acse"));
+    let image = fs::read(&path).expect("entry file exists");
+    assert_eq!(image.len(), HEADER_LEN + PAYLOAD.len());
+    (store, path, image)
+}
+
+#[test]
+fn every_truncation_offset_is_quarantined_and_recoverable() {
+    let dir = tmpdir("truncate");
+    let (mut store, path, image) = golden(&dir);
+    for cut in 0..image.len() {
+        fs::write(&path, &image[..cut]).expect("writes truncated image");
+        let before = store.quarantine_count();
+        match store.load(KEY) {
+            LoadResult::Corrupt { kind, .. } => {
+                // Every prefix strictly shorter than the full entry is
+                // damage; prefixes shorter than the header must
+                // classify as a torn write specifically.
+                if cut < HEADER_LEN {
+                    assert_eq!(kind, CorruptionKind::Truncated, "offset {cut}");
+                }
+            }
+            other => panic!("truncation at {cut} gave {other:?}, expected Corrupt"),
+        }
+        assert_eq!(
+            store.quarantine_count(),
+            before + 1,
+            "offset {cut} not quarantined"
+        );
+        assert!(!path.exists(), "offset {cut}: damaged file left in place");
+        // The slot is now empty — exactly what the recompute path needs.
+        assert_eq!(store.load(KEY), LoadResult::Miss, "offset {cut}");
+        // Recovery: a fresh save must restore full service.
+        store.save(KEY, PAYLOAD).expect("re-saves");
+        assert_eq!(
+            store.load(KEY),
+            LoadResult::Hit(PAYLOAD.to_vec()),
+            "offset {cut}: slot did not recover"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_bit_flip_per_field_region_is_classified() {
+    let dir = tmpdir("bitflip");
+    let (mut store, path, image) = golden(&dir);
+    // (offset-to-flip, expected diagnosis): one representative byte per
+    // on-disk field, plus the first and last payload bytes.
+    let cases = [
+        (0usize, CorruptionKind::BadMagic),
+        (3, CorruptionKind::BadMagic),
+        (4, CorruptionKind::VersionSkew),
+        (7, CorruptionKind::VersionSkew),
+        // Flipping a low length byte declares a longer payload than is
+        // present (truncation) or a shorter one (trailing garbage);
+        // bit 0 of byte 8 turns even→odd, declaring one byte more.
+        (8, CorruptionKind::Truncated),
+        (16, CorruptionKind::ChecksumMismatch),
+        (47, CorruptionKind::ChecksumMismatch),
+        (HEADER_LEN, CorruptionKind::ChecksumMismatch),
+        (
+            HEADER_LEN + PAYLOAD.len() - 1,
+            CorruptionKind::ChecksumMismatch,
+        ),
+    ];
+    for (offset, expected) in cases {
+        let mut damaged = image.clone();
+        damaged[offset] ^= 0x01;
+        fs::write(&path, &damaged).expect("writes damaged image");
+        let before = store.quarantine_count();
+        match store.load(KEY) {
+            LoadResult::Corrupt { kind, .. } => {
+                assert_eq!(kind, expected, "flip at byte {offset}");
+            }
+            other => panic!("flip at byte {offset} gave {other:?}, expected Corrupt"),
+        }
+        assert_eq!(store.quarantine_count(), before + 1);
+        store.save(KEY, PAYLOAD).expect("re-saves");
+        assert_eq!(store.load(KEY), LoadResult::Hit(PAYLOAD.to_vec()));
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_single_bit_flip_anywhere_is_never_a_hit() {
+    let dir = tmpdir("exhaustive-flip");
+    let (mut store, path, image) = golden(&dir);
+    for offset in 0..image.len() {
+        for bit in 0..8 {
+            let mut damaged = image.clone();
+            damaged[offset] ^= 1 << bit;
+            fs::write(&path, &damaged).expect("writes damaged image");
+            match store.load(KEY) {
+                LoadResult::Corrupt { .. } => {}
+                LoadResult::Hit(bytes) => panic!(
+                    "flip of bit {bit} at byte {offset} served a hit ({} bytes)",
+                    bytes.len()
+                ),
+                LoadResult::Miss => panic!("flip of bit {bit} at byte {offset} read as miss"),
+            }
+            // Restore the slot for the next iteration.
+            store.save(KEY, PAYLOAD).expect("re-saves");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_skew_is_quarantined_not_misparsed() {
+    let dir = tmpdir("skew");
+    let (mut store, path, image) = golden(&dir);
+    let mut future = image;
+    future[4..8].copy_from_slice(&99u32.to_le_bytes());
+    fs::write(&path, &future).expect("writes future-version image");
+    match store.load(KEY) {
+        LoadResult::Corrupt { kind, .. } => assert_eq!(kind, CorruptionKind::VersionSkew),
+        other => panic!("version skew gave {other:?}"),
+    }
+    assert_eq!(store.quarantine_count(), 1);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -192,6 +192,160 @@ impl ChaosSolver {
     }
 }
 
+/// An I/O fault drawn by the store chaos stream ([`ChaosStore`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// The entry is truncated mid-write (the writer "crashed" after
+    /// flushing a prefix of the temp file).
+    TornWrite,
+    /// One bit of the written entry is flipped (media corruption).
+    BitFlip,
+    /// The write fails outright, as if the disk were full.
+    Enospc,
+    /// The read fails transiently; the store retries with backoff.
+    ReadError,
+}
+
+impl StoreFault {
+    const ALL: [StoreFault; 4] = [
+        StoreFault::TornWrite,
+        StoreFault::BitFlip,
+        StoreFault::Enospc,
+        StoreFault::ReadError,
+    ];
+
+    /// Stable lowercase name (telemetry counter suffixes).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreFault::TornWrite => "torn_write",
+            StoreFault::BitFlip => "bit_flip",
+            StoreFault::Enospc => "enospc",
+            StoreFault::ReadError => "read_error",
+        }
+    }
+}
+
+/// Monotone counters for injected store faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStoreStats {
+    /// Store operations that consulted the stream.
+    pub draws: u64,
+    /// Injected torn writes.
+    pub torn_writes: u64,
+    /// Injected bit flips.
+    pub bit_flips: u64,
+    /// Injected full-disk write failures.
+    pub enospcs: u64,
+    /// Injected transient read errors.
+    pub read_errors: u64,
+}
+
+impl ChaosStoreStats {
+    /// Total faults injected (excludes fault-free draws).
+    pub fn injected(&self) -> u64 {
+        self.torn_writes + self.bit_flips + self.enospcs + self.read_errors
+    }
+}
+
+/// Salt separating the load stream from the save stream for one key.
+const STORE_OP_LOAD: u64 = 0x1b87_3c55_a05e_9d31;
+/// Salt for the save stream.
+const STORE_OP_SAVE: u64 = 0x7f4c_a9e3_5d21_66b7;
+
+/// The store's deterministic I/O fault stream.
+///
+/// Unlike [`ChaosSolver`] (one stream per analyzer, advanced per query)
+/// the store is shared across worker threads, so a single advancing
+/// stream would make injection depend on thread scheduling. Instead
+/// every decision is a *pure function* of `(seed, entry key, operation,
+/// attempt)`: the same entry sees the same faults no matter which
+/// thread touches it or in what order.
+#[derive(Debug)]
+pub struct ChaosStore {
+    seed: u64,
+    rate: f64,
+    stats: ChaosStoreStats,
+}
+
+impl ChaosStore {
+    /// Builds the stream from the shared chaos configuration (same seed
+    /// and rate as the solver harness).
+    pub fn new(config: ChaosConfig) -> Self {
+        ChaosStore {
+            seed: config.seed,
+            rate: config.rate.clamp(0.0, 1.0),
+            stats: ChaosStoreStats::default(),
+        }
+    }
+
+    fn draw(&mut self, key: &str, op: u64, attempt: u64) -> Option<StoreFault> {
+        self.stats.draws += 1;
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let mut state = self.seed ^ fnv1a(key) ^ op ^ attempt.wrapping_mul(0x9e37_79b9);
+        // 53 mantissa bits give a uniform draw in [0, 1).
+        let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.rate {
+            return None;
+        }
+        let kind = StoreFault::ALL[(splitmix64(&mut state) % 4) as usize];
+        match kind {
+            StoreFault::TornWrite => self.stats.torn_writes += 1,
+            StoreFault::BitFlip => self.stats.bit_flips += 1,
+            StoreFault::Enospc => self.stats.enospcs += 1,
+            StoreFault::ReadError => self.stats.read_errors += 1,
+        }
+        Some(kind)
+    }
+
+    /// Decides the fault (if any) for saving `key`. Read-class faults
+    /// never fire on the save path.
+    pub fn save_fault(&mut self, key: &str) -> Option<StoreFault> {
+        match self.draw(key, STORE_OP_SAVE, 0) {
+            Some(StoreFault::ReadError) | None => None,
+            f => f,
+        }
+    }
+
+    /// Decides whether loading `key` (retry number `attempt`, starting
+    /// at 0) fails transiently. Write-class faults never fire on the
+    /// load path — corruption is injected at write time so a damaged
+    /// entry stays damaged across retries, like real media.
+    pub fn load_fault(&mut self, key: &str, attempt: u64) -> bool {
+        matches!(
+            self.draw(key, STORE_OP_LOAD, attempt),
+            Some(StoreFault::ReadError)
+        )
+    }
+
+    /// Mutates `bytes` according to a write-class fault: truncation
+    /// point or flipped bit is drawn deterministically from the same
+    /// `(seed, key)` stream.
+    pub fn corrupt(&mut self, key: &str, fault: StoreFault, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut state = self.seed ^ fnv1a(key) ^ STORE_OP_SAVE ^ 0x5bd1_e995;
+        let r = splitmix64(&mut state);
+        match fault {
+            StoreFault::TornWrite => {
+                bytes.truncate((r % bytes.len() as u64) as usize);
+            }
+            StoreFault::BitFlip => {
+                let bit = (r % (bytes.len() as u64 * 8)) as usize;
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+            StoreFault::Enospc | StoreFault::ReadError => {}
+        }
+    }
+
+    /// The monotone injection counters.
+    pub fn stats(&self) -> ChaosStoreStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +395,63 @@ mod tests {
         let a: Vec<_> = (0..64).map(|_| sf.next_fault()).collect();
         let b: Vec<_> = (0..64).map(|_| sg.next_fault()).collect();
         assert_ne!(a, b, "distinct procedures should see distinct streams");
+    }
+
+    #[test]
+    fn store_zero_rate_never_injects() {
+        let mut s = ChaosStore::new(ChaosConfig::new(42, 0.0));
+        for i in 0..500 {
+            assert_eq!(s.save_fault(&format!("k{i}")), None);
+            assert!(!s.load_fault(&format!("k{i}"), 0));
+        }
+        assert_eq!(s.stats().injected(), 0);
+    }
+
+    #[test]
+    fn store_faults_are_key_deterministic_and_order_independent() {
+        let cfg = ChaosConfig::new(9, 0.7);
+        let keys: Vec<String> = (0..64).map(|i| format!("proc{i}")).collect();
+        let mut a = ChaosStore::new(cfg);
+        let fa: Vec<_> = keys.iter().map(|k| a.save_fault(k)).collect();
+        // Same keys drawn in reverse order from a fresh stream: each
+        // key's decision must be unchanged.
+        let mut b = ChaosStore::new(cfg);
+        let mut fb: Vec<_> = keys.iter().rev().map(|k| b.save_fault(k)).collect();
+        fb.reverse();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(Option::is_some));
+        assert!(!fa.iter().any(|f| matches!(f, Some(StoreFault::ReadError))));
+    }
+
+    #[test]
+    fn store_read_retries_draw_independent_attempts() {
+        let mut s = ChaosStore::new(ChaosConfig::new(3, 0.5));
+        let per_attempt: Vec<bool> = (0..8).map(|a| s.load_fault("k", a)).collect();
+        // Not all attempts agree at rate 0.5 over 8 draws (seeded so the
+        // stream mixes); a stuck stream would make retries pointless.
+        assert!(per_attempt.iter().any(|&x| x) && per_attempt.iter().any(|&x| !x));
+        let mut t = ChaosStore::new(ChaosConfig::new(3, 0.5));
+        let again: Vec<bool> = (0..8).map(|a| t.load_fault("k", a)).collect();
+        assert_eq!(per_attempt, again);
+    }
+
+    #[test]
+    fn corrupt_truncates_or_flips_exactly_one_bit() {
+        let mut s = ChaosStore::new(ChaosConfig::new(11, 1.0));
+        let golden: Vec<u8> = (0..=255).collect();
+        let mut torn = golden.clone();
+        s.corrupt("k", StoreFault::TornWrite, &mut torn);
+        assert!(torn.len() < golden.len());
+        assert_eq!(&golden[..torn.len()], &torn[..]);
+        let mut flipped = golden.clone();
+        s.corrupt("k", StoreFault::BitFlip, &mut flipped);
+        assert_eq!(flipped.len(), golden.len());
+        let diff_bits: u32 = golden
+            .iter()
+            .zip(&flipped)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1);
     }
 
     #[test]

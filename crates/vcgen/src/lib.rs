@@ -49,8 +49,10 @@ pub mod translate;
 pub mod wp;
 
 pub use analyzer::{AnalyzerConfig, ProcAnalyzer, QueryOutcome, QueryRecord, Selector, Timeout};
-pub use cache::{CacheStats, QueryCache};
-pub use chaos::{ChaosConfig, ChaosFault, ChaosSolver, ChaosStats};
+pub use cache::{CacheSnapshot, CacheStats, QueryCache};
+pub use chaos::{
+    ChaosConfig, ChaosFault, ChaosSolver, ChaosStats, ChaosStore, ChaosStoreStats, StoreFault,
+};
 pub use evidence::{
     CertEvent, CertOutcome, CertStore, CertTag, Evaluator, FuncValue, MapValue, ModelTables,
     ProofData, QueryCert, TermNode,

@@ -20,6 +20,11 @@
 //!   --deadline <secs>          wall-clock deadline per procedure+config
 //!   --chaos-seed <u64>         deterministic fault-injection seed
 //!   --chaos-rate <p>           fault probability per solver query (0..1)
+//!   --store-dir <path>         persistent result store: unchanged
+//!                              procedures are re-emitted byte-identically
+//!                              with zero solver queries (corrupt entries
+//!                              are quarantined and recomputed)
+//!   --no-store                 ignore --store-dir (cold run)
 //! ```
 //!
 //! `.c` inputs go through the HAVOC-style front end (null-dereference
@@ -36,9 +41,9 @@
 use std::process::ExitCode;
 
 use acspec_core::{
-    certs_json, infer_preconditions, program_report_json_with, triage_program, AcspecOptions,
-    AnalysisOutcome, ConfigName, NullObserver, ProcCerts, ProcOutcome, ProcReport, ProgramAnalysis,
-    SessionObserver, SibStatus, TelemetryObserver,
+    certs_json_from_fragments, infer_preconditions, program_report_json_with, triage_program,
+    AcspecOptions, AnalysisOutcome, ConfigName, NullObserver, ProcOutcome, ProcReport,
+    ProgramAnalysis, SessionObserver, SibStatus, StoreSession, TelemetryObserver,
 };
 use acspec_ir::Program;
 use acspec_telemetry::{opt, Manifest};
@@ -61,6 +66,8 @@ struct Cli {
     deadline: Option<f64>,
     chaos_seed: Option<u64>,
     chaos_rate: Option<f64>,
+    store_dir: Option<String>,
+    no_store: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -81,6 +88,8 @@ fn parse_args() -> Result<Cli, String> {
         deadline: None,
         chaos_seed: None,
         chaos_rate: None,
+        store_dir: None,
+        no_store: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -174,6 +183,15 @@ fn parse_args() -> Result<Cli, String> {
                 }
                 cli.chaos_rate = Some(rate);
                 i += 2;
+            }
+            "--store-dir" => {
+                let v = args.get(i + 1).ok_or("--store-dir needs a path")?;
+                cli.store_dir = Some(v.clone());
+                i += 2;
+            }
+            "--no-store" => {
+                cli.no_store = true;
+                i += 1;
             }
             "--help" | "-h" => {
                 return Err(String::new());
@@ -364,24 +382,38 @@ fn run() -> Result<bool, String> {
     } else {
         &mut null
     };
+    // The persistent store is opt-in (`--store-dir`) and disabled under a
+    // deadline (wall-clock timeouts make cached reports nondeterministic,
+    // so ProgramAnalysis refuses the key anyway). When solver chaos is on,
+    // the same seed and rate drive store-level I/O faults.
+    let store = match (&cli.store_dir, cli.no_store) {
+        (Some(dir), false) => Some(
+            StoreSession::open_with_chaos(std::path::Path::new(dir), opts.analyzer.chaos)
+                .map_err(|e| format!("cannot open store {dir}: {e}"))?,
+        ),
+        _ => None,
+    };
     let mut results = ProgramAnalysis::new(&program)
         .options(opts)
         .configs(&configs)
         .certify(cli.certs_out.is_some())
+        .store(store.as_ref())
         .run(observer);
 
-    // Drain the certificate stores before the report loop takes shared
-    // references into `results`.
-    let mut proc_certs: Vec<ProcCerts> = Vec::new();
+    // Drain the pre-rendered certificate fragments before the report loop
+    // takes shared references into `results`. Fragments (rather than live
+    // `ProcCerts`) keep warm store hits byte-identical to cold runs.
+    let mut cert_fragments: Vec<String> = Vec::new();
     for outcome in &mut results {
         if let ProcOutcome::Analyzed(pa) = outcome {
-            if let Some(pc) = pa.certs.take() {
-                proc_certs.push(pc);
+            pa.certs.take();
+            if let Some(fragment) = pa.certs_fragment.take() {
+                cert_fragments.push(fragment);
             }
         }
     }
     if let Some(path) = &cli.certs_out {
-        std::fs::write(path, certs_json(&proc_certs))
+        std::fs::write(path, certs_json_from_fragments(&cert_fragments))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
@@ -397,6 +429,10 @@ fn run() -> Result<bool, String> {
         if let Some(chaos) = opts.analyzer.chaos {
             options.push(opt("chaos_seed", chaos.seed));
             options.push(opt("chaos_rate", chaos.rate));
+        }
+        if let Some(store) = &store {
+            options.push(opt("store_dir", cli.store_dir.clone().unwrap_or_default()));
+            telemetry.record_store(&store.stats());
         }
         let manifest = Manifest {
             tool: "acspec".into(),
@@ -434,6 +470,17 @@ fn run() -> Result<bool, String> {
                 continue;
             }
         };
+        // Store-corruption incidents ride on an otherwise healthy analysis:
+        // surface them even when the procedure itself is clean.
+        for incident in &pa.incidents {
+            if cli.json {
+                incidents.push(incident.clone());
+            } else {
+                println!("procedure {}:", incident.proc_name);
+                println!("  incident: {incident}");
+                println!();
+            }
+        }
         if pa.cons.status == SibStatus::Correct {
             continue;
         }
@@ -506,7 +553,7 @@ fn main() -> ExitCode {
                  [--cons] [--interproc] [--all-configs] [--specs] [--triage] \
                  [--format text|json] [--trace-out path] [--metrics-out path] \
                  [--certs-out path] [--no-query-cache] [--deadline secs] \
-                 [--chaos-seed n] [--chaos-rate p]\n\
+                 [--chaos-seed n] [--chaos-rate p] [--store-dir path] [--no-store]\n\
                  usage: acspec check <report.json | certs.json>"
             );
             ExitCode::from(2)
