@@ -13,17 +13,61 @@
 pub mod diff;
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
+use acspec_benchgen::suite::{generate_entry, SuiteKind, SUITE};
 use acspec_benchgen::Benchmark;
 use acspec_core::{
     AcspecOptions, AnalysisIncident, ConfigName, NullObserver, ProcCerts, ProcOutcome, ProcReport,
-    ProgramAnalysis, SessionObserver, SibStatus,
+    ProgramAnalysis, SessionObserver, SibStatus, TelemetryObserver,
 };
 use acspec_predabs::normalize::PruneConfig;
+use acspec_telemetry::MetricsRegistry;
 use acspec_vcgen::analyzer::AnalyzerConfig;
 
 /// The prune levels of Figure 6: no pruning (`k = ∞`) and `k = 3, 2, 1`.
 pub const PRUNE_LEVELS: &[Option<usize>] = &[None, Some(3), Some(2), Some(1)];
+
+/// The named workloads of the `repro bench` perf snapshot: label and
+/// the suite kinds it evaluates. The two entries must stay *distinct*
+/// evaluations — an earlier snapshot ran the identical large suite
+/// under both a `fig8` and a `fig9` label, so the baseline pretended to
+/// pin two workloads while gating one ([`bench_workload_run`] plus the
+/// distinctness test in `tests/bench_workloads.rs` keep this honest).
+pub const BENCH_WORKLOADS: &[(&str, &[SuiteKind])] = &[
+    ("fig6", &[SuiteKind::Samate, SuiteKind::Small]),
+    ("fig8", &[SuiteKind::Large]),
+];
+
+/// The counters the perf gate compares. A change in any of these fails
+/// CI outright (quantity of search, not its speed).
+pub const BENCH_COUNTERS: &[&str] = &[
+    "solver.conflicts",
+    "solver.decisions",
+    "solver.learnt_clauses",
+    "solver.learnt_literals",
+    "solver.propagations",
+    "solver.queries",
+    "solver.restarts",
+];
+
+/// One instrumented run of a perf-snapshot workload: CDCL search
+/// summaries on, wall clock around the whole evaluation. Returns the
+/// wall seconds and the run's metrics registry.
+pub fn bench_workload_run(
+    kinds: &[SuiteKind],
+    scale: usize,
+    opts: &EvalOptions,
+) -> (f64, MetricsRegistry) {
+    let mut obs = TelemetryObserver::new().with_search_events(true);
+    let t0 = Instant::now();
+    for e in SUITE.iter().filter(|e| kinds.contains(&e.kind)) {
+        let bm = generate_entry(e, scale);
+        let _ = evaluate_with(&bm, opts, &mut obs);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, obs.finish().metrics)
+}
 
 /// Evaluation of one procedure: per-configuration, per-prune-level
 /// reports plus the conservative baseline.
@@ -75,6 +119,10 @@ pub struct EvalOptions {
     /// deterministic regardless of this setting). `0` = available
     /// parallelism.
     pub threads: usize,
+    /// Search-worker budget shared by procedure fan-out and in-query
+    /// parallelism (portfolio forks, cube lanes). `0` = follow
+    /// `threads`. Deterministic regardless of this setting.
+    pub search_threads: usize,
     /// Emit per-verdict certificates (the `--certs-out` sidecar).
     /// Certification replays claim-backing queries into fresh proof-
     /// logging solvers outside the staged timings, so reports stay
@@ -91,6 +139,7 @@ impl Default for EvalOptions {
             },
             configs: &[ConfigName::Conc, ConfigName::A1, ConfigName::A2],
             threads: 0,
+            search_threads: 0,
             certify: false,
         }
     }
@@ -131,6 +180,7 @@ pub fn evaluate_with(
         .configs(opts.configs)
         .prune_variants(&prune_variants)
         .threads(opts.threads)
+        .search_threads(opts.search_threads)
         .certify(opts.certify)
         .run(observer);
 

@@ -1,0 +1,35 @@
+//! Pins that the perf-snapshot workloads are genuinely distinct.
+//!
+//! An earlier `BENCH_solver.json` gated the identical large-suite
+//! evaluation under two different labels ("fig8" and "fig9"), so half
+//! the baseline was dead weight: a regression confined to the samate or
+//! small suites could never trip it. The harness now derives its
+//! workloads from [`acspec_bench::BENCH_WORKLOADS`]; this test runs
+//! each entry and asserts that no two produce the same counter set.
+
+use acspec_bench::{bench_workload_run, EvalOptions, BENCH_COUNTERS, BENCH_WORKLOADS};
+
+#[test]
+fn bench_workloads_have_distinct_counter_sets() {
+    let opts = EvalOptions::default();
+    let mut seen: Vec<(&str, Vec<u64>)> = Vec::new();
+    for (workload, kinds) in BENCH_WORKLOADS {
+        let (_, metrics) = bench_workload_run(kinds, 16, &opts);
+        let counters: Vec<u64> = BENCH_COUNTERS
+            .iter()
+            .map(|name| metrics.counter(name))
+            .collect();
+        assert!(
+            counters.iter().any(|&v| v > 0),
+            "workload `{workload}` recorded no solver activity"
+        );
+        for (other, theirs) in &seen {
+            assert_ne!(
+                &counters, theirs,
+                "workloads `{workload}` and `{other}` produced identical counter \
+                 sets — the snapshot would gate one evaluation under two labels"
+            );
+        }
+        seen.push((workload, counters));
+    }
+}

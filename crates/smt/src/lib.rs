@@ -35,17 +35,22 @@
 
 pub mod euf;
 pub mod lia;
+pub mod pool;
 pub mod rat;
 pub mod sat;
 pub mod solver;
 pub mod term;
 
+pub use pool::SearchPool;
 pub use rat::Rat;
 pub use sat::{
-    Lit, ProofEvent, SearchObserver, SearchSummary, SolveResult, Var, LBD_BUCKET_BOUNDS,
-    RESTART_BUCKET_BOUNDS,
+    CancelToken, Lit, ProofEvent, SearchObserver, SearchSummary, SolveResult, Var,
+    LBD_BUCKET_BOUNDS, RESTART_BUCKET_BOUNDS,
 };
-pub use solver::{ClauseTag, SmtResult, SmtStats, Solver, SolverConfig, SolverCounters};
+pub use solver::{
+    ClauseTag, PortfolioConfig, PortfolioOutcome, SmtResult, SmtStats, Solver, SolverConfig,
+    SolverCounters,
+};
 pub use term::{Ctx, Term, TermId, TermSort};
 
 #[cfg(test)]
@@ -274,6 +279,107 @@ mod tests {
         s.assert_term(&mut ctx, def);
         s.assert_term(&mut ctx, req);
         assert_eq!(s.check(&mut ctx, &[]), SmtResult::Sat);
+    }
+
+    /// Builds one moderately hard instance (pigeonhole over boolean
+    /// selectors, plus arithmetic) for portfolio tests.
+    fn hard_instance() -> (Ctx, Solver) {
+        let (mut ctx, mut s) = setup();
+        let pigeons = 6;
+        let holes = 5;
+        let v: Vec<Vec<TermId>> = (0..pigeons)
+            .map(|p| {
+                (0..holes)
+                    .map(|h| ctx.mk_bool_var(format!("p{p}h{h}")))
+                    .collect()
+            })
+            .collect();
+        for row in &v {
+            let t = ctx.mk_or(row.clone());
+            s.assert_term(&mut ctx, t);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    let n1 = ctx.mk_not(v[p1][h]);
+                    let n2 = ctx.mk_not(v[p2][h]);
+                    let c = ctx.mk_or(vec![n1, n2]);
+                    s.assert_term(&mut ctx, c);
+                }
+            }
+        }
+        (ctx, s)
+    }
+
+    /// Portfolio racing reaches the sequential verdict, and the merged
+    /// counters are byte-identical whether the forks run inline (no
+    /// spare permits) or on real threads — the determinism contract.
+    #[test]
+    fn portfolio_verdict_and_counters_are_schedule_independent() {
+        let pcfg = PortfolioConfig {
+            forks: 3,
+            seed: 7,
+            quantum: 1, // force escalation into fork races
+            lbd_keep: 4,
+        };
+        let mut runs = Vec::new();
+        for spare in [0usize, 2, 8] {
+            let (mut ctx, mut s) = hard_instance();
+            s.enable_search();
+            let pool = SearchPool::new(spare);
+            let (r, out) = s.check_portfolio(&mut ctx, &[], pcfg, &pool, false);
+            assert_eq!(r, SmtResult::Unsat);
+            assert_eq!(pool.spare(), spare, "permits returned");
+            let summary = s.take_search_summary().expect("search on");
+            runs.push((r, out, s.counters(), summary));
+        }
+        assert_eq!(runs[0], runs[1], "inline vs 2 spare permits");
+        assert_eq!(runs[1], runs[2], "2 vs 8 spare permits");
+        assert!(
+            runs[0].1.rounds > 0 && runs[0].1.winner.is_some(),
+            "quantum 1 must escalate into a fork race: {:?}",
+            runs[0].1
+        );
+    }
+
+    /// A poisoned primary (the fault-injection harness's "the solver
+    /// mysteriously failed") skips the sequential attempt, yet the fork
+    /// race still reaches the sequential run's verdict — the portfolio
+    /// masks the fault.
+    #[test]
+    fn portfolio_poisoned_primary_still_answers() {
+        let pcfg = PortfolioConfig {
+            forks: 3,
+            seed: 7,
+            quantum: 1,
+            lbd_keep: 4,
+        };
+        let (mut ctx, mut s) = hard_instance();
+        let pool = SearchPool::new(0);
+        let (r, out) = s.check_portfolio(&mut ctx, &[], pcfg, &pool, true);
+        assert_eq!(r, SmtResult::Unsat);
+        assert!(
+            out.rounds > 0 && out.winner.is_some(),
+            "poisoned primary must escalate into a fork race: {out:?}"
+        );
+    }
+
+    /// Easy queries decide in the sequential attempt and never fork, so
+    /// portfolio mode is byte-identical to a plain budgeted check there.
+    #[test]
+    fn portfolio_easy_query_never_forks() {
+        let (mut ctx, mut s) = setup();
+        let x = ctx.mk_int_var("x");
+        let zero = ctx.mk_int(0);
+        let pos = ctx.mk_lt(zero, x);
+        s.assert_term(&mut ctx, pos);
+        let pool = SearchPool::new(4);
+        let (r, out) = s.check_portfolio(&mut ctx, &[], PortfolioConfig::default(), &pool, false);
+        assert_eq!(r, SmtResult::Sat);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.winner, None);
+        assert_eq!(out.merged, SolverCounters::default());
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! A shared permit pool bounding total search parallelism.
+//!
+//! `ProgramAnalysis` runs procedures on a worker pool; the parallel
+//! search layer (portfolio racing, cube-and-conquer ALL-SAT) would
+//! multiply that by its own fan-out if each layer sized itself
+//! independently. Instead one [`SearchPool`] is threaded down from the
+//! driver: every procedure worker implicitly holds one permit, and
+//! query-level parallelism may only claim *spare* permits (cores the
+//! procedure level left idle). Claims are non-blocking — when no spare
+//! permit is available the caller runs its work inline on the thread it
+//! already owns, so the pool can never deadlock and determinism cannot
+//! depend on permit availability (results are merged in index order
+//! either way).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A non-blocking permit pool shared by procedure-level and query-level
+/// parallelism (one budget, per ISSUE 10's tentpole).
+#[derive(Debug)]
+pub struct SearchPool {
+    spare: AtomicUsize,
+}
+
+impl SearchPool {
+    /// A pool with `spare` extra permits beyond the implicitly held
+    /// per-worker ones. `SearchPool::new(0)` makes every parallel
+    /// helper run inline (the sequential semantics).
+    pub fn new(spare: usize) -> SearchPool {
+        SearchPool {
+            spare: AtomicUsize::new(spare),
+        }
+    }
+
+    /// Claims up to `want` spare permits, returning how many were
+    /// actually claimed (possibly 0). Never blocks.
+    pub fn try_take(&self, want: usize) -> usize {
+        let mut cur = self.spare.load(Ordering::Relaxed);
+        loop {
+            let take = cur.min(want);
+            if take == 0 {
+                return 0;
+            }
+            match self.spare.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Returns `n` previously claimed permits to the pool.
+    pub fn give_back(&self, n: usize) {
+        if n > 0 {
+            self.spare.fetch_add(n, Ordering::AcqRel);
+        }
+    }
+
+    /// The number of spare permits currently available (advisory).
+    pub fn spare(&self) -> usize {
+        self.spare.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_give_back_round_trip() {
+        let pool = SearchPool::new(3);
+        assert_eq!(pool.try_take(2), 2);
+        assert_eq!(pool.spare(), 1);
+        assert_eq!(pool.try_take(5), 1);
+        assert_eq!(pool.try_take(1), 0, "exhausted pool claims nothing");
+        pool.give_back(3);
+        assert_eq!(pool.spare(), 3);
+    }
+
+    #[test]
+    fn empty_pool_never_blocks() {
+        let pool = SearchPool::new(0);
+        assert_eq!(pool.try_take(4), 0);
+        assert_eq!(pool.spare(), 0);
+    }
+}
